@@ -1,0 +1,38 @@
+"""Ablation — blocking strategies (§2.4 arbitrary vs §2.4.1 bucketed).
+
+The design decision DESIGN.md calls out: how structure units are assigned
+to hosts.  Arbitrary assignments (owner / round-robin / hash) all give the
+skip-graph-like O(log n) query cost; the bucketed assignment trades larger
+per-host memory for fewer messages, increasingly so as M grows.
+"""
+
+from repro.bench.experiments import ablation_blocking
+from repro.bench.reporting import format_table
+from repro.onedim import BucketSkipWeb1D
+from repro.workloads import uniform_keys
+
+
+def test_ablation_blocking(capsys):
+    rows = ablation_blocking(n=256, memory_sizes=(16, 64, 256), queries=30, seed=0)
+    with capsys.disabled():
+        print()
+        print(format_table(rows, title="Ablation (measured): blocking strategies, n=256"))
+
+    arbitrary = [row for row in rows if row["policy"].startswith("arbitrary")]
+    bucketed = [row for row in rows if row["policy"].startswith("bucket")]
+
+    # Every arbitrary policy answers in O(log n)-ish messages.
+    assert all(row["Q_mean"] <= 15 for row in arbitrary)
+    # Bucketed blocking with the largest M beats every arbitrary policy.
+    best_bucket = min(row["Q_mean"] for row in bucketed)
+    assert best_bucket <= min(row["Q_mean"] for row in arbitrary)
+    # And memory per host grows with M, as §2.4.1 predicts.
+    memories = [row["M_max"] for row in bucketed]
+    assert memories == sorted(memories)
+
+
+def test_benchmark_bucket_construction(benchmark):
+    keys = uniform_keys(256, seed=1)
+    benchmark.pedantic(
+        lambda: BucketSkipWeb1D(keys, memory_size=64, seed=2), rounds=3, iterations=1
+    )

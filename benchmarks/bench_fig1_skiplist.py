@@ -1,0 +1,37 @@
+"""Figure 1 — the classic skip list: expected O(log n) search, O(n) space."""
+
+import math
+import random
+
+from repro.baselines import SkipList
+from repro.bench.experiments import fig1_skiplist
+from repro.bench.fitting import best_growth_law
+from repro.bench.reporting import format_table
+from repro.workloads import uniform_keys
+
+
+def test_fig1_search_grows_logarithmically(capsys):
+    sizes = (128, 512, 2048, 8192)
+    rows = fig1_skiplist(sizes=sizes, queries_per_size=120, seed=0)
+    with capsys.disabled():
+        print()
+        print(format_table(rows, title="Figure 1 (measured): skip list search and space"))
+
+    hops = [row["search_hops_mean"] for row in rows]
+    fit = best_growth_law(sizes, hops, candidates=("1", "log n", "log^2 n", "n"))
+    assert fit.law == "log n"
+
+    # Space: the expected number of node copies per key is 1/(1-p) = 2.
+    for row in rows:
+        assert row["node_copies_per_key"] < 3.0
+
+    # Levels track log2 n.
+    for size, row in zip(sizes, rows):
+        assert row["levels"] <= 4 * math.log2(size)
+
+
+def test_benchmark_skiplist_search(benchmark):
+    keys = uniform_keys(4096, seed=1)
+    skiplist = SkipList(keys, seed=1)
+    rng = random.Random(2)
+    benchmark(lambda: skiplist.search(rng.uniform(0, 1_000_000)))

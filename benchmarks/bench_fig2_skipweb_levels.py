@@ -1,0 +1,39 @@
+"""Figure 2 — the one-dimensional skip-web level structure.
+
+Checks the picture the figure draws: level 0 is the whole sorted list,
+each level roughly halves the sets, the top-level sets are O(1) in size,
+and the per-level routing work of a query is O(1) messages.
+"""
+
+import random
+
+from repro.bench.experiments import fig2_skipweb_levels
+from repro.bench.reporting import format_table
+from repro.onedim import SkipWeb1D
+from repro.workloads import uniform_keys
+
+
+def test_fig2_level_structure(capsys):
+    rows = fig2_skipweb_levels(n=256, queries=40, seed=0)
+    with capsys.disabled():
+        print()
+        print(format_table(rows, title="Figure 2 (measured): 1-d skip-web levels"))
+
+    by_level = {row["level"]: row for row in rows}
+    height = max(by_level)
+
+    assert by_level[0]["sets"] == 1
+    assert by_level[0]["largest_set"] == 256
+    # Sets roughly halve per level (allow randomness slack).
+    for level in range(1, height + 1):
+        assert by_level[level]["mean_set"] <= by_level[level - 1]["mean_set"]
+    # Top-level sets are tiny, and per-level query work is O(1) messages.
+    assert by_level[height]["largest_set"] <= 10
+    assert all(row["msgs_at_level_mean"] <= 6 for row in rows)
+
+
+def test_benchmark_skipweb_level_descend(benchmark):
+    keys = uniform_keys(512, seed=3)
+    web = SkipWeb1D(keys, seed=3)
+    rng = random.Random(4)
+    benchmark(lambda: web.nearest(rng.uniform(0, 1_000_000)))

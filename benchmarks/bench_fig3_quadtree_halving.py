@@ -1,0 +1,56 @@
+"""Figure 3 / Lemma 3 — the set-halving lemma for compressed quadtrees.
+
+The per-level descent work (cells of ``D(S)`` containing the query inside
+the located cell of the random half ``D(T)``) must stay O(1) as ``n``
+grows, for uniform and for clustered (deep-tree) point sets.
+"""
+
+import random
+
+from repro.bench.experiments import fig3_quadtree
+from repro.bench.reporting import format_table
+from repro.spatial.geometry import HyperCube
+from repro.spatial.quadtree import CompressedQuadtree
+from repro.spatial.skip_quadtree import descent_conflicts
+from repro.workloads import clustered_points, uniform_points
+
+UNIT_CUBE = HyperCube((0.0, 0.0), 1.0)
+
+
+def test_fig3_halving_constant_uniform(capsys):
+    rows = fig3_quadtree(sizes=(64, 256, 1024), trials=6, queries_per_size=20, seed=0)
+    with capsys.disabled():
+        print()
+        print(format_table(rows, title="Figure 3 (measured): quadtree set-halving, uniform points"))
+    means = [row["mean_conflicts"] for row in rows]
+    # O(1): the constant must not track n (n grows 16x here).
+    assert means[-1] <= means[0] * 2.5
+    assert all(mean <= 8 for mean in means)
+
+
+def test_fig3_halving_constant_three_dimensions(capsys):
+    rows = fig3_quadtree(sizes=(64, 512), trials=5, queries_per_size=15, dimension=3, seed=1)
+    with capsys.disabled():
+        print()
+        print(format_table(rows, title="Figure 3 (measured): octree set-halving, 3-d"))
+    assert rows[-1]["mean_conflicts"] <= rows[0]["mean_conflicts"] * 2.5
+
+
+def test_fig3_halving_clustered_deep_trees():
+    rng = random.Random(2)
+    points = clustered_points(600, seed=3, clusters=3, spread=0.0005)
+    full = CompressedQuadtree(points, UNIT_CUBE)
+    assert full.depth() >= 10
+    half = CompressedQuadtree(points[::2], UNIT_CUBE)
+    samples = [
+        descent_conflicts(full, half, (rng.random(), rng.random())) for _ in range(60)
+    ]
+    assert sum(samples) / len(samples) <= 8
+
+
+def test_benchmark_quadtree_halving_sample(benchmark):
+    rng = random.Random(4)
+    points = uniform_points(512, seed=5)
+    full = CompressedQuadtree(points, UNIT_CUBE)
+    half = CompressedQuadtree(points[::2], UNIT_CUBE)
+    benchmark(lambda: descent_conflicts(full, half, (rng.random(), rng.random())))

@@ -1,0 +1,49 @@
+"""Figure 4 / Lemma 5 — the set-halving lemma for trapezoidal maps.
+
+The expected number of trapezoids of ``D(S)`` conflicting with the
+trapezoid of the random half ``D(T)`` containing a query point must stay
+O(1) as the number of segments grows (the ``1 + a + 2b + 3c`` identity of
+Lemma 5 bounds it).
+"""
+
+import random
+
+from repro.bench.experiments import fig4_trapezoid
+from repro.bench.reporting import format_table
+from repro.planar.segments import bounding_box
+from repro.planar.trapezoidal_map import TrapezoidalMap
+from repro.workloads import non_crossing_segments
+
+
+def test_fig4_halving_constant(capsys):
+    rows = fig4_trapezoid(sizes=(16, 32, 64), trials=5, queries_per_size=15, seed=0)
+    with capsys.disabled():
+        print()
+        print(format_table(rows, title="Figure 4 (measured): trapezoidal-map set-halving"))
+    means = [row["mean_conflicts"] for row in rows]
+    # The segment count quadruples; an O(1) expectation must not follow it.
+    assert means[-1] <= means[0] * 2.5
+
+
+def test_lemma5_conflict_identity_lower_bound():
+    """Every trapezoid of D(T) conflicts with at least itself (the +1 of Lemma 5)."""
+    segments = non_crossing_segments(30, seed=1)
+    box = bounding_box(segments)
+    full = TrapezoidalMap(segments, box=box)
+    half = TrapezoidalMap(segments[::2], box=box)
+    for trapezoid in half.trapezoids:
+        assert len(full.conflicting_trapezoids(trapezoid)) >= 1
+
+
+def test_benchmark_trapezoid_conflicts(benchmark):
+    segments = non_crossing_segments(48, seed=2)
+    box = bounding_box(segments)
+    full = TrapezoidalMap(segments, box=box)
+    half = TrapezoidalMap(segments[::2], box=box)
+    rng = random.Random(3)
+
+    def sample():
+        point = (rng.uniform(box[0], box[1]), rng.uniform(box[2], box[3]))
+        return full.conflicting_trapezoids(half.locate(point))
+
+    benchmark(sample)

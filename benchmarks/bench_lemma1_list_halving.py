@@ -1,0 +1,61 @@
+"""Lemma 1 — the set-halving lemma for sorted linked lists.
+
+``E[|C(Q, S)|]`` must be a constant independent of ``n``.  The paper's
+closed-form bound is 7; with closed link ranges (needed for the §2.1
+incidence definition) the measured constant is ≈ 2·E|Q∩S| + 1 ≈ 9, still
+independent of ``n`` — see EXPERIMENTS.md for the discussion.
+"""
+
+import random
+
+from repro.bench.experiments import lemma1_list
+from repro.bench.reporting import format_table
+from repro.core.halving import verify_halving
+from repro.onedim import SortedListStructure
+from repro.workloads import clustered_keys
+
+
+def test_lemma1_constant(capsys):
+    rows = lemma1_list(sizes=(64, 256, 1024), trials=10, queries_per_size=25, seed=0)
+    with capsys.disabled():
+        print()
+        print(format_table(rows, title="Lemma 1 (measured): sorted-list set-halving"))
+    means = [row["mean_conflicts"] for row in rows]
+    assert means[-1] <= means[0] * 2.0
+    assert all(mean <= 14 for mean in means)
+
+
+def test_lemma1_holds_for_clustered_keys():
+    rng = random.Random(1)
+    keys = [float(k) for k in clustered_keys(400, seed=2)]
+    report = verify_halving(
+        SortedListStructure,
+        keys,
+        queries=[rng.uniform(min(keys), max(keys)) for _ in range(20)],
+        trials=8,
+        rng=rng,
+    )
+    assert report.mean_conflicts <= 14
+
+
+def test_lemma1_exact_half_sampling():
+    rng = random.Random(3)
+    keys = [float(k) for k in range(500)]
+    report = verify_halving(
+        SortedListStructure,
+        keys,
+        queries=[rng.uniform(0, 500) for _ in range(20)],
+        trials=8,
+        rng=rng,
+        exact_half=True,
+    )
+    assert report.mean_conflicts <= 14
+
+
+def test_benchmark_halving_verifier(benchmark):
+    rng = random.Random(4)
+    keys = [float(k) for k in range(256)]
+    queries = [rng.uniform(0, 256) for _ in range(5)]
+    benchmark(
+        lambda: verify_halving(SortedListStructure, keys, queries=queries, trials=2, rng=rng)
+    )

@@ -1,0 +1,51 @@
+"""Lemma 4 — the set-halving lemma for compressed tries.
+
+The conflict list of the located range of ``D(T)`` against ``D(S)``
+(nodes and edges along the corresponding path) must stay O(1) as the
+number of strings grows, including for DNA-read workloads whose tries are
+deep because of shared motifs.
+"""
+
+import random
+
+from repro.bench.experiments import lemma4_trie
+from repro.bench.reporting import format_table
+from repro.core.halving import verify_halving
+from repro.strings import DNA, LOWERCASE
+from repro.strings.skip_trie import TrieStructure
+from repro.workloads import dna_reads, random_strings
+
+
+def test_lemma4_constant(capsys):
+    rows = lemma4_trie(sizes=(64, 256, 1024), trials=6, queries_per_size=20, seed=0)
+    with capsys.disabled():
+        print()
+        print(format_table(rows, title="Lemma 4 (measured): trie set-halving, DNA reads"))
+    means = [row["mean_conflicts"] for row in rows]
+    assert means[-1] <= means[0] * 2.5
+    assert all(mean <= 10 for mean in means)
+
+
+def test_lemma4_random_lowercase_strings():
+    rng = random.Random(1)
+    strings = random_strings(400, alphabet=LOWERCASE, seed=2)
+    report = verify_halving(
+        TrieStructure,
+        strings,
+        queries=random_strings(15, alphabet=LOWERCASE, seed=3),
+        trials=6,
+        rng=rng,
+        alphabet=LOWERCASE,
+    )
+    assert report.mean_conflicts <= 10
+
+
+def test_benchmark_trie_halving(benchmark):
+    rng = random.Random(4)
+    reads = dna_reads(200, seed=5)
+    queries = dna_reads(5, seed=6)
+    benchmark(
+        lambda: verify_halving(
+            TrieStructure, reads, queries=queries, trials=2, rng=rng, alphabet=DNA
+        )
+    )

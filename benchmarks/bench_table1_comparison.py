@@ -1,0 +1,67 @@
+"""Table 1 — cost comparison of all one-dimensional methods.
+
+Measures ``H``, ``M``, ``C(n)``, ``Q(n)`` and ``U(n)`` for skip graphs,
+SkipNet, NoN skip graphs, family trees, deterministic SkipNet, bucket skip
+graphs, skip-webs, bucket skip-webs (and Chord for exact match only) on a
+shared workload, and checks the qualitative relationships the paper's
+table asserts.
+"""
+
+import random
+
+from repro.baselines import NoNSkipGraph, SkipGraph
+from repro.bench.experiments import table1_comparison
+from repro.bench.reporting import format_table
+from repro.onedim import SkipWeb1D
+from repro.workloads import uniform_keys
+
+
+def test_table1_rows(capsys):
+    rows = table1_comparison(sizes=(128, 256), queries_per_size=25, updates_per_size=5, seed=0)
+    with capsys.disabled():
+        print()
+        print(format_table(rows, title="Table 1 (measured)"))
+
+    largest = [row for row in rows if row["n"] == 256]
+    by_method = {row["method"]: row for row in largest}
+
+    # One host per key for the per-key structures (plus one per inserted
+    # key from the update workload); far fewer for the bucketed ones.
+    assert by_method["skip graph"]["H"] >= 256
+    assert by_method["bucket skip graph"]["H"] < 256
+    assert by_method["bucket skip-web (this paper)"]["H"] < by_method["skip graph"]["H"] * 9
+
+    # NoN trades memory for query speed; the skip-web keeps O(log n) memory.
+    assert by_method["NoN skip graph"]["M_max"] > by_method["skip graph"]["M_max"] * 2
+    assert by_method["NoN skip graph"]["Q_mean"] < by_method["skip graph"]["Q_mean"]
+    assert by_method["skip-web (this paper)"]["M_max"] <= by_method["NoN skip graph"]["M_max"] * 3
+
+    # Family trees keep O(1) pointers per host.
+    assert by_method["family tree"]["M_max"] <= 8
+
+    # The bucket skip-web's queries beat the plain skip-web's.
+    assert (
+        by_method["bucket skip-web (this paper)"]["Q_mean"]
+        <= by_method["skip-web (this paper)"]["Q_mean"]
+    )
+
+
+def test_benchmark_skipweb_query(benchmark):
+    keys = uniform_keys(256, seed=1)
+    web = SkipWeb1D(keys, seed=1)
+    rng = random.Random(2)
+    benchmark(lambda: web.nearest(rng.uniform(0, 1_000_000)))
+
+
+def test_benchmark_skipgraph_query(benchmark):
+    keys = uniform_keys(256, seed=1)
+    graph = SkipGraph(keys, seed=1)
+    rng = random.Random(2)
+    benchmark(lambda: graph.search(rng.uniform(0, 1_000_000)))
+
+
+def test_benchmark_non_skipgraph_query(benchmark):
+    keys = uniform_keys(256, seed=1)
+    graph = NoNSkipGraph(keys, seed=1)
+    rng = random.Random(2)
+    benchmark(lambda: graph.search(rng.uniform(0, 1_000_000)))

@@ -1,0 +1,51 @@
+"""Theorem 2 — query message complexity of multi-dimensional skip-webs.
+
+Quadtree, trie and trapezoid skip-webs must answer point-location /
+string-location queries in O(log n) expected messages with O(log n)-ish
+per-host memory, even when the underlying tree is deep.
+"""
+
+import random
+
+from repro.bench.experiments import theorem2_multidim
+from repro.bench.fitting import best_growth_law
+from repro.bench.reporting import format_table
+from repro.spatial.geometry import HyperCube
+from repro.spatial.skip_quadtree import SkipQuadtreeWeb
+from repro.workloads import degenerate_line_points, uniform_points
+
+
+def test_theorem2_multidim_costs(capsys):
+    rows = theorem2_multidim(sizes=(64, 128, 256), queries_per_size=20, seed=0)
+    with capsys.disabled():
+        print()
+        print(format_table(rows, title="Theorem 2 (measured): multi-dimensional skip-web queries"))
+
+    quad_rows = [row for row in rows if row["structure"] == "quadtree skip-web"]
+    sizes = [row["n"] for row in quad_rows]
+    costs = [row["Q_mean"] for row in quad_rows]
+    fit = best_growth_law(sizes, costs, candidates=("1", "log n", "n"))
+    assert fit.law != "n"
+    # Message costs stay far below n at every size (log-like).
+    for row in rows:
+        assert row["Q_mean"] <= 25
+        assert row["Q_max"] <= 60
+
+
+def test_theorem2_holds_for_linear_depth_quadtrees():
+    """The headline claim: O(log n) messages even when the tree has huge depth."""
+    points = degenerate_line_points(120, seed=1)
+    web = SkipQuadtreeWeb(points, bounding_cube=HyperCube((0.0, 0.0), 1.0), seed=2)
+    depth = web.level0_tree.depth()
+    assert depth >= 20
+    rng = random.Random(3)
+    costs = [web.locate((rng.random(), rng.random())).messages for _ in range(25)]
+    assert sum(costs) / len(costs) < depth  # far below the tree depth
+    assert max(costs) <= 40
+
+
+def test_benchmark_quadtree_web_locate(benchmark):
+    points = uniform_points(256, seed=4)
+    web = SkipQuadtreeWeb(points, bounding_cube=HyperCube((0.0, 0.0), 1.0), seed=5)
+    rng = random.Random(6)
+    benchmark(lambda: web.locate((rng.random(), rng.random())))

@@ -1,0 +1,60 @@
+"""Theorem 2 / §2.4.1 — one-dimensional query costs.
+
+The plain 1-d skip-web answers nearest-neighbour queries in O(log n)
+messages; the bucket skip-web improves to O(log_M H) — approaching a
+constant when hosts can store M = n^ε items.
+"""
+
+import random
+
+from repro.bench.experiments import theorem2_onedim
+from repro.bench.fitting import best_growth_law
+from repro.bench.reporting import format_table
+from repro.onedim import BucketSkipWeb1D, SkipWeb1D
+from repro.workloads import uniform_keys
+
+
+def test_theorem2_onedim_costs(capsys):
+    rows = theorem2_onedim(
+        sizes=(128, 512, 2048), memory_sizes=(16, 64, 256), queries_per_size=30, seed=0
+    )
+    with capsys.disabled():
+        print()
+        print(format_table(rows, title="Theorem 2 (measured): 1-d skip-web vs bucket skip-web"))
+
+    plain = [row for row in rows if row["structure"] == "skip-web 1-d"]
+    sizes = [row["n"] for row in plain]
+    plain_costs = [row["Q_mean"] for row in plain]
+    fit = best_growth_law(sizes, plain_costs, candidates=("1", "log n", "n"))
+    assert fit.law != "n"
+
+    # Larger M means fewer messages at fixed n (the log_M H effect), and at
+    # M = n^(1/2)-ish the cost is a small constant.
+    for n in sizes:
+        costs_by_memory = {
+            row["structure"]: row["Q_mean"]
+            for row in rows
+            if row["n"] == n and row["structure"].startswith("bucket")
+        }
+        assert costs_by_memory["bucket skip-web (M=256)"] <= costs_by_memory["bucket skip-web (M=16)"]
+    largest = [row for row in rows if row["n"] == 2048 and row["structure"] == "bucket skip-web (M=256)"]
+    assert largest[0]["Q_mean"] <= 4.0
+
+
+def test_bucket_skipweb_beats_plain_at_every_size():
+    rng = random.Random(1)
+    for n in (128, 512):
+        keys = uniform_keys(n, seed=n)
+        queries = [rng.uniform(0, 1_000_000) for _ in range(25)]
+        plain = SkipWeb1D(keys, seed=2)
+        bucket = BucketSkipWeb1D(keys, memory_size=64, seed=2)
+        plain_cost = sum(plain.nearest(q).messages for q in queries)
+        bucket_cost = sum(bucket.nearest(q, origin_key=rng.choice(keys)).messages for q in queries)
+        assert bucket_cost <= plain_cost
+
+
+def test_benchmark_bucket_skipweb_query(benchmark):
+    keys = uniform_keys(512, seed=3)
+    bucket = BucketSkipWeb1D(keys, memory_size=64, seed=3)
+    rng = random.Random(4)
+    benchmark(lambda: bucket.nearest(rng.uniform(0, 1_000_000), origin_key=rng.choice(keys)))

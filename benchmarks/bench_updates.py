@@ -1,0 +1,54 @@
+"""§4 — update (insert/delete) message costs.
+
+Skip-web updates must cost O(log n) messages (O(log n / log log n) for the
+bucketed one-dimensional structure): the measured means must grow far more
+slowly than n and stay within a generous constant times log n.
+"""
+
+import math
+import random
+
+from repro.bench.experiments import update_costs
+from repro.bench.reporting import format_table
+from repro.onedim import SkipWeb1D
+from repro.workloads import uniform_keys
+
+
+def test_update_costs(capsys):
+    sizes = (64, 128, 256)
+    rows = update_costs(sizes=sizes, updates_per_size=6, seed=0)
+    with capsys.disabled():
+        print()
+        print(format_table(rows, title="§4 (measured): update message costs"))
+
+    onedim = [row for row in rows if row["structure"] == "skip-web 1-d"]
+    inserts = [row["insert_mean"] for row in onedim]
+    # n quadruples; an O(log n) cost should grow by roughly +2 levels' worth,
+    # nowhere near 4x.
+    assert inserts[-1] <= inserts[0] * 2.5
+    for n, row in zip(sizes, onedim):
+        assert row["insert_mean"] <= 12 * math.log2(n)
+        assert row["delete_mean"] <= 12 * math.log2(n)
+
+    bucket = [row for row in rows if row["structure"].startswith("bucket")]
+    for n, row in zip(sizes, bucket):
+        assert row["insert_mean"] <= 6 * math.log2(n)
+
+
+def test_update_includes_search_cost():
+    keys = uniform_keys(128, seed=1)
+    web = SkipWeb1D(keys, seed=1)
+    result = web.insert(123456.5)
+    assert result.search_messages >= 0
+    assert result.messages == result.search_messages + result.propagate_messages
+
+
+def test_benchmark_skipweb_insert(benchmark):
+    rng = random.Random(2)
+    keys = uniform_keys(128, seed=3)
+
+    def do_insert():
+        web = SkipWeb1D(keys, seed=4)
+        web.insert(rng.uniform(0, 1_000_000))
+
+    benchmark.pedantic(do_insert, rounds=3, iterations=1)

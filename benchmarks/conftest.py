@@ -1,0 +1,15 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark module regenerates one table or figure of the paper via the
+experiment functions in :mod:`repro.bench.experiments` (small problem sizes
+so the whole suite runs in minutes), prints the measured rows, asserts the
+qualitative shape the paper claims, and exposes one ``pytest-benchmark``
+timing hook for the headline operation of that experiment.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,54 @@
+"""Planar point location in a campus map with a trapezoidal-map skip-web.
+
+The paper's GIS motivation: a campus or city map stored as non-crossing
+segments in a peer-to-peer network, answering "which face of the map is
+this point in?" — planar point location — with O(log n) messages.
+
+Run with:  python examples/campus_map.py
+"""
+
+import random
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.planar import SkipTrapezoidWeb
+from repro.planar.segments import bounding_box
+from repro.workloads import city_map_segments, non_crossing_segments
+
+
+def main() -> None:
+    rng = random.Random(17)
+
+    print("== street-grid campus map ==")
+    streets = city_map_segments(blocks_x=5, blocks_y=4, seed=17)
+    box = bounding_box(streets)
+    web = SkipTrapezoidWeb(streets, box=box, seed=17)
+    print(f"street segments: {len(streets)}, trapezoids: "
+          f"{web.level0_map.trapezoid_count()}, hosts: {web.host_count}")
+
+    for _ in range(4):
+        point = (rng.uniform(box[0], box[1]), rng.uniform(box[2], box[3]))
+        located = web.locate(point)
+        above = located.answer.above_segment
+        below = located.answer.below_segment
+        print(f"  at ({point[0]:6.1f},{point[1]:6.1f}): "
+              f"street above: {'map edge' if above is None else 'yes'}, "
+              f"street below: {'map edge' if below is None else 'yes'}, "
+              f"{located.messages} messages")
+
+    print("\n== a richer random map ==")
+    segments = non_crossing_segments(60, seed=23)
+    box = bounding_box(segments)
+    web = SkipTrapezoidWeb(segments, box=box, seed=23)
+    costs = [
+        web.locate((rng.uniform(box[0], box[1]), rng.uniform(box[2], box[3]))).messages
+        for _ in range(20)
+    ]
+    print(f"segments: {len(segments)}, trapezoids: {web.level0_map.trapezoid_count()}, "
+          f"mean point-location messages: {sum(costs) / len(costs):.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The project is fully described by ``pyproject.toml``.  This file exists so
+that the package can be installed in editable mode on environments whose
+setuptools is too old to expose PEP 660 editable wheels without the
+``wheel`` package (``python setup.py develop`` as a fallback for
+``pip install -e .``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""Skip-webs: efficient distributed data structures for multi-dimensional data.
+
+This package is a from-scratch reproduction of
+
+    Lars Arge, David Eppstein, Michael T. Goodrich,
+    "Skip-Webs: Efficient Distributed Data Structures for Multi-Dimensional
+    Data Sets", PODC 2005.
+
+The package is organised around the paper's structure:
+
+``repro.net``
+    A discrete peer-to-peer network simulator: hosts with bounded memory,
+    explicit messages, per-operation message counting and per-host
+    congestion accounting.  All cost measures reported by the paper
+    (``H``, ``M``, ``C(n)``, ``Q(n)``, ``U(n)``) are measured against this
+    substrate.
+
+``repro.core``
+    The skip-web framework itself: range-determined link structures,
+    set-halving lemmas, level construction, distributed blocking, query
+    routing and updates.
+
+``repro.onedim``, ``repro.spatial``, ``repro.strings``, ``repro.planar``
+    The four instantiations the paper describes: sorted linked lists,
+    compressed quadtrees/octrees, compressed digital tries and trapezoidal
+    maps, each with its distributed skip-web.
+
+``repro.baselines``
+    The prior structures of Table 1 (skip lists, skip graphs, SkipNet,
+    NoN skip graphs, family trees, deterministic SkipNet, bucket skip
+    graphs) plus a Chord DHT for exact-match comparison.
+
+``repro.workloads`` and ``repro.bench``
+    Synthetic workload generators and the experiment harness that
+    regenerates every table and figure of the paper.
+"""
+
+from repro._version import __version__
+from repro.errors import (
+    ReproError,
+    HostMemoryExceeded,
+    UnknownHostError,
+    AddressError,
+    StructureError,
+    QueryError,
+    UpdateError,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "HostMemoryExceeded",
+    "UnknownHostError",
+    "AddressError",
+    "StructureError",
+    "QueryError",
+    "UpdateError",
+]

@@ -1,0 +1,3 @@
+"""Package version, kept in a tiny module so it is importable without side effects."""
+
+__version__ = "1.0.0"

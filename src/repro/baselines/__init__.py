@@ -1,0 +1,44 @@
+"""Prior distributed structures compared against skip-webs in Table 1.
+
+Every row of the paper's Table 1 is implemented so the comparison can be
+measured rather than quoted:
+
+* :mod:`repro.baselines.skiplist` — the classic (centralised) skip list
+  of Figure 1; the conceptual ancestor of everything else.
+* :mod:`repro.baselines.skipgraph` — skip graphs (Aspnes–Shah) and
+  SkipNet (Harvey et al.), one key per host, ``O(log n)`` search.
+* :mod:`repro.baselines.non_skipgraph` — NoN skip graphs (Manku, Naor,
+  Wieder): neighbour-of-neighbour lookahead, ``O(log n / log log n)``
+  search at the price of ``O(log² n)`` memory.
+* :mod:`repro.baselines.family_tree` — family trees (Zatloukal–Harvey):
+  ``O(1)`` pointers per host (simplified construction, see module docs).
+* :mod:`repro.baselines.det_skipnet` — deterministic SkipNet
+  (Harvey–Munro): deterministic promotions, ``O(log n)`` search,
+  ``O(log² n)`` updates.
+* :mod:`repro.baselines.bucket_skipgraph` — bucket skip graphs (Aspnes,
+  Kirsch, Krishnamurthy): ``H < n`` hosts, contiguous key buckets.
+* :mod:`repro.baselines.dht_chord` — a Chord DHT, included to demonstrate
+  why plain DHTs cannot serve the richer queries (§1.2).
+"""
+
+from repro.baselines.base import DistributedOrderedStructure, SearchOutcome
+from repro.baselines.skiplist import SkipList
+from repro.baselines.skipgraph import SkipGraph, SkipNet
+from repro.baselines.non_skipgraph import NoNSkipGraph
+from repro.baselines.family_tree import FamilyTreeOverlay
+from repro.baselines.det_skipnet import DeterministicSkipNet
+from repro.baselines.bucket_skipgraph import BucketSkipGraph
+from repro.baselines.dht_chord import ChordDHT
+
+__all__ = [
+    "DistributedOrderedStructure",
+    "SearchOutcome",
+    "SkipList",
+    "SkipGraph",
+    "SkipNet",
+    "NoNSkipGraph",
+    "FamilyTreeOverlay",
+    "DeterministicSkipNet",
+    "BucketSkipGraph",
+    "ChordDHT",
+]

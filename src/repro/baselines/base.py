@@ -1,0 +1,341 @@
+"""Shared machinery for the Table 1 baseline structures.
+
+Every baseline is a *distributed ordered dictionary*: keys live on hosts,
+each host keeps a routing table (its neighbours at various levels,
+fingers, tree pointers, ...), and a search routes greedily from an origin
+host to the host responsible for the query, one message per hop.
+
+To keep the eight baselines small and uniform they share this pattern:
+
+* routing tables are *computed* centrally from the global key set (the
+  simulator knows everything), but *stored* on the hosts through the
+  network's slot store, so per-host memory ``M`` is measured rather than
+  asserted;
+* searches run exclusively over the stored tables via
+  :class:`repro.net.rpc.Traversal`, so query messages ``Q(n)`` are counted
+  exactly;
+* updates recompute the affected tables and charge one message per host
+  whose stored table actually changed (plus the search that locates the
+  update position), mirroring how the skip-web update protocol is
+  accounted — see :mod:`repro.core.update`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from statistics import mean
+from typing import Any, Iterable, Sequence
+
+from repro.errors import QueryError, UpdateError
+from repro.net.congestion import CongestionReport, congestion_report
+from repro.net.message import MessageKind
+from repro.net.naming import Address, HostId
+from repro.net.network import Network
+from repro.net.rpc import Traversal
+
+
+@dataclass(frozen=True)
+class SearchOutcome:
+    """Result of one search on a baseline structure."""
+
+    query: float
+    nearest: float
+    predecessor: float | None
+    successor: float | None
+    exact: bool
+    messages: int
+    hosts_visited: tuple[HostId, ...]
+
+
+@dataclass(frozen=True)
+class BaselineUpdateOutcome:
+    """Result of one insert/delete on a baseline structure."""
+
+    key: float
+    kind: str
+    messages: int
+    search_messages: int
+    propagate_messages: int
+    hosts_touched: int
+
+
+class DistributedOrderedStructure(abc.ABC):
+    """Base class: a set of numeric keys spread over hosts with routing tables.
+
+    Subclasses implement :meth:`_routing_tables` (the full routing state,
+    host by host) and :meth:`_route` (one greedy routing step).  Everything
+    else — storage, measurement, the update accounting — is shared.
+    """
+
+    #: Row label used in Table 1 output.
+    name: str = "baseline"
+
+    def __init__(
+        self,
+        keys: Sequence[float],
+        network: Network | None = None,
+        seed: int = 0,
+    ) -> None:
+        self._keys = sorted(set(float(key) for key in keys))
+        if not self._keys:
+            raise QueryError(f"{self.name}: needs at least one key")
+        self.seed = seed
+        self.network = network if network is not None else Network()
+        self._table_addresses: dict[HostId, Address] = {}
+        self._host_of_key: dict[float, HostId] = {}
+        self._setup_hosts()
+        self._install_tables(charge_messages=False)
+
+    # ------------------------------------------------------------------ #
+    # host layout
+    # ------------------------------------------------------------------ #
+    def _setup_hosts(self) -> None:
+        """Create one host per key (subclasses with ``H < n`` override)."""
+        existing = [host.host_id for host in self.network.hosts()]
+        needed = len(self._keys) - len(existing)
+        if needed > 0:
+            self.network.add_hosts(needed)
+        host_ids = [host.host_id for host in self.network.hosts()]
+        for index, key in enumerate(self._keys):
+            self._host_of_key[key] = host_ids[index % len(host_ids)]
+
+    def host_of(self, key: float) -> HostId:
+        """The home host of a stored key."""
+        return self._host_of_key[key]
+
+    # ------------------------------------------------------------------ #
+    # routing tables
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def _routing_tables(self) -> dict[HostId, Any]:
+        """Compute the complete routing table of every host.
+
+        A table is any picklable value; its *size in stored entries* is
+        what :meth:`_table_size` reports for memory accounting.
+        """
+
+    @abc.abstractmethod
+    def _route(self, table: Any, current_key: float, query: float) -> float | None:
+        """One greedy routing step.
+
+        Given the routing table stored at the host responsible for
+        ``current_key``, return the key whose host the search should visit
+        next, or ``None`` when ``current_key``'s host is the final
+        destination for ``query``.
+        """
+
+    def _table_size(self, table: Any) -> int:
+        """Number of stored entries in a routing table (for ``M`` accounting)."""
+        if isinstance(table, dict):
+            return sum(self._table_size(value) for value in table.values())
+        if isinstance(table, (list, tuple, set)):
+            return sum(self._table_size(value) for value in table)
+        return 1
+
+    def _install_tables(self, charge_messages: bool) -> tuple[int, set[HostId]]:
+        """(Re)store every host's routing table; returns (changed hosts, set).
+
+        Tables that did not change keep their slots untouched; changed
+        tables are replaced in place.  The caller decides whether the
+        changes should be charged as update messages.
+        """
+        tables = self._routing_tables()
+        changed: set[HostId] = set()
+        for host_id, table in tables.items():
+            address = self._table_addresses.get(host_id)
+            if address is None:
+                self._table_addresses[host_id] = self.network.store(host_id, table)
+                changed.add(host_id)
+                continue
+            if self.network.load(address) != table:
+                self.network.replace(address, table)
+                changed.add(host_id)
+        # Drop tables of hosts that no longer have one (rare: shrinking).
+        for host_id in list(self._table_addresses):
+            if host_id not in tables:
+                self.network.free(self._table_addresses.pop(host_id))
+                changed.add(host_id)
+        # Memory accounting: the slot count is one per table, so expose the
+        # entry count via per-host owned-item bookkeeping instead.
+        for host in self.network.hosts():
+            host.reset_reference_counts()
+        for host_id, table in tables.items():
+            self.network.host(host_id).note_owned_items(0)
+        return len(changed), changed
+
+    # ------------------------------------------------------------------ #
+    # searching
+    # ------------------------------------------------------------------ #
+    def search(
+        self,
+        query: float,
+        origin_key: float | None = None,
+        kind: MessageKind = MessageKind.QUERY,
+    ) -> SearchOutcome:
+        """Route a nearest-neighbour search for ``query`` through the overlay."""
+        query = float(query)
+        if origin_key is None:
+            origin_key = self._keys[0]
+        origin_key = float(origin_key)
+        if origin_key not in self._host_of_key:
+            raise QueryError(f"{self.name}: origin key {origin_key!r} is not stored")
+        traversal = Traversal(self.network, self._host_of_key[origin_key], kind=kind)
+        current_key = origin_key
+        safety = 4 * len(self._keys) + 16
+        for _ in range(safety):
+            table = self.network.load(self._table_addresses[self._host_of_key[current_key]])
+            next_key = self._route(table, current_key, query)
+            if next_key is None:
+                return self._finish(query, current_key, traversal)
+            traversal.hop_to(self._host_of_key[next_key])
+            current_key = next_key
+        raise QueryError(f"{self.name}: routing did not converge for query {query!r}")
+
+    def _finish(
+        self, query: float, final_key: float, traversal: Traversal
+    ) -> SearchOutcome:
+        index = self._keys.index(final_key)
+        predecessor = None
+        successor = None
+        if final_key <= query:
+            predecessor = final_key
+            successor = self._keys[index + 1] if index + 1 < len(self._keys) else None
+        else:
+            successor = final_key
+            predecessor = self._keys[index - 1] if index > 0 else None
+        candidates = [value for value in (predecessor, successor) if value is not None]
+        nearest = min(candidates, key=lambda value: abs(value - query))
+        return SearchOutcome(
+            query=query,
+            nearest=nearest,
+            predecessor=predecessor,
+            successor=successor,
+            exact=(query in self._host_of_key),
+            messages=traversal.hops,
+            hosts_visited=tuple(traversal.path),
+        )
+
+    # ------------------------------------------------------------------ #
+    # updates
+    # ------------------------------------------------------------------ #
+    def insert(self, key: float, origin_key: float | None = None) -> BaselineUpdateOutcome:
+        """Insert ``key``: search for its position, then repair routing tables."""
+        key = float(key)
+        if key in self._host_of_key:
+            raise UpdateError(f"{self.name}: key {key!r} already stored")
+        search = self.search(key, origin_key=origin_key, kind=MessageKind.UPDATE)
+        self._keys = sorted(self._keys + [key])
+        self._assign_new_key(key)
+        self._after_ground_set_change()
+        changed_count, changed_hosts = self._install_tables(charge_messages=True)
+        messages = self._charge_update(search, changed_hosts)
+        return BaselineUpdateOutcome(
+            key=key,
+            kind="insert",
+            messages=search.messages + messages,
+            search_messages=search.messages,
+            propagate_messages=messages,
+            hosts_touched=changed_count,
+        )
+
+    def delete(self, key: float, origin_key: float | None = None) -> BaselineUpdateOutcome:
+        """Delete ``key`` and repair routing tables."""
+        key = float(key)
+        if key not in self._host_of_key:
+            raise UpdateError(f"{self.name}: key {key!r} is not stored")
+        if len(self._keys) == 1:
+            raise UpdateError(f"{self.name}: cannot delete the last key")
+        if origin_key is None or float(origin_key) == key:
+            origin_key = next(existing for existing in self._keys if existing != key)
+        search = self.search(key, origin_key=origin_key, kind=MessageKind.UPDATE)
+        self._keys = [existing for existing in self._keys if existing != key]
+        self._host_of_key.pop(key)
+        self._after_ground_set_change()
+        changed_count, changed_hosts = self._install_tables(charge_messages=True)
+        messages = self._charge_update(search, changed_hosts)
+        return BaselineUpdateOutcome(
+            key=key,
+            kind="delete",
+            messages=search.messages + messages,
+            search_messages=search.messages,
+            propagate_messages=messages,
+            hosts_touched=changed_count,
+        )
+
+    def _assign_new_key(self, key: float) -> None:
+        """Give a newly inserted key a home host (default: a fresh host)."""
+        host = self.network.add_host()
+        self._host_of_key[key] = host.host_id
+
+    def _after_ground_set_change(self) -> None:
+        """Hook for subclasses that keep derived state (membership vectors, ...)."""
+
+    def _charge_update(self, search: SearchOutcome, changed_hosts: set[HostId]) -> int:
+        """Charge one update message per host whose routing table changed."""
+        start = search.hosts_visited[-1] if search.hosts_visited else 0
+        traversal = Traversal(self.network, start, kind=MessageKind.UPDATE)
+        for host in sorted(changed_hosts):
+            traversal.hop_to(host)
+        return traversal.hops
+
+    # ------------------------------------------------------------------ #
+    # measurement
+    # ------------------------------------------------------------------ #
+    @property
+    def keys(self) -> list[float]:
+        return list(self._keys)
+
+    @property
+    def ground_set_size(self) -> int:
+        return len(self._keys)
+
+    @property
+    def host_count(self) -> int:
+        return self.network.host_count
+
+    def max_memory_per_host(self) -> int:
+        """Largest routing-table size (in entries) on any host."""
+        profile = self.memory_profile()
+        return max(profile.values()) if profile else 0
+
+    def memory_profile(self) -> dict[HostId, int]:
+        """Routing-table entries per host, plus one per stored key."""
+        profile: dict[HostId, int] = {host.host_id: 0 for host in self.network.hosts()}
+        for host_id, address in self._table_addresses.items():
+            profile[host_id] = profile.get(host_id, 0) + self._table_size(
+                self.network.load(address)
+            )
+        for key, host_id in self._host_of_key.items():
+            profile[host_id] = profile.get(host_id, 0) + 1
+        return profile
+
+    def congestion(self) -> CongestionReport:
+        """Congestion per §1.1 based on cross-host routing-table references."""
+        for host in self.network.hosts():
+            host.reset_reference_counts()
+        for key, host_id in self._host_of_key.items():
+            self.network.host(host_id).note_owned_items(1)
+        for host_id, address in self._table_addresses.items():
+            table = self.network.load(address)
+            for referenced_key in self._referenced_keys(table):
+                target = self._host_of_key.get(referenced_key)
+                if target is not None and target != host_id:
+                    self.network.host(host_id).note_out_reference(1)
+                    self.network.host(target).note_in_reference(1)
+        return congestion_report(self.network, self.ground_set_size)
+
+    def _referenced_keys(self, table: Any) -> Iterable[float]:
+        """Keys a routing table points at (for congestion accounting)."""
+        if isinstance(table, dict):
+            for value in table.values():
+                yield from self._referenced_keys(value)
+        elif isinstance(table, (list, tuple, set)):
+            for value in table:
+                yield from self._referenced_keys(value)
+        elif isinstance(table, float):
+            yield table
+
+    def mean_search_messages(self, queries: Sequence[float]) -> float:
+        """Convenience: average ``Q(n)`` over a query workload."""
+        return mean(self.search(query).messages for query in queries)

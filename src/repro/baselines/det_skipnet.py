@@ -1,0 +1,153 @@
+"""Deterministic SkipNet (Harvey–Munro) — Table 1 row 4.
+
+Harvey and Munro derandomize SkipNet by maintaining a deterministic
+skip-list-like hierarchy (in the spirit of 1-2-3 skip lists): between two
+consecutive level-``i+1`` elements there are always between one and three
+level-``i`` elements.  Searches are then worst-case ``O(log n)`` messages
+with ``O(log n)`` entries per host, but keeping the invariant makes
+updates more expensive — ``O(log² n)`` — and congestion higher, which is
+the trade-off Table 1 records.
+
+This implementation maintains the 1-3 gap invariant explicitly: inserts
+promote a middle element whenever a gap grows to four, deletes demote or
+re-promote around the removed element.  Promotion decisions are
+deterministic (no randomness anywhere in this module).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Sequence
+
+from repro.baselines.base import DistributedOrderedStructure
+from repro.net.naming import HostId
+from repro.net.network import Network
+
+
+class DeterministicSkipNet(DistributedOrderedStructure):
+    """A deterministic 1-2-3 skip hierarchy, one key per host."""
+
+    name = "deterministic SkipNet"
+
+    def __init__(
+        self,
+        keys: Sequence[float],
+        network: Network | None = None,
+        seed: int = 0,
+    ) -> None:
+        # levels[0] is the sorted key list; levels[i] ⊆ levels[i-1].
+        self._levels: list[list[float]] = []
+        super().__init__(keys, network=network, seed=seed)
+
+    # ------------------------------------------------------------------ #
+    # deterministic hierarchy maintenance
+    # ------------------------------------------------------------------ #
+    def _rebuild_levels_from_scratch(self) -> None:
+        """Initial construction: promote every other element, level by level."""
+        self._levels = [list(self._keys)]
+        while len(self._levels[-1]) > 2:
+            below = self._levels[-1]
+            # Deterministic promotion: every second element, keeping gaps of
+            # one or two — within the 1-3 invariant.
+            self._levels.append(below[1::2])
+
+    def _gap_elements(self, level: int, low: float | None, high: float | None) -> list[float]:
+        """Level-``level`` elements strictly between two level-``level+1`` elements."""
+        below = self._levels[level]
+        start = 0 if low is None else bisect.bisect_right(below, low)
+        end = len(below) if high is None else bisect.bisect_left(below, high)
+        return below[start:end]
+
+    def _repair_invariant(self) -> None:
+        """Re-establish the 1-3 gap invariant bottom-up after an update."""
+        level = 0
+        while level + 1 < len(self._levels) or (
+            level < len(self._levels) and len(self._levels[level]) > 3
+        ):
+            if level + 1 >= len(self._levels):
+                self._levels.append([])
+            upper = self._levels[level + 1]
+            # Drop promoted elements that no longer exist below.
+            below_set = set(self._levels[level])
+            upper[:] = [element for element in upper if element in below_set]
+            boundaries: list[float | None] = [None] + list(upper) + [None]
+            rebuilt: list[float] = []
+            for low, high in zip(boundaries, boundaries[1:]):
+                gap = self._gap_elements(level, low, high)
+                while len(gap) > 3:
+                    # Promote the middle element of an over-full gap.
+                    promoted = gap[len(gap) // 2]
+                    rebuilt.append(promoted)
+                    gap = [element for element in gap if element > promoted]
+                if high is not None:
+                    rebuilt.append(high)
+            upper[:] = sorted(set(rebuilt))
+            if not upper:
+                self._levels.pop()
+                break
+            if len(upper) <= 3 and level + 2 >= len(self._levels):
+                break
+            level += 1
+        # Trim empty top levels.
+        while len(self._levels) > 1 and len(self._levels[-1]) == 0:
+            self._levels.pop()
+
+    def _after_ground_set_change(self) -> None:
+        if not self._levels:
+            self._rebuild_levels_from_scratch()
+            return
+        self._levels[0] = list(self._keys)
+        self._repair_invariant()
+
+    # ------------------------------------------------------------------ #
+    # routing tables
+    # ------------------------------------------------------------------ #
+    def _routing_tables(self) -> dict[HostId, Any]:
+        if not self._levels:
+            self._rebuild_levels_from_scratch()
+        tables: dict[HostId, Any] = {}
+        for key in self._keys:
+            neighbor_levels: list[dict[str, float | None]] = []
+            for level_keys in self._levels:
+                index = bisect.bisect_left(level_keys, key)
+                present = index < len(level_keys) and level_keys[index] == key
+                if not present:
+                    break
+                left = level_keys[index - 1] if index > 0 else None
+                right = level_keys[index + 1] if index + 1 < len(level_keys) else None
+                neighbor_levels.append({"left": left, "right": right})
+            tables[self._host_of_key[key]] = {"key": key, "levels": neighbor_levels}
+        return tables
+
+    def _route(self, table: Any, current_key: float, query: float) -> float | None:
+        if query == current_key:
+            return None
+        levels = table["levels"]
+        if query > current_key:
+            for level in range(len(levels) - 1, -1, -1):
+                right = levels[level]["right"]
+                if right is not None and current_key < right <= query:
+                    return right
+            return None
+        for level in range(len(levels) - 1, -1, -1):
+            left = levels[level]["left"]
+            if left is not None and query <= left < current_key:
+                return left
+        return None
+
+    # ------------------------------------------------------------------ #
+    # invariant check for tests
+    # ------------------------------------------------------------------ #
+    def validate_invariant(self) -> None:
+        """Every gap between consecutive promoted elements holds 1-3 elements."""
+        for level in range(len(self._levels) - 1):
+            upper = self._levels[level + 1]
+            boundaries: list[float | None] = [None] + list(upper) + [None]
+            for low, high in zip(boundaries, boundaries[1:]):
+                gap = self._gap_elements(level, low, high)
+                if len(gap) > 3:
+                    raise AssertionError(
+                        f"gap invariant violated at level {level}: {len(gap)} elements"
+                    )
+            if any(element not in set(self._levels[level]) for element in upper):
+                raise AssertionError("promoted element missing from the level below")

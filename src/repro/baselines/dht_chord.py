@@ -1,0 +1,184 @@
+"""A Chord distributed hash table.
+
+Chord is the archetypal DHT the paper contrasts against in §1.2: exact-key
+lookups route in ``O(log n)`` messages over finger tables, but because
+keys are *hashed* onto the identifier ring, order is destroyed — Chord
+cannot answer nearest-neighbour, range or prefix queries without flooding.
+The ``bench_table1_comparison`` benchmark includes Chord for the
+exact-match column only, to make that limitation measurable rather than
+asserted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import QueryError
+from repro.net.message import MessageKind
+from repro.net.naming import Address, HostId
+from repro.net.network import Network
+from repro.net.rpc import Traversal
+
+
+def chord_id(value: object, bits: int) -> int:
+    """Hash an arbitrary value onto the ``2^bits`` identifier ring."""
+    digest = hashlib.blake2b(repr(value).encode("utf8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % (1 << bits)
+
+
+@dataclass(frozen=True)
+class ChordLookup:
+    """Result of one Chord lookup."""
+
+    key: float
+    found: bool
+    responsible_host: HostId
+    messages: int
+    hosts_visited: tuple[HostId, ...]
+
+
+class ChordDHT:
+    """A Chord ring storing numeric keys by hash.
+
+    Parameters
+    ----------
+    keys:
+        The stored keys; each key is hashed to a ring position and stored
+        at its successor node.
+    bits:
+        Identifier-space size (``2^bits`` positions) and finger count.
+    """
+
+    name = "Chord DHT"
+
+    def __init__(
+        self,
+        keys: Sequence[float],
+        network: Network | None = None,
+        bits: int = 32,
+    ) -> None:
+        self._keys = sorted(set(float(key) for key in keys))
+        if not self._keys:
+            raise QueryError("Chord needs at least one key")
+        self.bits = bits
+        self.network = network if network is not None else Network()
+        needed = len(self._keys) - self.network.host_count
+        if needed > 0:
+            self.network.add_hosts(needed)
+        self._host_ids = [host.host_id for host in self.network.hosts()]
+        # Node ids: one ring position per host.
+        self._node_ids = sorted(
+            (chord_id(("node", host_id), bits), host_id) for host_id in self._host_ids
+        )
+        self._ring = [node_id for node_id, _host in self._node_ids]
+        # Key placement: each key lives at the successor of its hash.
+        self._key_home: dict[float, HostId] = {}
+        self._stored_keys: dict[HostId, list[float]] = {}
+        for key in self._keys:
+            host = self._successor_host(chord_id(("key", key), bits))
+            self._key_home[key] = host
+            self._stored_keys.setdefault(host, []).append(key)
+        # Finger tables, stored on the hosts for memory accounting.
+        self._table_addresses: dict[HostId, Address] = {}
+        for node_id, host_id in self._node_ids:
+            fingers = []
+            for exponent in range(bits):
+                target = (node_id + (1 << exponent)) % (1 << bits)
+                fingers.append(self._successor_entry(target))
+            table = {
+                "node_id": node_id,
+                "fingers": fingers,
+                "keys": sorted(self._stored_keys.get(host_id, [])),
+            }
+            self._table_addresses[host_id] = self.network.store(host_id, table)
+
+    # ------------------------------------------------------------------ #
+    # ring helpers
+    # ------------------------------------------------------------------ #
+    def _successor_entry(self, ring_position: int) -> tuple[int, HostId]:
+        index = bisect_left(self._ring, ring_position)
+        if index == len(self._ring):
+            index = 0
+        return self._node_ids[index]
+
+    def _successor_host(self, ring_position: int) -> HostId:
+        return self._successor_entry(ring_position)[1]
+
+    @staticmethod
+    def _in_arc(value: int, start: int, end: int, modulus: int) -> bool:
+        """Whether ``value`` lies in the half-open arc ``(start, end]`` on the ring."""
+        if start < end:
+            return start < value <= end
+        return value > start or value <= end
+
+    # ------------------------------------------------------------------ #
+    # lookups
+    # ------------------------------------------------------------------ #
+    def lookup(self, key: float, origin_host: HostId | None = None) -> ChordLookup:
+        """Exact-match lookup of ``key`` via greedy finger routing."""
+        key = float(key)
+        target = chord_id(("key", key), self.bits)
+        if origin_host is None:
+            origin_host = self._host_ids[0]
+        traversal = Traversal(self.network, origin_host, kind=MessageKind.QUERY)
+        current_host = origin_host
+        modulus = 1 << self.bits
+        safety = 4 * len(self._host_ids) + 16
+        for _ in range(safety):
+            table = self.network.load(self._table_addresses[current_host])
+            node_id = table["node_id"]
+            successor_id, successor_host = table["fingers"][0]
+            if self._in_arc(target, node_id, successor_id, modulus):
+                # The successor is responsible for the key.
+                traversal.hop_to(successor_host)
+                final_table = self.network.load(self._table_addresses[successor_host])
+                return ChordLookup(
+                    key=key,
+                    found=key in final_table["keys"],
+                    responsible_host=successor_host,
+                    messages=traversal.hops,
+                    hosts_visited=tuple(traversal.path),
+                )
+            # Closest preceding finger.
+            next_host = successor_host
+            for finger_id, finger_host in reversed(table["fingers"]):
+                if self._in_arc(finger_id, node_id, target, modulus) and finger_id != target:
+                    next_host = finger_host
+                    break
+            if next_host == current_host:
+                next_host = successor_host
+            traversal.hop_to(next_host)
+            current_host = next_host
+        raise QueryError("Chord routing did not converge")
+
+    # ------------------------------------------------------------------ #
+    # the limitation the paper highlights
+    # ------------------------------------------------------------------ #
+    def nearest_neighbor(self, query: float) -> None:
+        """Chord cannot answer nearest-neighbour queries; see §1.2 of the paper."""
+        raise NotImplementedError(
+            "Chord hashes keys onto the ring, destroying order: nearest-neighbour, "
+            "range and prefix queries are not supported (this is the motivation "
+            "for skip graphs and skip-webs)."
+        )
+
+    # ------------------------------------------------------------------ #
+    # measurement
+    # ------------------------------------------------------------------ #
+    @property
+    def keys(self) -> list[float]:
+        return list(self._keys)
+
+    @property
+    def host_count(self) -> int:
+        return self.network.host_count
+
+    def max_memory_per_host(self) -> int:
+        best = 0
+        for address in self._table_addresses.values():
+            table = self.network.load(address)
+            best = max(best, len(table["fingers"]) + len(table["keys"]))
+        return best

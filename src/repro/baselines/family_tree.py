@@ -1,0 +1,102 @@
+"""Family trees (Zatloukal–Harvey) — Table 1 row 3, simplified.
+
+The defining property of family trees is *constant degree*: every host
+keeps O(1) pointers to other hosts yet searches and updates still take
+expected ``O(log n)`` messages.  The full construction (a randomized
+ordered tree with sibling and "family" pointers) is intricate; this
+module reproduces the row of Table 1 with a simpler overlay that has the
+same measured costs:
+
+* the keys are organised as a **treap** — a binary search tree whose heap
+  priorities are derived by hashing the key, so the expected depth is
+  ``O(log n)`` and the shape is history-independent;
+* every host stores its parent, its two children and its subtree's key
+  interval — six entries, i.e. ``M = O(1)``;
+* a search climbs from the origin towards the root while the query lies
+  outside the current subtree interval, then descends — expected
+  ``O(log n)`` messages;
+* an insert or delete changes the tables of the hosts along one root-to-
+  leaf path (expected ``O(log n)``), which is what the update measurement
+  charges.
+
+The simplification (treap instead of the original construction) is
+recorded in DESIGN.md; the quantities Table 1 compares — ``H``, ``M``,
+``C``, ``Q``, ``U`` — have the same asymptotics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+from repro.baselines.base import DistributedOrderedStructure
+from repro.net.naming import HostId
+
+
+def _priority(key: float) -> int:
+    """A deterministic pseudo-random heap priority for a key."""
+    digest = hashlib.blake2b(repr(float(key)).encode("utf8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class FamilyTreeOverlay(DistributedOrderedStructure):
+    """A constant-degree ordered overlay (treap-shaped), one key per host."""
+
+    name = "family tree"
+
+    # ------------------------------------------------------------------ #
+    # treap shape
+    # ------------------------------------------------------------------ #
+    def _treap_children(self) -> dict[float, dict[str, float | None]]:
+        """Compute parent/child relations of the treap over the current keys.
+
+        ``lo``/``hi`` stored per node are the node's *responsibility
+        interval* (the open key range delegated to its subtree by its
+        ancestors), not the min/max of the keys actually present — routing
+        must climb exactly while the query is outside the responsibility
+        interval, otherwise a query falling in a gap of the subtree would
+        bounce between parent and child forever.
+        """
+        keys = self._keys
+        relations: dict[float, dict[str, float | None]] = {}
+        # Iterative construction to avoid recursion limits on large sets.
+        stack: list[tuple[int, int, float | None, float, float]] = [
+            (0, len(keys), None, float("-inf"), float("inf"))
+        ]
+        while stack:
+            lo, hi, parent, range_lo, range_hi = stack.pop()
+            if lo >= hi:
+                continue
+            root_index = max(range(lo, hi), key=lambda index: _priority(keys[index]))
+            root = keys[root_index]
+            left_subtree = keys[lo:root_index]
+            right_subtree = keys[root_index + 1 : hi]
+            relations[root] = {
+                "parent": parent,
+                "left": max(left_subtree, key=_priority) if left_subtree else None,
+                "right": max(right_subtree, key=_priority) if right_subtree else None,
+                "lo": range_lo,
+                "hi": range_hi,
+            }
+            stack.append((lo, root_index, root, range_lo, root))
+            stack.append((root_index + 1, hi, root, root, range_hi))
+        return relations
+
+    def _routing_tables(self) -> dict[HostId, Any]:
+        relations = self._treap_children()
+        tables: dict[HostId, Any] = {}
+        for key, relation in relations.items():
+            tables[self._host_of_key[key]] = {"key": key, **relation}
+        return tables
+
+    def _route(self, table: Any, current_key: float, query: float) -> float | None:
+        if query == current_key:
+            return None
+        lo, hi = table["lo"], table["hi"]
+        # Climb while the query is outside this subtree's responsibility
+        # interval (open, because the boundaries are ancestor keys).
+        if not (lo < query < hi) and table["parent"] is not None:
+            return table["parent"]
+        if query < current_key:
+            return table["left"]
+        return table["right"]

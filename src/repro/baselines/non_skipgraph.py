@@ -1,0 +1,71 @@
+"""NoN skip graphs (Manku, Naor, Wieder) — Table 1 row 2.
+
+"Know thy neighbour's neighbour": every host stores, in addition to its
+own skip-graph neighbours, the neighbour lists *of* those neighbours.
+When routing, a host considers every key reachable in one or two overlay
+hops and sends the query directly to the best of them — one message, two
+hops' worth of progress.  This improves the expected query cost to
+``O(log n / log log n)`` at the price of ``O(log² n)`` routing entries per
+host (and correspondingly higher congestion and update cost), which is
+exactly the trade-off Table 1 records and the skip-web avoids.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.baselines.skipgraph import SkipGraph
+from repro.net.naming import HostId
+
+
+class NoNSkipGraph(SkipGraph):
+    """A skip graph with neighbour-of-neighbour lookahead tables."""
+
+    name = "NoN skip graph"
+
+    def _routing_tables(self) -> dict[HostId, Any]:
+        base_tables = super()._routing_tables()
+        by_key: dict[float, Any] = {
+            table["key"]: table for table in base_tables.values()
+        }
+
+        def neighbor_keys(key: float) -> list[float]:
+            table = by_key[key]
+            found: set[float] = set()
+            for level in table["levels"]:
+                for side in ("left", "right"):
+                    neighbor = level[side]
+                    if neighbor is not None and neighbor != key:
+                        found.add(neighbor)
+            return sorted(found)
+
+        enriched: dict[HostId, Any] = {}
+        for host_id, table in base_tables.items():
+            key = table["key"]
+            direct = neighbor_keys(key)
+            lookahead: set[float] = set()
+            for neighbor in direct:
+                lookahead.update(neighbor_keys(neighbor))
+            lookahead.discard(key)
+            lookahead.difference_update(direct)
+            enriched[host_id] = {
+                "key": key,
+                "levels": table["levels"],
+                "direct": direct,
+                "lookahead": sorted(lookahead),
+            }
+        return enriched
+
+    def _route(self, table: Any, current_key: float, query: float) -> float | None:
+        if query == current_key:
+            return None
+        candidates = [
+            candidate
+            for candidate in list(table["direct"]) + list(table["lookahead"])
+            if (current_key < candidate <= query) or (query <= candidate < current_key)
+        ]
+        if not candidates:
+            return None
+        # Jump straight to the known key closest to the query (direct or
+        # two hops away — either way it is a single message).
+        return min(candidates, key=lambda candidate: abs(candidate - query))

@@ -1,0 +1,157 @@
+"""Skip graphs (Aspnes–Shah) and SkipNet (Harvey et al.) — Table 1 row 1.
+
+Both structures place one key per host and give every key a random
+*membership vector*; the keys sharing an ``i``-bit prefix of their vectors
+form the level-``i`` groups, and every key keeps its predecessor and
+successor within each of its groups.  A search walks from the top level
+down, always moving toward the target without overshooting, for an
+expected ``O(log n)`` messages with ``O(log n)`` routing entries per host.
+
+SkipNet's presentation differs (doubly-linked *rings* keyed by a name ID,
+with numeric routing layered on top) but its cost profile under the
+paper's measures — ``H = n``, ``M = O(log n)``, ``C = O(log n)``,
+``Q = Õ(log n)``, ``U = Õ(log n)`` — is the same, which is why Table 1
+lists them on a single row.  :class:`SkipNet` is therefore implemented as
+the same overlay with ring-closure pointers (the level lists wrap
+around), so both rows can be measured independently.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, Sequence
+
+from repro.baselines.base import DistributedOrderedStructure
+from repro.net.naming import HostId
+from repro.net.network import Network
+
+
+class SkipGraph(DistributedOrderedStructure):
+    """A skip graph over numeric keys, one key per host."""
+
+    name = "skip graph"
+    #: Whether level lists wrap around (SkipNet-style rings).
+    ring_topology = False
+
+    def __init__(
+        self,
+        keys: Sequence[float],
+        network: Network | None = None,
+        seed: int = 0,
+    ) -> None:
+        self._vectors: dict[float, tuple[int, ...]] = {}
+        self._vector_rng = random.Random(seed)
+        # The vector length (number of levels) is fixed at construction so
+        # that a single insert does not change every host's table merely
+        # because ``⌈log₂ n⌉`` ticked over; it only grows when the key set
+        # far outgrows the original capacity.
+        self._fixed_vector_length = max(1, math.ceil(math.log2(max(2, len(set(keys))))))
+        super().__init__(keys, network=network, seed=seed)
+
+    # ------------------------------------------------------------------ #
+    # membership vectors
+    # ------------------------------------------------------------------ #
+    def _vector_length(self) -> int:
+        needed = max(1, math.ceil(math.log2(max(2, len(self._keys)))))
+        if needed > self._fixed_vector_length + 2:
+            self._fixed_vector_length = needed
+        return self._fixed_vector_length
+
+    def _vector(self, key: float) -> tuple[int, ...]:
+        length = self._vector_length()
+        existing = self._vectors.get(key)
+        if existing is None or len(existing) < length:
+            extra = tuple(
+                self._vector_rng.randrange(2)
+                for _ in range(length - len(existing or ()))
+            )
+            existing = (existing or ()) + extra
+            self._vectors[key] = existing
+        return existing[:length]
+
+    def _after_ground_set_change(self) -> None:
+        for key in self._keys:
+            self._vector(key)
+
+    # ------------------------------------------------------------------ #
+    # routing tables
+    # ------------------------------------------------------------------ #
+    def _routing_tables(self) -> dict[HostId, Any]:
+        length = self._vector_length()
+        tables: dict[HostId, Any] = {}
+        # Group keys by membership-vector prefix, level by level.
+        levels: list[dict[tuple[int, ...], list[float]]] = []
+        for level in range(length + 1):
+            groups: dict[tuple[int, ...], list[float]] = {}
+            for key in self._keys:
+                groups.setdefault(self._vector(key)[:level], []).append(key)
+            for members in groups.values():
+                members.sort()
+            levels.append(groups)
+        for key in self._keys:
+            neighbor_levels: list[dict[str, float | None]] = []
+            for level in range(length + 1):
+                members = levels[level][self._vector(key)[:level]]
+                index = members.index(key)
+                left: float | None = members[index - 1] if index > 0 else None
+                right: float | None = (
+                    members[index + 1] if index + 1 < len(members) else None
+                )
+                if self.ring_topology and len(members) > 1:
+                    if left is None:
+                        left = members[-1]
+                    if right is None:
+                        right = members[0]
+                neighbor_levels.append({"left": left, "right": right})
+            tables[self._host_of_key[key]] = {"key": key, "levels": neighbor_levels}
+        return tables
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+    def _route(self, table: Any, current_key: float, query: float) -> float | None:
+        if query == current_key:
+            return None
+        levels = table["levels"]
+        if query > current_key:
+            for level in range(len(levels) - 1, -1, -1):
+                right = levels[level]["right"]
+                if right is not None and current_key < right <= query:
+                    return right
+            return None
+        for level in range(len(levels) - 1, -1, -1):
+            left = levels[level]["left"]
+            if left is not None and query <= left < current_key:
+                return left
+        return None
+
+
+class SkipNet(SkipGraph):
+    """SkipNet: the same overlay with ring-closed level lists.
+
+    See the module docstring: the measured Table 1 costs coincide with
+    skip graphs; the ring closure only changes which pointer a host holds
+    when it is the smallest or largest key of a group.
+    """
+
+    name = "SkipNet"
+    ring_topology = True
+
+    def _route(self, table: Any, current_key: float, query: float) -> float | None:
+        if query == current_key:
+            return None
+        levels = table["levels"]
+        # Ring pointers may wrap; only follow hops that make progress
+        # toward the query without overshooting, as in numeric routing.
+        if query > current_key:
+            for level in range(len(levels) - 1, -1, -1):
+                right = levels[level]["right"]
+                if right is not None and current_key < right <= query:
+                    return right
+            return None
+        for level in range(len(levels) - 1, -1, -1):
+            left = levels[level]["left"]
+            if left is not None and query <= left < current_key:
+                return left
+        return None

@@ -1,0 +1,196 @@
+"""The classic skip list (Figure 1 of the paper).
+
+Pugh's randomized skip list is the conceptual ancestor of skip graphs,
+SkipNet and skip-webs.  It is a *centralised* structure — one machine
+holds every node — so it is not a row of Table 1, but Figure 1 uses it to
+set up the intuition (expected ``O(log n)`` search, ``O(n)`` space) and
+the ``bench_fig1_skiplist`` benchmark reproduces exactly those two
+curves.  The implementation counts comparisons/hops per search so the
+benchmark can report the search-path length distribution.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.errors import QueryError
+
+
+@dataclass
+class _SkipNode:
+    key: float
+    forward: list["._SkipNode | None"]
+
+
+@dataclass(frozen=True)
+class SkipListSearch:
+    """Result of a skip-list search, with the traversal cost."""
+
+    query: float
+    predecessor: float | None
+    successor: float | None
+    exact: bool
+    hops: int
+    levels_used: int
+
+    @property
+    def nearest(self) -> float:
+        candidates = [value for value in (self.predecessor, self.successor) if value is not None]
+        if not candidates:
+            raise QueryError("empty skip list")
+        return min(candidates, key=lambda value: abs(value - self.query))
+
+
+class SkipList:
+    """A randomized skip list over numeric keys.
+
+    Parameters
+    ----------
+    keys:
+        Initial keys (can be empty; use :meth:`insert`).
+    probability:
+        Promotion probability (1/2 in Figure 1).
+    seed:
+        Seed for the promotion coin flips.
+    """
+
+    def __init__(
+        self,
+        keys: Sequence[float] = (),
+        probability: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if not 0 < probability < 1:
+            raise ValueError(f"probability must be in (0, 1), got {probability}")
+        self.probability = probability
+        self._rng = random.Random(seed)
+        self._head = _SkipNode(key=float("-inf"), forward=[None])
+        self._size = 0
+        for key in keys:
+            self.insert(float(key))
+
+    # ------------------------------------------------------------------ #
+    # structure
+    # ------------------------------------------------------------------ #
+    @property
+    def height(self) -> int:
+        """Number of levels currently in use."""
+        return len(self._head.forward)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: float) -> bool:
+        return self.search(float(key)).exact
+
+    def keys(self) -> Iterator[float]:
+        """Iterate over stored keys in ascending order."""
+        node = self._head.forward[0]
+        while node is not None:
+            yield node.key
+            node = node.forward[0]
+
+    def node_count(self) -> int:
+        """Total number of node copies across all levels (the O(n) space of Figure 1)."""
+        total = 0
+        node = self._head.forward[0]
+        while node is not None:
+            total += len(node.forward)
+            node = node.forward[0]
+        return total
+
+    def _random_height(self) -> int:
+        height = 1
+        while self._rng.random() < self.probability:
+            height += 1
+        return height
+
+    # ------------------------------------------------------------------ #
+    # operations
+    # ------------------------------------------------------------------ #
+    def insert(self, key: float) -> None:
+        """Insert ``key`` (duplicates are ignored)."""
+        key = float(key)
+        update: list[_SkipNode] = []
+        node = self._head
+        for level in range(self.height - 1, -1, -1):
+            while node.forward[level] is not None and node.forward[level].key < key:
+                node = node.forward[level]
+            update.append(node)
+        update.reverse()
+        candidate = update[0].forward[0]
+        if candidate is not None and candidate.key == key:
+            return
+        height = self._random_height()
+        while self.height < height:
+            self._head.forward.append(None)
+            update.append(self._head)
+        new_node = _SkipNode(key=key, forward=[None] * height)
+        for level in range(height):
+            new_node.forward[level] = update[level].forward[level]
+            update[level].forward[level] = new_node
+        self._size += 1
+
+    def delete(self, key: float) -> bool:
+        """Remove ``key``; returns whether it was present."""
+        key = float(key)
+        node = self._head
+        update: list[_SkipNode] = []
+        for level in range(self.height - 1, -1, -1):
+            while node.forward[level] is not None and node.forward[level].key < key:
+                node = node.forward[level]
+            update.append(node)
+        update.reverse()
+        target = update[0].forward[0]
+        if target is None or target.key != key:
+            return False
+        for level in range(len(target.forward)):
+            if update[level].forward[level] is target:
+                update[level].forward[level] = target.forward[level]
+        while self.height > 1 and self._head.forward[-1] is None:
+            self._head.forward.pop()
+        self._size -= 1
+        return True
+
+    def search(self, query: float) -> SkipListSearch:
+        """Search for ``query``, counting the hops of the Figure 1 walk."""
+        if self._size == 0:
+            raise QueryError("search on an empty skip list")
+        query = float(query)
+        node = self._head
+        hops = 0
+        for level in range(self.height - 1, -1, -1):
+            while node.forward[level] is not None and node.forward[level].key <= query:
+                node = node.forward[level]
+                hops += 1
+        predecessor = node.key if node is not self._head else None
+        successor_node = node.forward[0]
+        successor = successor_node.key if successor_node is not None else None
+        return SkipListSearch(
+            query=query,
+            predecessor=predecessor,
+            successor=successor,
+            exact=(predecessor == query),
+            hops=hops,
+            levels_used=self.height,
+        )
+
+    def validate(self) -> None:
+        """Check ordering and level-nesting invariants."""
+        for level in range(self.height):
+            previous = float("-inf")
+            node = self._head.forward[level]
+            while node is not None:
+                if node.key <= previous:
+                    raise QueryError(f"level {level} is not strictly increasing")
+                previous = node.key
+                node = node.forward[level]
+        lower = set(self.keys())
+        for level in range(1, self.height):
+            node = self._head.forward[level]
+            while node is not None:
+                if node.key not in lower:
+                    raise QueryError("higher-level node missing from level 0")
+                node = node.forward[level]

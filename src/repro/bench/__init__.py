@@ -1,0 +1,21 @@
+"""Experiment harness: growth-law fitting, reporting and the experiment registry.
+
+Every table and figure of the paper has a corresponding function in
+:mod:`repro.bench.experiments`; the ``benchmarks/`` pytest modules and the
+``python -m repro.cli`` entry point are both thin wrappers around those
+functions, so the numbers printed by either route are identical.
+"""
+
+from repro.bench.fitting import GROWTH_LAWS, FitResult, best_growth_law, fit_scale
+from repro.bench.reporting import format_series, format_table
+from repro.bench import experiments
+
+__all__ = [
+    "GROWTH_LAWS",
+    "FitResult",
+    "best_growth_law",
+    "fit_scale",
+    "format_table",
+    "format_series",
+    "experiments",
+]

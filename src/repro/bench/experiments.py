@@ -1,0 +1,570 @@
+"""The experiment registry: one function per table / figure / lemma of the paper.
+
+Every function returns a list of plain dictionaries (rows) so that the
+``benchmarks/`` modules can assert on them and the CLI can print them with
+:func:`repro.bench.reporting.format_table`.  All randomness is seeded.
+
+Experiment index (see DESIGN.md §3 for the full mapping):
+
+=====================  =========================================================
+function               reproduces
+=====================  =========================================================
+``table1_comparison``  Table 1 — H, M, C(n), Q(n), U(n) for every method
+``fig1_skiplist``      Figure 1 — skip list expected O(log n) search, O(n) space
+``fig2_skipweb_levels``Figure 2 — the 1-d skip-web level structure
+``fig3_quadtree``      Figure 3 / Lemma 3 — quadtree set-halving constant
+``fig4_trapezoid``     Figure 4 / Lemma 5 — trapezoidal-map set-halving constant
+``lemma1_list``        Lemma 1 — sorted-list set-halving constant
+``lemma4_trie``        Lemma 4 — trie set-halving constant
+``theorem2_multidim``  Theorem 2 — O(log n) queries for quadtree/trie/trapezoid
+``theorem2_onedim``    Theorem 2 + §2.4.1 — 1-d and bucket skip-web query costs
+``update_costs``       §4 — insertion/deletion message costs
+``ablation_blocking``  §2.4 vs §2.4.1 — blocking-policy ablation
+=====================  =========================================================
+"""
+
+from __future__ import annotations
+
+import random
+from statistics import mean
+from typing import Any, Callable, Sequence
+
+from repro.baselines import (
+    BucketSkipGraph,
+    ChordDHT,
+    DeterministicSkipNet,
+    FamilyTreeOverlay,
+    NoNSkipGraph,
+    SkipGraph,
+    SkipList,
+    SkipNet,
+)
+from repro.core.halving import sample_half, verify_halving
+from repro.onedim import BucketSkipWeb1D, SkipWeb1D, SortedListStructure
+from repro.planar.segments import bounding_box
+from repro.planar.skip_trapezoid import SkipTrapezoidWeb, TrapezoidalMapStructure
+from repro.spatial.geometry import HyperCube
+from repro.spatial.quadtree import CompressedQuadtree
+from repro.spatial.skip_quadtree import QuadtreeStructure, SkipQuadtreeWeb, descent_conflicts
+from repro.strings import DNA, LOWERCASE
+from repro.strings.skip_trie import SkipTrieWeb, TrieStructure
+from repro.workloads import (
+    dna_reads,
+    non_crossing_segments,
+    uniform_keys,
+    uniform_points,
+)
+from repro.workloads.strings import prefix_queries, random_strings
+
+Row = dict[str, Any]
+
+
+def _query_points(count: int, rng: random.Random, low: float = 0.0, high: float = 1_000_000.0) -> list[float]:
+    return [rng.uniform(low, high) for _ in range(count)]
+
+
+# --------------------------------------------------------------------- #
+# Table 1
+# --------------------------------------------------------------------- #
+def table1_comparison(
+    sizes: Sequence[int] = (128, 256, 512),
+    queries_per_size: int = 40,
+    updates_per_size: int = 8,
+    bucket_memory: int = 32,
+    seed: int = 0,
+) -> list[Row]:
+    """Measure every Table 1 row (plus Chord) on the same workloads."""
+    rows: list[Row] = []
+    for n in sizes:
+        rng = random.Random(seed + n)
+        keys = uniform_keys(n, seed=seed + n)
+        queries = _query_points(queries_per_size, rng)
+        update_keys = _query_points(updates_per_size, rng)
+
+        def measure_baseline(structure, name: str) -> Row:
+            query_costs = [structure.search(q, origin_key=rng.choice(keys)).messages for q in queries]
+            update_costs = []
+            for key in update_keys:
+                update_costs.append(structure.insert(key).messages)
+            congestion = structure.congestion()
+            return {
+                "method": name,
+                "n": n,
+                "H": structure.host_count,
+                "M_max": structure.max_memory_per_host(),
+                "C_max": round(congestion.max_congestion, 1),
+                "Q_mean": round(mean(query_costs), 2),
+                "U_mean": round(mean(update_costs), 2) if update_costs else 0.0,
+            }
+
+        rows.append(measure_baseline(SkipGraph(keys, seed=seed), "skip graph"))
+        rows.append(measure_baseline(SkipNet(keys, seed=seed), "SkipNet"))
+        rows.append(measure_baseline(NoNSkipGraph(keys, seed=seed), "NoN skip graph"))
+        rows.append(measure_baseline(FamilyTreeOverlay(keys, seed=seed), "family tree"))
+        rows.append(measure_baseline(DeterministicSkipNet(keys, seed=seed), "deterministic SkipNet"))
+        rows.append(measure_baseline(BucketSkipGraph(keys, seed=seed), "bucket skip graph"))
+
+        # skip-web (this paper)
+        web = SkipWeb1D(keys, seed=seed)
+        query_costs = [web.nearest(q).messages for q in queries]
+        update_costs = [web.insert(key).messages for key in update_keys]
+        congestion = web.congestion()
+        rows.append(
+            {
+                "method": "skip-web (this paper)",
+                "n": n,
+                "H": web.host_count,
+                "M_max": web.max_memory_per_host(),
+                "C_max": round(congestion.max_congestion, 1),
+                "Q_mean": round(mean(query_costs), 2),
+                "U_mean": round(mean(update_costs), 2),
+            }
+        )
+
+        # bucket skip-web (this paper)
+        bucket = BucketSkipWeb1D(keys, memory_size=bucket_memory, seed=seed)
+        query_costs = [bucket.nearest(q, origin_key=rng.choice(keys)).messages for q in queries]
+        update_costs = [bucket.insert(key).messages for key in update_keys[: max(2, updates_per_size // 2)]]
+        congestion = bucket.congestion()
+        rows.append(
+            {
+                "method": "bucket skip-web (this paper)",
+                "n": n,
+                "H": bucket.host_count,
+                "M_max": bucket.max_memory_per_host(),
+                "C_max": round(congestion.max_congestion, 1),
+                "Q_mean": round(mean(query_costs), 2),
+                "U_mean": round(mean(update_costs), 2),
+            }
+        )
+
+        # Chord: exact-match lookups only (richer queries unsupported, §1.2).
+        chord = ChordDHT(keys)
+        lookup_costs = [chord.lookup(key).messages for key in rng.sample(keys, min(len(keys), queries_per_size))]
+        rows.append(
+            {
+                "method": "Chord DHT (exact match only)",
+                "n": n,
+                "H": chord.host_count,
+                "M_max": chord.max_memory_per_host(),
+                "C_max": 0.0,
+                "Q_mean": round(mean(lookup_costs), 2),
+                "U_mean": 0.0,
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------- #
+# Figure 1 — the classic skip list
+# --------------------------------------------------------------------- #
+def fig1_skiplist(
+    sizes: Sequence[int] = (128, 512, 2048, 8192),
+    queries_per_size: int = 200,
+    seed: int = 0,
+) -> list[Row]:
+    """Expected O(log n) search hops and O(n) total space for a skip list."""
+    rows: list[Row] = []
+    for n in sizes:
+        rng = random.Random(seed + n)
+        keys = uniform_keys(n, seed=seed + n)
+        skiplist = SkipList(keys, seed=seed)
+        queries = _query_points(queries_per_size, rng)
+        hops = [skiplist.search(q).hops for q in queries]
+        rows.append(
+            {
+                "n": n,
+                "search_hops_mean": round(mean(hops), 2),
+                "search_hops_max": max(hops),
+                "levels": skiplist.height,
+                "node_copies": skiplist.node_count(),
+                "node_copies_per_key": round(skiplist.node_count() / n, 3),
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------- #
+# Figure 2 — one-dimensional skip-web levels
+# --------------------------------------------------------------------- #
+def fig2_skipweb_levels(n: int = 256, queries: int = 60, seed: int = 0) -> list[Row]:
+    """Level-structure statistics plus per-level query messages for a 1-d skip-web."""
+    rng = random.Random(seed)
+    keys = uniform_keys(n, seed=seed)
+    web = SkipWeb1D(keys, seed=seed)
+    rows: list[Row] = []
+    per_level_messages: dict[int, list[int]] = {}
+    for _ in range(queries):
+        result = web.nearest(rng.uniform(0, 1_000_000))
+        for depth, messages in enumerate(result.per_level_messages):
+            per_level_messages.setdefault(depth, []).append(messages)
+    for level in range(web.web.height, -1, -1):
+        prefixes = web.web.level_prefixes(level)
+        sizes = [len(web.web.level_structure(level, prefix).items) for prefix in prefixes]
+        descent_index = web.web.height - level
+        messages = per_level_messages.get(descent_index, [0])
+        rows.append(
+            {
+                "level": level,
+                "sets": len(prefixes),
+                "largest_set": max(sizes) if sizes else 0,
+                "mean_set": round(mean(sizes), 2) if sizes else 0,
+                "msgs_at_level_mean": round(mean(messages), 2),
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------- #
+# Set-halving lemmas (Lemma 1, 3, 4, 5 / Figures 3 and 4)
+# --------------------------------------------------------------------- #
+def lemma1_list(
+    sizes: Sequence[int] = (64, 256, 1024),
+    trials: int = 12,
+    queries_per_size: int = 30,
+    seed: int = 0,
+) -> list[Row]:
+    """Lemma 1: E[|C(Q, S)|] stays O(1) (paper's closed-form bound: 7)."""
+    rows: list[Row] = []
+    for n in sizes:
+        rng = random.Random(seed + n)
+        keys = [float(k) for k in uniform_keys(n, seed=seed + n)]
+        report = verify_halving(
+            SortedListStructure,
+            keys,
+            queries=_query_points(queries_per_size, rng),
+            trials=trials,
+            rng=rng,
+        )
+        rows.append(
+            {
+                "n": n,
+                "mean_conflicts": round(report.mean_conflicts, 2),
+                "p99_conflicts": report.p99_conflicts,
+                "max_conflicts": report.max_conflicts,
+            }
+        )
+    return rows
+
+
+def fig3_quadtree(
+    sizes: Sequence[int] = (64, 256, 1024),
+    trials: int = 8,
+    queries_per_size: int = 25,
+    dimension: int = 2,
+    seed: int = 0,
+) -> list[Row]:
+    """Lemma 3 / Figure 3: quadtree halving — per-level descent work is O(1)."""
+    cube = HyperCube(tuple(0.0 for _ in range(dimension)), 1.0)
+    rows: list[Row] = []
+    for n in sizes:
+        rng = random.Random(seed + n)
+        points = uniform_points(n, dimension=dimension, seed=seed + n)
+        full = CompressedQuadtree(points, cube)
+        samples: list[int] = []
+        for _ in range(trials):
+            half_points = sample_half(points, rng) or points[:1]
+            half = CompressedQuadtree(half_points, cube)
+            for _ in range(queries_per_size):
+                query = tuple(rng.random() for _ in range(dimension))
+                samples.append(descent_conflicts(full, half, query))
+        rows.append(
+            {
+                "n": n,
+                "dimension": dimension,
+                "tree_depth": full.depth(),
+                "mean_conflicts": round(mean(samples), 2),
+                "max_conflicts": max(samples),
+            }
+        )
+    return rows
+
+
+def lemma4_trie(
+    sizes: Sequence[int] = (64, 256, 1024),
+    trials: int = 8,
+    queries_per_size: int = 25,
+    seed: int = 0,
+) -> list[Row]:
+    """Lemma 4: trie halving — E[|C(Q, S)|] stays O(1)."""
+    rows: list[Row] = []
+    for n in sizes:
+        rng = random.Random(seed + n)
+        reads = dna_reads(n, seed=seed + n)
+        queries = dna_reads(queries_per_size, seed=seed + n + 1)
+        report = verify_halving(
+            TrieStructure, reads, queries=queries, trials=trials, rng=rng, alphabet=DNA
+        )
+        rows.append(
+            {
+                "n": n,
+                "mean_conflicts": round(report.mean_conflicts, 2),
+                "p99_conflicts": report.p99_conflicts,
+                "max_conflicts": report.max_conflicts,
+            }
+        )
+    return rows
+
+
+def fig4_trapezoid(
+    sizes: Sequence[int] = (16, 32, 64),
+    trials: int = 6,
+    queries_per_size: int = 20,
+    seed: int = 0,
+) -> list[Row]:
+    """Lemma 5 / Figure 4: trapezoidal-map halving — E[|C(Q, S)|] stays O(1)."""
+    rows: list[Row] = []
+    for n in sizes:
+        rng = random.Random(seed + n)
+        segments = non_crossing_segments(n, seed=seed + n)
+        box = bounding_box(segments)
+        queries = [
+            (rng.uniform(box[0], box[1]), rng.uniform(box[2], box[3]))
+            for _ in range(queries_per_size)
+        ]
+        report = verify_halving(
+            TrapezoidalMapStructure,
+            segments,
+            queries=queries,
+            trials=trials,
+            rng=rng,
+            box=box,
+        )
+        rows.append(
+            {
+                "n": n,
+                "mean_conflicts": round(report.mean_conflicts, 2),
+                "p99_conflicts": report.p99_conflicts,
+                "max_conflicts": report.max_conflicts,
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------- #
+# Theorem 2 — query message complexity
+# --------------------------------------------------------------------- #
+def theorem2_multidim(
+    sizes: Sequence[int] = (64, 128, 256),
+    queries_per_size: int = 25,
+    seed: int = 0,
+) -> list[Row]:
+    """O(log n) query messages for quadtree, trie and trapezoid skip-webs."""
+    rows: list[Row] = []
+    for n in sizes:
+        rng = random.Random(seed + n)
+
+        points = uniform_points(n, dimension=2, seed=seed + n)
+        quad_web = SkipQuadtreeWeb(points, bounding_cube=HyperCube((0.0, 0.0), 1.0), seed=seed)
+        quad_costs = [
+            quad_web.locate((rng.random(), rng.random())).messages
+            for _ in range(queries_per_size)
+        ]
+        rows.append(
+            {
+                "structure": "quadtree skip-web",
+                "n": n,
+                "Q_mean": round(mean(quad_costs), 2),
+                "Q_max": max(quad_costs),
+                "M_max": quad_web.max_memory_per_host(),
+                "H": quad_web.host_count,
+            }
+        )
+
+        strings = random_strings(n, alphabet=LOWERCASE, seed=seed + n)
+        trie_web = SkipTrieWeb(strings, alphabet=LOWERCASE, seed=seed)
+        trie_costs = [
+            trie_web.locate(query).messages
+            for query in prefix_queries(strings, queries_per_size, seed=seed + n)
+        ]
+        rows.append(
+            {
+                "structure": "trie skip-web",
+                "n": n,
+                "Q_mean": round(mean(trie_costs), 2),
+                "Q_max": max(trie_costs),
+                "M_max": trie_web.max_memory_per_host(),
+                "H": trie_web.host_count,
+            }
+        )
+
+        segment_count = max(8, n // 8)
+        segments = non_crossing_segments(segment_count, seed=seed + n)
+        box = bounding_box(segments)
+        trapezoid_web = SkipTrapezoidWeb(segments, box=box, seed=seed)
+        trapezoid_costs = [
+            trapezoid_web.locate(
+                (rng.uniform(box[0], box[1]), rng.uniform(box[2], box[3]))
+            ).messages
+            for _ in range(queries_per_size)
+        ]
+        rows.append(
+            {
+                "structure": "trapezoid skip-web",
+                "n": segment_count,
+                "Q_mean": round(mean(trapezoid_costs), 2),
+                "Q_max": max(trapezoid_costs),
+                "M_max": trapezoid_web.max_memory_per_host(),
+                "H": trapezoid_web.host_count,
+            }
+        )
+    return rows
+
+
+def theorem2_onedim(
+    sizes: Sequence[int] = (128, 512, 2048),
+    memory_sizes: Sequence[int] = (16, 64, 256),
+    queries_per_size: int = 40,
+    seed: int = 0,
+) -> list[Row]:
+    """1-d skip-web vs bucket skip-web: O(log n) vs O(log_M H) query messages."""
+    rows: list[Row] = []
+    for n in sizes:
+        rng = random.Random(seed + n)
+        keys = uniform_keys(n, seed=seed + n)
+        queries = _query_points(queries_per_size, rng)
+
+        web = SkipWeb1D(keys, seed=seed)
+        costs = [web.nearest(q).messages for q in queries]
+        rows.append(
+            {
+                "structure": "skip-web 1-d",
+                "n": n,
+                "M": web.max_memory_per_host(),
+                "H": web.host_count,
+                "Q_mean": round(mean(costs), 2),
+                "Q_max": max(costs),
+            }
+        )
+        for memory in memory_sizes:
+            bucket = BucketSkipWeb1D(keys, memory_size=memory, seed=seed)
+            costs = [bucket.nearest(q, origin_key=rng.choice(keys)).messages for q in queries]
+            rows.append(
+                {
+                    "structure": f"bucket skip-web (M={memory})",
+                    "n": n,
+                    "M": bucket.max_memory_per_host(),
+                    "H": bucket.host_count,
+                    "Q_mean": round(mean(costs), 2),
+                    "Q_max": max(costs),
+                }
+            )
+    return rows
+
+
+# --------------------------------------------------------------------- #
+# §4 — update costs
+# --------------------------------------------------------------------- #
+def update_costs(
+    sizes: Sequence[int] = (64, 128, 256),
+    updates_per_size: int = 10,
+    seed: int = 0,
+) -> list[Row]:
+    """Insertion and deletion message costs for the skip-web structures."""
+    rows: list[Row] = []
+    for n in sizes:
+        rng = random.Random(seed + n)
+        keys = uniform_keys(n, seed=seed + n)
+        web = SkipWeb1D(keys, seed=seed)
+        inserts = [web.insert(rng.uniform(0, 1_000_000)).messages for _ in range(updates_per_size)]
+        deletes = [web.delete(key).messages for key in rng.sample(keys, updates_per_size // 2 or 1)]
+        rows.append(
+            {
+                "structure": "skip-web 1-d",
+                "n": n,
+                "insert_mean": round(mean(inserts), 2),
+                "delete_mean": round(mean(deletes), 2),
+            }
+        )
+
+        points = uniform_points(n, dimension=2, seed=seed + n)
+        quad_web = SkipQuadtreeWeb(points, bounding_cube=HyperCube((0.0, 0.0), 1.0), seed=seed)
+        quad_inserts = [
+            quad_web.insert((rng.random(), rng.random())).messages
+            for _ in range(max(2, updates_per_size // 2))
+        ]
+        quad_deletes = [
+            quad_web.delete(point).messages
+            for point in rng.sample(points, max(1, updates_per_size // 4))
+        ]
+        rows.append(
+            {
+                "structure": "quadtree skip-web",
+                "n": n,
+                "insert_mean": round(mean(quad_inserts), 2),
+                "delete_mean": round(mean(quad_deletes), 2),
+            }
+        )
+
+        bucket = BucketSkipWeb1D(keys, memory_size=32, seed=seed)
+        bucket_inserts = [
+            bucket.insert(rng.uniform(0, 1_000_000)).messages
+            for _ in range(max(2, updates_per_size // 2))
+        ]
+        rows.append(
+            {
+                "structure": "bucket skip-web (M=32)",
+                "n": n,
+                "insert_mean": round(mean(bucket_inserts), 2),
+                "delete_mean": 0.0,
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------- #
+# Ablation: blocking strategies (§2.4 vs §2.4.1)
+# --------------------------------------------------------------------- #
+def ablation_blocking(
+    n: int = 512,
+    memory_sizes: Sequence[int] = (16, 64, 256),
+    queries: int = 40,
+    seed: int = 0,
+) -> list[Row]:
+    """Compare host-assignment policies for one-dimensional skip-webs."""
+    rng = random.Random(seed)
+    keys = uniform_keys(n, seed=seed)
+    query_points = _query_points(queries, rng)
+    rows: list[Row] = []
+    for blocking in ("owner", "round_robin", "hash"):
+        web = SkipWeb1D(keys, blocking=blocking, seed=seed)
+        costs = [web.nearest(q).messages for q in query_points]
+        congestion = web.congestion()
+        rows.append(
+            {
+                "policy": f"arbitrary blocking ({blocking})",
+                "n": n,
+                "M_max": web.max_memory_per_host(),
+                "C_max": round(congestion.max_congestion, 1),
+                "Q_mean": round(mean(costs), 2),
+            }
+        )
+    for memory in memory_sizes:
+        bucket = BucketSkipWeb1D(keys, memory_size=memory, seed=seed)
+        costs = [bucket.nearest(q, origin_key=rng.choice(keys)).messages for q in query_points]
+        rows.append(
+            {
+                "policy": f"bucket blocking (M={memory})",
+                "n": n,
+                "M_max": bucket.max_memory_per_host(),
+                "C_max": round(bucket.congestion().max_congestion, 1),
+                "Q_mean": round(mean(costs), 2),
+            }
+        )
+    return rows
+
+
+#: Registry used by the CLI: name -> (function, short description).
+EXPERIMENTS: dict[str, tuple[Callable[..., list[Row]], str]] = {
+    "table1": (table1_comparison, "Table 1: cost comparison of all methods"),
+    "fig1": (fig1_skiplist, "Figure 1: classic skip list search/space"),
+    "fig2": (fig2_skipweb_levels, "Figure 2: 1-d skip-web level structure"),
+    "fig3": (fig3_quadtree, "Figure 3 / Lemma 3: quadtree set-halving"),
+    "fig4": (fig4_trapezoid, "Figure 4 / Lemma 5: trapezoidal-map set-halving"),
+    "lemma1": (lemma1_list, "Lemma 1: sorted-list set-halving"),
+    "lemma4": (lemma4_trie, "Lemma 4: trie set-halving"),
+    "theorem2-multidim": (theorem2_multidim, "Theorem 2: multi-dimensional query costs"),
+    "theorem2-onedim": (theorem2_onedim, "Theorem 2 / §2.4.1: 1-d query costs"),
+    "updates": (update_costs, "§4: update message costs"),
+    "ablation-blocking": (ablation_blocking, "Ablation: blocking strategies"),
+}

@@ -1,0 +1,81 @@
+"""Growth-law fitting.
+
+The paper's results are asymptotic, so "reproducing" a row of Table 1
+means checking which growth law a measured cost follows as ``n`` grows.
+:func:`fit_scale` fits the single scale constant of a candidate law by
+least squares and reports the relative error; :func:`best_growth_law`
+picks the best-fitting law among the candidates that appear in the paper
+(``1``, ``log n``, ``log n / log log n``, ``log² n``, ``n``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+GrowthLaw = Callable[[float], float]
+
+
+def _safe_log2(value: float) -> float:
+    return math.log2(max(2.0, value))
+
+
+GROWTH_LAWS: dict[str, GrowthLaw] = {
+    "1": lambda n: 1.0,
+    "log n": lambda n: _safe_log2(n),
+    "log n / log log n": lambda n: _safe_log2(n) / max(1.0, math.log2(_safe_log2(n))),
+    "log^2 n": lambda n: _safe_log2(n) ** 2,
+    "sqrt n": lambda n: math.sqrt(max(1.0, n)),
+    "n": lambda n: float(n),
+}
+"""The candidate growth laws used throughout the paper's tables."""
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Outcome of fitting one growth law to a measured series."""
+
+    law: str
+    scale: float
+    relative_error: float
+
+    def predict(self, n: float) -> float:
+        return self.scale * GROWTH_LAWS[self.law](n)
+
+
+def fit_scale(sizes: Sequence[float], values: Sequence[float], law: str) -> FitResult:
+    """Least-squares fit of ``values ≈ scale · law(sizes)``.
+
+    The reported ``relative_error`` is the root-mean-square of the
+    relative residuals, so 0.05 means the law explains the series to
+    within about 5 %.
+    """
+    if len(sizes) != len(values) or not sizes:
+        raise ValueError("sizes and values must be non-empty and of equal length")
+    basis = [GROWTH_LAWS[law](size) for size in sizes]
+    denominator = sum(b * b for b in basis)
+    scale = sum(b * v for b, v in zip(basis, values)) / denominator if denominator else 0.0
+    residuals = []
+    for b, v in zip(basis, values):
+        predicted = scale * b
+        reference = abs(v) if v else 1.0
+        residuals.append(((v - predicted) / reference) ** 2)
+    return FitResult(law=law, scale=scale, relative_error=math.sqrt(sum(residuals) / len(residuals)))
+
+
+def best_growth_law(
+    sizes: Sequence[float],
+    values: Sequence[float],
+    candidates: Sequence[str] = ("1", "log n", "log n / log log n", "log^2 n"),
+) -> FitResult:
+    """The candidate law with the smallest relative error on the series."""
+    fits = [fit_scale(sizes, values, law) for law in candidates]
+    return min(fits, key=lambda fit: fit.relative_error)
+
+
+def growth_ratio(sizes: Sequence[float], values: Sequence[float]) -> float:
+    """``values[-1] / values[0]`` — a crude but readable growth indicator."""
+    if not values or values[0] == 0:
+        return float("inf")
+    return values[-1] / values[0]

@@ -1,0 +1,49 @@
+"""Plain-text table and series formatting for benchmark output.
+
+The paper reports its comparison as a table (Table 1); the benchmarks
+print the measured analogue in aligned plain text so the output of
+``pytest benchmarks/ --benchmark-only`` and ``python -m repro.cli`` can be
+pasted directly into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+
+def format_table(rows: Sequence[Mapping[str, Any]], title: str | None = None) -> str:
+    """Format dictionaries as an aligned text table (column order from the first row)."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(rows[0].keys())
+    widths = {column: len(str(column)) for column in columns}
+    for row in rows:
+        for column in columns:
+            widths[column] = max(widths[column], len(_cell(row.get(column))))
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(column).ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[column] for column in columns))
+    for row in rows:
+        lines.append(
+            " | ".join(_cell(row.get(column)).ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    sizes: Sequence[Any], values: Sequence[Any], size_label: str = "n", value_label: str = "value"
+) -> str:
+    """Format a (sizes, values) pair as a two-column table."""
+    rows = [
+        {size_label: size, value_label: value} for size, value in zip(sizes, values)
+    ]
+    return format_table(rows)
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    return str(value)

@@ -1,0 +1,65 @@
+"""Command-line entry point: regenerate any experiment of the paper.
+
+Examples
+--------
+::
+
+    python -m repro.cli list
+    python -m repro.cli table1
+    python -m repro.cli fig3 --seed 7
+    skipweb-repro theorem2-onedim
+
+Each experiment prints an aligned text table; the same functions back the
+``benchmarks/`` pytest modules, so numbers match between the two routes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.bench.experiments import EXPERIMENTS
+from repro.bench.reporting import format_table
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="skipweb-repro",
+        description="Reproduce the tables and figures of the skip-webs paper (PODC 2005).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["list", "all"],
+        help="experiment to run ('list' shows descriptions, 'all' runs everything)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed (default 0)")
+    return parser
+
+
+def _run_one(name: str, seed: int) -> None:
+    function, description = EXPERIMENTS[name]
+    rows = function(seed=seed)
+    print(format_table(rows, title=f"{name}: {description}"))
+    print()
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        rows = [
+            {"experiment": name, "description": description}
+            for name, (_function, description) in sorted(EXPERIMENTS.items())
+        ]
+        print(format_table(rows, title="Available experiments"))
+        return 0
+    if args.experiment == "all":
+        for name in sorted(EXPERIMENTS):
+            _run_one(name, args.seed)
+        return 0
+    _run_one(args.experiment, args.seed)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

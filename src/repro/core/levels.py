@@ -1,0 +1,180 @@
+"""Skip-web level construction (§2.3 of the paper).
+
+Every item of the ground set receives a random *membership word* — an
+independent sequence of fair coin flips.  The level-``ℓ`` subsets are the
+groups of items sharing the same ``ℓ``-bit prefix:
+
+* level 0 is the whole ground set (empty prefix),
+* each level-``ℓ`` set ``S_b`` splits into ``S_{b0}`` and ``S_{b1}`` at
+  level ``ℓ+1`` according to the next bit,
+* the process stops after ``⌈log₂ n⌉`` levels, where the expected size of
+  each surviving set is O(1).
+
+The membership word of an item plays the same role as the membership
+vector of a skip graph: the sequence of structures a search descends
+through is exactly the chain of prefixes of the *origin* item's word.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterable, Iterator, Sequence
+
+BitPrefix = tuple[int, ...]
+"""A level index: the tuple of membership bits shared by a level set."""
+
+
+def required_height(item_count: int) -> int:
+    """Number of halving levels for ``item_count`` items: ``⌈log₂ n⌉`` (≥ 1)."""
+    if item_count <= 1:
+        return 1
+    return max(1, math.ceil(math.log2(item_count)))
+
+
+class MembershipAssignment:
+    """Random membership words for a set of items.
+
+    Parameters
+    ----------
+    items:
+        The ground set.  Items must be hashable (they key the word table).
+    height:
+        Word length; defaults to ``⌈log₂ n⌉`` as in the paper.
+    rng:
+        Seeded random source; the whole skip-web is reproducible given the
+        seed.
+    """
+
+    def __init__(
+        self,
+        items: Sequence[Any],
+        height: int | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        self._rng = rng or random.Random(0)
+        self._height = height if height is not None else required_height(len(items))
+        if self._height < 1:
+            raise ValueError(f"height must be at least 1, got {self._height}")
+        self._words: dict[Hashable, BitPrefix] = {}
+        for item in items:
+            self._words[item] = self._fresh_word()
+
+    def _fresh_word(self) -> BitPrefix:
+        return tuple(self._rng.randrange(2) for _ in range(self._height))
+
+    # ------------------------------------------------------------------ #
+    # lookups
+    # ------------------------------------------------------------------ #
+    @property
+    def height(self) -> int:
+        """The number of levels above level 0."""
+        return self._height
+
+    def word(self, item: Any) -> BitPrefix:
+        """The membership word assigned to ``item``."""
+        return self._words[item]
+
+    def prefix(self, item: Any, level: int) -> BitPrefix:
+        """The first ``level`` bits of the item's word (its level-``level`` set index)."""
+        if not 0 <= level <= self._height:
+            raise ValueError(f"level must be in [0, {self._height}], got {level}")
+        return self._words[item][:level]
+
+    def items(self) -> Iterator[Any]:
+        """Iterate over the items that have words."""
+        return iter(self._words)
+
+    def __contains__(self, item: Any) -> bool:
+        return item in self._words
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    # ------------------------------------------------------------------ #
+    # dynamic membership (used by inserts/deletes, §4)
+    # ------------------------------------------------------------------ #
+    def assign(self, item: Any) -> BitPrefix:
+        """Draw and record a fresh word for a newly inserted item."""
+        if item in self._words:
+            raise ValueError(f"item {item!r} already has a membership word")
+        word = self._fresh_word()
+        self._words[item] = word
+        return word
+
+    def forget(self, item: Any) -> BitPrefix:
+        """Remove and return the word of a deleted item."""
+        try:
+            return self._words.pop(item)
+        except KeyError as exc:
+            raise KeyError(f"item {item!r} has no membership word") from exc
+
+    # ------------------------------------------------------------------ #
+    # level sets
+    # ------------------------------------------------------------------ #
+    def level_sets(self, level: int) -> dict[BitPrefix, list[Any]]:
+        """Group items by their ``level``-bit prefix.
+
+        Only non-empty groups are returned; insertion order of the
+        original ground set is preserved within each group so that
+        structure construction is deterministic given the words.
+        """
+        if not 0 <= level <= self._height:
+            raise ValueError(f"level must be in [0, {self._height}], got {level}")
+        groups: dict[BitPrefix, list[Any]] = {}
+        for item, word in self._words.items():
+            groups.setdefault(word[:level], []).append(item)
+        return groups
+
+    def all_level_sets(self) -> "LevelSets":
+        """Materialise every level's grouping at once."""
+        return LevelSets(
+            by_level=[self.level_sets(level) for level in range(self._height + 1)]
+        )
+
+
+@dataclass(frozen=True)
+class LevelSets:
+    """The groups of items at every level, level 0 (everything) first."""
+
+    by_level: list[dict[BitPrefix, list[Any]]]
+
+    @property
+    def height(self) -> int:
+        """Highest level index."""
+        return len(self.by_level) - 1
+
+    def sets_at(self, level: int) -> dict[BitPrefix, list[Any]]:
+        """The non-empty sets at one level, keyed by bit prefix."""
+        return self.by_level[level]
+
+    def set_count(self) -> int:
+        """Total number of non-empty level sets across all levels."""
+        return sum(len(groups) for groups in self.by_level)
+
+    def total_copies(self) -> int:
+        """Total number of (item, level) copies stored — O(n log n) expected.
+
+        This is the quantity §2.4 describes as "the O(n log n) possible"
+        nodes and links to distribute among hosts.
+        """
+        return sum(
+            len(members) for groups in self.by_level for members in groups.values()
+        )
+
+    def prefixes_of(self, word: BitPrefix) -> Iterator[BitPrefix]:
+        """The chain of prefixes of ``word``, longest (top level) first.
+
+        A search originating at the item owning ``word`` descends through
+        exactly these level sets.
+        """
+        for level in range(self.height, -1, -1):
+            yield word[:level]
+
+    def max_set_size(self, level: int) -> int:
+        """Size of the largest set at ``level`` (top levels should be O(1))."""
+        groups = self.by_level[level]
+        if not groups:
+            return 0
+        return max(len(members) for members in groups.values())

@@ -1,0 +1,304 @@
+"""Range-determined link structures (§2.1 of the paper).
+
+A range-determined link structure ``D(S)`` is a deterministic data
+structure built from a ground set ``S``: a collection of *nodes* and
+*links*, each carrying a range of universe values, with a node and a link
+incident exactly when their ranges intersect.
+
+The skip-web framework never manipulates domain data structures
+directly; it talks to them through the abstract interface defined here:
+
+* :class:`RangeUnit` — one node or link together with its range and a
+  hashable key.
+* :class:`RangeDeterminedLinkStructure` — the abstract structure: it can
+  enumerate its units, report incidences, compute conflict lists against
+  an arbitrary range, locate a query locally, pick the best unit among a
+  candidate set and take a single navigation step.
+
+Concrete subclasses live next to their domains:
+:class:`repro.onedim.linked_list.SortedListStructure`,
+:class:`repro.spatial.skip_quadtree.QuadtreeStructure`,
+:class:`repro.strings.skip_trie.TrieStructure` and
+:class:`repro.planar.skip_trapezoid.TrapezoidalMapStructure`.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterable, Mapping, Sequence
+
+from repro.core.ranges import Range, ranges_conflict
+from repro.errors import QueryError, StructureError
+
+
+class UnitKind(enum.Enum):
+    """Whether a unit of the structure is a node or a link."""
+
+    NODE = "node"
+    LINK = "link"
+
+
+@dataclass(frozen=True)
+class RangeUnit:
+    """One node or link of a range-determined link structure.
+
+    Attributes
+    ----------
+    key:
+        A hashable identifier, unique within its structure, stable across
+        rebuilds of the same element set (so that diffs after an update
+        are meaningful).
+    kind:
+        Node or link.
+    range:
+        The unit's range (a :class:`repro.core.ranges.Range`).
+    payload:
+        Arbitrary structure-specific data (the stored item for a node,
+        the endpoints for a link, the trapezoid geometry, ...).
+    """
+
+    key: Hashable
+    kind: UnitKind
+    range: Range
+    payload: Any = None
+
+    @property
+    def is_node(self) -> bool:
+        return self.kind is UnitKind.NODE
+
+    @property
+    def is_link(self) -> bool:
+        return self.kind is UnitKind.LINK
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RangeUnit({self.kind.value}, key={self.key!r}, range={self.range!r})"
+
+
+class RangeDeterminedLinkStructure(abc.ABC):
+    """Abstract base class for the structures the skip-web framework uses.
+
+    Subclasses must be *deterministic in the ground set*: building the
+    structure twice from the same items must yield the same units with
+    the same keys (§2.1 calls this a "unique link structure").
+    """
+
+    #: Human-readable name used in benchmark tables and reports.
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    @abc.abstractmethod
+    def build(cls, items: Sequence[Any], **params: Any) -> "RangeDeterminedLinkStructure":
+        """Build ``D(items)``.
+
+        ``params`` carries structure-specific configuration shared across
+        every level of a skip-web (e.g. the bounding box of a quadtree or
+        the alphabet of a trie) so that levels are mutually compatible.
+        """
+
+    @property
+    @abc.abstractmethod
+    def items(self) -> Sequence[Any]:
+        """The ground set this structure was built from."""
+
+    # ------------------------------------------------------------------ #
+    # units and incidences
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def units(self) -> list[RangeUnit]:
+        """Every node and link of the structure."""
+
+    @abc.abstractmethod
+    def neighbors(self, key: Hashable) -> list[RangeUnit]:
+        """Units incident to the unit identified by ``key``.
+
+        Incidence follows §2.1: a node and a link are incident exactly
+        when their ranges intersect.  Subclasses normally return the
+        structural adjacency directly (a link's two endpoint nodes, a
+        node's incident links) which coincides with the range definition.
+        """
+
+    def unit(self, key: Hashable) -> RangeUnit:
+        """Return the unit with the given key (default: linear scan)."""
+        for candidate in self.units():
+            if candidate.key == key:
+                return candidate
+        raise StructureError(f"{self.name}: no unit with key {key!r}")
+
+    def __len__(self) -> int:
+        """Number of units (nodes plus links)."""
+        return len(self.units())
+
+    # ------------------------------------------------------------------ #
+    # conflicts (§2.2)
+    # ------------------------------------------------------------------ #
+    def overlapping(self, query_range: Range) -> list[RangeUnit]:
+        """All units of this structure whose range intersects ``query_range``.
+
+        This is the literal conflict list ``C(Q, S)`` of §2.2 (non-empty
+        range intersection).  The default implementation scans every unit;
+        subclasses override it with a structure-aware search (bisection
+        for lists, pruned tree walks for quadtrees and tries) because the
+        update protocol calls it to discover which records an update may
+        touch.
+        """
+        return [unit for unit in self.units() if ranges_conflict(query_range, unit.range)]
+
+    def conflicts(self, query_range: Range) -> list[RangeUnit]:
+        """The units an external range's hyperlinks should point at.
+
+        By default this is exactly :meth:`overlapping` — the paper's
+        conflict list.  Structures whose overlap sets contain a long
+        containment chain (compressed quadtrees: every ancestor of a cell
+        intersects it) override this with the *search-relevant* subset
+        (e.g. the smallest enclosing cell), which is what keeps hyperlink
+        fan-out and update costs at the O(1)-per-level expectation the
+        paper's analysis relies on.  Query correctness only requires that
+        the level-below target be reachable from the returned units by
+        :meth:`advance` steps.
+        """
+        return self.overlapping(query_range)
+
+    # ------------------------------------------------------------------ #
+    # searching
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def locate(self, query: Any) -> RangeUnit:
+        """Full local search: the target unit for ``query`` in this structure.
+
+        The *target* is the structure-specific answer location: the node
+        or link whose range contains the query key for a sorted list, the
+        smallest quadtree cell containing the query point, the deepest
+        trie position matching the query string, the trapezoid containing
+        the query point.  Used for the top level of a skip-web (whose
+        expected size is O(1)), for the set-halving verifier, and as the
+        reference answer in tests.
+        """
+
+    @classmethod
+    @abc.abstractmethod
+    def select(cls, query: Any, candidates: Sequence[RangeUnit]) -> RangeUnit:
+        """Choose the best starting unit for ``query`` among ``candidates``.
+
+        Called while descending a skip-web: ``candidates`` is the conflict
+        list (hyperlinks) of the unit found one level above.  The returned
+        unit is either already the target at this level or a good starting
+        point for :meth:`advance`.
+        """
+
+    @classmethod
+    @abc.abstractmethod
+    def advance(
+        cls,
+        query: Any,
+        current: RangeUnit,
+        neighbors: Mapping[Hashable, Range],
+    ) -> Hashable | None:
+        """One navigation step within a level.
+
+        Given the unit the search currently occupies and the ranges of its
+        incident units (keyed by unit key), return the key of the unit to
+        move to next, or ``None`` when ``current`` is already the target
+        for ``query``.  The skip-web query engine charges one message
+        whenever the returned unit lives on a different host.
+        """
+
+    @classmethod
+    def item_to_query(cls, item: Any) -> Any:
+        """The query point used to locate an *item* during updates (§4).
+
+        For most structures the item is itself a valid query (a key, a
+        point, a string).  Structures whose items are not points of the
+        query universe — e.g. trapezoidal maps, whose items are segments
+        but whose queries are planar points — override this to return a
+        representative query point for the item.
+        """
+        return item
+
+    @abc.abstractmethod
+    def answer(self, query: Any, unit: RangeUnit) -> Any:
+        """Decode the domain-specific answer once the level-0 target is found.
+
+        For example, the one-dimensional structure returns the nearest
+        stored key, the trie returns the longest matching prefix and the
+        matching stored strings, the trapezoidal map returns the trapezoid.
+        """
+
+    # ------------------------------------------------------------------ #
+    # updates (§4)
+    # ------------------------------------------------------------------ #
+    def with_item(self, item: Any) -> "RangeDeterminedLinkStructure":
+        """Return ``D(S ∪ {item})``.
+
+        The default rebuilds from scratch, which is always correct because
+        the structure is determined by its ground set; subclasses may
+        override with an incremental version.  The skip-web update
+        protocol charges messages according to the *diff* between the old
+        and new unit sets, not according to how the new structure was
+        computed, so rebuilding does not distort the measured ``U(n)``.
+        """
+        if item in self.items:
+            raise StructureError(f"{self.name}: item {item!r} already present")
+        return type(self).build(list(self.items) + [item], **self.build_params())
+
+    def without_item(self, item: Any) -> "RangeDeterminedLinkStructure":
+        """Return ``D(S \\ {item})`` (default: rebuild)."""
+        remaining = [existing for existing in self.items if existing != item]
+        if len(remaining) == len(self.items):
+            raise StructureError(f"{self.name}: item {item!r} not present")
+        return type(self).build(remaining, **self.build_params())
+
+    def build_params(self) -> dict[str, Any]:
+        """The ``params`` needed to rebuild a compatible structure.
+
+        Subclasses with configuration (bounding boxes, alphabets) override
+        this so that :meth:`with_item` / :meth:`without_item` and the
+        level builder construct compatible structures.
+        """
+        return {}
+
+    # ------------------------------------------------------------------ #
+    # conveniences
+    # ------------------------------------------------------------------ #
+    def node_units(self) -> list[RangeUnit]:
+        """Only the node units."""
+        return [unit for unit in self.units() if unit.is_node]
+
+    def link_units(self) -> list[RangeUnit]:
+        """Only the link units."""
+        return [unit for unit in self.units() if unit.is_link]
+
+    def keys(self) -> set[Hashable]:
+        """The set of unit keys (used to diff structures across updates)."""
+        return {unit.key for unit in self.units()}
+
+    def validate(self) -> None:
+        """Check basic invariants; raises :class:`StructureError` on violation.
+
+        The default checks that keys are unique and that declared
+        neighbours really do have intersecting ranges (the §2.1 incidence
+        condition).  Tests call this after construction and after updates.
+        """
+        seen: set[Hashable] = set()
+        for unit in self.units():
+            if unit.key in seen:
+                raise StructureError(f"{self.name}: duplicate unit key {unit.key!r}")
+            seen.add(unit.key)
+        for unit in self.units():
+            for neighbor in self.neighbors(unit.key):
+                if not ranges_conflict(unit.range, neighbor.range):
+                    raise StructureError(
+                        f"{self.name}: units {unit.key!r} and {neighbor.key!r} are "
+                        "declared incident but their ranges do not intersect"
+                    )
+
+    def locate_or_none(self, query: Any) -> RangeUnit | None:
+        """:meth:`locate` that returns ``None`` instead of raising."""
+        try:
+            return self.locate(query)
+        except QueryError:
+            return None

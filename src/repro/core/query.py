@@ -1,0 +1,147 @@
+"""Query routing over a distributed skip-web (§2.5 of the paper).
+
+A query starts from the "root" of the originating host: copies of the
+(expected O(1)) units forming the top-level structure along the
+membership-word prefix chain of one of the host's items, together with
+the addresses of their records.  The engine then repeats, once per level:
+
+1. choose, locally, the best hyperlink out of the current record's
+   conflict list (each hyperlink carries a copy of the target unit, so no
+   message is needed to decide),
+2. follow the chosen hyperlink — one message when it crosses hosts,
+3. walk within the level with the structure's ``advance`` until the
+   level's target for the query is reached (each step is one more
+   message when it crosses hosts),
+4. descend through the target's hyperlinks to the next level.
+
+At level 0 the structure's ``answer`` decodes the domain-specific result
+(nearest key, matching prefix, containing trapezoid, smallest quadtree
+cell).  The number of messages charged to the traversal is the measured
+``Q(n)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from repro.errors import QueryError
+from repro.net.message import MessageKind
+from repro.net.naming import Address, HostId
+from repro.net.rpc import Traversal
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Outcome of one skip-web query."""
+
+    query: Any
+    answer: Any
+    messages: int
+    origin_host: HostId
+    hosts_visited: tuple[HostId, ...]
+    levels_descended: int
+    target_key: Hashable
+    per_level_messages: tuple[int, ...] = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QueryResult(query={self.query!r}, answer={self.answer!r}, "
+            f"messages={self.messages})"
+        )
+
+
+# Safety bound on intra-level navigation; a correct structure never needs
+# anywhere near this many steps, so hitting the bound indicates a bug and
+# is reported as a QueryError rather than an infinite loop.
+_MAX_LEVEL_STEPS = 10_000
+
+
+def _choose_entry(structure_cls, query: Any, entries: list[tuple[Any, Address]]) -> Address:
+    """Pick the hyperlink to follow: ``entries`` are (unit copy, address) pairs.
+
+    The unit copies are stored alongside the pointers (the same O(1)
+    per-pointer bookkeeping a skip graph keeps for its neighbours' keys),
+    so the choice is made locally without spending messages.
+    """
+    if not entries:
+        raise QueryError("query descended through a record with no hyperlinks")
+    units = [unit for unit, _address in entries]
+    chosen = structure_cls.select(query, units)
+    for unit, address in entries:
+        if unit.key == chosen.key:
+            return address
+    raise QueryError("select returned a unit that is not among the candidates")
+
+
+def _settle_within_level(
+    structure_cls,
+    traversal: Traversal,
+    query: Any,
+    record,
+) -> Any:
+    """Walk within one level structure until the target unit for ``query``.
+
+    ``record`` is the record reached by following a hyperlink; the walk
+    follows the structure's own links (each record stores its neighbours'
+    ranges and addresses), charging a message per host crossing.
+    """
+    current = record
+    for _ in range(_MAX_LEVEL_STEPS):
+        neighbor_ranges = {key: rng for key, (rng, _addr) in current.neighbors.items()}
+        next_key = structure_cls.advance(query, current.unit, neighbor_ranges)
+        if next_key is None:
+            return current
+        try:
+            _range, address = current.neighbors[next_key]
+        except KeyError as exc:
+            raise QueryError(
+                f"advance returned unknown neighbour key {next_key!r} "
+                f"from unit {current.unit.key!r}"
+            ) from exc
+        current = traversal.visit(address)
+    raise QueryError("intra-level navigation did not terminate (structure bug)")
+
+
+def execute_query(
+    skipweb,
+    query: Any,
+    origin_host: HostId,
+    kind: MessageKind = MessageKind.QUERY,
+) -> QueryResult:
+    """Route ``query`` through ``skipweb`` starting at ``origin_host``."""
+    traversal = Traversal(skipweb.network, origin_host, kind=kind)
+    root_entries = skipweb.root_entries(origin_host)
+    if not root_entries:
+        raise QueryError("skip-web has no records (empty structure)")
+
+    per_level_messages: list[int] = []
+    hops_before = traversal.hops
+    entry_address = _choose_entry(skipweb.structure_cls, query, root_entries)
+    record = traversal.visit(entry_address)
+    current = _settle_within_level(skipweb.structure_cls, traversal, query, record)
+    per_level_messages.append(traversal.hops - hops_before)
+    levels_descended = 0
+
+    while current.level > 0:
+        hops_before = traversal.hops
+        entry_address = _choose_entry(
+            skipweb.structure_cls, query, list(current.down_links)
+        )
+        record = traversal.visit(entry_address)
+        current = _settle_within_level(skipweb.structure_cls, traversal, query, record)
+        per_level_messages.append(traversal.hops - hops_before)
+        levels_descended += 1
+
+    level0_structure = skipweb.level_structure(0, ())
+    answer = level0_structure.answer(query, current.unit)
+    return QueryResult(
+        query=query,
+        answer=answer,
+        messages=traversal.hops,
+        origin_host=origin_host,
+        hosts_visited=tuple(traversal.path),
+        levels_descended=levels_descended,
+        target_key=current.unit.key,
+        per_level_messages=tuple(per_level_messages),
+    )

@@ -1,0 +1,152 @@
+"""Range abstractions.
+
+Section 2.1 of the paper associates each node and link of a
+range-determined link structure with a *range* — a set of values from the
+universe ``U`` — and defines incidence (and, across structures, conflict)
+as non-empty intersection of ranges.
+
+This module defines the small protocol every range must follow
+(:class:`Range`) and the generic one-dimensional ranges used by sorted
+linked lists and skip lists (:class:`Singleton`, :class:`Interval`).
+Multi-dimensional ranges (hypercubes, trie string sets, trapezoids) are
+defined next to their structures in :mod:`repro.spatial`,
+:mod:`repro.strings` and :mod:`repro.planar`, and follow the same
+protocol.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Range(Protocol):
+    """The protocol all ranges satisfy.
+
+    ``contains`` answers point membership (used to route queries) and
+    ``intersects`` answers range overlap (used to build conflict lists,
+    i.e. the hyperlinks between consecutive skip-web levels).
+    """
+
+    def contains(self, point: Any) -> bool:
+        """Return ``True`` when ``point`` belongs to this range."""
+        ...
+
+    def intersects(self, other: "Range") -> bool:
+        """Return ``True`` when this range and ``other`` share a value."""
+        ...
+
+
+@dataclass(frozen=True, slots=True)
+class Singleton:
+    """A one-element range ``{value}`` — the range of a linked-list node."""
+
+    value: Any
+
+    def contains(self, point: Any) -> bool:
+        return point == self.value
+
+    def intersects(self, other: Range) -> bool:
+        return other.contains(self.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{{{self.value!r}}}"
+
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    """A closed one-dimensional interval ``[low, high]``.
+
+    ``low`` may be ``-inf`` and ``high`` may be ``+inf``; the sentinel
+    links of a sorted linked list use these to make every query point
+    fall inside exactly one maximal range.
+    """
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise ValueError(f"empty interval: low={self.low} > high={self.high}")
+
+    def contains(self, point: Any) -> bool:
+        return self.low <= point <= self.high
+
+    def intersects(self, other: Range) -> bool:
+        if isinstance(other, Interval):
+            return self.low <= other.high and other.low <= self.high
+        if isinstance(other, Singleton):
+            return self.contains(other.value)
+        # Fall back to the other range's own intersection test; every
+        # range type knows how to test against points and intervals of
+        # its own universe.
+        return other.intersects(self)
+
+    @property
+    def is_degenerate(self) -> bool:
+        """``True`` when the interval is a single point."""
+        return self.low == self.high
+
+    @property
+    def length(self) -> float:
+        """Width of the interval (``inf`` for unbounded intervals)."""
+        return self.high - self.low
+
+    @staticmethod
+    def unbounded() -> "Interval":
+        """The whole real line ``(-inf, +inf)``."""
+        return Interval(-math.inf, math.inf)
+
+    @staticmethod
+    def below(value: float) -> "Interval":
+        """The interval ``(-inf, value]`` (left sentinel link)."""
+        return Interval(-math.inf, value)
+
+    @staticmethod
+    def above(value: float) -> "Interval":
+        """The interval ``[value, +inf)`` (right sentinel link)."""
+        return Interval(value, math.inf)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.low!r}, {self.high!r}]"
+
+
+@dataclass(frozen=True, slots=True)
+class EverythingRange:
+    """A range containing every point — useful for degenerate structures.
+
+    A structure built from a single item (e.g. a quadtree level with one
+    point, or an empty trapezoidal map whose only cell is the whole
+    plane) uses this as the range of its unique unit so that queries
+    always have somewhere to land.
+    """
+
+    def contains(self, point: Any) -> bool:
+        return True
+
+    def intersects(self, other: Range) -> bool:
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<everything>"
+
+
+def ranges_conflict(first: Range, second: Range) -> bool:
+    """Symmetric conflict test between two ranges.
+
+    The paper counts ``Q = R`` as a conflict; intersection handles that
+    case naturally.  The helper tries both orientations so that
+    heterogeneous range types only need to understand each other in one
+    direction.
+    """
+    try:
+        if first.intersects(second):
+            return True
+    except (TypeError, NotImplementedError):
+        pass
+    try:
+        return second.intersects(first)
+    except (TypeError, NotImplementedError):
+        return False

@@ -1,0 +1,445 @@
+"""The distributed skip-web structure (§2.3–§2.5 of the paper).
+
+:class:`SkipWeb` ties the framework together for an arbitrary
+range-determined link structure:
+
+* it assigns every ground-set item a random membership word
+  (:mod:`repro.core.levels`),
+* builds one link structure per non-empty level set,
+* turns every node and link of every level into a *record* stored on a
+  host chosen by the blocking policy (:mod:`repro.core.blocking`),
+* wires hyperlinks (conflict lists) from each level down to the level
+  below, and neighbour pointers within each level,
+* and answers queries (:mod:`repro.core.query`) and updates
+  (:mod:`repro.core.update`) by routing messages over the simulated
+  network.
+
+The records stored on hosts are self-contained: a record knows its unit,
+the ranges and addresses of its in-structure neighbours, and the
+addresses of the conflicting records one level down.  Query routing only
+ever reads records through a :class:`repro.net.rpc.Traversal`, so every
+host crossing is charged exactly one message — this is what the Table 1
+and Theorem 2 benchmarks measure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterable, Sequence, Type
+
+from repro.core.blocking import (
+    BlockingPolicy,
+    HashBlocking,
+    OwnerBlocking,
+    RoundRobinBlocking,
+    evenly_owned_items,
+)
+from repro.core.levels import BitPrefix, LevelSets, MembershipAssignment
+from repro.core.link_structure import RangeDeterminedLinkStructure, RangeUnit
+from repro.core.query import QueryResult, execute_query
+from repro.core.ranges import Range
+from repro.errors import QueryError, StructureError, UpdateError
+from repro.net.congestion import CongestionReport, congestion_report
+from repro.net.naming import Address, HostId
+from repro.net.network import Network
+
+
+@dataclass
+class SkipWebRecord:
+    """One node or link of one level structure, as stored on a host.
+
+    ``down_links`` are the hyperlinks of §2.3: for every unit of the
+    parent level structure that conflicts with this unit's range, the
+    record keeps a *copy of the unit* (so the next hop can be chosen
+    locally) together with the address of its record.  ``neighbors`` are
+    the incident units within the same level structure, likewise stored
+    as (range, address) pairs.
+    """
+
+    level: int
+    prefix: BitPrefix
+    unit: RangeUnit
+    down_links: list[tuple[RangeUnit, Address]] = field(default_factory=list)
+    neighbors: dict[Hashable, tuple[Range, Address]] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SkipWebRecord(level={self.level}, prefix={self.prefix}, "
+            f"key={self.unit.key!r}, down={len(self.down_links)}, "
+            f"neighbors={len(self.neighbors)})"
+        )
+
+
+@dataclass
+class SkipWebConfig:
+    """Construction parameters for a :class:`SkipWeb`.
+
+    Attributes
+    ----------
+    host_count:
+        Number of hosts to create when the caller does not pass a
+        pre-populated network.  Defaults to one host per item — the
+        deployment assumed by Theorem 2.
+    blocking:
+        ``"owner"`` (default), ``"round_robin"``, ``"hash"`` or a
+        ready-made :class:`BlockingPolicy`.
+    height:
+        Number of halving levels; defaults to ``⌈log₂ n⌉``.
+    seed:
+        Seed for the membership-word coin flips.
+    structure_params:
+        Extra keyword arguments passed to every ``structure_cls.build``
+        call (bounding boxes, alphabets, ...).
+    """
+
+    host_count: int | None = None
+    blocking: str | BlockingPolicy = "owner"
+    height: int | None = None
+    seed: int = 0
+    structure_params: dict[str, Any] = field(default_factory=dict)
+
+
+class SkipWeb:
+    """A distributed skip-web over an arbitrary range-determined link structure.
+
+    Parameters
+    ----------
+    structure_cls:
+        The :class:`RangeDeterminedLinkStructure` subclass to build at
+        every level.
+    items:
+        The ground set ``S``.  Items must be hashable.
+    network:
+        An existing :class:`Network` to build into; a fresh one is created
+        when omitted.
+    config:
+        See :class:`SkipWebConfig`.
+    """
+
+    def __init__(
+        self,
+        structure_cls: Type[RangeDeterminedLinkStructure],
+        items: Sequence[Any],
+        network: Network | None = None,
+        config: SkipWebConfig | None = None,
+    ) -> None:
+        if not items:
+            raise StructureError("cannot build a skip-web over an empty ground set")
+        self.structure_cls = structure_cls
+        self.config = config or SkipWebConfig()
+        self._rng = random.Random(self.config.seed)
+
+        self.network = network if network is not None else Network()
+        if self.network.host_count == 0:
+            host_count = self.config.host_count or len(items)
+            self.network.add_hosts(host_count)
+        self._host_ids = [host.host_id for host in self.network.hosts()]
+
+        # Home hosts for items: queries about an item start at its owner.
+        self._owners: dict[Any, HostId] = evenly_owned_items(list(items), self._host_ids)
+
+        self._membership = MembershipAssignment(
+            list(items), height=self.config.height, rng=self._rng
+        )
+        self._blocking = self._make_blocking_policy()
+
+        # (level, prefix) -> structure instance
+        self._structures: dict[tuple[int, BitPrefix], RangeDeterminedLinkStructure] = {}
+        # (level, prefix, unit key) -> address of the record
+        self._address_of: dict[tuple[int, BitPrefix, Hashable], Address] = {}
+        # host -> membership word of the item whose top-level structure is
+        # that host's root
+        self._root_word_of_host: dict[HostId, BitPrefix] = {}
+
+        self._build()
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def _make_blocking_policy(self) -> BlockingPolicy:
+        blocking = self.config.blocking
+        if isinstance(blocking, BlockingPolicy):
+            return blocking
+        if blocking == "round_robin":
+            return RoundRobinBlocking(self._host_ids)
+        if blocking == "hash":
+            return HashBlocking(self._host_ids)
+        if blocking == "owner":
+            return OwnerBlocking(self._owners, fallback=self._host_ids[0])
+        raise ValueError(f"unknown blocking policy {blocking!r}")
+
+    def _build(self) -> None:
+        level_sets = self._membership.all_level_sets()
+        # 1. build every level structure
+        for level in range(level_sets.height + 1):
+            for prefix, members in level_sets.sets_at(level).items():
+                self._structures[(level, prefix)] = self.structure_cls.build(
+                    list(members), **self.config.structure_params
+                )
+        # 2. create record shells so every unit has an address
+        for (level, prefix), structure in self._structures.items():
+            for unit in structure.units():
+                self._create_record(level, prefix, unit)
+        # 3. wire neighbours and hyperlinks
+        for (level, prefix), structure in self._structures.items():
+            for unit in structure.units():
+                self._rewire_record(level, prefix, unit.key)
+        # 4. roots: each host starts searches at the top-level structure of
+        #    one of the items it owns (or of an arbitrary item if it owns
+        #    none), mirroring the paper's per-host root pointer.
+        fallback_word = self._membership.word(next(self._membership.items()))
+        owned_by_host: dict[HostId, Any] = {}
+        for item, owner in self._owners.items():
+            owned_by_host.setdefault(owner, item)
+        for host_id in self._host_ids:
+            item = owned_by_host.get(host_id)
+            word = self._membership.word(item) if item is not None else fallback_word
+            self._root_word_of_host[host_id] = word
+        # 5. congestion bookkeeping
+        self.recompute_reference_counts()
+
+    def _create_record(self, level: int, prefix: BitPrefix, unit: RangeUnit) -> Address:
+        """Store a fresh (unwired) record on the host the blocking policy picks."""
+        host_id = self._blocking.assign(level, prefix, unit)
+        record = SkipWebRecord(level=level, prefix=prefix, unit=unit)
+        address = self.network.store(host_id, record)
+        self._address_of[(level, prefix, unit.key)] = address
+        return address
+
+    def _remove_record(self, level: int, prefix: BitPrefix, key: Hashable) -> Address:
+        """Free a record's slot and forget its address."""
+        address = self._address_of.pop((level, prefix, key))
+        self.network.free(address)
+        return address
+
+    def _record_at(self, level: int, prefix: BitPrefix, key: Hashable) -> SkipWebRecord:
+        return self.network.load(self._address_of[(level, prefix, key)])
+
+    def _rewire_record(self, level: int, prefix: BitPrefix, key: Hashable) -> bool:
+        """Recompute a record's neighbour pointers and hyperlinks in place.
+
+        Neighbours are the unit's incident units within the same level
+        structure; hyperlinks are the conflict list in the parent
+        structure (one level down in the descent direction, i.e. the
+        structure for ``prefix[:-1]``), per §2.3.
+
+        Returns ``True`` when any stored content actually changed — the
+        update protocol uses this to charge messages only for records a
+        real deployment would have had to touch.
+        """
+        structure = self._structures[(level, prefix)]
+        record = self._record_at(level, prefix, key)
+        unit = structure.unit(key)
+
+        neighbors: dict[Hashable, tuple[Range, Address]] = {}
+        for neighbor in structure.neighbors(key):
+            address = self._address_of[(level, prefix, neighbor.key)]
+            neighbors[neighbor.key] = (neighbor.range, address)
+
+        down_links: list[tuple[RangeUnit, Address]] = []
+        if level > 0:
+            parent_prefix = prefix[:-1]
+            parent_structure = self._structures.get((level - 1, parent_prefix))
+            if parent_structure is None:
+                raise StructureError(
+                    f"missing parent structure for level {level} prefix {prefix}"
+                )
+            for conflicting in parent_structure.conflicts(unit.range):
+                down_links.append(
+                    (
+                        conflicting,
+                        self._address_of[(level - 1, parent_prefix, conflicting.key)],
+                    )
+                )
+
+        changed = (
+            record.unit != unit
+            or record.neighbors != neighbors
+            or record.down_links != down_links
+        )
+        record.unit = unit
+        record.neighbors = neighbors
+        record.down_links = down_links
+        return changed
+
+    # ------------------------------------------------------------------ #
+    # public inspection API
+    # ------------------------------------------------------------------ #
+    @property
+    def items(self) -> list[Any]:
+        """The current ground set."""
+        return list(self._membership.items())
+
+    @property
+    def ground_set_size(self) -> int:
+        """The paper's ``n``."""
+        return len(self._membership)
+
+    @property
+    def height(self) -> int:
+        """Number of halving levels above level 0."""
+        return self._membership.height
+
+    @property
+    def host_count(self) -> int:
+        """The paper's ``H``."""
+        return self.network.host_count
+
+    def level_structure(
+        self, level: int, prefix: BitPrefix
+    ) -> RangeDeterminedLinkStructure:
+        """The link structure of one level set (raises if the set is empty)."""
+        try:
+            return self._structures[(level, prefix)]
+        except KeyError as exc:
+            raise StructureError(f"no structure at level {level} prefix {prefix}") from exc
+
+    def level_prefixes(self, level: int) -> list[BitPrefix]:
+        """The non-empty set indices at one level."""
+        return [prefix for (lvl, prefix) in self._structures if lvl == level]
+
+    def record_count(self) -> int:
+        """Total number of records stored across all hosts."""
+        return len(self._address_of)
+
+    def owner_of(self, item: Any) -> HostId:
+        """The home host of an item."""
+        return self._owners[item]
+
+    def membership_word(self, item: Any) -> BitPrefix:
+        """The random membership word assigned to ``item``."""
+        return self._membership.word(item)
+
+    def root_entries(self, host_id: HostId) -> list[tuple[RangeUnit, Address]]:
+        """The root entries from which ``host_id`` starts its searches.
+
+        A host's root is its local copy of the (expected O(1)) units of
+        the top-level structure along the membership word of one of the
+        items it owns, each paired with the address of the unit's record.
+        """
+        word = self._root_word_of_host.get(host_id)
+        if word is None:
+            # Host joined after construction; fall back to any item's word.
+            word = self._membership.word(next(self._membership.items()))
+            self._root_word_of_host[host_id] = word
+        # Descend to the highest non-empty structure along the word.
+        for level in range(self.height, -1, -1):
+            prefix = word[:level]
+            structure = self._structures.get((level, prefix))
+            if structure is not None:
+                return [
+                    (unit, self._address_of[(level, prefix, unit.key)])
+                    for unit in structure.units()
+                ]
+        raise QueryError("skip-web has no level structures")
+
+    # ------------------------------------------------------------------ #
+    # queries and updates
+    # ------------------------------------------------------------------ #
+    def query(self, query: Any, origin_host: HostId | None = None) -> QueryResult:
+        """Answer ``query``, counting messages; see :mod:`repro.core.query`."""
+        if origin_host is None:
+            origin_host = self._host_ids[0]
+        return execute_query(self, query, origin_host)
+
+    def query_from_item(self, query: Any, origin_item: Any) -> QueryResult:
+        """Answer ``query`` starting from the host that owns ``origin_item``."""
+        return self.query(query, origin_host=self._owners[origin_item])
+
+    def insert(self, item: Any, origin_host: HostId | None = None):
+        """Insert a new ground-set item (§4); returns an ``UpdateResult``."""
+        from repro.core.update import execute_insert
+
+        if origin_host is None:
+            origin_host = self._host_ids[0]
+        return execute_insert(self, item, origin_host)
+
+    def delete(self, item: Any, origin_host: HostId | None = None):
+        """Delete a ground-set item (§4); returns an ``UpdateResult``."""
+        from repro.core.update import execute_delete
+
+        if origin_host is None:
+            origin_host = self._host_ids[0]
+        return execute_delete(self, item, origin_host)
+
+    # ------------------------------------------------------------------ #
+    # cost accounting
+    # ------------------------------------------------------------------ #
+    def memory_profile(self) -> dict[HostId, int]:
+        """Records stored per host — the measured per-host memory."""
+        return self.network.memory_profile()
+
+    def max_memory_per_host(self) -> int:
+        """The measured ``M``: the largest number of records on any host."""
+        return self.network.max_memory_used()
+
+    def recompute_reference_counts(self) -> None:
+        """Refresh the per-host reference counters used by the congestion report."""
+        for host in self.network.hosts():
+            host.reset_reference_counts()
+        for item, owner in self._owners.items():
+            if item in self._membership:
+                self.network.host(owner).note_owned_items(1)
+        for (level, prefix, key), address in self._address_of.items():
+            record: SkipWebRecord = self.network.load(address)
+            home = address.host
+            for _key, (_range, neighbor_address) in record.neighbors.items():
+                if neighbor_address.host != home:
+                    self.network.host(home).note_out_reference(1)
+                    self.network.host(neighbor_address.host).note_in_reference(1)
+            for _unit, down_address in record.down_links:
+                if down_address.host != home:
+                    self.network.host(home).note_out_reference(1)
+                    self.network.host(down_address.host).note_in_reference(1)
+
+    def congestion(self) -> CongestionReport:
+        """The congestion measure ``C(n)`` of §1.1 for the current structure."""
+        self.recompute_reference_counts()
+        return congestion_report(self.network, self.ground_set_size)
+
+    def validate(self) -> None:
+        """Check structural invariants of every level (used by tests).
+
+        Verifies that every level structure passes its own validation,
+        that every unit has a record, and that every record's hyperlinks
+        and neighbour pointers resolve to live records of the expected
+        level.
+        """
+        for (level, prefix), structure in self._structures.items():
+            structure.validate()
+            for unit in structure.units():
+                if (level, prefix, unit.key) not in self._address_of:
+                    raise StructureError(
+                        f"unit {unit.key!r} of level {level} prefix {prefix} has no record"
+                    )
+        for (level, prefix, key), address in self._address_of.items():
+            record: SkipWebRecord = self.network.load(address)
+            if record.unit.key != key or record.level != level or record.prefix != prefix:
+                raise StructureError(f"record at {address} is mislabelled")
+            for down_unit, down_address in record.down_links:
+                down_record: SkipWebRecord = self.network.load(down_address)
+                if down_record.level != level - 1:
+                    raise StructureError(
+                        f"hyperlink from level {level} record {key!r} points to "
+                        f"level {down_record.level}"
+                    )
+                if down_record.unit.key != down_unit.key:
+                    raise StructureError(
+                        f"hyperlink copy of {key!r} is stale: labelled "
+                        f"{down_unit.key!r} but points to {down_record.unit.key!r}"
+                    )
+            for neighbor_key, (_range, neighbor_address) in record.neighbors.items():
+                neighbor_record: SkipWebRecord = self.network.load(neighbor_address)
+                if neighbor_record.unit.key != neighbor_key:
+                    raise StructureError(
+                        f"neighbour pointer of {key!r} labelled {neighbor_key!r} "
+                        f"points to {neighbor_record.unit.key!r}"
+                    )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SkipWeb(structure={self.structure_cls.name}, n={self.ground_set_size}, "
+            f"hosts={self.host_count}, levels={self.height + 1}, "
+            f"records={self.record_count()})"
+        )

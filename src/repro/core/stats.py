@@ -1,0 +1,133 @@
+"""Cost measurement: the quantities reported in Table 1.
+
+The paper compares structures along five measures (§1.1): number of
+hosts ``H``, memory per host ``M``, congestion ``C(n)``, query messages
+``Q(n)`` and update messages ``U(n)``.  :func:`measure_costs` runs a
+query workload (and optionally an update workload) against any
+distributed structure and collects all five, producing a
+:class:`StructureCosts` row that the Table 1 benchmark prints directly.
+
+The function is deliberately structure-agnostic: it only needs callables
+returning per-operation message counts, so skip-webs and every baseline
+of :mod:`repro.baselines` can be measured identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.net.congestion import CongestionReport
+from repro.net.network import Network
+
+
+def _percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of ``values`` (0 for an empty sequence)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return float(ordered[index])
+
+
+@dataclass(frozen=True)
+class StructureCosts:
+    """One row of the Table 1 reproduction."""
+
+    name: str
+    ground_set_size: int
+    host_count: int
+    max_memory: int
+    mean_memory: float
+    max_congestion: float
+    mean_congestion: float
+    query_messages_mean: float
+    query_messages_p95: float
+    query_messages_max: float
+    update_messages_mean: float
+    update_messages_p95: float
+    update_messages_max: float
+    query_count: int
+    update_count: int
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flat dictionary used by the reporting helpers."""
+        return {
+            "method": self.name,
+            "n": self.ground_set_size,
+            "H": self.host_count,
+            "M_max": self.max_memory,
+            "M_mean": round(self.mean_memory, 2),
+            "C_max": round(self.max_congestion, 2),
+            "C_mean": round(self.mean_congestion, 2),
+            "Q_mean": round(self.query_messages_mean, 2),
+            "Q_p95": round(self.query_messages_p95, 2),
+            "Q_max": round(self.query_messages_max, 2),
+            "U_mean": round(self.update_messages_mean, 2),
+            "U_p95": round(self.update_messages_p95, 2),
+            "U_max": round(self.update_messages_max, 2),
+        }
+
+
+def measure_costs(
+    name: str,
+    network: Network,
+    ground_set_size: int,
+    query_fn: Callable[[Any], int],
+    queries: Iterable[Any],
+    update_fn: Callable[[Any], int] | None = None,
+    updates: Iterable[Any] | None = None,
+    congestion: CongestionReport | Callable[[], CongestionReport] | None = None,
+) -> StructureCosts:
+    """Run workloads against a distributed structure and collect Table 1 costs.
+
+    Parameters
+    ----------
+    name:
+        Row label (e.g. ``"skip graph"``, ``"skip-web"``).
+    network:
+        The simulated network the structure lives on; provides ``H`` and
+        the per-host memory profile.
+    ground_set_size:
+        ``n``.
+    query_fn / queries:
+        ``query_fn(q)`` must perform one query and return the number of
+        messages it cost.
+    update_fn / updates:
+        Optional; ``update_fn(u)`` must perform one update and return its
+        message cost.
+    congestion:
+        A congestion report, or a callable producing one; omitted columns
+        are reported as zero.
+    """
+    query_costs = [float(query_fn(query)) for query in queries]
+    update_costs: list[float] = []
+    if update_fn is not None and updates is not None:
+        update_costs = [float(update_fn(update)) for update in updates]
+
+    memory_profile = network.memory_profile()
+    memory_values = list(memory_profile.values()) or [0]
+
+    if callable(congestion):
+        congestion = congestion()
+    max_congestion = congestion.max_congestion if congestion is not None else 0.0
+    mean_congestion = congestion.mean_congestion if congestion is not None else 0.0
+
+    return StructureCosts(
+        name=name,
+        ground_set_size=ground_set_size,
+        host_count=network.host_count,
+        max_memory=max(memory_values),
+        mean_memory=mean(memory_values),
+        max_congestion=max_congestion,
+        mean_congestion=mean_congestion,
+        query_messages_mean=mean(query_costs) if query_costs else 0.0,
+        query_messages_p95=_percentile(query_costs, 0.95),
+        query_messages_max=max(query_costs) if query_costs else 0.0,
+        update_messages_mean=mean(update_costs) if update_costs else 0.0,
+        update_messages_p95=_percentile(update_costs, 0.95),
+        update_messages_max=max(update_costs) if update_costs else 0.0,
+        query_count=len(query_costs),
+        update_count=len(update_costs),
+    )

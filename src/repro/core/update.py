@@ -1,0 +1,283 @@
+"""Insertions and deletions in a skip-web (§4 of the paper).
+
+The paper's protocol for inserting an item ``x``:
+
+1. locate ``x`` in the level-0 structure (a normal query descent),
+2. update the level-0 structure to ``D(S ∪ {x})`` — O(1) new nodes and
+   links for lists, quadtrees, octrees and tries,
+3. draw ``⌈log n⌉`` random bits for ``x`` and add it to the higher-level
+   structures bottom-up, starting each level's local update from the
+   nodes and links that conflict with the O(1) units replaced at the
+   level below.
+
+Deletion is symmetric.  The expected number of affected units per level
+is O(1) by the set-halving lemma, so the expected message cost is
+O(log n).
+
+Implementation note.  Each level structure is *recomputed* from its new
+element set and then diffed against the old structure; the records
+created, removed or rewired are exactly the units in the diff plus the
+units adjacent to them.  Messages are charged per distinct host whose
+records change at each level, which is what a real distributed
+implementation would pay; how the new structure is computed locally does
+not affect the measured ``U(n)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from repro.core.levels import BitPrefix
+from repro.core.link_structure import RangeDeterminedLinkStructure
+from repro.core.query import execute_query
+from repro.core.ranges import Range
+from repro.errors import UpdateError
+from repro.net.message import MessageKind
+from repro.net.naming import HostId
+from repro.net.rpc import Traversal
+
+
+@dataclass(frozen=True)
+class UpdateResult:
+    """Outcome of one insert or delete."""
+
+    item: Any
+    kind: str
+    messages: int
+    search_messages: int
+    propagate_messages: int
+    levels_touched: int
+    records_added: int
+    records_removed: int
+    hosts_touched: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"UpdateResult({self.kind} {self.item!r}, messages={self.messages}, "
+            f"+{self.records_added}/-{self.records_removed} records)"
+        )
+
+
+def _level_diff(
+    old_structure: RangeDeterminedLinkStructure | None,
+    new_structure: RangeDeterminedLinkStructure | None,
+) -> tuple[set[Hashable], set[Hashable], list[Range]]:
+    """Keys added, keys removed and the ranges of every changed unit."""
+    old_keys = old_structure.keys() if old_structure is not None else set()
+    new_keys = new_structure.keys() if new_structure is not None else set()
+    added = new_keys - old_keys
+    removed = old_keys - new_keys
+    changed_ranges: list[Range] = []
+    if old_structure is not None:
+        old_units = {unit.key: unit for unit in old_structure.units()}
+        changed_ranges.extend(old_units[key].range for key in removed)
+    if new_structure is not None:
+        new_units = {unit.key: unit for unit in new_structure.units()}
+        changed_ranges.extend(new_units[key].range for key in added)
+    return added, removed, changed_ranges
+
+
+def _apply_level_change(
+    skipweb,
+    level: int,
+    prefix: BitPrefix,
+    new_structure: RangeDeterminedLinkStructure | None,
+) -> tuple[set[HostId], int, int]:
+    """Replace one level structure, updating records and pointers.
+
+    Returns the set of hosts whose records changed, the number of records
+    added and the number removed.  The caller charges one message per
+    distinct affected host.
+    """
+    old_structure = skipweb._structures.get((level, prefix))
+    added, removed, changed_ranges = _level_diff(old_structure, new_structure)
+
+    affected_hosts: set[HostId] = set()
+
+    # 1. drop stale records
+    for key in removed:
+        address = skipweb._remove_record(level, prefix, key)
+        affected_hosts.add(address.host)
+
+    # 2. install / retire the structure itself
+    if new_structure is None:
+        del skipweb._structures[(level, prefix)]
+        return affected_hosts, 0, len(removed)
+    skipweb._structures[(level, prefix)] = new_structure
+
+    # 3. create records for new units
+    for key in added:
+        unit = new_structure.unit(key)
+        address = skipweb._create_record(level, prefix, unit)
+        affected_hosts.add(address.host)
+
+    # 4. rewire this level: new units, their neighbours, and every unit
+    #    whose range overlaps a changed range (their neighbour sets or
+    #    hyperlinks may reference removed units).  Records are recomputed
+    #    generously (that is local CPU work a host would do on receipt of
+    #    one message) but a message is charged only when the stored
+    #    content actually changed.
+    keys_to_rewire: set[Hashable] = set(added)
+    for key in added:
+        for neighbor in new_structure.neighbors(key):
+            keys_to_rewire.add(neighbor.key)
+    for changed_range in changed_ranges:
+        for unit in new_structure.overlapping(changed_range):
+            keys_to_rewire.add(unit.key)
+    for key in keys_to_rewire:
+        changed = skipweb._rewire_record(level, prefix, key)
+        if changed or key in added:
+            affected_hosts.add(skipweb._address_of[(level, prefix, key)].host)
+
+    # 5. fix hyperlinks of the two child structures (level above in the
+    #    descent order): their records point down into this structure.
+    if level < skipweb.height:
+        for next_bit in (0, 1):
+            child_prefix = prefix + (next_bit,)
+            child_structure = skipweb._structures.get((level + 1, child_prefix))
+            if child_structure is None:
+                continue
+            child_keys: set[Hashable] = set()
+            for changed_range in changed_ranges:
+                for unit in child_structure.overlapping(changed_range):
+                    child_keys.add(unit.key)
+            for key in child_keys:
+                changed = skipweb._rewire_record(level + 1, child_prefix, key)
+                if changed:
+                    affected_hosts.add(
+                        skipweb._address_of[(level + 1, child_prefix, key)].host
+                    )
+
+    return affected_hosts, len(added), len(removed)
+
+
+def _charge_hosts(traversal: Traversal, hosts: set[HostId]) -> None:
+    """Charge one update message per affected remote host."""
+    for host in sorted(hosts):
+        traversal.hop_to(host)
+
+
+def execute_insert(skipweb, item: Any, origin_host: HostId) -> UpdateResult:
+    """Insert ``item`` into ``skipweb``, charging messages per §4."""
+    if item in skipweb._membership:
+        raise UpdateError(f"item {item!r} is already stored in the skip-web")
+
+    # Step 1: locate the insertion position (a query descent).
+    search = execute_query(
+        skipweb,
+        skipweb.structure_cls.item_to_query(item),
+        origin_host,
+        kind=MessageKind.UPDATE,
+    )
+    search_messages = search.messages
+    start_host = search.hosts_visited[-1] if search.hosts_visited else origin_host
+
+    # Step 2: draw the membership word and register ownership.
+    word = skipweb._membership.assign(item)
+    skipweb._owners[item] = origin_host
+    skipweb._root_word_of_host.setdefault(origin_host, word)
+
+    # Step 3: update every level bottom-up.
+    traversal = Traversal(skipweb.network, start_host, kind=MessageKind.UPDATE)
+    total_added = 0
+    total_removed = 0
+    hosts_touched: set[HostId] = set()
+    for level in range(skipweb.height + 1):
+        prefix = word[:level]
+        old_structure = skipweb._structures.get((level, prefix))
+        if old_structure is None:
+            new_structure = skipweb.structure_cls.build(
+                [item], **skipweb.config.structure_params
+            )
+        else:
+            new_structure = old_structure.with_item(item)
+        affected, added, removed = _apply_level_change(
+            skipweb, level, prefix, new_structure
+        )
+        _charge_hosts(traversal, affected)
+        hosts_touched |= affected
+        total_added += added
+        total_removed += removed
+
+    return UpdateResult(
+        item=item,
+        kind="insert",
+        messages=search_messages + traversal.hops,
+        search_messages=search_messages,
+        propagate_messages=traversal.hops,
+        levels_touched=skipweb.height + 1,
+        records_added=total_added,
+        records_removed=total_removed,
+        hosts_touched=len(hosts_touched),
+    )
+
+
+def execute_delete(skipweb, item: Any, origin_host: HostId) -> UpdateResult:
+    """Delete ``item`` from ``skipweb``, charging messages per §4."""
+    if item not in skipweb._membership:
+        raise UpdateError(f"item {item!r} is not stored in the skip-web")
+    if skipweb.ground_set_size == 1:
+        raise UpdateError("cannot delete the last item of a skip-web")
+
+    # Step 1: locate the item (a query descent).
+    search = execute_query(
+        skipweb,
+        skipweb.structure_cls.item_to_query(item),
+        origin_host,
+        kind=MessageKind.UPDATE,
+    )
+    search_messages = search.messages
+    start_host = search.hosts_visited[-1] if search.hosts_visited else origin_host
+
+    word = skipweb._membership.forget(item)
+    skipweb._owners.pop(item, None)
+
+    # Reassign the root of any host whose root pointed at the deleted
+    # item's top-level structure chain.
+    surviving_item = next(skipweb._membership.items())
+    surviving_word = skipweb._membership.word(surviving_item)
+    for host_id, root_word in list(skipweb._root_word_of_host.items()):
+        if root_word == word:
+            replacement = None
+            for candidate, owner in skipweb._owners.items():
+                if owner == host_id:
+                    replacement = skipweb._membership.word(candidate)
+                    break
+            skipweb._root_word_of_host[host_id] = replacement or surviving_word
+
+    traversal = Traversal(skipweb.network, start_host, kind=MessageKind.UPDATE)
+    total_added = 0
+    total_removed = 0
+    hosts_touched: set[HostId] = set()
+    for level in range(skipweb.height + 1):
+        prefix = word[:level]
+        old_structure = skipweb._structures.get((level, prefix))
+        if old_structure is None:
+            continue
+        remaining = [existing for existing in old_structure.items if existing != item]
+        if remaining:
+            new_structure = skipweb.structure_cls.build(
+                remaining, **skipweb.config.structure_params
+            )
+        else:
+            new_structure = None
+        affected, added, removed = _apply_level_change(
+            skipweb, level, prefix, new_structure
+        )
+        _charge_hosts(traversal, affected)
+        hosts_touched |= affected
+        total_added += added
+        total_removed += removed
+
+    return UpdateResult(
+        item=item,
+        kind="delete",
+        messages=search_messages + traversal.hops,
+        search_messages=search_messages,
+        propagate_messages=traversal.hops,
+        levels_touched=skipweb.height + 1,
+        records_added=total_added,
+        records_removed=total_removed,
+        hosts_touched=len(hosts_touched),
+    )

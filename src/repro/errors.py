@@ -1,0 +1,41 @@
+"""Exception hierarchy for the skip-webs reproduction.
+
+Every exception raised intentionally by this package derives from
+:class:`ReproError`, so callers can catch a single base class.  The
+sub-classes mirror the main subsystems: the network simulator, the data
+structures themselves, and the query/update protocols.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class UnknownHostError(ReproError):
+    """A message was addressed to a host id that is not registered."""
+
+
+class HostMemoryExceeded(ReproError):
+    """A host was asked to store more items than its memory budget ``M`` allows."""
+
+
+class AddressError(ReproError):
+    """An address could not be resolved (bad slot, wrong host, stale pointer)."""
+
+
+class HostFailedError(ReproError):
+    """An operation touched a host that has been failed by the failure injector."""
+
+
+class StructureError(ReproError):
+    """A data structure invariant was violated or an input was malformed."""
+
+
+class QueryError(ReproError):
+    """A query could not be answered (empty structure, key outside universe, ...)."""
+
+
+class UpdateError(ReproError):
+    """An insertion or deletion could not be applied."""

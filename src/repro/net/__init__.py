@@ -1,0 +1,48 @@
+"""Peer-to-peer network simulator substrate.
+
+The paper assumes ``n`` hosts that can each send a message to any other
+host, with per-host memory bounded by ``M`` and no host failures (§1.1).
+This subpackage provides exactly that model as a deterministic,
+single-process simulator:
+
+* :class:`~repro.net.host.Host` — a host with a slot-addressed local store
+  and a memory budget.
+* :class:`~repro.net.naming.Address` — a ``(host, slot)`` pair, the unit of
+  "hyperlink pointer" used throughout the paper (§2.3: "a pointer consists
+  of a pair (h, a)").
+* :class:`~repro.net.network.Network` — the host registry and the message
+  accounting boundary.  Every remote pointer dereference costs one message;
+  local dereferences are free, matching the paper's cost model.
+* :class:`~repro.net.rpc.Traversal` — a cursor that walks a distributed
+  structure, automatically charging messages when it crosses hosts.
+* :class:`~repro.net.congestion.CongestionReport` — the congestion measure
+  ``C(n)`` of §1.1.
+* :mod:`repro.net.failure` — optional failure injection used by tests to
+  check that stale pointers are detected (the paper assumes no failures;
+  this is an extension).
+"""
+
+from repro.net.naming import Address, HostId, fresh_host_ids
+from repro.net.message import Message, MessageKind, MessageLog
+from repro.net.host import Host
+from repro.net.network import Network, OperationStats
+from repro.net.rpc import Traversal, RemoteRef
+from repro.net.congestion import CongestionReport, congestion_report
+from repro.net.failure import FailureInjector
+
+__all__ = [
+    "Address",
+    "HostId",
+    "fresh_host_ids",
+    "Message",
+    "MessageKind",
+    "MessageLog",
+    "Host",
+    "Network",
+    "OperationStats",
+    "Traversal",
+    "RemoteRef",
+    "CongestionReport",
+    "congestion_report",
+    "FailureInjector",
+]

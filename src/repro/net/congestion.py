@@ -1,0 +1,88 @@
+"""Congestion accounting.
+
+Section 1.1 of the paper defines the congestion of a host as
+
+    "the sum of the number of references to items stored at the host, the
+    number of references to items stored at other hosts, and the number
+    n/H (which measures the expected number of queries likely to begin at
+    any host, based on the number of items in the set S)."
+
+:func:`congestion_report` computes exactly that quantity per host from
+the reference counters maintained by :class:`repro.net.host.Host`, plus
+summary statistics (max, mean) that the Table 1 benchmark reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+
+from repro.net.naming import HostId
+
+
+@dataclass(frozen=True, slots=True)
+class CongestionReport:
+    """Per-host and aggregate congestion of a distributed structure."""
+
+    per_host: dict[HostId, float]
+    ground_set_size: int
+    host_count: int
+
+    @property
+    def max_congestion(self) -> float:
+        """The worst per-host congestion — the quantity ``C(n)`` bounds."""
+        if not self.per_host:
+            return 0.0
+        return max(self.per_host.values())
+
+    @property
+    def mean_congestion(self) -> float:
+        """Average per-host congestion (load-balance indicator)."""
+        if not self.per_host:
+            return 0.0
+        return mean(self.per_host.values())
+
+    @property
+    def imbalance(self) -> float:
+        """Ratio of max to mean congestion (1.0 means perfectly balanced)."""
+        avg = self.mean_congestion
+        if avg == 0:
+            return 1.0
+        return self.max_congestion / avg
+
+    def as_dict(self) -> dict[str, float]:
+        """Summary suitable for benchmark tables."""
+        return {
+            "hosts": float(self.host_count),
+            "items": float(self.ground_set_size),
+            "max_congestion": self.max_congestion,
+            "mean_congestion": self.mean_congestion,
+            "imbalance": self.imbalance,
+        }
+
+
+def congestion_report(network, ground_set_size: int) -> CongestionReport:
+    """Compute the §1.1 congestion measure for every host of ``network``.
+
+    Parameters
+    ----------
+    network:
+        A :class:`repro.net.network.Network` whose hosts carry reference
+        counters populated by the structure under measurement.
+    ground_set_size:
+        ``n``, the number of items stored in the structure.  The ``n/H``
+        term uses the network's host count for ``H``.
+    """
+    hosts = list(network.hosts())
+    host_count = len(hosts)
+    if host_count == 0:
+        return CongestionReport(per_host={}, ground_set_size=ground_set_size, host_count=0)
+    base_load = ground_set_size / host_count
+    per_host: dict[HostId, float] = {}
+    for host in hosts:
+        per_host[host.host_id] = host.in_references + host.out_references + base_load
+    return CongestionReport(
+        per_host=per_host,
+        ground_set_size=ground_set_size,
+        host_count=host_count,
+    )

@@ -1,0 +1,64 @@
+"""Failure injection (an extension beyond the paper).
+
+The paper explicitly assumes hosts do not fail (§1.1) and leaves fault
+tolerance for multi-dimensional peer-to-peer structures as future work
+(footnote 2).  This module provides a small failure injector so that the
+test suite can exercise the error paths of the simulator (stale
+addresses, dead hosts) and so that downstream users experimenting with
+replication strategies have a hook to build on.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from repro.net.naming import HostId
+
+
+class FailureInjector:
+    """Fail and recover hosts of a network, optionally at random.
+
+    Parameters
+    ----------
+    network:
+        The :class:`repro.net.network.Network` to operate on.
+    rng:
+        Source of randomness for :meth:`fail_random`.  Pass a seeded
+        ``random.Random`` for reproducible chaos.
+    """
+
+    def __init__(self, network, rng: random.Random | None = None) -> None:
+        self._network = network
+        self._rng = rng or random.Random(0)
+
+    def fail(self, host_ids: Iterable[HostId]) -> list[HostId]:
+        """Fail every host in ``host_ids``; returns the list actually failed."""
+        failed = []
+        for host_id in host_ids:
+            self._network.fail_host(host_id)
+            failed.append(host_id)
+        return failed
+
+    def fail_random(self, fraction: float) -> list[HostId]:
+        """Fail a random ``fraction`` of currently-alive hosts."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        alive = [
+            host.host_id
+            for host in self._network.hosts()
+            if host.host_id not in self._network.failed_hosts
+        ]
+        count = int(len(alive) * fraction)
+        victims = self._rng.sample(alive, count) if count else []
+        return self.fail(victims)
+
+    def recover_all(self) -> None:
+        """Bring every failed host back online."""
+        for host_id in list(self._network.failed_hosts):
+            self._network.recover_host(host_id)
+
+    @property
+    def failed(self) -> set[HostId]:
+        """The set of currently failed host ids."""
+        return self._network.failed_hosts

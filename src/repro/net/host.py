@@ -1,0 +1,156 @@
+"""Hosts: slot-addressed local stores with a memory budget.
+
+The paper's parameter ``M`` is "the maximum memory size of a host",
+measured as "the number of data items, data structure nodes, pointers,
+and host IDs that any host can store" (§1.1).  :class:`Host` therefore
+counts *items stored*, not bytes.  Each stored item occupies one slot;
+the number of occupied slots is the host's memory usage.
+
+Structures may additionally register *references* (pointers held by this
+host to items elsewhere, and pointers held elsewhere to items on this
+host) so that the congestion measure ``C(n)`` of §1.1 can be computed;
+see :mod:`repro.net.congestion`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterator
+
+from repro.errors import AddressError, HostMemoryExceeded
+from repro.net.naming import Address, HostId
+
+
+class Host:
+    """A single peer in the simulated network.
+
+    Parameters
+    ----------
+    host_id:
+        Unique identifier of this host.
+    memory_limit:
+        Maximum number of items this host may store (the paper's ``M``).
+        ``None`` means unbounded, which is convenient for baselines whose
+        memory usage is being *measured* rather than enforced.
+    """
+
+    def __init__(self, host_id: HostId, memory_limit: int | None = None) -> None:
+        if memory_limit is not None and memory_limit <= 0:
+            raise ValueError(f"memory_limit must be positive or None, got {memory_limit}")
+        self.host_id = host_id
+        self.memory_limit = memory_limit
+        self._slots: dict[int, Any] = {}
+        self._next_slot = itertools.count()
+        # Reference accounting for the congestion measure C(n).
+        self._out_references = 0   # pointers stored here that target other hosts
+        self._in_references = 0    # pointers stored elsewhere that target this host
+        self._items_owned = 0      # ground-set items whose "home" is this host
+        self.failed = False
+
+    # ------------------------------------------------------------------ #
+    # storage
+    # ------------------------------------------------------------------ #
+    def store(self, item: Any) -> Address:
+        """Store ``item`` in a fresh slot and return its global address.
+
+        Raises
+        ------
+        HostMemoryExceeded
+            If the host already holds ``memory_limit`` items.
+        """
+        if self.memory_limit is not None and len(self._slots) >= self.memory_limit:
+            raise HostMemoryExceeded(
+                f"host {self.host_id} is full: memory_limit={self.memory_limit}"
+            )
+        slot = next(self._next_slot)
+        self._slots[slot] = item
+        return Address(host=self.host_id, slot=slot)
+
+    def load(self, address: Address) -> Any:
+        """Return the item stored at ``address``.
+
+        Raises
+        ------
+        AddressError
+            If the address belongs to another host or the slot is empty.
+        """
+        if address.host != self.host_id:
+            raise AddressError(
+                f"address {address} does not belong to host {self.host_id}"
+            )
+        try:
+            return self._slots[address.slot]
+        except KeyError as exc:
+            raise AddressError(f"empty slot {address.slot} on host {self.host_id}") from exc
+
+    def replace(self, address: Address, item: Any) -> None:
+        """Overwrite the item stored at ``address`` (slot must exist)."""
+        if address.host != self.host_id or address.slot not in self._slots:
+            raise AddressError(f"cannot replace unknown address {address} on host {self.host_id}")
+        self._slots[address.slot] = item
+
+    def free(self, address: Address) -> Any:
+        """Remove and return the item stored at ``address``."""
+        if address.host != self.host_id:
+            raise AddressError(
+                f"address {address} does not belong to host {self.host_id}"
+            )
+        try:
+            return self._slots.pop(address.slot)
+        except KeyError as exc:
+            raise AddressError(f"empty slot {address.slot} on host {self.host_id}") from exc
+
+    def __contains__(self, address: Address) -> bool:
+        return address.host == self.host_id and address.slot in self._slots
+
+    def items(self) -> Iterator[tuple[Address, Any]]:
+        """Iterate over ``(address, item)`` pairs stored on this host."""
+        for slot, item in self._slots.items():
+            yield Address(host=self.host_id, slot=slot), item
+
+    # ------------------------------------------------------------------ #
+    # accounting
+    # ------------------------------------------------------------------ #
+    @property
+    def memory_used(self) -> int:
+        """Number of items currently stored (the measured ``M`` for this host)."""
+        return len(self._slots)
+
+    def note_out_reference(self, count: int = 1) -> None:
+        """Record ``count`` pointers stored on this host that target other hosts."""
+        self._out_references += count
+
+    def note_in_reference(self, count: int = 1) -> None:
+        """Record ``count`` pointers stored on other hosts that target this host."""
+        self._in_references += count
+
+    def note_owned_items(self, count: int = 1) -> None:
+        """Record ``count`` ground-set items whose home host is this host.
+
+        The ``n/H`` term of the congestion measure assumes queries start at
+        the host owning the querying item; tracking owned items lets the
+        congestion report weight that term per host.
+        """
+        self._items_owned += count
+
+    @property
+    def out_references(self) -> int:
+        return self._out_references
+
+    @property
+    def in_references(self) -> int:
+        return self._in_references
+
+    @property
+    def items_owned(self) -> int:
+        return self._items_owned
+
+    def reset_reference_counts(self) -> None:
+        """Zero the reference counters (used when a structure is rebuilt)."""
+        self._out_references = 0
+        self._in_references = 0
+        self._items_owned = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        limit = "inf" if self.memory_limit is None else self.memory_limit
+        return f"Host(id={self.host_id}, used={self.memory_used}/{limit})"

@@ -1,0 +1,147 @@
+"""Messages exchanged between hosts.
+
+Messages are the unit of cost in the paper: the query cost ``Q(n)`` and
+update cost ``U(n)`` are both defined as *numbers of messages* (§1.1).
+The simulator therefore records every message explicitly, tagged with a
+:class:`MessageKind` so benchmarks can break costs down by purpose
+(query routing, update propagation, structure construction, ...).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from repro.net.naming import HostId
+
+
+class MessageKind(enum.Enum):
+    """Why a message was sent.
+
+    The paper only distinguishes query messages from update messages; the
+    extra kinds let benchmarks exclude one-time construction traffic and
+    let tests assert that, e.g., a pure query never generates update
+    traffic.
+    """
+
+    QUERY = "query"
+    """Routing a query between hosts (contributes to ``Q(n)``)."""
+
+    UPDATE = "update"
+    """Propagating an insertion or deletion (contributes to ``U(n)``)."""
+
+    CONSTRUCTION = "construction"
+    """One-time traffic while building a structure; not part of ``Q``/``U``."""
+
+    CONTROL = "control"
+    """Anything else (membership, maintenance, failure probes)."""
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """A single message from ``src`` to ``dst``.
+
+    The payload is opaque to the network; structures put whatever routing
+    state they need in it.  ``seq`` is a globally increasing sequence
+    number assigned by the :class:`~repro.net.network.Network`, useful for
+    ordering assertions in tests.
+    """
+
+    seq: int
+    src: HostId
+    dst: HostId
+    kind: MessageKind
+    payload: Any = None
+
+    @property
+    def is_local(self) -> bool:
+        """``True`` when source and destination are the same host.
+
+        The network never creates such messages (local work is free in the
+        cost model); the property exists for defensive assertions.
+        """
+        return self.src == self.dst
+
+
+class MessageLog:
+    """An append-only log of messages with cheap per-kind counters.
+
+    The log can be bounded (``keep_messages=False``) so that very large
+    benchmark runs only pay for counters, not for storing every message
+    object.
+    """
+
+    def __init__(self, keep_messages: bool = True) -> None:
+        self._keep_messages = keep_messages
+        self._messages: list[Message] = []
+        self._counts: dict[MessageKind, int] = {kind: 0 for kind in MessageKind}
+        self._per_host_received: dict[HostId, int] = {}
+        self._per_host_sent: dict[HostId, int] = {}
+        self._seq = itertools.count()
+
+    def record(self, src: HostId, dst: HostId, kind: MessageKind, payload: Any = None) -> Message:
+        """Create, count and (optionally) store a message."""
+        message = Message(seq=next(self._seq), src=src, dst=dst, kind=kind, payload=payload)
+        self._counts[kind] += 1
+        self._per_host_received[dst] = self._per_host_received.get(dst, 0) + 1
+        self._per_host_sent[src] = self._per_host_sent.get(src, 0) + 1
+        if self._keep_messages:
+            self._messages.append(message)
+        return message
+
+    def __len__(self) -> int:
+        return sum(self._counts.values())
+
+    def __iter__(self) -> Iterator[Message]:
+        return iter(self._messages)
+
+    @property
+    def messages(self) -> list[Message]:
+        """The stored messages (empty when ``keep_messages`` is ``False``)."""
+        return list(self._messages)
+
+    def count(self, kind: MessageKind | None = None) -> int:
+        """Total number of messages, optionally restricted to one kind."""
+        if kind is None:
+            return len(self)
+        return self._counts[kind]
+
+    def counts_by_kind(self) -> dict[MessageKind, int]:
+        """A copy of the per-kind counters."""
+        return dict(self._counts)
+
+    def received_by(self, host: HostId) -> int:
+        """Number of messages delivered to ``host`` (query-load congestion)."""
+        return self._per_host_received.get(host, 0)
+
+    def sent_by(self, host: HostId) -> int:
+        """Number of messages originated by ``host``."""
+        return self._per_host_sent.get(host, 0)
+
+    def busiest_hosts(self, top: int = 5) -> list[tuple[HostId, int]]:
+        """The ``top`` hosts by received-message count, most loaded first."""
+        ranked = sorted(self._per_host_received.items(), key=lambda item: item[1], reverse=True)
+        return ranked[:top]
+
+    def clear(self) -> None:
+        """Forget all messages and reset every counter."""
+        self._messages.clear()
+        self._counts = {kind: 0 for kind in MessageKind}
+        self._per_host_received.clear()
+        self._per_host_sent.clear()
+
+    def extend_counts(self, other: "MessageLog") -> None:
+        """Merge another log's counters into this one (used by harnesses)."""
+        for kind, value in other._counts.items():
+            self._counts[kind] += value
+        for host, value in other._per_host_received.items():
+            self._per_host_received[host] = self._per_host_received.get(host, 0) + value
+        for host, value in other._per_host_sent.items():
+            self._per_host_sent[host] = self._per_host_sent.get(host, 0) + value
+
+
+def total_messages(logs: Iterable[MessageLog], kind: MessageKind | None = None) -> int:
+    """Sum message counts across several logs."""
+    return sum(log.count(kind) for log in logs)

@@ -1,0 +1,54 @@
+"""Host identifiers and addresses.
+
+The paper models a pointer between hosts as a pair ``(h, a)`` where ``h``
+is the ID of a host and ``a`` is an address on that host where the item
+being referred to is stored (§2.3).  :class:`Address` is exactly that
+pair.  Host ids are plain integers; they carry no locality semantics
+(the network is a complete graph).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+HostId = int
+"""Type alias for host identifiers.  Hosts are numbered ``0 .. H-1``."""
+
+
+@dataclass(frozen=True, slots=True)
+class Address:
+    """A global pointer: ``(host, slot)``.
+
+    ``host`` identifies the host storing the item and ``slot`` is the
+    host-local address returned by :meth:`repro.net.host.Host.store`.
+    Addresses are immutable and hashable so they can be stored inside
+    other hosts' memories and used as dictionary keys by the structures.
+    """
+
+    host: HostId
+    slot: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Address(host={self.host}, slot={self.slot})"
+
+    def colocated_with(self, other: "Address") -> bool:
+        """Return ``True`` when both addresses live on the same host.
+
+        Following a pointer between colocated addresses is free in the
+        paper's cost model; following a pointer to a different host costs
+        one message.
+        """
+        return self.host == other.host
+
+
+def fresh_host_ids(count: int, start: int = 0) -> Iterator[HostId]:
+    """Yield ``count`` consecutive host ids starting at ``start``.
+
+    A tiny helper used by structure builders that need to allocate a pool
+    of hosts (e.g. one host per key for skip graphs, or
+    ``H = Θ(n log n / M)`` hosts for bucket skip-webs).
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    return iter(range(start, start + count))

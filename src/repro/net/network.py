@@ -1,0 +1,242 @@
+"""The simulated peer-to-peer network.
+
+The :class:`Network` is the single accounting boundary of the simulator.
+Structures never talk to each other directly; they
+
+* create hosts via :meth:`Network.add_host` / :meth:`Network.add_hosts`,
+* store items on hosts and obtain :class:`~repro.net.naming.Address`
+  pointers,
+* dereference remote pointers via :meth:`Network.send` (or, more
+  conveniently, via :class:`repro.net.rpc.Traversal`), which charges one
+  message per host crossing.
+
+Message counting for a single logical operation (one query, one insert)
+is done with :meth:`Network.measure`, a context manager that snapshots
+the counters::
+
+    with network.measure() as op:
+        structure.search(origin, key)
+    assert op.messages <= expected
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.errors import HostFailedError, UnknownHostError
+from repro.net.host import Host
+from repro.net.message import Message, MessageKind, MessageLog
+from repro.net.naming import Address, HostId
+
+
+@dataclass
+class OperationStats:
+    """Message counts observed during one :meth:`Network.measure` block."""
+
+    messages: int = 0
+    by_kind: dict[MessageKind, int] = field(default_factory=dict)
+    hosts_touched: set[HostId] = field(default_factory=set)
+
+    def count(self, kind: MessageKind) -> int:
+        """Messages of one kind sent during the measured operation."""
+        return self.by_kind.get(kind, 0)
+
+
+class Network:
+    """Registry of hosts plus message accounting.
+
+    Parameters
+    ----------
+    default_memory_limit:
+        Memory budget given to hosts created through :meth:`add_host` when
+        no explicit limit is provided.  ``None`` (the default) leaves
+        hosts unbounded, which is appropriate when memory usage is being
+        measured rather than enforced.
+    keep_messages:
+        Whether the underlying :class:`MessageLog` stores message objects
+        (useful in tests) or only counters (faster for large benchmarks).
+    """
+
+    def __init__(
+        self,
+        default_memory_limit: int | None = None,
+        keep_messages: bool = False,
+    ) -> None:
+        self.default_memory_limit = default_memory_limit
+        self._hosts: dict[HostId, Host] = {}
+        self._log = MessageLog(keep_messages=keep_messages)
+        self._next_host_id = 0
+        self._measure_stack: list[OperationStats] = []
+        self._failed_hosts: set[HostId] = set()
+
+    # ------------------------------------------------------------------ #
+    # host management
+    # ------------------------------------------------------------------ #
+    def add_host(self, memory_limit: int | None = None, host_id: HostId | None = None) -> Host:
+        """Create and register a new host, returning it.
+
+        ``host_id`` may be provided for deterministic layouts; otherwise
+        ids are assigned sequentially.
+        """
+        if host_id is None:
+            host_id = self._next_host_id
+            self._next_host_id += 1
+        elif host_id in self._hosts:
+            raise ValueError(f"host id {host_id} already registered")
+        else:
+            self._next_host_id = max(self._next_host_id, host_id + 1)
+        limit = memory_limit if memory_limit is not None else self.default_memory_limit
+        host = Host(host_id=host_id, memory_limit=limit)
+        self._hosts[host_id] = host
+        return host
+
+    def add_hosts(self, count: int, memory_limit: int | None = None) -> list[Host]:
+        """Create ``count`` hosts at once."""
+        return [self.add_host(memory_limit=memory_limit) for _ in range(count)]
+
+    def host(self, host_id: HostId) -> Host:
+        """Return the host with the given id."""
+        try:
+            return self._hosts[host_id]
+        except KeyError as exc:
+            raise UnknownHostError(f"unknown host {host_id}") from exc
+
+    def hosts(self) -> Iterator[Host]:
+        """Iterate over all registered hosts."""
+        return iter(self._hosts.values())
+
+    @property
+    def host_count(self) -> int:
+        """The paper's ``H``."""
+        return len(self._hosts)
+
+    def __contains__(self, host_id: HostId) -> bool:
+        return host_id in self._hosts
+
+    # ------------------------------------------------------------------ #
+    # storage helpers
+    # ------------------------------------------------------------------ #
+    def store(self, host_id: HostId, item: Any) -> Address:
+        """Store ``item`` on host ``host_id`` and return its address."""
+        return self.host(host_id).store(item)
+
+    def load(self, address: Address) -> Any:
+        """Dereference ``address`` *without* charging a message.
+
+        Structures must only call this for local dereferences, or after
+        having charged the hop via :meth:`send` /
+        :class:`~repro.net.rpc.Traversal`.
+        """
+        self._check_alive(address.host)
+        return self.host(address.host).load(address)
+
+    def free(self, address: Address) -> Any:
+        """Remove the item stored at ``address`` and return it."""
+        return self.host(address.host).free(address)
+
+    def replace(self, address: Address, item: Any) -> None:
+        """Overwrite the item stored at ``address``."""
+        self.host(address.host).replace(address, item)
+
+    # ------------------------------------------------------------------ #
+    # messaging
+    # ------------------------------------------------------------------ #
+    def send(
+        self,
+        src: HostId,
+        dst: HostId,
+        kind: MessageKind = MessageKind.QUERY,
+        payload: Any = None,
+    ) -> Message | None:
+        """Record one message from ``src`` to ``dst``.
+
+        Sending a message to oneself is free (returns ``None``) — the
+        paper only charges for *inter-host* communication.
+        """
+        if src not in self._hosts:
+            raise UnknownHostError(f"unknown source host {src}")
+        if dst not in self._hosts:
+            raise UnknownHostError(f"unknown destination host {dst}")
+        self._check_alive(dst)
+        if src == dst:
+            return None
+        message = self._log.record(src=src, dst=dst, kind=kind, payload=payload)
+        for stats in self._measure_stack:
+            stats.messages += 1
+            stats.by_kind[kind] = stats.by_kind.get(kind, 0) + 1
+            stats.hosts_touched.add(src)
+            stats.hosts_touched.add(dst)
+        return message
+
+    @property
+    def message_log(self) -> MessageLog:
+        """The global message log (lifetime counters)."""
+        return self._log
+
+    @property
+    def total_messages(self) -> int:
+        """Total messages ever sent on this network."""
+        return len(self._log)
+
+    @contextmanager
+    def measure(self) -> Iterator[OperationStats]:
+        """Measure the messages sent while the ``with`` body runs.
+
+        Measurements nest: an outer harness can measure a whole workload
+        while individual operations are measured inside it.
+        """
+        stats = OperationStats()
+        self._measure_stack.append(stats)
+        try:
+            yield stats
+        finally:
+            self._measure_stack.pop()
+
+    # ------------------------------------------------------------------ #
+    # failure injection hooks (extension; the paper assumes no failures)
+    # ------------------------------------------------------------------ #
+    def fail_host(self, host_id: HostId) -> None:
+        """Mark a host as failed; any traffic to it raises :class:`HostFailedError`."""
+        self.host(host_id).failed = True
+        self._failed_hosts.add(host_id)
+
+    def recover_host(self, host_id: HostId) -> None:
+        """Bring a failed host back."""
+        self.host(host_id).failed = False
+        self._failed_hosts.discard(host_id)
+
+    @property
+    def failed_hosts(self) -> set[HostId]:
+        return set(self._failed_hosts)
+
+    def _check_alive(self, host_id: HostId) -> None:
+        if host_id in self._failed_hosts:
+            raise HostFailedError(f"host {host_id} has failed")
+
+    # ------------------------------------------------------------------ #
+    # measurement summaries
+    # ------------------------------------------------------------------ #
+    def memory_profile(self) -> dict[HostId, int]:
+        """Items stored per host — the measured per-host memory ``M``."""
+        return {host.host_id: host.memory_used for host in self.hosts()}
+
+    def max_memory_used(self) -> int:
+        """Largest number of items stored on any single host."""
+        profile = self.memory_profile()
+        return max(profile.values()) if profile else 0
+
+    def reset_counters(self) -> None:
+        """Clear the message log and per-host reference counters.
+
+        Structures call this after construction so that benchmarks measure
+        only query/update traffic, matching the paper's per-operation cost
+        definitions.
+        """
+        self._log.clear()
+        for host in self.hosts():
+            host.reset_reference_counts()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Network(hosts={self.host_count}, messages={self.total_messages})"

@@ -1,0 +1,25 @@
+"""One-dimensional data: sorted linked lists and their skip-webs.
+
+This subpackage covers the one-dimensional instantiation of the skip-web
+framework:
+
+* :class:`~repro.onedim.linked_list.SortedListStructure` — the ordered
+  doubly-linked list as a range-determined link structure (§2.1), whose
+  set-halving lemma is Lemma 1 of the paper.
+* :class:`~repro.onedim.skipweb1d.SkipWeb1D` — the generic skip-web over
+  the sorted list (matches skip graphs / SkipNet, Table 1 row "skip-webs"
+  with arbitrary blocking).
+* :class:`~repro.onedim.skipweb1d.BucketSkipWeb1D` — the improved
+  blocking strategy of §2.4.1, achieving ``O(log n / log M)`` expected
+  query messages (Table 1 rows "skip-webs" and "bucket skip-webs").
+"""
+
+from repro.onedim.linked_list import NearestNeighborAnswer, SortedListStructure
+from repro.onedim.skipweb1d import BucketSkipWeb1D, SkipWeb1D
+
+__all__ = [
+    "NearestNeighborAnswer",
+    "SortedListStructure",
+    "SkipWeb1D",
+    "BucketSkipWeb1D",
+]

@@ -1,0 +1,494 @@
+"""One-dimensional skip-webs, with and without the §2.4.1 bucket blocking.
+
+Two structures are provided:
+
+* :class:`SkipWeb1D` — the generic skip-web of §2.3–§2.5 instantiated
+  with the sorted linked list.  With one host per key and owner blocking
+  this matches the deployment of skip graphs / SkipNet: ``O(log n)``
+  memory and congestion, ``O(log n)`` expected query and update messages.
+
+* :class:`BucketSkipWeb1D` — the improved blocking strategy of §2.4.1.
+  Levels that are multiples of ``L = ⌈log₂ M⌉`` are *basic*; each basic
+  level's list is cut into contiguous blocks of about ``M / L`` ranges,
+  one block per host, and every host additionally stores copies of the
+  ranges of the non-basic levels above its block that conflict with what
+  it already stores (the cascade described in the paper).  A query then
+  only pays messages when it crosses from one basic level's blocks to the
+  next, giving ``O(log n / log M)`` expected messages — the paper's
+  headline improvement over skip graphs, and ``O(log_M H)`` for the
+  bucket skip-web row of Table 1.
+
+Implementation note.  The bucket structure stores every copy explicitly
+on the simulated hosts (so memory and congestion are measured, not
+assumed), but intra-host navigation is elided during queries: the query
+walks the chain of per-level targets and charges one message whenever the
+next target's copies all live on hosts other than the current one, which
+is exactly the paper's cost model (local processing is free).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Any, Hashable, Sequence
+
+from repro.core.levels import BitPrefix, MembershipAssignment
+from repro.core.link_structure import RangeUnit
+from repro.core.query import QueryResult
+from repro.core.skipweb import SkipWeb, SkipWebConfig
+from repro.core.update import UpdateResult
+from repro.errors import QueryError, StructureError, UpdateError
+from repro.net.congestion import CongestionReport, congestion_report
+from repro.net.message import MessageKind
+from repro.net.naming import Address, HostId
+from repro.net.network import Network
+from repro.net.rpc import Traversal
+from repro.onedim.linked_list import NearestNeighborAnswer, SortedListStructure
+
+
+class SkipWeb1D:
+    """A skip-web over sorted numeric keys (arbitrary blocking, §2.4).
+
+    This is a thin convenience wrapper around the generic
+    :class:`repro.core.skipweb.SkipWeb` that fixes the link structure to
+    :class:`SortedListStructure` and exposes one-dimensional query names.
+    """
+
+    def __init__(
+        self,
+        keys: Sequence[float],
+        network: Network | None = None,
+        host_count: int | None = None,
+        blocking: str = "owner",
+        seed: int = 0,
+        height: int | None = None,
+    ) -> None:
+        config = SkipWebConfig(
+            host_count=host_count, blocking=blocking, seed=seed, height=height
+        )
+        self.web = SkipWeb(
+            SortedListStructure,
+            [float(key) for key in keys],
+            network=network,
+            config=config,
+        )
+
+    # -- queries -------------------------------------------------------- #
+    def nearest(self, query: float, origin_host: HostId | None = None) -> QueryResult:
+        """One-dimensional nearest-neighbour query (≡ point location in ``D(S)``)."""
+        return self.web.query(float(query), origin_host=origin_host)
+
+    def contains(self, key: float, origin_host: HostId | None = None) -> bool:
+        """Exact-membership query."""
+        result = self.nearest(key, origin_host=origin_host)
+        return bool(result.answer.exact)
+
+    # -- updates -------------------------------------------------------- #
+    def insert(self, key: float, origin_host: HostId | None = None) -> UpdateResult:
+        return self.web.insert(float(key), origin_host=origin_host)
+
+    def delete(self, key: float, origin_host: HostId | None = None) -> UpdateResult:
+        return self.web.delete(float(key), origin_host=origin_host)
+
+    # -- accounting ------------------------------------------------------ #
+    @property
+    def network(self) -> Network:
+        return self.web.network
+
+    @property
+    def keys(self) -> list[float]:
+        return sorted(self.web.items)
+
+    @property
+    def host_count(self) -> int:
+        return self.web.host_count
+
+    def max_memory_per_host(self) -> int:
+        return self.web.max_memory_per_host()
+
+    def congestion(self) -> CongestionReport:
+        return self.web.congestion()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SkipWeb1D(n={len(self.web.items)}, hosts={self.host_count})"
+
+
+@dataclass(frozen=True)
+class _Copy:
+    """One stored copy of a level unit (what a bucket host keeps in a slot)."""
+
+    level: int
+    prefix: BitPrefix
+    unit: RangeUnit
+
+
+def _unit_position(unit: RangeUnit) -> tuple[float, int]:
+    """Total order of a sorted list's units along the line (for contiguous blocks)."""
+    if unit.is_node:
+        return (float(unit.payload), 0)
+    low, high = unit.payload
+    if low is None:
+        return (-math.inf, 1)
+    return (float(low), 1)
+
+
+class BucketSkipWeb1D:
+    """The bucket skip-web of §2.4.1 for one-dimensional keys.
+
+    Parameters
+    ----------
+    keys:
+        The ground set of numeric keys.
+    memory_size:
+        The paper's ``M`` — the number of items a host may store.  The
+        number of hosts follows from it (``H = O(n log n / M)``).
+    seed:
+        Seed for the membership words.
+    network:
+        Optional pre-existing network; hosts are always created by this
+        class (one per block), so normally omit it.
+    """
+
+    def __init__(
+        self,
+        keys: Sequence[float],
+        memory_size: int,
+        seed: int = 0,
+        network: Network | None = None,
+    ) -> None:
+        unique_keys = sorted(set(float(key) for key in keys))
+        if not unique_keys:
+            raise StructureError("bucket skip-web requires at least one key")
+        if memory_size < 4:
+            raise ValueError(f"memory_size must be at least 4, got {memory_size}")
+        self._keys = unique_keys
+        self.memory_size = memory_size
+        self._rng = random.Random(seed)
+        self.network = network if network is not None else Network()
+
+        self._membership = MembershipAssignment(unique_keys, rng=self._rng)
+        self.height = self._membership.height
+        self.level_gap = max(1, math.ceil(math.log2(memory_size)))
+        self.basic_levels = list(range(0, self.height + 1, self.level_gap))
+        self.block_capacity = max(2, memory_size // self.level_gap)
+
+        # (level, prefix) -> SortedListStructure
+        self._structures: dict[tuple[int, BitPrefix], SortedListStructure] = {}
+        # (level, prefix, unit key) -> hosts storing a copy
+        self._stored_at: dict[tuple[int, BitPrefix, Hashable], set[HostId]] = {}
+        # (basic level, prefix, unit key) -> the block host (unique home)
+        self._block_host: dict[tuple[int, BitPrefix, Hashable], HostId] = {}
+        # addresses of every stored copy, for memory accounting / teardown
+        self._copy_addresses: list[Address] = []
+
+        self._rebuild_layout()
+
+    # ------------------------------------------------------------------ #
+    # layout construction
+    # ------------------------------------------------------------------ #
+    def _rebuild_layout(self) -> None:
+        """(Re)compute level structures, blocks and copies from scratch."""
+        for address in self._copy_addresses:
+            self.network.free(address)
+        self._copy_addresses.clear()
+        self._structures.clear()
+        self._stored_at.clear()
+        self._block_host.clear()
+
+        for level in range(self.height + 1):
+            for prefix, members in self._membership.level_sets(level).items():
+                self._structures[(level, prefix)] = SortedListStructure(members)
+
+        # The paper's host budget: H ≤ c · n · log n / M (§2.4.1).  Blocks
+        # are dealt to this pool round-robin, so small level sets share
+        # hosts instead of each grabbing their own.
+        n = len(self._keys)
+        target_hosts = max(1, math.ceil(2 * n * (self.height + 1) / self.memory_size))
+        host_pool = [host.host_id for host in self.network.hosts()]
+        while len(host_pool) < target_hosts:
+            host_pool.append(self.network.add_host().host_id)
+        block_cycle = 0
+
+        # 1. blocks at basic levels
+        for level in self.basic_levels:
+            for prefix, structure in self._level_structures(level):
+                ordered_units = sorted(structure.units(), key=_unit_position)
+                for start in range(0, len(ordered_units), self.block_capacity):
+                    block_units = ordered_units[start : start + self.block_capacity]
+                    host_id = host_pool[block_cycle % len(host_pool)]
+                    block_cycle += 1
+                    for unit in block_units:
+                        self._store_copy(level, prefix, unit, host_id)
+                        self._block_host[(level, prefix, unit.key)] = host_id
+
+        # 2. cascading copies at non-basic levels: a unit is stored on every
+        #    host that stores a conflicting unit one level below.
+        for level in range(1, self.height + 1):
+            if level in self.basic_levels:
+                continue
+            for prefix, structure in self._level_structures(level):
+                parent_prefix = prefix[:-1]
+                parent_structure = self._structures.get((level - 1, parent_prefix))
+                if parent_structure is None:
+                    continue
+                for unit in structure.units():
+                    hosts: set[HostId] = set()
+                    for conflicting in parent_structure.conflicts(unit.range):
+                        hosts |= self._stored_at.get(
+                            (level - 1, parent_prefix, conflicting.key), set()
+                        )
+                    for host_id in hosts:
+                        self._store_copy(level, prefix, unit, host_id)
+
+    def _level_structures(self, level: int):
+        for (lvl, prefix), structure in self._structures.items():
+            if lvl == level:
+                yield prefix, structure
+
+    def _store_copy(
+        self, level: int, prefix: BitPrefix, unit: RangeUnit, host_id: HostId
+    ) -> None:
+        stored = self._stored_at.setdefault((level, prefix, unit.key), set())
+        if host_id in stored:
+            return
+        address = self.network.store(
+            host_id, _Copy(level=level, prefix=prefix, unit=unit)
+        )
+        self._copy_addresses.append(address)
+        stored.add(host_id)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def _basic_level_at_or_below(self, level: int) -> int:
+        return (level // self.level_gap) * self.level_gap
+
+    def _target_chain(self, query: float, word: BitPrefix) -> list[tuple[int, BitPrefix, RangeUnit]]:
+        """The per-level target units for ``query`` along the word's prefix chain."""
+        chain: list[tuple[int, BitPrefix, RangeUnit]] = []
+        for level in range(self.height, -1, -1):
+            prefix = word[:level]
+            structure = self._structures.get((level, prefix))
+            if structure is None:
+                continue
+            chain.append((level, prefix, structure.locate(query)))
+        return chain
+
+    def nearest(
+        self,
+        query: float,
+        origin_key: float | None = None,
+        origin_host: HostId | None = None,
+    ) -> QueryResult:
+        """Nearest-neighbour query; messages are charged per host crossing.
+
+        The search starts from the host owning ``origin_key`` (default:
+        the smallest stored key), descends the chain of per-level targets
+        along that key's membership word, and hops to the responsible
+        block host whenever the next target is not already stored locally.
+        """
+        point = float(query)
+        if origin_key is None:
+            origin_key = self._keys[0]
+        origin_key = float(origin_key)
+        if origin_key not in self._membership:
+            raise QueryError(f"origin key {origin_key!r} is not stored")
+        word = self._membership.word(origin_key)
+        chain = self._target_chain(point, word)
+        if not chain:
+            raise QueryError("bucket skip-web has no level structures")
+
+        if origin_host is None:
+            # The originating host is the block host responsible for the
+            # origin key at the top basic level (its "root").
+            top_basic = self.basic_levels[-1]
+            basic_prefix = word[:top_basic]
+            basic_structure = self._structures[(top_basic, basic_prefix)]
+            origin_unit = basic_structure.locate(origin_key)
+            origin_host = self._block_host[(top_basic, basic_prefix, origin_unit.key)]
+
+        traversal = Traversal(self.network, origin_host, kind=MessageKind.QUERY)
+        per_level_messages: list[int] = []
+        for level, prefix, unit in chain:
+            hops_before = traversal.hops
+            stored = self._stored_at.get((level, prefix, unit.key), set())
+            if traversal.current_host not in stored:
+                target_host = self._preferred_host(point, level, word)
+                if target_host not in stored:
+                    # Block-boundary corner case: fall back to any holder.
+                    target_host = next(iter(stored))
+                traversal.hop_to(target_host)
+            per_level_messages.append(traversal.hops - hops_before)
+
+        level0 = self._structures[(0, ())]
+        final_unit = chain[-1][2]
+        answer = level0.answer(point, final_unit)
+        return QueryResult(
+            query=point,
+            answer=answer,
+            messages=traversal.hops,
+            origin_host=origin_host,
+            hosts_visited=tuple(traversal.path),
+            levels_descended=len(chain) - 1,
+            target_key=final_unit.key,
+            per_level_messages=tuple(per_level_messages),
+        )
+
+    def _preferred_host(self, query: float, level: int, word: BitPrefix) -> HostId:
+        """The block host that covers ``query`` from ``level`` down to its basic level."""
+        basic = self._basic_level_at_or_below(level)
+        prefix = word[:basic]
+        structure = self._structures[(basic, prefix)]
+        unit = structure.locate(query)
+        return self._block_host[(basic, prefix, unit.key)]
+
+    def contains(self, key: float, origin_key: float | None = None) -> bool:
+        """Exact-membership query."""
+        return bool(self.nearest(key, origin_key=origin_key).answer.exact)
+
+    # ------------------------------------------------------------------ #
+    # updates (§4: messages only reach basic levels; block splits amortised)
+    # ------------------------------------------------------------------ #
+    def insert(self, key: float, origin_key: float | None = None) -> UpdateResult:
+        """Insert ``key``; expected ``O(log n / log M)`` messages."""
+        point = float(key)
+        if point in self._membership:
+            raise UpdateError(f"key {point!r} is already stored")
+        search = self.nearest(point, origin_key=origin_key)
+        word = self._membership.assign(point)
+        messages, hosts_touched = self._charge_basic_levels(point, word, search)
+        self._keys = sorted(self._keys + [point])
+        self._rebuild_layout()
+        return UpdateResult(
+            item=point,
+            kind="insert",
+            messages=search.messages + messages,
+            search_messages=search.messages,
+            propagate_messages=messages,
+            levels_touched=len(self.basic_levels),
+            records_added=0,
+            records_removed=0,
+            hosts_touched=hosts_touched,
+        )
+
+    def delete(self, key: float, origin_key: float | None = None) -> UpdateResult:
+        """Delete ``key``; expected ``O(log n / log M)`` messages."""
+        point = float(key)
+        if point not in self._membership:
+            raise UpdateError(f"key {point!r} is not stored")
+        if len(self._keys) == 1:
+            raise UpdateError("cannot delete the last key")
+        if origin_key is None or float(origin_key) == point:
+            origin_key = next(existing for existing in self._keys if existing != point)
+        search = self.nearest(point, origin_key=origin_key)
+        word = self._membership.word(point)
+        messages, hosts_touched = self._charge_basic_levels(point, word, search)
+        self._membership.forget(point)
+        self._keys = [existing for existing in self._keys if existing != point]
+        self._rebuild_layout()
+        return UpdateResult(
+            item=point,
+            kind="delete",
+            messages=search.messages + messages,
+            search_messages=search.messages,
+            propagate_messages=messages,
+            levels_touched=len(self.basic_levels),
+            records_added=0,
+            records_removed=0,
+            hosts_touched=hosts_touched,
+        )
+
+    def _charge_basic_levels(
+        self, key: float, word: BitPrefix, search: QueryResult
+    ) -> tuple[int, int]:
+        """Charge one update message per basic level's responsible block host.
+
+        Non-basic levels live on the same hosts as the basic blocks below
+        them (the cascade), so the same message covers them — this is the
+        reason the paper's one-dimensional update bound improves to
+        ``O(log n / log log n)``.
+        """
+        start_host = search.hosts_visited[-1] if search.hosts_visited else 0
+        traversal = Traversal(self.network, start_host, kind=MessageKind.UPDATE)
+        touched: set[HostId] = set()
+        for level in self.basic_levels:
+            prefix = word[:level]
+            structure = self._structures.get((level, prefix))
+            if structure is None:
+                continue
+            unit = structure.locate(key)
+            host = self._block_host.get((level, prefix, unit.key))
+            if host is None:
+                continue
+            traversal.hop_to(host)
+            touched.add(host)
+        return traversal.hops, len(touched)
+
+    # ------------------------------------------------------------------ #
+    # accounting
+    # ------------------------------------------------------------------ #
+    @property
+    def keys(self) -> list[float]:
+        return list(self._keys)
+
+    @property
+    def ground_set_size(self) -> int:
+        return len(self._keys)
+
+    @property
+    def host_count(self) -> int:
+        return self.network.host_count
+
+    def max_memory_per_host(self) -> int:
+        return self.network.max_memory_used()
+
+    def memory_profile(self) -> dict[HostId, int]:
+        return self.network.memory_profile()
+
+    def congestion(self) -> CongestionReport:
+        """Congestion per §1.1: cross-host references of the copy cascade."""
+        for host in self.network.hosts():
+            host.reset_reference_counts()
+        for (level, prefix, key), hosts in self._stored_at.items():
+            if level == 0:
+                continue
+            parent_prefix = prefix[:-1]
+            parent_structure = self._structures.get((level - 1, parent_prefix))
+            if parent_structure is None:
+                continue
+            unit = self._structures[(level, prefix)].unit(key)
+            for conflicting in parent_structure.conflicts(unit.range):
+                parent_hosts = self._stored_at.get(
+                    (level - 1, parent_prefix, conflicting.key), set()
+                )
+                for host in hosts:
+                    for parent_host in parent_hosts:
+                        if parent_host != host:
+                            self.network.host(host).note_out_reference(1)
+                            self.network.host(parent_host).note_in_reference(1)
+        return congestion_report(self.network, self.ground_set_size)
+
+    def validate(self) -> None:
+        """Structural sanity checks used by the test suite."""
+        level0 = self._structures.get((0, ()))
+        if level0 is None:
+            raise StructureError("bucket skip-web is missing its level-0 list")
+        if sorted(level0.items) != self._keys:
+            raise StructureError("level-0 list does not match the ground set")
+        for level in self.basic_levels:
+            for prefix, structure in self._level_structures(level):
+                for unit in structure.units():
+                    if (level, prefix, unit.key) not in self._block_host:
+                        raise StructureError(
+                            f"basic unit {unit.key!r} at level {level} has no block host"
+                        )
+        for (level, prefix, key), hosts in self._stored_at.items():
+            if not hosts:
+                raise StructureError(f"unit {key!r} at level {level} has no copies")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BucketSkipWeb1D(n={len(self._keys)}, M={self.memory_size}, "
+            f"hosts={self.host_count}, basic_levels={self.basic_levels})"
+        )

@@ -1,0 +1,28 @@
+"""Planar subdivisions: trapezoidal maps and their skip-webs.
+
+Section 3.3 of the paper builds skip-webs over trapezoidal maps — the
+subdivision of the plane induced by a set of non-crossing line segments
+together with the vertical rays shot up and down from every segment
+endpoint (Figure 4):
+
+* :mod:`repro.planar.segments` — non-crossing line segments in general
+  position.
+* :mod:`repro.planar.trapezoidal_map` — the trapezoidal map itself, built
+  by slab decomposition followed by merging, plus exact point location.
+* :mod:`repro.planar.skip_trapezoid` — the distributed skip-web for
+  planar point location (Lemma 5 and Theorem 2): the query "which face
+  of the campus map am I in?" answered in ``O(log n)`` expected messages.
+"""
+
+from repro.planar.segments import Segment, segments_in_general_position
+from repro.planar.trapezoidal_map import Trapezoid, TrapezoidalMap
+from repro.planar.skip_trapezoid import SkipTrapezoidWeb, TrapezoidalMapStructure
+
+__all__ = [
+    "Segment",
+    "segments_in_general_position",
+    "Trapezoid",
+    "TrapezoidalMap",
+    "SkipTrapezoidWeb",
+    "TrapezoidalMapStructure",
+]

@@ -1,0 +1,114 @@
+"""Non-crossing line segments in the plane.
+
+The trapezoidal map of §3.3 is defined for a set of *disjoint* (non-
+crossing) segments.  As is standard for trapezoidal maps we additionally
+assume general position: no vertical segments and no two endpoints with
+the same x-coordinate.  The workload generators in
+:mod:`repro.workloads.planar_maps` produce inputs satisfying these
+assumptions, and :func:`segments_in_general_position` lets callers check
+arbitrary inputs before building a map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import StructureError
+
+PlanarPoint = tuple[float, float]
+
+
+@dataclass(frozen=True, slots=True)
+class Segment:
+    """A non-vertical line segment, stored with its left endpoint first."""
+
+    left: PlanarPoint
+    right: PlanarPoint
+
+    def __post_init__(self) -> None:
+        if self.left[0] >= self.right[0]:
+            raise ValueError(
+                f"segment endpoints must satisfy left.x < right.x, got {self.left} / {self.right}"
+            )
+
+    @staticmethod
+    def of(first: PlanarPoint, second: PlanarPoint) -> "Segment":
+        """Build a segment from two endpoints in either order."""
+        a = (float(first[0]), float(first[1]))
+        b = (float(second[0]), float(second[1]))
+        if a[0] == b[0]:
+            raise ValueError(f"vertical segments are not supported: {a} / {b}")
+        return Segment(left=min(a, b), right=max(a, b))
+
+    @property
+    def x_min(self) -> float:
+        return self.left[0]
+
+    @property
+    def x_max(self) -> float:
+        return self.right[0]
+
+    def y_at(self, x: float) -> float:
+        """Height of the segment's supporting line at abscissa ``x``."""
+        (x1, y1), (x2, y2) = self.left, self.right
+        if x2 == x1:  # pragma: no cover - excluded by construction
+            return y1
+        fraction = (x - x1) / (x2 - x1)
+        return y1 + fraction * (y2 - y1)
+
+    def spans(self, x_low: float, x_high: float) -> bool:
+        """Whether the segment covers the whole slab ``[x_low, x_high]``."""
+        return self.x_min <= x_low and self.x_max >= x_high
+
+    def crosses(self, other: "Segment") -> bool:
+        """Proper-intersection test (shared endpoints do not count)."""
+        def orientation(p: PlanarPoint, q: PlanarPoint, r: PlanarPoint) -> float:
+            return (q[0] - p[0]) * (r[1] - p[1]) - (q[1] - p[1]) * (r[0] - p[0])
+
+        p1, p2 = self.left, self.right
+        q1, q2 = other.left, other.right
+        if len({p1, p2, q1, q2}) < 4:
+            return False
+        d1 = orientation(q1, q2, p1)
+        d2 = orientation(q1, q2, p2)
+        d3 = orientation(p1, p2, q1)
+        d4 = orientation(p1, p2, q2)
+        return ((d1 > 0) != (d2 > 0)) and ((d3 > 0) != (d4 > 0))
+
+    def endpoints(self) -> tuple[PlanarPoint, PlanarPoint]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Segment({self.left} -> {self.right})"
+
+
+def segments_in_general_position(segments: Iterable[Segment]) -> list[Segment]:
+    """Validate a segment set for trapezoidal-map construction.
+
+    Checks that no two segments properly cross and that all endpoint
+    x-coordinates are distinct (the usual general-position assumption).
+    Returns the segments as a list so callers can chain the validation.
+    """
+    segment_list = list(segments)
+    xs: list[float] = []
+    for segment in segment_list:
+        xs.extend((segment.x_min, segment.x_max))
+    if len(set(xs)) != len(xs):
+        raise StructureError("segment endpoints must have pairwise distinct x-coordinates")
+    for index, first in enumerate(segment_list):
+        for second in segment_list[index + 1 :]:
+            if first.crosses(second):
+                raise StructureError(f"segments cross: {first} and {second}")
+    return segment_list
+
+
+def bounding_box(
+    segments: Sequence[Segment], margin: float = 1.0
+) -> tuple[float, float, float, float]:
+    """An axis-aligned box ``(x_min, x_max, y_min, y_max)`` enclosing all segments."""
+    if not segments:
+        return (-margin, margin, -margin, margin)
+    xs = [value for segment in segments for value in (segment.x_min, segment.x_max)]
+    ys = [value for segment in segments for value in (segment.left[1], segment.right[1])]
+    return (min(xs) - margin, max(xs) + margin, min(ys) - margin, max(ys) + margin)

@@ -1,0 +1,332 @@
+"""Skip-webs over trapezoidal maps (§3.3, Lemma 5).
+
+:class:`TrapezoidalMapStructure` adapts
+:class:`~repro.planar.trapezoidal_map.TrapezoidalMap` to the
+range-determined link structure interface: node ranges are the trapezoids
+themselves, link ranges are the unions of wall-adjacent trapezoid pairs.
+Lemma 5 (the set-halving lemma for trapezoidal maps, including the
+``1 + a + 2b + 3c`` conflict identity) is verified empirically by
+``benchmarks/bench_fig4_trapezoid_halving.py``.
+
+:class:`SkipTrapezoidWeb` is the distributed structure: planar point
+location — "which face of the map contains this point?" — over ``n``
+segments spread across ``n`` hosts in ``O(log n)`` expected messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable, Mapping, Sequence
+
+from repro.core.link_structure import RangeDeterminedLinkStructure, RangeUnit, UnitKind
+from repro.core.query import QueryResult
+from repro.core.ranges import Range
+from repro.core.skipweb import SkipWeb, SkipWebConfig
+from repro.core.update import UpdateResult
+from repro.errors import QueryError, StructureError
+from repro.net.congestion import CongestionReport
+from repro.net.naming import HostId
+from repro.net.network import Network
+from repro.planar.segments import PlanarPoint, Segment, bounding_box
+from repro.planar.trapezoidal_map import Trapezoid, TrapezoidalMap
+
+
+@dataclass(frozen=True)
+class TrapezoidPairRange:
+    """The union of two wall-adjacent trapezoids — the range of a link."""
+
+    first: Trapezoid
+    second: Trapezoid
+
+    def contains(self, point: Any) -> bool:
+        return self.first.contains(point) or self.second.contains(point)
+
+    def intersects(self, other: Range) -> bool:
+        if isinstance(other, TrapezoidPairRange):
+            return (
+                self.first.intersects(other.first)
+                or self.first.intersects(other.second)
+                or self.second.intersects(other.first)
+                or self.second.intersects(other.second)
+            )
+        return self.first.intersects(other) or self.second.intersects(other)
+
+    def distance_to_point(self, point: PlanarPoint) -> float:
+        return min(
+            self.first.distance_to_point(point), self.second.distance_to_point(point)
+        )
+
+
+@dataclass(frozen=True)
+class PlanarLocationAnswer:
+    """Answer to a planar point-location query."""
+
+    query: PlanarPoint
+    trapezoid: Trapezoid
+    above_segment: Segment | None
+    below_segment: Segment | None
+
+
+def _node_key(trapezoid: Trapezoid) -> Hashable:
+    return ("pnode", trapezoid.key())
+
+def _link_key(first: Trapezoid, second: Trapezoid) -> Hashable:
+    pair = tuple(sorted((first.key(), second.key()), key=repr))
+    return ("plink", pair)
+
+
+class TrapezoidalMapStructure(RangeDeterminedLinkStructure):
+    """A trapezoidal map viewed as a range-determined link structure.
+
+    Construction parameter (shared across skip-web levels):
+
+    ``box``
+        The bounding box ``(x_min, x_max, y_min, y_max)``.
+    """
+
+    name = "trapezoidal-map"
+
+    def __init__(
+        self,
+        segments: Sequence[Segment],
+        box: tuple[float, float, float, float],
+    ) -> None:
+        self._box = box
+        self.map = TrapezoidalMap(segments, box=box)
+        self._units: list[RangeUnit] = []
+        self._units_by_key: dict[Hashable, RangeUnit] = {}
+        self._adjacency: dict[Hashable, list[Hashable]] = {}
+        self._collect_units()
+
+    @classmethod
+    def build(cls, items: Sequence[Any], **params: Any) -> "TrapezoidalMapStructure":
+        box = params.get("box")
+        if box is None:
+            raise StructureError("TrapezoidalMapStructure.build requires a 'box' parameter")
+        return cls(list(items), box)
+
+    def build_params(self) -> dict[str, Any]:
+        return {"box": self._box}
+
+    # ------------------------------------------------------------------ #
+    # unit collection
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _representative(trapezoid: Trapezoid) -> Segment | None:
+        """A bounding segment of the trapezoid (owner blocking anchor)."""
+        return trapezoid.bottom if trapezoid.bottom is not None else trapezoid.top
+
+    def _collect_units(self) -> None:
+        for trapezoid in self.map.trapezoids:
+            unit = RangeUnit(
+                key=_node_key(trapezoid),
+                kind=UnitKind.NODE,
+                range=trapezoid,
+                payload=self._representative(trapezoid),
+            )
+            self._register(unit)
+        seen_links: set[Hashable] = set()
+        for trapezoid in self.map.trapezoids:
+            for neighbor in self.map.neighbors(trapezoid):
+                link_key = _link_key(trapezoid, neighbor)
+                if link_key in seen_links:
+                    continue
+                seen_links.add(link_key)
+                unit = RangeUnit(
+                    key=link_key,
+                    kind=UnitKind.LINK,
+                    range=TrapezoidPairRange(first=trapezoid, second=neighbor),
+                    payload=(
+                        self._representative(trapezoid),
+                        self._representative(neighbor),
+                    ),
+                )
+                self._register(unit)
+                self._connect(link_key, _node_key(trapezoid))
+                self._connect(link_key, _node_key(neighbor))
+
+    def _register(self, unit: RangeUnit) -> None:
+        if unit.key in self._units_by_key:
+            raise StructureError(f"duplicate trapezoid unit key {unit.key!r}")
+        self._units.append(unit)
+        self._units_by_key[unit.key] = unit
+        self._adjacency.setdefault(unit.key, [])
+
+    def _connect(self, first: Hashable, second: Hashable) -> None:
+        self._adjacency[first].append(second)
+        self._adjacency[second].append(first)
+
+    # ------------------------------------------------------------------ #
+    # RangeDeterminedLinkStructure interface
+    # ------------------------------------------------------------------ #
+    @property
+    def items(self) -> Sequence[Segment]:
+        return list(self.map.segments)
+
+    def units(self) -> list[RangeUnit]:
+        return list(self._units)
+
+    def unit(self, key: Hashable) -> RangeUnit:
+        try:
+            return self._units_by_key[key]
+        except KeyError as exc:
+            raise StructureError(f"trapezoidal map: no unit with key {key!r}") from exc
+
+    def neighbors(self, key: Hashable) -> list[RangeUnit]:
+        try:
+            neighbor_keys = self._adjacency[key]
+        except KeyError as exc:
+            raise StructureError(f"trapezoidal map: no unit with key {key!r}") from exc
+        return [self._units_by_key[neighbor] for neighbor in neighbor_keys]
+
+    @classmethod
+    def item_to_query(cls, item: Any) -> Any:
+        """Updates locate a segment by its midpoint (items are segments, queries are points)."""
+        if isinstance(item, Segment):
+            mid_x = (item.x_min + item.x_max) / 2
+            return (mid_x, item.y_at(mid_x))
+        return item
+
+    def locate(self, query: Any) -> RangeUnit:
+        """The trapezoid containing the query point."""
+        point = (float(query[0]), float(query[1]))
+        trapezoid = self.map.locate(point)
+        return self._units_by_key[_node_key(trapezoid)]
+
+    @classmethod
+    def select(cls, query: Any, candidates: Sequence[RangeUnit]) -> RangeUnit:
+        point = (float(query[0]), float(query[1]))
+        containing = [unit for unit in candidates if unit.range.contains(point)]
+        if containing:
+            for unit in containing:
+                if unit.is_node:
+                    return unit
+            return containing[0]
+        return min(
+            candidates,
+            key=lambda unit: unit.range.distance_to_point(point)
+            if hasattr(unit.range, "distance_to_point")
+            else float("inf"),
+        )
+
+    @classmethod
+    def advance(
+        cls,
+        query: Any,
+        current: RangeUnit,
+        neighbors: Mapping[Hashable, Range],
+    ) -> Hashable | None:
+        point = (float(query[0]), float(query[1]))
+        if current.is_node and current.range.contains(point):
+            return None
+        if current.is_link and current.range.contains(point):
+            # Move onto whichever endpoint trapezoid contains the point.
+            for key, rng in neighbors.items():
+                if isinstance(rng, Trapezoid) and rng.contains(point):
+                    return key
+            return None
+        # Walk towards the query through the adjacency structure.
+        current_distance = (
+            current.range.distance_to_point(point)
+            if hasattr(current.range, "distance_to_point")
+            else float("inf")
+        )
+        best_key: Hashable | None = None
+        best_distance = current_distance
+        for key, rng in neighbors.items():
+            if rng.contains(point):
+                return key
+            if hasattr(rng, "distance_to_point"):
+                distance = rng.distance_to_point(point)
+                if distance < best_distance - 1e-12:
+                    best_distance = distance
+                    best_key = key
+        return best_key
+
+    def answer(self, query: Any, unit: RangeUnit) -> PlanarLocationAnswer:
+        point = (float(query[0]), float(query[1]))
+        if unit.is_node and isinstance(unit.range, Trapezoid):
+            trapezoid = unit.range
+        elif unit.is_link and isinstance(unit.range, TrapezoidPairRange):
+            pair = unit.range
+            trapezoid = pair.first if pair.first.contains(point) else pair.second
+        else:  # pragma: no cover - defensive
+            raise QueryError(f"cannot decode planar answer from unit {unit.key!r}")
+        return PlanarLocationAnswer(
+            query=point,
+            trapezoid=trapezoid,
+            above_segment=trapezoid.top,
+            below_segment=trapezoid.bottom,
+        )
+
+
+class SkipTrapezoidWeb:
+    """A distributed skip-web for planar point location.
+
+    ``n`` non-crossing segments are spread over the hosts of a simulated
+    network; locating the trapezoid containing an arbitrary query point
+    costs ``O(log n)`` expected messages (Theorem 2 via Lemma 5).
+    """
+
+    def __init__(
+        self,
+        segments: Sequence[Segment],
+        box: tuple[float, float, float, float] | None = None,
+        network: Network | None = None,
+        host_count: int | None = None,
+        blocking: str = "owner",
+        seed: int = 0,
+        margin: float = 1.0,
+    ) -> None:
+        segment_list = list(segments)
+        if box is None:
+            box = bounding_box(segment_list, margin=margin)
+        self.box = box
+        config = SkipWebConfig(
+            host_count=host_count,
+            blocking=blocking,
+            seed=seed,
+            structure_params={"box": box},
+        )
+        self.web = SkipWeb(
+            TrapezoidalMapStructure, segment_list, network=network, config=config
+        )
+
+    # -- queries -------------------------------------------------------- #
+    def locate(self, point: PlanarPoint, origin_host: HostId | None = None) -> QueryResult:
+        """Planar point location: the trapezoid containing ``point``."""
+        return self.web.query((float(point[0]), float(point[1])), origin_host=origin_host)
+
+    # -- updates -------------------------------------------------------- #
+    def insert(self, segment: Segment, origin_host: HostId | None = None) -> UpdateResult:
+        return self.web.insert(segment, origin_host=origin_host)
+
+    def delete(self, segment: Segment, origin_host: HostId | None = None) -> UpdateResult:
+        return self.web.delete(segment, origin_host=origin_host)
+
+    # -- accounting ------------------------------------------------------ #
+    @property
+    def network(self) -> Network:
+        return self.web.network
+
+    @property
+    def segments(self) -> list[Segment]:
+        return list(self.web.items)
+
+    @property
+    def host_count(self) -> int:
+        return self.web.host_count
+
+    @property
+    def level0_map(self) -> TrapezoidalMap:
+        structure: TrapezoidalMapStructure = self.web.level_structure(0, ())
+        return structure.map
+
+    def max_memory_per_host(self) -> int:
+        return self.web.max_memory_per_host()
+
+    def congestion(self) -> CongestionReport:
+        return self.web.congestion()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SkipTrapezoidWeb(n={len(self.segments)}, hosts={self.host_count})"

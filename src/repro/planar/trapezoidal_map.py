@@ -1,0 +1,308 @@
+"""Trapezoidal maps of non-crossing segment sets (§3.3, Figure 4).
+
+The trapezoidal map of a set ``S`` of non-crossing segments is the
+subdivision of (a bounding box of) the plane obtained by shooting a
+vertical ray up and down from every segment endpoint until it hits
+another segment or the box boundary.  Every face of the subdivision is a
+trapezoid bounded by at most two segments (top and bottom) and at most
+two vertical walls.
+
+Construction here uses a slab decomposition followed by a merge pass:
+
+1. cut the box into vertical slabs at every endpoint x-coordinate,
+2. inside each slab, stack the segments spanning it (their vertical order
+   is constant because segments do not cross) — consecutive pairs bound
+   one slab-trapezoid each,
+3. merge horizontally adjacent slab-trapezoids that share the same top
+   and bottom and are not separated by an endpoint wall.
+
+This is an ``O(n²)``-time construction, which is irrelevant to the
+paper's cost model (only messages of the *distributed* structure count)
+and has the advantage of being simple enough to trust as a reference.
+The number of trapezoids produced is the standard ``≤ 3n + 1``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import QueryError, StructureError
+from repro.planar.segments import PlanarPoint, Segment, bounding_box, segments_in_general_position
+
+
+@dataclass(frozen=True)
+class Trapezoid:
+    """One face of a trapezoidal map.
+
+    ``top`` / ``bottom`` are the bounding segments (``None`` means the
+    bounding box edge), and ``x_left`` / ``x_right`` are the vertical
+    walls.  The face is the set of points with ``x_left <= x <= x_right``
+    lying between the two boundaries.
+    """
+
+    top: Segment | None
+    bottom: Segment | None
+    x_left: float
+    x_right: float
+    y_low: float
+    y_high: float
+
+    def top_y(self, x: float) -> float:
+        """Height of the upper boundary at abscissa ``x``."""
+        return self.top.y_at(x) if self.top is not None else self.y_high
+
+    def bottom_y(self, x: float) -> float:
+        """Height of the lower boundary at abscissa ``x``."""
+        return self.bottom.y_at(x) if self.bottom is not None else self.y_low
+
+    @property
+    def width(self) -> float:
+        return self.x_right - self.x_left
+
+    @property
+    def center(self) -> PlanarPoint:
+        x = (self.x_left + self.x_right) / 2
+        return (x, (self.bottom_y(x) + self.top_y(x)) / 2)
+
+    # ------------------------------------------------------------------ #
+    # Range protocol (the trapezoid is its own skip-web range)
+    # ------------------------------------------------------------------ #
+    def contains(self, point) -> bool:
+        """Closed containment of a planar point."""
+        if not isinstance(point, tuple) or len(point) != 2:
+            return False
+        x, y = point
+        if not self.x_left <= x <= self.x_right:
+            return False
+        return self.bottom_y(x) - 1e-12 <= y <= self.top_y(x) + 1e-12
+
+    def intersects(self, other) -> bool:
+        """Open-interior overlap with another trapezoid."""
+        if not isinstance(other, Trapezoid):
+            return other.intersects(self)
+        x_low = max(self.x_left, other.x_left)
+        x_high = min(self.x_right, other.x_right)
+        if x_low >= x_high:
+            return False
+        x_mid = (x_low + x_high) / 2
+        lower = max(self.bottom_y(x_mid), other.bottom_y(x_mid))
+        upper = min(self.top_y(x_mid), other.top_y(x_mid))
+        return lower < upper - 1e-12
+
+    def distance_to_point(self, point: PlanarPoint) -> float:
+        """A cheap distance proxy used only to pick a walking direction."""
+        x, y = point
+        dx = max(self.x_left - x, 0.0, x - self.x_right)
+        clamped_x = min(max(x, self.x_left), self.x_right)
+        dy = max(self.bottom_y(clamped_x) - y, 0.0, y - self.top_y(clamped_x))
+        return dx + dy
+
+    def key(self) -> tuple:
+        """A hashable identity stable across rebuilds of the same segment set."""
+        return (
+            self.top.endpoints() if self.top is not None else None,
+            self.bottom.endpoints() if self.bottom is not None else None,
+            self.x_left,
+            self.x_right,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Trapezoid(x=[{self.x_left:.3g},{self.x_right:.3g}], "
+            f"top={self.top}, bottom={self.bottom})"
+        )
+
+
+class TrapezoidalMap:
+    """The trapezoidal map of a set of non-crossing segments.
+
+    Parameters
+    ----------
+    segments:
+        The input segments; validated for the general-position
+        assumptions of :func:`segments_in_general_position`.
+    box:
+        Bounding box ``(x_min, x_max, y_min, y_max)``; computed with a
+        margin when omitted.  Skip-web levels must share the same box.
+    """
+
+    def __init__(
+        self,
+        segments: Sequence[Segment],
+        box: tuple[float, float, float, float] | None = None,
+    ) -> None:
+        self.segments = segments_in_general_position(segments)
+        self.box = box if box is not None else bounding_box(self.segments)
+        x_min, x_max, y_min, y_max = self.box
+        if x_min >= x_max or y_min >= y_max:
+            raise StructureError(f"degenerate bounding box {self.box}")
+        for segment in self.segments:
+            if not (x_min <= segment.x_min and segment.x_max <= x_max):
+                raise StructureError(f"segment {segment} outside bounding box {self.box}")
+        self.trapezoids = self._build()
+        self._adjacency = self._build_adjacency()
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def _build(self) -> list[Trapezoid]:
+        x_min, x_max, y_min, y_max = self.box
+        cuts = sorted(
+            {x_min, x_max}
+            | {segment.x_min for segment in self.segments}
+            | {segment.x_max for segment in self.segments}
+        )
+        endpoint_ys: dict[float, list[float]] = {}
+        for segment in self.segments:
+            endpoint_ys.setdefault(segment.x_min, []).append(segment.left[1])
+            endpoint_ys.setdefault(segment.x_max, []).append(segment.right[1])
+
+        # 1. slab trapezoids
+        slabs: list[list[Trapezoid]] = []
+        for left, right in zip(cuts, cuts[1:]):
+            mid = (left + right) / 2
+            spanning = [
+                segment for segment in self.segments if segment.spans(left, right)
+            ]
+            spanning.sort(key=lambda segment: segment.y_at(mid))
+            boundaries: list[Segment | None] = [None] + list(spanning) + [None]
+            column: list[Trapezoid] = []
+            for bottom, top in zip(boundaries, boundaries[1:]):
+                column.append(
+                    Trapezoid(
+                        top=top,
+                        bottom=bottom,
+                        x_left=left,
+                        x_right=right,
+                        y_low=y_min,
+                        y_high=y_max,
+                    )
+                )
+            slabs.append(column)
+
+        # 2. merge across slab boundaries where no endpoint wall separates
+        merged: list[Trapezoid] = []
+        open_trapezoids: dict[tuple, Trapezoid] = {}
+
+        def boundary_key(trapezoid: Trapezoid) -> tuple:
+            return (
+                trapezoid.top.endpoints() if trapezoid.top is not None else None,
+                trapezoid.bottom.endpoints() if trapezoid.bottom is not None else None,
+            )
+
+        for slab_index, column in enumerate(slabs):
+            wall_x = cuts[slab_index]
+            wall_ys = endpoint_ys.get(wall_x, [])
+            next_open: dict[tuple, Trapezoid] = {}
+            for trapezoid in column:
+                key = boundary_key(trapezoid)
+                previous = open_trapezoids.get(key)
+                can_merge = previous is not None
+                if can_merge:
+                    # A wall exists if some endpoint at ``wall_x`` lies
+                    # strictly between the two boundaries.
+                    lower = trapezoid.bottom_y(wall_x)
+                    upper = trapezoid.top_y(wall_x)
+                    for y in wall_ys:
+                        if lower + 1e-12 < y < upper - 1e-12:
+                            can_merge = False
+                            break
+                if can_merge:
+                    extended = Trapezoid(
+                        top=trapezoid.top,
+                        bottom=trapezoid.bottom,
+                        x_left=previous.x_left,
+                        x_right=trapezoid.x_right,
+                        y_low=trapezoid.y_low,
+                        y_high=trapezoid.y_high,
+                    )
+                    next_open[key] = extended
+                else:
+                    if previous is not None:
+                        merged.append(previous)
+                    next_open[key] = trapezoid
+            # Anything open that did not continue into this slab is finished.
+            for key, trapezoid in open_trapezoids.items():
+                if key not in next_open:
+                    merged.append(trapezoid)
+            open_trapezoids = next_open
+        merged.extend(open_trapezoids.values())
+        if not merged:
+            merged.append(
+                Trapezoid(
+                    top=None,
+                    bottom=None,
+                    x_left=x_min,
+                    x_right=x_max,
+                    y_low=y_min,
+                    y_high=y_max,
+                )
+            )
+        return merged
+
+    def _build_adjacency(self) -> dict[tuple, list[Trapezoid]]:
+        adjacency: dict[tuple, list[Trapezoid]] = {
+            trapezoid.key(): [] for trapezoid in self.trapezoids
+        }
+        for first in self.trapezoids:
+            for second in self.trapezoids:
+                if first is second:
+                    continue
+                if self._share_wall(first, second):
+                    adjacency[first.key()].append(second)
+        return adjacency
+
+    @staticmethod
+    def _share_wall(first: Trapezoid, second: Trapezoid) -> bool:
+        """Whether two trapezoids touch along a vertical wall."""
+        if abs(first.x_right - second.x_left) > 1e-12 and abs(
+            second.x_right - first.x_left
+        ) > 1e-12:
+            return False
+        wall_x = first.x_right if abs(first.x_right - second.x_left) <= 1e-12 else first.x_left
+        lower = max(first.bottom_y(wall_x), second.bottom_y(wall_x))
+        upper = min(first.top_y(wall_x), second.top_y(wall_x))
+        return lower < upper - 1e-12
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def locate(self, point: PlanarPoint) -> Trapezoid:
+        """The trapezoid containing ``point`` (boundaries resolve to either side)."""
+        x, y = point
+        x_min, x_max, y_min, y_max = self.box
+        if not (x_min <= x <= x_max and y_min <= y <= y_max):
+            raise QueryError(f"point {point} lies outside the bounding box {self.box}")
+        for trapezoid in self.trapezoids:
+            if trapezoid.contains((x, y)):
+                return trapezoid
+        raise QueryError(f"no trapezoid contains {point} (map inconsistency)")
+
+    def neighbors(self, trapezoid: Trapezoid) -> list[Trapezoid]:
+        """Trapezoids sharing a vertical wall with ``trapezoid``."""
+        return list(self._adjacency[trapezoid.key()])
+
+    def trapezoid_count(self) -> int:
+        return len(self.trapezoids)
+
+    def conflicting_trapezoids(self, other: Trapezoid) -> list[Trapezoid]:
+        """Trapezoids of this map whose interior overlaps ``other`` (Lemma 5)."""
+        return [trapezoid for trapezoid in self.trapezoids if trapezoid.intersects(other)]
+
+    def validate(self) -> None:
+        """Sanity checks: count bound, coverage on sample points, disjointness."""
+        n = len(self.segments)
+        if len(self.trapezoids) > 3 * n + 1:
+            raise StructureError(
+                f"too many trapezoids: {len(self.trapezoids)} for {n} segments"
+            )
+        for first_index, first in enumerate(self.trapezoids):
+            for second in self.trapezoids[first_index + 1 :]:
+                if first.intersects(second):
+                    raise StructureError(f"overlapping trapezoids: {first} and {second}")
+            center = first.center
+            located = self.locate(center)
+            if not located.contains(center):  # pragma: no cover - defensive
+                raise StructureError("locate returned a non-containing trapezoid")

@@ -1,0 +1,36 @@
+"""Multi-dimensional point sets: compressed quadtrees/octrees and their skip-webs.
+
+Section 3.1 of the paper builds skip-webs over compressed quadtrees (2-d)
+and octrees (any fixed dimension ``d ≥ 2``):
+
+* :mod:`repro.spatial.geometry` — points and axis-aligned hypercubes.
+* :mod:`repro.spatial.quadtree` — the compressed quadtree/octree, a
+  range-determined link structure whose node ranges are the cells
+  (hypercubes) and whose link ranges are the child cells.
+* :mod:`repro.spatial.skip_quadtree` — the distributed skip-web over the
+  quadtree; point location in ``O(log n)`` messages even when the
+  underlying tree has depth ``O(n)`` (Theorem 2 + Lemma 3).
+* :mod:`repro.spatial.nearest` — approximate nearest-neighbour and
+  approximate range queries built on point location, following the skip
+  quadtree of Eppstein, Goodrich and Sun that §3.1 cites.
+"""
+
+from repro.spatial.geometry import BoundingBox, HyperCube, Point
+from repro.spatial.quadtree import CompressedQuadtree, QuadtreeCell
+from repro.spatial.skip_quadtree import QuadtreeStructure, SkipQuadtreeWeb
+from repro.spatial.nearest import (
+    approximate_nearest_neighbor,
+    approximate_range_query,
+)
+
+__all__ = [
+    "BoundingBox",
+    "HyperCube",
+    "Point",
+    "CompressedQuadtree",
+    "QuadtreeCell",
+    "QuadtreeStructure",
+    "SkipQuadtreeWeb",
+    "approximate_nearest_neighbor",
+    "approximate_range_query",
+]

@@ -1,0 +1,100 @@
+"""Approximate nearest-neighbour and range queries over quadtree skip-webs.
+
+Section 3.1 of the paper notes that, following Eppstein, Goodrich and Sun
+(the skip quadtree), point-location queries in the quadtree subdivision
+can be used to answer approximate nearest-neighbour queries and
+approximate range searches.  This module provides both on top of
+:class:`~repro.spatial.skip_quadtree.SkipQuadtreeWeb`:
+
+* :func:`approximate_nearest_neighbor` — locate the query's cell with the
+  distributed structure, then examine the points stored in that cell, its
+  parent and the parent's other children (a constant number of cells).
+  The returned point is within a constant factor of the true nearest
+  neighbour for well-distributed inputs, and the helper also reports the
+  exact answer (computed locally) so callers and tests can measure the
+  approximation ratio.
+* :func:`approximate_range_query` — report the points inside a query cube
+  by walking the (local) level-0 tree, plus the message cost of locating
+  the cube's corners in the distributed structure, which is how a
+  distributed deployment would route the query to the relevant hosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.spatial.geometry import HyperCube, Point, as_point, point_distance
+from repro.spatial.skip_quadtree import SkipQuadtreeWeb
+
+
+@dataclass(frozen=True)
+class ApproximateNearestAnswer:
+    """Result of an approximate nearest-neighbour query."""
+
+    query: Point
+    approximate: Point
+    approximate_distance: float
+    exact: Point
+    exact_distance: float
+    messages: int
+
+    @property
+    def ratio(self) -> float:
+        """Approximation ratio (1.0 means the exact nearest neighbour was found)."""
+        if self.exact_distance == 0:
+            return 1.0 if self.approximate_distance == 0 else float("inf")
+        return self.approximate_distance / self.exact_distance
+
+
+@dataclass(frozen=True)
+class RangeQueryAnswer:
+    """Result of a range query over a query cube."""
+
+    cube: HyperCube
+    points: tuple[Point, ...]
+    messages: int
+
+
+def approximate_nearest_neighbor(
+    web: SkipQuadtreeWeb, query: Point
+) -> ApproximateNearestAnswer:
+    """Approximate nearest neighbour of ``query`` via distributed point location."""
+    point = as_point(query)
+    location = web.locate(point)
+    tree = web.level0_tree
+
+    # Candidate points: the located cell's subtree, its parent's subtree
+    # (which includes the siblings), and — when the located cell is the
+    # root — everything, degenerating to the exact answer.
+    located_cell = tree.locate(point)
+    candidates: set[Point] = set(located_cell.points)
+    if located_cell.parent is not None:
+        candidates.update(located_cell.parent.points)
+    if not candidates:
+        candidates.update(tree.points)
+
+    approximate = min(candidates, key=lambda stored: point_distance(stored, point))
+    exact = tree.nearest_point(point)
+    return ApproximateNearestAnswer(
+        query=point,
+        approximate=approximate,
+        approximate_distance=point_distance(approximate, point),
+        exact=exact,
+        exact_distance=point_distance(exact, point),
+        messages=location.messages,
+    )
+
+
+def approximate_range_query(web: SkipQuadtreeWeb, cube: HyperCube) -> RangeQueryAnswer:
+    """Points inside ``cube``; messages cover locating the cube's corners."""
+    messages = 0
+    dimension = cube.dimension
+    for corner_index in range(1 << dimension):
+        corner = tuple(
+            cube.lower[axis] + (cube.side if (corner_index >> axis) & 1 else 0.0)
+            for axis in range(dimension)
+        )
+        if web.bounding_cube.contains_closed(corner):
+            messages += web.locate(corner).messages
+    points = tuple(web.level0_tree.points_in_cube(cube))
+    return RangeQueryAnswer(cube=cube, points=points, messages=messages)

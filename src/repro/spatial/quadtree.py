@@ -1,0 +1,260 @@
+"""Compressed quadtrees and octrees (§3.1 of the paper).
+
+A quadtree (2-d) or octree (d ≥ 3) is defined by a set of points and a
+bounding hypercube: the root cell is the bounding cube, every cell with
+more than one point is subdivided into ``2^d`` half-side child cells, and
+chains of cells with only one non-empty child are *compressed* into
+single edges, so the tree has ``O(n)`` nodes even though its depth can be
+``Θ(n)`` in the worst case (a property the paper leans on: the skip-web
+still answers point location in ``O(log n)`` messages).
+
+The tree built here is the classic compressed quadtree:
+
+* every *leaf* stores exactly one input point,
+* every *internal* cell is the smallest dyadic cell that still contains
+  all the points of its subtree and splits them between at least two
+  children,
+* the root is always the caller-supplied bounding cube so that the trees
+  built for different skip-web levels share a common cell hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.errors import StructureError
+from repro.spatial.geometry import HyperCube, Point, as_point, point_distance
+
+
+@dataclass
+class QuadtreeCell:
+    """One cell (node) of a compressed quadtree."""
+
+    cube: HyperCube
+    points: tuple[Point, ...]
+    children: list["QuadtreeCell"] = field(default_factory=list)
+    parent: "QuadtreeCell | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def point(self) -> Point | None:
+        """The stored point when this cell is a leaf."""
+        return self.points[0] if self.is_leaf and self.points else None
+
+    @property
+    def depth(self) -> int:
+        """Number of ancestors (root has depth 0)."""
+        depth = 0
+        node = self
+        while node.parent is not None:
+            depth += 1
+            node = node.parent
+        return depth
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QuadtreeCell(side={self.cube.side}, points={len(self.points)}, "
+            f"children={len(self.children)})"
+        )
+
+
+class CompressedQuadtree:
+    """A compressed quadtree / octree over a finite point set.
+
+    Parameters
+    ----------
+    points:
+        The input points (duplicates are collapsed).
+    bounding_cube:
+        The root cell.  All points must lie inside it (the far faces are
+        treated as closed so points on the boundary are accepted).
+    """
+
+    def __init__(self, points: Sequence[Point], bounding_cube: HyperCube) -> None:
+        normalized = []
+        seen: set[Point] = set()
+        for point in points:
+            candidate = as_point(point)
+            if candidate not in seen:
+                seen.add(candidate)
+                normalized.append(candidate)
+        if not normalized:
+            raise StructureError("quadtree requires at least one point")
+        for point in normalized:
+            if not bounding_cube.contains_closed(point):
+                raise StructureError(
+                    f"point {point} lies outside the bounding cube {bounding_cube}"
+                )
+        self.bounding_cube = bounding_cube
+        self.dimension = bounding_cube.dimension
+        self._points = tuple(normalized)
+        self.root = self._build(bounding_cube, list(normalized), is_root=True)
+        self.root.parent = None
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def _build(
+        self, cube: HyperCube, points: list[Point], is_root: bool = False
+    ) -> QuadtreeCell:
+        if len(points) == 1:
+            return QuadtreeCell(cube=cube, points=tuple(points))
+        # Compress: shrink to the smallest dyadic cell that still splits
+        # the points, except at the root whose cell is fixed.
+        cell_cube = cube if is_root else cube.smallest_enclosing_cell(points)
+        if is_root:
+            # The root keeps the bounding cube, but if all points fall into
+            # a single child we hang the compressed subtree directly below.
+            split_cube = cube.smallest_enclosing_cell(points)
+        else:
+            split_cube = cell_cube
+        cell = QuadtreeCell(cube=cell_cube, points=tuple(points))
+        if is_root and split_cube != cell_cube:
+            child = self._build(split_cube, points)
+            child.parent = cell
+            cell.children = [child]
+            return cell
+        groups: dict[int, list[Point]] = {}
+        for point in points:
+            groups.setdefault(self._child_index(split_cube, point), []).append(point)
+        for index in sorted(groups):
+            child_cube = split_cube.child(index)
+            child = self._build(child_cube, groups[index])
+            child.parent = cell
+            cell.children.append(child)
+        return cell
+
+    @staticmethod
+    def _child_index(cube: HyperCube, point: Point) -> int:
+        index = cube.child_index(point)
+        # Points on the far (closed) faces of the bounding cube would index
+        # a child outside the cube; clamp them into the last child.
+        child = cube.child(index)
+        if not child.contains_closed(point):  # pragma: no cover - defensive
+            raise StructureError(f"point {point} escaped its child cell")
+        return index
+
+    # ------------------------------------------------------------------ #
+    # traversal
+    # ------------------------------------------------------------------ #
+    @property
+    def points(self) -> tuple[Point, ...]:
+        return self._points
+
+    def cells(self) -> Iterator[QuadtreeCell]:
+        """Pre-order iteration over all cells."""
+        stack = [self.root]
+        while stack:
+            cell = stack.pop()
+            yield cell
+            stack.extend(reversed(cell.children))
+
+    def cell_count(self) -> int:
+        return sum(1 for _ in self.cells())
+
+    def depth(self) -> int:
+        """Maximum depth of any cell."""
+        best = 0
+        stack = [(self.root, 0)]
+        while stack:
+            cell, depth = stack.pop()
+            best = max(best, depth)
+            stack.extend((child, depth + 1) for child in cell.children)
+        return best
+
+    def locate(self, point: Point) -> QuadtreeCell:
+        """The smallest cell whose cube contains ``point``.
+
+        Points outside the bounding cube locate to the root (the caller
+        can detect this by checking containment).
+        """
+        point = as_point(point)
+        current = self.root
+        if not current.cube.contains_closed(point):
+            return current
+        while True:
+            advanced = False
+            for child in current.children:
+                if child.cube.contains_closed(point):
+                    current = child
+                    advanced = True
+                    break
+            if not advanced:
+                return current
+
+    def cells_intersecting(self, cube: HyperCube) -> list[QuadtreeCell]:
+        """Every cell whose cube intersects ``cube`` (pruned tree walk)."""
+        result: list[QuadtreeCell] = []
+        stack = [self.root]
+        while stack:
+            cell = stack.pop()
+            if not cell.cube.intersects(cube):
+                continue
+            result.append(cell)
+            stack.extend(cell.children)
+        return result
+
+    def points_in_cube(self, cube: HyperCube) -> list[Point]:
+        """All stored points inside ``cube`` (closed), via a pruned walk."""
+        result: list[Point] = []
+        stack = [self.root]
+        while stack:
+            cell = stack.pop()
+            if not cell.cube.intersects(cube):
+                continue
+            if cell.is_leaf:
+                if cell.point is not None and cube.contains_closed(cell.point):
+                    result.append(cell.point)
+                continue
+            stack.extend(cell.children)
+        return result
+
+    def nearest_point(self, query: Point) -> Point:
+        """Exact nearest neighbour by pruned best-first search (reference)."""
+        query = as_point(query)
+        best: Point | None = None
+        best_distance = float("inf")
+        stack = [self.root]
+        while stack:
+            cell = stack.pop()
+            if cell.cube.distance_to_point(query) > best_distance:
+                continue
+            if cell.is_leaf:
+                distance = point_distance(cell.point, query)
+                if distance < best_distance:
+                    best, best_distance = cell.point, distance
+                continue
+            stack.extend(
+                sorted(
+                    cell.children,
+                    key=lambda child: child.cube.distance_to_point(query),
+                    reverse=True,
+                )
+            )
+        if best is None:  # pragma: no cover - ground set is never empty
+            raise StructureError("nearest_point on an empty quadtree")
+        return best
+
+    def validate(self) -> None:
+        """Check compressed-quadtree invariants (used by tests)."""
+        for cell in self.cells():
+            if cell.is_leaf:
+                if len(cell.points) != 1:
+                    raise StructureError("leaf cell must store exactly one point")
+                if not cell.cube.contains_closed(cell.points[0]):
+                    raise StructureError("leaf point escaped its cell")
+                continue
+            if len(cell.children) == 1 and cell.parent is not None:
+                raise StructureError("non-root cell with a single child is not compressed")
+            child_points = sorted(
+                point for child in cell.children for point in child.points
+            )
+            if child_points != sorted(cell.points):
+                raise StructureError("children do not partition the cell's points")
+            for child in cell.children:
+                if not cell.cube.contains_cube(child.cube):
+                    raise StructureError("child cell escapes its parent")

@@ -1,0 +1,31 @@
+"""Character strings over fixed alphabets: compressed tries and their skip-webs.
+
+Section 3.2 of the paper builds skip-webs over compressed digital tries:
+
+* :mod:`repro.strings.alphabet` — fixed alphabets (binary, DNA, ASCII
+  subsets) and validation helpers.
+* :mod:`repro.strings.trie` — the compressed trie (PATRICIA-style) over a
+  set of strings, a range-determined link structure whose ranges are sets
+  of prefixes along root paths.
+* :mod:`repro.strings.skip_trie` — the distributed skip-web over the
+  trie: prefix searches for an arbitrary string in ``O(log n)`` expected
+  messages even when the underlying trie has depth ``O(n)`` (Lemma 4 and
+  Theorem 2).
+"""
+
+from repro.strings.alphabet import Alphabet, BINARY, DNA, LOWERCASE, PRINTABLE
+from repro.strings.trie import CompressedTrie, TrieNode
+from repro.strings.skip_trie import SkipTrieWeb, TrieStructure, TrieRange
+
+__all__ = [
+    "Alphabet",
+    "BINARY",
+    "DNA",
+    "LOWERCASE",
+    "PRINTABLE",
+    "CompressedTrie",
+    "TrieNode",
+    "SkipTrieWeb",
+    "TrieStructure",
+    "TrieRange",
+]

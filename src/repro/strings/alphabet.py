@@ -1,0 +1,84 @@
+"""Fixed alphabets for digital tries.
+
+The paper's trie results hold "for a fixed alphabet" — the branching
+factor of the trie must be a constant.  :class:`Alphabet` captures that
+constant, validates inputs, and provides the common alphabets used by the
+examples and benchmarks (binary, DNA, lowercase ASCII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class Alphabet:
+    """An ordered, fixed set of symbols.
+
+    The ordering matters only for deterministic iteration (trie children
+    are visited in alphabet order), not for any comparison semantics.
+    """
+
+    name: str
+    symbols: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.symbols:
+            raise ValueError("an alphabet needs at least one symbol")
+        if any(len(symbol) != 1 for symbol in self.symbols):
+            raise ValueError("alphabet symbols must be single characters")
+        if len(set(self.symbols)) != len(self.symbols):
+            raise ValueError("alphabet symbols must be distinct")
+
+    @property
+    def size(self) -> int:
+        return len(self.symbols)
+
+    def __contains__(self, symbol: str) -> bool:
+        return symbol in self.symbols
+
+    def validate_string(self, value: str) -> str:
+        """Return ``value`` if every character belongs to the alphabet."""
+        for character in value:
+            if character not in self.symbols:
+                raise ValueError(
+                    f"character {character!r} of {value!r} is not in alphabet {self.name}"
+                )
+        return value
+
+    def validate_strings(self, values: Iterable[str]) -> list[str]:
+        """Validate a collection of strings, returning them as a list."""
+        return [self.validate_string(value) for value in values]
+
+    def index(self, symbol: str) -> int:
+        """Position of ``symbol`` within the alphabet (deterministic ordering)."""
+        return self.symbols.index(symbol)
+
+    def sort_key(self, value: str) -> tuple[int, ...]:
+        """A sort key consistent with the alphabet order."""
+        return tuple(self.index(character) for character in value)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Alphabet({self.name!r}, size={self.size})"
+
+
+def alphabet_from_symbols(name: str, symbols: Sequence[str]) -> Alphabet:
+    """Build an alphabet from any sequence of single-character symbols."""
+    return Alphabet(name=name, symbols=tuple(symbols))
+
+
+BINARY = Alphabet(name="binary", symbols=("0", "1"))
+"""The two-symbol alphabet used by membership-vector style strings."""
+
+DNA = Alphabet(name="dna", symbols=("A", "C", "G", "T"))
+"""The four-nucleotide alphabet of the DNA database motivating example."""
+
+LOWERCASE = Alphabet(name="lowercase", symbols=tuple("abcdefghijklmnopqrstuvwxyz"))
+"""Lowercase ASCII letters — file names, titles and similar identifiers."""
+
+PRINTABLE = Alphabet(
+    name="printable",
+    symbols=tuple("0123456789abcdefghijklmnopqrstuvwxyz-_."),
+)
+"""Digits, lowercase letters and common separators — ISBN-like keys."""

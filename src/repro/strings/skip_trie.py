@@ -1,0 +1,365 @@
+"""Skip-webs over compressed tries (§3.2, Lemma 4).
+
+:class:`TrieStructure` adapts :class:`~repro.strings.trie.CompressedTrie`
+to the range-determined link structure interface.  Following §2.1, the
+range of a node ``v`` is the singleton containing the string spelled by
+the root path to ``v``, and the range of the edge ``(v, w)`` is the set
+of strings ``x·y`` where ``x`` spells ``v`` and ``y`` is a non-empty
+prefix of the edge label — i.e. the contiguous run of prefixes of ``w``'s
+string that are longer than ``v``'s string.  Two ranges conflict exactly
+when they share a prefix, which reduces to a longest-common-prefix test
+(:class:`TrieRange`).
+
+Lemma 4 (the set-halving lemma for tries) is verified empirically by
+``benchmarks/bench_lemma4_trie_halving.py``.  :class:`SkipTrieWeb` is the
+distributed structure: locating an arbitrary string — and hence prefix
+search — in ``O(log n)`` expected messages even when the trie has depth
+``O(n)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable, Mapping, Sequence
+
+from repro.core.link_structure import RangeDeterminedLinkStructure, RangeUnit, UnitKind
+from repro.core.query import QueryResult
+from repro.core.ranges import Range
+from repro.core.skipweb import SkipWeb, SkipWebConfig
+from repro.core.update import UpdateResult
+from repro.errors import QueryError, StructureError
+from repro.net.congestion import CongestionReport
+from repro.net.naming import HostId
+from repro.net.network import Network
+from repro.strings.alphabet import Alphabet, LOWERCASE
+from repro.strings.trie import CompressedTrie, TrieNode, longest_common_prefix
+
+
+@dataclass(frozen=True, slots=True)
+class TrieRange:
+    """The set of prefixes ``{high[:k] : low < k <= len(high)}``.
+
+    ``low == len(high) - 1`` gives a node's singleton range; ``low`` equal
+    to the parent's depth gives an edge's range.  Conflict (non-empty
+    intersection) between two such prefix runs reduces to comparing the
+    longest common prefix of the two ``high`` strings against both lower
+    bounds.
+    """
+
+    low: int
+    high: str
+
+    def __post_init__(self) -> None:
+        if not -1 <= self.low < len(self.high) or (self.high == "" and self.low != -1):
+            if not (self.high == "" and self.low == -1):
+                raise ValueError(f"invalid TrieRange(low={self.low}, high={self.high!r})")
+
+    def contains(self, point: Any) -> bool:
+        """Whether the string ``point`` is one of the prefixes in this range."""
+        if not isinstance(point, str):
+            return False
+        return (
+            self.low < len(point) <= len(self.high) and self.high.startswith(point)
+        ) or (self.high == "" and point == "")
+
+    def intersects(self, other: Range) -> bool:
+        if isinstance(other, TrieRange):
+            shared = len(longest_common_prefix(self.high, other.high))
+            if self.high == "" and other.high == "":
+                return True
+            return shared > max(self.low, other.low)
+        return other.intersects(self)
+
+    def match_length(self, query: str) -> int:
+        """How many characters of ``query`` this range can match."""
+        return min(len(longest_common_prefix(self.high, query)), len(self.high))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TrieRange({self.high!r}[{self.low + 1}:])"
+
+
+@dataclass(frozen=True)
+class PrefixSearchAnswer:
+    """Answer to a string-location query in the trie."""
+
+    query: str
+    matched_prefix: str
+    exact: bool
+    completions: tuple[str, ...]
+
+
+def _node_key(prefix: str) -> Hashable:
+    return ("snode", prefix)
+
+
+def _link_key(child_prefix: str) -> Hashable:
+    return ("slink", child_prefix)
+
+
+class TrieStructure(RangeDeterminedLinkStructure):
+    """A compressed trie viewed as a range-determined link structure.
+
+    Construction parameter (shared across skip-web levels):
+
+    ``alphabet``
+        The fixed :class:`~repro.strings.alphabet.Alphabet`.
+    """
+
+    name = "compressed-trie"
+
+    def __init__(self, strings: Sequence[str], alphabet: Alphabet) -> None:
+        self._alphabet = alphabet
+        self.trie = CompressedTrie(strings, alphabet)
+        self._units: list[RangeUnit] = []
+        self._units_by_key: dict[Hashable, RangeUnit] = {}
+        self._adjacency: dict[Hashable, list[Hashable]] = {}
+        self._node_by_key: dict[Hashable, TrieNode] = {}
+        self._collect_units()
+
+    @classmethod
+    def build(cls, items: Sequence[Any], **params: Any) -> "TrieStructure":
+        alphabet = params.get("alphabet", LOWERCASE)
+        return cls([str(item) for item in items], alphabet)
+
+    def build_params(self) -> dict[str, Any]:
+        return {"alphabet": self._alphabet}
+
+    # ------------------------------------------------------------------ #
+    # unit collection
+    # ------------------------------------------------------------------ #
+    def _representative(self, node: TrieNode) -> str:
+        """A stored string below ``node`` (used by owner blocking)."""
+        current = node
+        while not current.terminal:
+            current = next(iter(current.children.values()))
+        return current.prefix
+
+    def _collect_units(self) -> None:
+        for node in self.trie.nodes():
+            node_key = _node_key(node.prefix)
+            unit = RangeUnit(
+                key=node_key,
+                kind=UnitKind.NODE,
+                range=TrieRange(low=len(node.prefix) - 1, high=node.prefix),
+                payload=self._representative(node),
+            )
+            self._register(unit)
+            self._node_by_key[node_key] = node
+        for node in self.trie.nodes():
+            for child in node.children.values():
+                link_key = _link_key(child.prefix)
+                # §2.1: the edge range is the set of strings x·y where y is
+                # a *possibly empty* prefix of the edge label, so it also
+                # contains the parent node's own string — hence ``low`` is
+                # one less than the parent's depth.
+                unit = RangeUnit(
+                    key=link_key,
+                    kind=UnitKind.LINK,
+                    range=TrieRange(low=len(node.prefix) - 1, high=child.prefix),
+                    payload=(self._representative(child), self._representative(node)),
+                )
+                self._register(unit)
+                self._node_by_key[link_key] = child
+                self._connect(link_key, _node_key(node.prefix))
+                self._connect(link_key, _node_key(child.prefix))
+
+    def _register(self, unit: RangeUnit) -> None:
+        if unit.key in self._units_by_key:
+            raise StructureError(f"duplicate trie unit key {unit.key!r}")
+        self._units.append(unit)
+        self._units_by_key[unit.key] = unit
+        self._adjacency.setdefault(unit.key, [])
+
+    def _connect(self, first: Hashable, second: Hashable) -> None:
+        self._adjacency[first].append(second)
+        self._adjacency[second].append(first)
+
+    # ------------------------------------------------------------------ #
+    # RangeDeterminedLinkStructure interface
+    # ------------------------------------------------------------------ #
+    @property
+    def items(self) -> Sequence[str]:
+        return list(self.trie.strings)
+
+    def units(self) -> list[RangeUnit]:
+        return list(self._units)
+
+    def unit(self, key: Hashable) -> RangeUnit:
+        try:
+            return self._units_by_key[key]
+        except KeyError as exc:
+            raise StructureError(f"trie: no unit with key {key!r}") from exc
+
+    def neighbors(self, key: Hashable) -> list[RangeUnit]:
+        try:
+            neighbor_keys = self._adjacency[key]
+        except KeyError as exc:
+            raise StructureError(f"trie: no unit with key {key!r}") from exc
+        return [self._units_by_key[neighbor] for neighbor in neighbor_keys]
+
+    def overlapping(self, query_range: Range) -> list[RangeUnit]:
+        """Units whose prefix run intersects ``query_range`` — a path walk.
+
+        Only units along the root path of ``query_range.high`` can share a
+        prefix with it, so the walk visits the matched path instead of
+        scanning every unit.
+        """
+        if not isinstance(query_range, TrieRange):
+            return super().overlapping(query_range)
+        result: list[RangeUnit] = []
+        node, matched = self.trie.locate(query_range.high)
+        # Collect nodes and edges along the path from the root to ``node``.
+        path: list[TrieNode] = []
+        current: TrieNode | None = node
+        while current is not None:
+            path.append(current)
+            current = current.parent
+        for path_node in reversed(path):
+            node_range: TrieRange = self._units_by_key[_node_key(path_node.prefix)].range
+            if node_range.intersects(query_range):
+                result.append(self._units_by_key[_node_key(path_node.prefix)])
+            if path_node.parent is not None:
+                link_unit = self._units_by_key[_link_key(path_node.prefix)]
+                if link_unit.range.intersects(query_range):
+                    result.append(link_unit)
+        return result
+
+    def locate(self, query: Any) -> RangeUnit:
+        """The unit where a search for ``query`` stops (deepest match)."""
+        text = str(query)
+        node, matched = self.trie.locate(text)
+        if matched == node.depth or node.parent is None:
+            return self._units_by_key[_node_key(node.prefix)]
+        # The match ends inside the edge leading to ``node``.
+        return self._units_by_key[_link_key(node.prefix)]
+
+    @classmethod
+    def select(cls, query: Any, candidates: Sequence[RangeUnit]) -> RangeUnit:
+        text = str(query)
+
+        def score(unit: RangeUnit) -> tuple[int, int]:
+            rng: TrieRange = unit.range
+            match = rng.match_length(text)
+            # Prefer the deepest match; among equal matches prefer the unit
+            # whose range does not overshoot the match (nodes over edges).
+            overshoot = len(rng.high) - match
+            return (match, -overshoot)
+
+        return max(candidates, key=score)
+
+    @classmethod
+    def advance(
+        cls,
+        query: Any,
+        current: RangeUnit,
+        neighbors: Mapping[Hashable, Range],
+    ) -> Hashable | None:
+        text = str(query)
+        current_range: TrieRange = current.range
+        current_match = current_range.match_length(text)
+        best_key: Hashable | None = None
+        best_match = current_match
+        for key, rng in neighbors.items():
+            if not isinstance(rng, TrieRange):
+                continue
+            match = rng.match_length(text)
+            if match > best_match:
+                best_match = match
+                best_key = key
+        return best_key
+
+    def answer(self, query: Any, unit: RangeUnit) -> PrefixSearchAnswer:
+        text = str(query)
+        matched = self.trie.longest_matching_prefix(text)
+        completions = tuple(self.trie.strings_with_prefix(matched))
+        return PrefixSearchAnswer(
+            query=text,
+            matched_prefix=matched,
+            exact=text in self.trie,
+            completions=completions,
+        )
+
+
+class SkipTrieWeb:
+    """A distributed skip-web over a compressed trie.
+
+    Supports locating an arbitrary string (the deepest stored prefix that
+    matches it) and prefix searches, with ``O(log n)`` expected messages.
+    """
+
+    def __init__(
+        self,
+        strings: Sequence[str],
+        alphabet: Alphabet = LOWERCASE,
+        network: Network | None = None,
+        host_count: int | None = None,
+        blocking: str = "owner",
+        seed: int = 0,
+    ) -> None:
+        config = SkipWebConfig(
+            host_count=host_count,
+            blocking=blocking,
+            seed=seed,
+            structure_params={"alphabet": alphabet},
+        )
+        self.alphabet = alphabet
+        self.web = SkipWeb(TrieStructure, list(strings), network=network, config=config)
+
+    # -- queries -------------------------------------------------------- #
+    def locate(self, text: str, origin_host: HostId | None = None) -> QueryResult:
+        """Find the deepest stored prefix matching ``text``."""
+        return self.web.query(str(text), origin_host=origin_host)
+
+    def contains(self, text: str, origin_host: HostId | None = None) -> bool:
+        """Exact-membership query."""
+        return bool(self.locate(text, origin_host=origin_host).answer.exact)
+
+    def prefix_search(
+        self, prefix: str, origin_host: HostId | None = None
+    ) -> tuple[QueryResult, list[str]]:
+        """All stored strings starting with ``prefix``.
+
+        The distributed part is locating ``prefix``; enumerating the
+        matching subtree is then local to the hosts storing it (returned
+        from the level-0 trie).
+        """
+        result = self.locate(prefix, origin_host=origin_host)
+        matches = self.level0_trie.strings_with_prefix(str(prefix))
+        return result, matches
+
+    # -- updates -------------------------------------------------------- #
+    def insert(self, text: str, origin_host: HostId | None = None) -> UpdateResult:
+        return self.web.insert(str(text), origin_host=origin_host)
+
+    def delete(self, text: str, origin_host: HostId | None = None) -> UpdateResult:
+        return self.web.delete(str(text), origin_host=origin_host)
+
+    # -- accounting ------------------------------------------------------ #
+    @property
+    def network(self) -> Network:
+        return self.web.network
+
+    @property
+    def strings(self) -> list[str]:
+        return sorted(self.web.items)
+
+    @property
+    def host_count(self) -> int:
+        return self.web.host_count
+
+    @property
+    def level0_trie(self) -> CompressedTrie:
+        structure: TrieStructure = self.web.level_structure(0, ())
+        return structure.trie
+
+    def max_memory_per_host(self) -> int:
+        return self.web.max_memory_per_host()
+
+    def congestion(self) -> CongestionReport:
+        return self.web.congestion()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SkipTrieWeb(n={len(self.web.items)}, alphabet={self.alphabet.name}, "
+            f"hosts={self.host_count})"
+        )

@@ -1,0 +1,227 @@
+"""Compressed digital tries (§3.2 of the paper).
+
+A compressed trie (PATRICIA trie) over a set of strings from a fixed
+alphabet keeps only the *branching* positions: every node is either the
+root, a node where at least two stored strings diverge, or a node marking
+the end of a stored string; chains of single-child nodes are collapsed
+into labelled edges.  The tree therefore has ``O(n)`` nodes for ``n``
+strings while its depth can be ``Θ(n)`` (long shared prefixes) — the
+situation where the skip-web's ``O(log n)``-message search is interesting.
+
+Every node is identified by the string spelled by the path from the root
+to it; that string is also what the skip-web range of the node/edge is
+built from (see :class:`repro.strings.skip_trie.TrieRange`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import StructureError
+from repro.strings.alphabet import Alphabet
+
+
+@dataclass
+class TrieNode:
+    """One node of a compressed trie.
+
+    ``prefix`` is the full string spelled from the root to this node;
+    ``children`` maps the first character of each outgoing edge label to
+    the child node; ``terminal`` records whether ``prefix`` itself is one
+    of the stored strings.
+    """
+
+    prefix: str
+    terminal: bool = False
+    children: dict[str, "TrieNode"] = field(default_factory=dict)
+    parent: "TrieNode | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def depth(self) -> int:
+        """Length of the node's prefix (string depth, not edge count)."""
+        return len(self.prefix)
+
+    def edge_label_to(self, child: "TrieNode") -> str:
+        """The label of the edge from this node to ``child``."""
+        if not child.prefix.startswith(self.prefix):
+            raise StructureError(
+                f"{child.prefix!r} is not a descendant of {self.prefix!r}"
+            )
+        return child.prefix[len(self.prefix) :]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TrieNode({self.prefix!r}, terminal={self.terminal}, "
+            f"children={len(self.children)})"
+        )
+
+
+def longest_common_prefix(first: str, second: str) -> str:
+    """The longest common prefix of two strings."""
+    limit = min(len(first), len(second))
+    index = 0
+    while index < limit and first[index] == second[index]:
+        index += 1
+    return first[:index]
+
+
+class CompressedTrie:
+    """A compressed trie over a set of strings.
+
+    Parameters
+    ----------
+    strings:
+        The stored strings (duplicates collapsed).  The empty string is
+        allowed and simply marks the root as terminal.
+    alphabet:
+        The fixed alphabet; every string is validated against it.
+    """
+
+    def __init__(self, strings: Sequence[str], alphabet: Alphabet) -> None:
+        unique = sorted(set(strings), key=alphabet.sort_key)
+        if not unique:
+            raise StructureError("compressed trie requires at least one string")
+        self.alphabet = alphabet
+        for value in unique:
+            alphabet.validate_string(value)
+        self._strings = tuple(unique)
+        self.root = TrieNode(prefix="", terminal=("" in set(unique)))
+        self._node_by_prefix: dict[str, TrieNode] = {"": self.root}
+        non_empty = [value for value in unique if value]
+        self._build(self.root, non_empty)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def _build(self, node: TrieNode, strings: list[str]) -> None:
+        """Recursively attach compressed children of ``node`` for ``strings``.
+
+        Every string in ``strings`` is a proper extension of
+        ``node.prefix``; strings are grouped by their next character and
+        each group becomes one compressed edge.
+        """
+        groups: dict[str, list[str]] = {}
+        for value in strings:
+            groups.setdefault(value[len(node.prefix)], []).append(value)
+        for first_character in sorted(groups, key=self.alphabet.index):
+            group = groups[first_character]
+            common = group[0]
+            for value in group[1:]:
+                common = longest_common_prefix(common, value)
+            # ``common`` extends node.prefix by at least one character.
+            child = TrieNode(prefix=common, parent=node)
+            child.terminal = common in group
+            node.children[first_character] = child
+            self._node_by_prefix[common] = child
+            remaining = [value for value in group if len(value) > len(common)]
+            self._build(child, remaining)
+
+    # ------------------------------------------------------------------ #
+    # traversal and queries
+    # ------------------------------------------------------------------ #
+    @property
+    def strings(self) -> tuple[str, ...]:
+        return self._strings
+
+    def nodes(self) -> Iterator[TrieNode]:
+        """Pre-order iteration over all nodes."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(list(node.children.values())))
+
+    def node_count(self) -> int:
+        return sum(1 for _ in self.nodes())
+
+    def depth(self) -> int:
+        """Maximum string depth of any node."""
+        return max(node.depth for node in self.nodes())
+
+    def node(self, prefix: str) -> TrieNode:
+        """The node whose root path spells ``prefix`` exactly."""
+        try:
+            return self._node_by_prefix[prefix]
+        except KeyError as exc:
+            raise StructureError(f"no trie node with prefix {prefix!r}") from exc
+
+    def __contains__(self, value: str) -> bool:
+        node = self._node_by_prefix.get(value)
+        return bool(node and node.terminal)
+
+    def locate(self, query: str) -> tuple[TrieNode, int]:
+        """Where a search for ``query`` ends.
+
+        Returns ``(node, matched)`` where ``node`` is the deepest node
+        whose edge path matches ``query`` as far as possible and
+        ``matched`` is the number of characters of ``query`` matched
+        (``matched`` may fall inside the edge leading to ``node``, i.e.
+        ``node.parent.depth < matched <= node.depth``, or equal
+        ``node.depth`` when the match stops exactly at the node).
+        """
+        node = self.root
+        matched = 0
+        while matched < len(query):
+            child = node.children.get(query[matched])
+            if child is None:
+                return node, matched
+            label = node.edge_label_to(child)
+            remaining = query[matched:]
+            common = longest_common_prefix(label, remaining)
+            matched += len(common)
+            if len(common) < len(label):
+                return child, matched
+            node = child
+        return node, matched
+
+    def longest_matching_prefix(self, query: str) -> str:
+        """The longest prefix of ``query`` that lies on some root path."""
+        _node, matched = self.locate(query)
+        return query[:matched]
+
+    def strings_with_prefix(self, prefix: str) -> list[str]:
+        """All stored strings that start with ``prefix`` (subtree walk)."""
+        node, matched = self.locate(prefix)
+        if matched < len(prefix):
+            return []
+        # ``node`` is the shallowest node at or below the end of ``prefix``.
+        start = node if node.depth >= len(prefix) else node
+        result = []
+        stack = [start]
+        while stack:
+            current = stack.pop()
+            if current.terminal and current.prefix.startswith(prefix):
+                result.append(current.prefix)
+            stack.extend(current.children.values())
+        return sorted(result)
+
+    def validate(self) -> None:
+        """Check compressed-trie invariants (used by tests)."""
+        stored = set(self._strings)
+        found_terminals = set()
+        for node in self.nodes():
+            if node.terminal:
+                found_terminals.add(node.prefix)
+            if node.parent is not None:
+                if not node.prefix.startswith(node.parent.prefix):
+                    raise StructureError("child prefix does not extend parent prefix")
+                if len(node.prefix) <= len(node.parent.prefix):
+                    raise StructureError("edge label must be non-empty")
+            if (
+                node.parent is not None
+                and not node.terminal
+                and len(node.children) == 1
+            ):
+                raise StructureError(
+                    f"non-terminal node {node.prefix!r} with one child is not compressed"
+                )
+        if found_terminals != stored:
+            raise StructureError(
+                "terminal nodes do not match the stored string set: "
+                f"{sorted(found_terminals)} vs {sorted(stored)}"
+            )

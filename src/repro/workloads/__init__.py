@@ -1,0 +1,48 @@
+"""Synthetic workload generators.
+
+The paper motivates skip-webs with application scenarios — DNA databases,
+ISBN prefix queries, location-based services, campus maps — but, being a
+theory paper, ships no data.  This subpackage provides deterministic
+(seeded) synthetic stand-ins for each scenario so that every benchmark
+and example is reproducible:
+
+* :mod:`repro.workloads.generators` — one-dimensional keys (uniform,
+  clustered, Zipf-weighted query mixes) and d-dimensional point clouds
+  (uniform, clustered, line-degenerate).
+* :mod:`repro.workloads.strings` — fixed-alphabet strings: random, DNA
+  reads with shared motifs, ISBN-like identifiers with common publisher
+  prefixes.
+* :mod:`repro.workloads.planar_maps` — non-crossing segment sets in
+  general position: random rejection-sampled maps, x-disjoint maps and
+  street-grid "campus map" layouts.
+"""
+
+from repro.workloads.generators import (
+    clustered_points,
+    clustered_keys,
+    degenerate_line_points,
+    uniform_keys,
+    uniform_points,
+    zipf_query_mix,
+)
+from repro.workloads.strings import dna_reads, isbn_like_keys, random_strings
+from repro.workloads.planar_maps import (
+    city_map_segments,
+    non_crossing_segments,
+    x_disjoint_segments,
+)
+
+__all__ = [
+    "uniform_keys",
+    "clustered_keys",
+    "uniform_points",
+    "clustered_points",
+    "degenerate_line_points",
+    "zipf_query_mix",
+    "random_strings",
+    "dna_reads",
+    "isbn_like_keys",
+    "non_crossing_segments",
+    "x_disjoint_segments",
+    "city_map_segments",
+]

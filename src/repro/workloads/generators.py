@@ -1,0 +1,141 @@
+"""Numeric workloads: one-dimensional keys and d-dimensional point clouds.
+
+All generators take an explicit ``random.Random`` (or a seed) so that
+benchmarks and tests are reproducible, and return plain Python values
+(floats, tuples) accepted directly by the structures.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+
+def _rng(seed_or_rng: int | random.Random) -> random.Random:
+    if isinstance(seed_or_rng, random.Random):
+        return seed_or_rng
+    return random.Random(seed_or_rng)
+
+
+# --------------------------------------------------------------------- #
+# one-dimensional keys
+# --------------------------------------------------------------------- #
+def uniform_keys(
+    count: int, seed: int | random.Random = 0, low: float = 0.0, high: float = 1_000_000.0
+) -> list[float]:
+    """``count`` distinct keys drawn uniformly from ``[low, high)``."""
+    rng = _rng(seed)
+    keys: set[float] = set()
+    while len(keys) < count:
+        keys.add(round(rng.uniform(low, high), 6))
+    return sorted(keys)
+
+
+def clustered_keys(
+    count: int,
+    seed: int | random.Random = 0,
+    clusters: int = 10,
+    spread: float = 1.0,
+    low: float = 0.0,
+    high: float = 1_000_000.0,
+) -> list[float]:
+    """Keys concentrated around ``clusters`` random centres.
+
+    Clustered keys exercise the case where consecutive gaps vary by many
+    orders of magnitude — the regime where naive partitioning strategies
+    lose balance but randomized levels do not.
+    """
+    rng = _rng(seed)
+    centres = [rng.uniform(low, high) for _ in range(max(1, clusters))]
+    keys: set[float] = set()
+    while len(keys) < count:
+        centre = rng.choice(centres)
+        keys.add(round(centre + rng.gauss(0.0, spread), 6))
+    return sorted(keys)
+
+
+def zipf_query_mix(
+    keys: Sequence[float],
+    count: int,
+    seed: int | random.Random = 0,
+    exponent: float = 1.1,
+    miss_fraction: float = 0.3,
+    low: float = 0.0,
+    high: float = 1_000_000.0,
+) -> list[float]:
+    """A skewed query workload over ``keys``.
+
+    A ``1 - miss_fraction`` share of queries asks for stored keys with a
+    Zipf-like popularity profile (hot keys queried far more often); the
+    rest are uniform misses, exercising the nearest-neighbour path.
+    """
+    rng = _rng(seed)
+    ranked = list(keys)
+    rng.shuffle(ranked)
+    weights = [1.0 / (rank + 1) ** exponent for rank in range(len(ranked))]
+    queries: list[float] = []
+    for _ in range(count):
+        if rng.random() < miss_fraction or not ranked:
+            queries.append(rng.uniform(low, high))
+        else:
+            queries.append(rng.choices(ranked, weights=weights, k=1)[0])
+    return queries
+
+
+# --------------------------------------------------------------------- #
+# d-dimensional points
+# --------------------------------------------------------------------- #
+def uniform_points(
+    count: int, dimension: int = 2, seed: int | random.Random = 0
+) -> list[tuple[float, ...]]:
+    """``count`` distinct points uniform in the unit cube ``[0, 1)^d``."""
+    rng = _rng(seed)
+    points: set[tuple[float, ...]] = set()
+    while len(points) < count:
+        points.add(tuple(round(rng.random(), 9) for _ in range(dimension)))
+    return sorted(points)
+
+
+def clustered_points(
+    count: int,
+    dimension: int = 2,
+    seed: int | random.Random = 0,
+    clusters: int = 5,
+    spread: float = 0.01,
+) -> list[tuple[float, ...]]:
+    """Points concentrated around a few centres — produces deep quadtrees."""
+    rng = _rng(seed)
+    centres = [
+        tuple(rng.uniform(0.2, 0.8) for _ in range(dimension)) for _ in range(max(1, clusters))
+    ]
+    points: set[tuple[float, ...]] = set()
+    while len(points) < count:
+        centre = rng.choice(centres)
+        candidate = tuple(
+            min(0.999999, max(0.0, coordinate + rng.gauss(0.0, spread)))
+            for coordinate in centre
+        )
+        points.add(candidate)
+    return sorted(points)
+
+
+def degenerate_line_points(
+    count: int, dimension: int = 2, seed: int | random.Random = 0
+) -> list[tuple[float, ...]]:
+    """Points packed exponentially close along a diagonal line.
+
+    This is the adversarial input for plain quadtrees: the compressed tree
+    remains linear in size but its depth grows linearly with ``count``,
+    which is exactly the situation where the skip-web's ``O(log n)``
+    message bound is non-trivial.
+    """
+    rng = _rng(seed)
+    points: list[tuple[float, ...]] = []
+    scale = 0.5
+    for index in range(count):
+        jitter = rng.uniform(0.1, 0.9)
+        points.append(tuple(0.5 + scale * jitter for _ in range(dimension)))
+        scale /= 2
+        if scale < 1e-12:
+            scale = 0.25
+    return sorted(set(points))

@@ -1,0 +1,153 @@
+"""Non-crossing segment workloads for trapezoidal maps.
+
+Trapezoidal maps require non-crossing segments in general position
+(pairwise distinct endpoint x-coordinates, no vertical segments).  The
+generators below produce such inputs deterministically:
+
+* :func:`x_disjoint_segments` — segments with pairwise disjoint x-ranges;
+  trivially non-crossing, cheap at any size.
+* :func:`non_crossing_segments` — rejection sampling of random segments;
+  a richer map with stacked segments and long vertical visibility
+  relations.
+* :func:`city_map_segments` — jittered street-grid layout approximating
+  the "campus or city map" GIS scenario of the paper's introduction.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from repro.planar.segments import Segment
+
+
+def _rng(seed_or_rng: int | random.Random) -> random.Random:
+    if isinstance(seed_or_rng, random.Random):
+        return seed_or_rng
+    return random.Random(seed_or_rng)
+
+
+def _distinct_xs(rng: random.Random, count: int, low: float, high: float) -> list[float]:
+    xs: set[float] = set()
+    while len(xs) < count:
+        xs.add(round(rng.uniform(low, high), 6))
+    return sorted(xs)
+
+
+def x_disjoint_segments(
+    count: int,
+    seed: int | random.Random = 0,
+    low: float = 0.0,
+    high: float = 100.0,
+) -> list[Segment]:
+    """Segments whose x-ranges are pairwise disjoint (never cross)."""
+    rng = _rng(seed)
+    xs = _distinct_xs(rng, 2 * count, low, high)
+    segments = []
+    for index in range(count):
+        x1, x2 = xs[2 * index], xs[2 * index + 1]
+        y1, y2 = rng.uniform(low, high), rng.uniform(low, high)
+        segments.append(Segment.of((x1, y1), (x2, y2)))
+    return segments
+
+
+def non_crossing_segments(
+    count: int,
+    seed: int | random.Random = 0,
+    low: float = 0.0,
+    high: float = 100.0,
+    max_attempts_factor: int = 200,
+) -> list[Segment]:
+    """Random non-crossing segments via rejection sampling.
+
+    Candidate segments with modest length are drawn uniformly and kept
+    only when they cross none of the segments accepted so far.  Endpoint
+    x-coordinates are drawn from a shared pool of distinct values so the
+    general-position requirement holds by construction.
+    """
+    rng = _rng(seed)
+    xs = _distinct_xs(rng, 2 * count, low, high)
+    rng.shuffle(xs)
+    accepted: list[Segment] = []
+    attempts = 0
+    max_attempts = max_attempts_factor * count
+    available = list(xs)
+    while len(accepted) < count and attempts < max_attempts:
+        attempts += 1
+        if len(available) < 2:
+            break
+        x1, x2 = sorted(rng.sample(available, 2))
+        if x2 - x1 > (high - low) / 4:
+            continue
+        y1, y2 = rng.uniform(low, high), rng.uniform(low, high)
+        if abs(y2 - y1) > (high - low) / 3:
+            continue
+        candidate = Segment.of((x1, y1), (x2, y2))
+        if any(candidate.crosses(existing) for existing in accepted):
+            continue
+        accepted.append(candidate)
+        available.remove(x1)
+        available.remove(x2)
+    if len(accepted) < count:
+        # Top up with x-disjoint segments drawn from the remaining pool,
+        # still rejecting any candidate that crosses an accepted segment.
+        remaining = sorted(available)
+        index = 0
+        while len(accepted) < count and index + 1 < len(remaining):
+            x1, x2 = remaining[index], remaining[index + 1]
+            y1, y2 = rng.uniform(low, high), rng.uniform(low, high)
+            candidate = Segment.of((x1, y1), (x2, y2))
+            index += 2
+            if any(candidate.crosses(existing) for existing in accepted):
+                continue
+            accepted.append(candidate)
+    # Final guarantee: place any still-missing segments in fresh x-territory
+    # to the right of everything generated so far, where nothing can cross.
+    next_x = max((segment.x_max for segment in accepted), default=high) + 1.0
+    while len(accepted) < count:
+        x1 = round(next_x + rng.uniform(0.1, 0.5), 6)
+        x2 = round(x1 + rng.uniform(0.5, 2.0), 6)
+        accepted.append(
+            Segment.of((x1, rng.uniform(low, high)), (x2, rng.uniform(low, high)))
+        )
+        next_x = x2
+    return accepted
+
+
+def city_map_segments(
+    blocks_x: int = 4,
+    blocks_y: int = 3,
+    seed: int | random.Random = 0,
+    size: float = 100.0,
+) -> list[Segment]:
+    """A jittered street grid: horizontal street segments between junctions.
+
+    Streets run roughly east-west at distinct heights; each street is
+    broken at every junction so the map contains many short segments, as
+    a digitised campus map would.  Vertical avenues are omitted (vertical
+    segments are outside the general-position model) — their role as
+    visibility blockers is played by the junction gaps.
+    """
+    rng = _rng(seed)
+    segments: list[Segment] = []
+    used_xs: set[float] = set()
+
+    def fresh_x(base: float) -> float:
+        candidate = base
+        while round(candidate, 6) in used_xs:
+            candidate += rng.uniform(0.001, 0.01)
+        used_xs.add(round(candidate, 6))
+        return round(candidate, 6)
+
+    for row in range(blocks_y + 1):
+        y_base = size * row / max(1, blocks_y)
+        for column in range(blocks_x):
+            x_start = fresh_x(size * column / blocks_x + rng.uniform(0.5, 2.0))
+            x_end = fresh_x(size * (column + 1) / blocks_x - rng.uniform(0.5, 2.0))
+            if x_end <= x_start:
+                continue
+            y_jitter = rng.uniform(-1.0, 1.0)
+            segments.append(
+                Segment.of((x_start, y_base + y_jitter), (x_end, y_base + y_jitter))
+            )
+    return segments

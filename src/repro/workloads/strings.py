@@ -1,0 +1,110 @@
+"""String workloads over fixed alphabets.
+
+The paper's motivating examples for trie skip-webs are DNA databases and
+ISBN prefix queries; these generators provide deterministic synthetic
+stand-ins with the structural properties that matter (shared motifs /
+publisher prefixes creating deep shared paths in the trie).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.strings.alphabet import Alphabet, DNA, LOWERCASE, PRINTABLE
+
+
+def _rng(seed_or_rng: int | random.Random) -> random.Random:
+    if isinstance(seed_or_rng, random.Random):
+        return seed_or_rng
+    return random.Random(seed_or_rng)
+
+
+def random_strings(
+    count: int,
+    alphabet: Alphabet = LOWERCASE,
+    seed: int | random.Random = 0,
+    min_length: int = 4,
+    max_length: int = 12,
+) -> list[str]:
+    """``count`` distinct random strings of varying length."""
+    rng = _rng(seed)
+    strings: set[str] = set()
+    while len(strings) < count:
+        length = rng.randint(min_length, max_length)
+        strings.add("".join(rng.choice(alphabet.symbols) for _ in range(length)))
+    return sorted(strings)
+
+
+def dna_reads(
+    count: int,
+    seed: int | random.Random = 0,
+    read_length: int = 24,
+    motif_count: int = 8,
+    motif_length: int = 12,
+) -> list[str]:
+    """Synthetic DNA reads sharing a small pool of motifs.
+
+    Reads start with one of ``motif_count`` shared motifs followed by
+    random nucleotides, so the compressed trie develops long shared paths
+    (the regime where trie depth is large but the skip-web search stays
+    logarithmic in the number of reads).
+    """
+    rng = _rng(seed)
+    motifs = [
+        "".join(rng.choice(DNA.symbols) for _ in range(motif_length))
+        for _ in range(max(1, motif_count))
+    ]
+    reads: set[str] = set()
+    while len(reads) < count:
+        motif = rng.choice(motifs)
+        suffix_length = max(1, read_length - motif_length)
+        suffix = "".join(rng.choice(DNA.symbols) for _ in range(suffix_length))
+        reads.add(motif + suffix)
+    return sorted(reads)
+
+
+def isbn_like_keys(
+    count: int,
+    seed: int | random.Random = 0,
+    publisher_count: int = 12,
+) -> list[str]:
+    """ISBN-like identifiers ``<group>-<publisher>-<title>``.
+
+    A prefix query for ``<group>-<publisher>`` returns all titles by that
+    publisher — the exact example the paper's introduction gives for
+    string prefix queries in a book database.
+    """
+    rng = _rng(seed)
+    publishers = [
+        f"{rng.randint(0, 9)}-{rng.randint(100, 999)}"
+        for _ in range(max(1, publisher_count))
+    ]
+    keys: set[str] = set()
+    while len(keys) < count:
+        publisher = rng.choice(publishers)
+        title = rng.randint(10000, 99999)
+        check = rng.randint(0, 9)
+        keys.add(f"{publisher}-{title}-{check}")
+    return sorted(PRINTABLE.validate_strings(keys))
+
+
+def prefix_queries(
+    strings: Sequence[str],
+    count: int,
+    seed: int | random.Random = 0,
+    min_prefix: int = 2,
+) -> list[str]:
+    """Prefix queries drawn from the stored strings (plus a few misses)."""
+    rng = _rng(seed)
+    queries: list[str] = []
+    pool = list(strings)
+    for _ in range(count):
+        source = rng.choice(pool)
+        length = rng.randint(min_prefix, max(min_prefix, len(source)))
+        prefix = source[:length]
+        if rng.random() < 0.2 and prefix:
+            # Perturb the last character to generate near-miss queries.
+            prefix = prefix[:-1] + ("z" if prefix[-1] != "z" else "a")
+        queries.append(prefix)
+    return queries

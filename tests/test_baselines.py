@@ -1,0 +1,231 @@
+"""Tests for the Table 1 baseline structures."""
+
+import bisect
+import random
+from statistics import mean
+
+import pytest
+
+from repro.baselines import (
+    BucketSkipGraph,
+    ChordDHT,
+    DeterministicSkipNet,
+    FamilyTreeOverlay,
+    NoNSkipGraph,
+    SkipGraph,
+    SkipList,
+    SkipNet,
+)
+from repro.errors import QueryError, UpdateError
+from repro.workloads import uniform_keys
+
+ORDERED_BASELINES = [
+    SkipGraph,
+    SkipNet,
+    NoNSkipGraph,
+    FamilyTreeOverlay,
+    DeterministicSkipNet,
+    BucketSkipGraph,
+]
+
+
+def reference_nearest(keys, query):
+    index = bisect.bisect_left(keys, query)
+    candidates = []
+    if index > 0:
+        candidates.append(keys[index - 1])
+    if index < len(keys):
+        candidates.append(keys[index])
+    return min(candidates, key=lambda value: abs(value - query))
+
+
+@pytest.fixture(scope="module")
+def workload():
+    keys = uniform_keys(150, seed=50)
+    rng = random.Random(51)
+    queries = [rng.uniform(0, 1_000_000) for _ in range(30)] + keys[:5]
+    return keys, queries
+
+
+class TestSkipList:
+    def test_search_and_membership(self):
+        keys = uniform_keys(200, seed=1)
+        skiplist = SkipList(keys, seed=2)
+        skiplist.validate()
+        assert len(skiplist) == len(keys)
+        assert keys[5] in skiplist
+        assert keys[5] + 0.123 not in skiplist
+
+    def test_nearest_matches_reference(self):
+        keys = uniform_keys(100, seed=3)
+        skiplist = SkipList(keys, seed=4)
+        rng = random.Random(5)
+        for query in [rng.uniform(0, 1_000_000) for _ in range(25)]:
+            assert skiplist.search(query).nearest == reference_nearest(keys, query)
+
+    def test_insert_and_delete(self):
+        skiplist = SkipList([1.0, 2.0, 3.0], seed=6)
+        skiplist.insert(2.5)
+        assert 2.5 in skiplist
+        assert skiplist.delete(2.5) is True
+        assert skiplist.delete(2.5) is False
+        skiplist.validate()
+
+    def test_search_hops_grow_logarithmically(self):
+        rng = random.Random(7)
+        means = []
+        for n in (128, 2048):
+            keys = uniform_keys(n, seed=n)
+            skiplist = SkipList(keys, seed=8)
+            queries = [rng.uniform(0, 1_000_000) for _ in range(80)]
+            means.append(mean(skiplist.search(q).hops for q in queries))
+        # Quadrupling n twice should roughly add a constant per doubling,
+        # nowhere near the 16x a linear structure would show.
+        assert means[1] <= means[0] * 3
+
+    def test_space_is_linear(self):
+        keys = uniform_keys(500, seed=9)
+        skiplist = SkipList(keys, seed=10)
+        assert skiplist.node_count() <= 4 * len(keys)
+
+    def test_empty_search_raises(self):
+        with pytest.raises(QueryError):
+            SkipList().search(1.0)
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            SkipList(probability=1.5)
+
+
+class TestOrderedBaselines:
+    @pytest.mark.parametrize("cls", ORDERED_BASELINES)
+    def test_search_matches_reference(self, cls, workload):
+        keys, queries = workload
+        structure = cls(keys, seed=60)
+        rng = random.Random(61)
+        for query in queries:
+            outcome = structure.search(query, origin_key=rng.choice(keys))
+            assert outcome.nearest == reference_nearest(keys, query)
+
+    @pytest.mark.parametrize("cls", ORDERED_BASELINES)
+    def test_exact_flag(self, cls, workload):
+        keys, _queries = workload
+        structure = cls(keys, seed=62)
+        assert structure.search(keys[3]).exact
+        assert not structure.search(keys[3] + 0.123).exact
+
+    @pytest.mark.parametrize("cls", ORDERED_BASELINES)
+    def test_insert_then_searchable(self, cls, workload):
+        keys, _queries = workload
+        structure = cls(keys, seed=63)
+        outcome = structure.insert(123456.789)
+        assert outcome.messages >= 1
+        assert structure.search(123456.789).exact
+
+    @pytest.mark.parametrize("cls", ORDERED_BASELINES)
+    def test_delete_then_not_found(self, cls, workload):
+        keys, _queries = workload
+        structure = cls(keys, seed=64)
+        structure.delete(keys[7], origin_key=keys[0])
+        assert keys[7] not in structure.keys
+        assert not structure.search(keys[7], origin_key=keys[0]).exact
+
+    @pytest.mark.parametrize("cls", ORDERED_BASELINES)
+    def test_update_errors(self, cls, workload):
+        keys, _queries = workload
+        structure = cls(keys, seed=65)
+        with pytest.raises(UpdateError):
+            structure.insert(keys[0])
+        with pytest.raises(UpdateError):
+            structure.delete(keys[0] + 0.5)
+
+    @pytest.mark.parametrize("cls", ORDERED_BASELINES)
+    def test_unknown_origin_raises(self, cls, workload):
+        keys, _queries = workload
+        structure = cls(keys, seed=66)
+        with pytest.raises(QueryError):
+            structure.search(1.0, origin_key=-12345.0)
+
+
+class TestTable1Shapes:
+    """The qualitative relationships Table 1 asserts between the methods."""
+
+    @pytest.fixture(scope="class")
+    def structures(self):
+        keys = uniform_keys(256, seed=70)
+        rng = random.Random(71)
+        queries = [rng.uniform(0, 1_000_000) for _ in range(40)]
+        built = {
+            "skip graph": SkipGraph(keys, seed=72),
+            "NoN": NoNSkipGraph(keys, seed=72),
+            "family tree": FamilyTreeOverlay(keys, seed=72),
+            "deterministic": DeterministicSkipNet(keys, seed=72),
+            "bucket": BucketSkipGraph(keys, seed=72),
+        }
+        costs = {
+            name: mean(s.search(q, origin_key=rng.choice(keys)).messages for q in queries)
+            for name, s in built.items()
+        }
+        return keys, built, costs
+
+    def test_non_lookahead_speeds_up_queries(self, structures):
+        _keys, _built, costs = structures
+        assert costs["NoN"] < costs["skip graph"]
+
+    def test_non_lookahead_costs_memory(self, structures):
+        _keys, built, _costs = structures
+        assert built["NoN"].max_memory_per_host() > 2 * built["skip graph"].max_memory_per_host()
+
+    def test_family_tree_has_constant_degree(self, structures):
+        _keys, built, _costs = structures
+        assert built["family tree"].max_memory_per_host() <= 8
+
+    def test_bucket_uses_fewer_hosts(self, structures):
+        keys, built, _costs = structures
+        assert built["bucket"].host_count < len(keys)
+        assert built["skip graph"].host_count == len(keys)
+
+    def test_skip_graph_memory_is_logarithmic(self, structures):
+        keys, built, _costs = structures
+        assert built["skip graph"].max_memory_per_host() <= 4 * 8 + 8
+
+    def test_deterministic_invariant_after_updates(self):
+        keys = uniform_keys(100, seed=73)
+        structure = DeterministicSkipNet(keys, seed=74)
+        rng = random.Random(75)
+        for _ in range(6):
+            structure.insert(rng.uniform(0, 1_000_000))
+        for victim in rng.sample(structure.keys, 4):
+            structure.delete(victim, origin_key=structure.keys[0])
+        structure.validate_invariant()
+        ordered = sorted(structure.keys)
+        for query in [rng.uniform(0, 1_000_000) for _ in range(10)]:
+            assert structure.search(query).nearest == reference_nearest(ordered, query)
+
+
+class TestChord:
+    def test_lookup_finds_every_key(self):
+        keys = uniform_keys(120, seed=80)
+        chord = ChordDHT(keys)
+        rng = random.Random(81)
+        for key in rng.sample(keys, 25):
+            outcome = chord.lookup(key)
+            assert outcome.found
+            assert outcome.messages >= 1
+
+    def test_lookup_missing_key_not_found(self):
+        keys = uniform_keys(60, seed=82)
+        chord = ChordDHT(keys)
+        assert not chord.lookup(123.456).found
+
+    def test_lookup_cost_is_logarithmic(self):
+        keys = uniform_keys(256, seed=83)
+        chord = ChordDHT(keys)
+        rng = random.Random(84)
+        costs = [chord.lookup(k).messages for k in rng.sample(keys, 30)]
+        assert mean(costs) <= 12
+
+    def test_nearest_neighbor_unsupported(self):
+        chord = ChordDHT([1.0, 2.0, 3.0])
+        with pytest.raises(NotImplementedError):
+            chord.nearest_neighbor(1.5)

@@ -1,0 +1,133 @@
+"""Tests for the benchmark harness (fitting, reporting, experiments) and the CLI."""
+
+import math
+
+import pytest
+
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    ablation_blocking,
+    fig1_skiplist,
+    fig2_skipweb_levels,
+    lemma1_list,
+    theorem2_onedim,
+)
+from repro.bench.fitting import GROWTH_LAWS, best_growth_law, fit_scale, growth_ratio
+from repro.bench.reporting import format_series, format_table
+from repro.cli import build_parser, main
+
+
+class TestFitting:
+    def test_fit_scale_recovers_constant(self):
+        sizes = [64, 256, 1024, 4096]
+        values = [3.0 * math.log2(n) for n in sizes]
+        fit = fit_scale(sizes, values, "log n")
+        assert fit.scale == pytest.approx(3.0)
+        assert fit.relative_error < 1e-9
+        assert fit.predict(64) == pytest.approx(values[0])
+
+    def test_best_growth_law_identifies_logarithm(self):
+        sizes = [64, 256, 1024, 4096, 16384]
+        values = [2.0 * math.log2(n) + 0.5 for n in sizes]
+        assert best_growth_law(sizes, values).law == "log n"
+
+    def test_best_growth_law_identifies_constant(self):
+        sizes = [64, 256, 1024, 4096]
+        values = [5.1, 4.9, 5.0, 5.2]
+        assert best_growth_law(sizes, values).law == "1"
+
+    def test_best_growth_law_identifies_log_squared(self):
+        sizes = [64, 256, 1024, 4096]
+        values = [0.5 * math.log2(n) ** 2 for n in sizes]
+        assert best_growth_law(sizes, values).law == "log^2 n"
+
+    def test_all_growth_laws_are_positive(self):
+        for name, law in GROWTH_LAWS.items():
+            assert law(1024) > 0, name
+
+    def test_fit_scale_validates_input(self):
+        with pytest.raises(ValueError):
+            fit_scale([], [], "log n")
+
+    def test_growth_ratio(self):
+        assert growth_ratio([1, 2], [2.0, 6.0]) == pytest.approx(3.0)
+
+
+class TestReporting:
+    def test_format_table_aligns_columns(self):
+        rows = [{"a": 1, "bb": "xy"}, {"a": 123, "bb": "z"}]
+        text = format_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_format_series(self):
+        text = format_series([1, 2], [0.5, 1.5], value_label="Q")
+        assert "Q" in text and "1.5" in text
+
+
+class TestExperiments:
+    def test_registry_complete(self):
+        expected = {
+            "table1",
+            "fig1",
+            "fig2",
+            "fig3",
+            "fig4",
+            "lemma1",
+            "lemma4",
+            "theorem2-multidim",
+            "theorem2-onedim",
+            "updates",
+            "ablation-blocking",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_fig1_rows_show_log_growth_and_linear_space(self):
+        rows = fig1_skiplist(sizes=(128, 1024), queries_per_size=60, seed=1)
+        assert rows[1]["search_hops_mean"] <= rows[0]["search_hops_mean"] * 3
+        assert rows[1]["node_copies_per_key"] < 4
+
+    def test_fig2_levels_shrink_towards_the_top(self):
+        rows = fig2_skipweb_levels(n=128, queries=20, seed=1)
+        by_level = {row["level"]: row for row in rows}
+        assert by_level[0]["sets"] == 1
+        assert by_level[0]["largest_set"] == 128
+        top = max(by_level)
+        assert by_level[top]["largest_set"] <= 12
+
+    def test_lemma1_constant_independent_of_n(self):
+        rows = lemma1_list(sizes=(64, 512), trials=6, queries_per_size=15, seed=2)
+        assert rows[1]["mean_conflicts"] <= rows[0]["mean_conflicts"] * 2.5
+
+    def test_theorem2_onedim_bucket_beats_plain(self):
+        rows = theorem2_onedim(sizes=(256,), memory_sizes=(64,), queries_per_size=20, seed=3)
+        plain = next(r for r in rows if r["structure"] == "skip-web 1-d")
+        bucket = next(r for r in rows if r["structure"].startswith("bucket"))
+        assert bucket["Q_mean"] <= plain["Q_mean"]
+
+    def test_ablation_blocking_rows(self):
+        rows = ablation_blocking(n=96, memory_sizes=(16,), queries=10, seed=4)
+        policies = {row["policy"] for row in rows}
+        assert any(p.startswith("arbitrary") for p in policies)
+        assert any(p.startswith("bucket") for p in policies)
+
+
+class TestCli:
+    def test_parser_lists_experiments(self):
+        parser = build_parser()
+        args = parser.parse_args(["list"])
+        assert args.experiment == "list"
+
+    def test_cli_list_runs(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "table1" in output and "fig3" in output
+
+    def test_cli_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nonsense"])

@@ -1,0 +1,257 @@
+"""Tests for the peer-to-peer network simulator substrate."""
+
+import pytest
+
+from repro.errors import AddressError, HostFailedError, HostMemoryExceeded, UnknownHostError
+from repro.net import Address, FailureInjector, Host, MessageKind, Network, Traversal
+from repro.net.congestion import congestion_report
+from repro.net.message import MessageLog
+
+
+class TestHost:
+    def test_store_and_load_round_trip(self):
+        host = Host(host_id=0)
+        address = host.store("payload")
+        assert host.load(address) == "payload"
+        assert address.host == 0
+
+    def test_store_respects_memory_limit(self):
+        host = Host(host_id=1, memory_limit=2)
+        host.store("a")
+        host.store("b")
+        with pytest.raises(HostMemoryExceeded):
+            host.store("c")
+
+    def test_memory_limit_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Host(host_id=0, memory_limit=0)
+
+    def test_load_wrong_host_raises(self):
+        host = Host(host_id=0)
+        other = Host(host_id=1)
+        address = other.store("x")
+        with pytest.raises(AddressError):
+            host.load(address)
+
+    def test_free_releases_slot(self):
+        host = Host(host_id=0, memory_limit=1)
+        address = host.store("a")
+        assert host.free(address) == "a"
+        host.store("b")  # does not raise: slot was released
+        assert host.memory_used == 1
+
+    def test_free_unknown_slot_raises(self):
+        host = Host(host_id=0)
+        with pytest.raises(AddressError):
+            host.free(Address(host=0, slot=99))
+
+    def test_replace_overwrites_in_place(self):
+        host = Host(host_id=0)
+        address = host.store("old")
+        host.replace(address, "new")
+        assert host.load(address) == "new"
+
+    def test_contains_and_items(self):
+        host = Host(host_id=0)
+        address = host.store("x")
+        assert address in host
+        assert list(host.items()) == [(address, "x")]
+
+    def test_reference_counters(self):
+        host = Host(host_id=0)
+        host.note_in_reference(3)
+        host.note_out_reference(2)
+        host.note_owned_items(4)
+        assert (host.in_references, host.out_references, host.items_owned) == (3, 2, 4)
+        host.reset_reference_counts()
+        assert host.in_references == host.out_references == host.items_owned == 0
+
+
+class TestNetwork:
+    def test_add_hosts_and_lookup(self):
+        network = Network()
+        network.add_hosts(3)
+        assert network.host_count == 3
+        assert network.host(1).host_id == 1
+        assert 2 in network
+
+    def test_unknown_host_raises(self):
+        network = Network()
+        with pytest.raises(UnknownHostError):
+            network.host(7)
+
+    def test_explicit_host_id(self):
+        network = Network()
+        network.add_host(host_id=10)
+        with pytest.raises(ValueError):
+            network.add_host(host_id=10)
+        # Automatic ids continue after the explicit one.
+        assert network.add_host().host_id == 11
+
+    def test_send_counts_messages_between_distinct_hosts(self):
+        network = Network()
+        network.add_hosts(2)
+        network.send(0, 1)
+        network.send(1, 0, kind=MessageKind.UPDATE)
+        assert network.total_messages == 2
+        assert network.message_log.count(MessageKind.QUERY) == 1
+        assert network.message_log.count(MessageKind.UPDATE) == 1
+
+    def test_send_to_self_is_free(self):
+        network = Network()
+        network.add_hosts(1)
+        assert network.send(0, 0) is None
+        assert network.total_messages == 0
+
+    def test_send_to_unknown_host_raises(self):
+        network = Network()
+        network.add_hosts(1)
+        with pytest.raises(UnknownHostError):
+            network.send(0, 5)
+
+    def test_measure_isolates_operations(self):
+        network = Network()
+        network.add_hosts(3)
+        network.send(0, 1)
+        with network.measure() as stats:
+            network.send(1, 2)
+            network.send(2, 0)
+        assert stats.messages == 2
+        assert stats.hosts_touched == {0, 1, 2}
+        assert network.total_messages == 3
+
+    def test_measure_nests(self):
+        network = Network()
+        network.add_hosts(2)
+        with network.measure() as outer:
+            network.send(0, 1)
+            with network.measure() as inner:
+                network.send(1, 0)
+        assert inner.messages == 1
+        assert outer.messages == 2
+
+    def test_memory_profile_and_reset(self):
+        network = Network()
+        network.add_hosts(2)
+        network.store(0, "a")
+        network.store(0, "b")
+        network.store(1, "c")
+        assert network.memory_profile() == {0: 2, 1: 1}
+        assert network.max_memory_used() == 2
+        network.send(0, 1)
+        network.reset_counters()
+        assert network.total_messages == 0
+
+    def test_failed_host_rejects_traffic(self):
+        network = Network()
+        network.add_hosts(2)
+        network.fail_host(1)
+        with pytest.raises(HostFailedError):
+            network.send(0, 1)
+        network.recover_host(1)
+        network.send(0, 1)
+        assert network.total_messages == 1
+
+
+class TestTraversal:
+    def test_local_visit_is_free(self):
+        network = Network()
+        network.add_hosts(2)
+        address = network.store(0, "x")
+        traversal = Traversal(network, origin=0)
+        assert traversal.visit(address) == "x"
+        assert traversal.hops == 0
+
+    def test_remote_visit_charges_one_message(self):
+        network = Network()
+        network.add_hosts(2)
+        address = network.store(1, "x")
+        traversal = Traversal(network, origin=0)
+        traversal.visit(address)
+        assert traversal.hops == 1
+        assert traversal.current_host == 1
+        assert traversal.path == [0, 1]
+
+    def test_hop_to_same_host_is_free(self):
+        network = Network()
+        network.add_hosts(2)
+        traversal = Traversal(network, origin=0)
+        traversal.hop_to(0)
+        assert traversal.hops == 0
+        traversal.hop_to(1)
+        assert traversal.hops == 1
+
+    def test_update_kind_is_recorded(self):
+        network = Network()
+        network.add_hosts(2)
+        traversal = Traversal(network, origin=0, kind=MessageKind.UPDATE)
+        traversal.hop_to(1)
+        assert network.message_log.count(MessageKind.UPDATE) == 1
+
+
+class TestMessageLog:
+    def test_per_host_counters(self):
+        log = MessageLog()
+        log.record(0, 1, MessageKind.QUERY)
+        log.record(2, 1, MessageKind.QUERY)
+        log.record(1, 0, MessageKind.UPDATE)
+        assert log.received_by(1) == 2
+        assert log.sent_by(1) == 1
+        assert log.busiest_hosts(top=1) == [(1, 2)]
+        assert len(log) == 3
+
+    def test_counts_survive_without_keeping_messages(self):
+        log = MessageLog(keep_messages=False)
+        log.record(0, 1, MessageKind.QUERY)
+        assert len(log) == 1
+        assert log.messages == []
+
+    def test_clear(self):
+        log = MessageLog()
+        log.record(0, 1, MessageKind.QUERY)
+        log.clear()
+        assert len(log) == 0
+        assert log.received_by(1) == 0
+
+
+class TestCongestion:
+    def test_congestion_includes_base_load(self):
+        network = Network()
+        network.add_hosts(4)
+        report = congestion_report(network, ground_set_size=8)
+        assert report.mean_congestion == pytest.approx(2.0)
+        assert report.max_congestion == pytest.approx(2.0)
+        assert report.imbalance == pytest.approx(1.0)
+
+    def test_congestion_counts_references(self):
+        network = Network()
+        network.add_hosts(2)
+        network.host(0).note_out_reference(3)
+        network.host(1).note_in_reference(3)
+        report = congestion_report(network, ground_set_size=2)
+        assert report.per_host[0] == pytest.approx(3 + 1)
+        assert report.per_host[1] == pytest.approx(3 + 1)
+
+    def test_empty_network_report(self):
+        network = Network()
+        report = congestion_report(network, ground_set_size=0)
+        assert report.max_congestion == 0.0
+        assert report.as_dict()["hosts"] == 0.0
+
+
+class TestFailureInjector:
+    def test_fail_and_recover(self):
+        network = Network()
+        network.add_hosts(10)
+        injector = FailureInjector(network)
+        failed = injector.fail_random(0.3)
+        assert len(failed) == 3
+        assert injector.failed == set(failed)
+        injector.recover_all()
+        assert injector.failed == set()
+
+    def test_fraction_validation(self):
+        network = Network()
+        network.add_hosts(2)
+        with pytest.raises(ValueError):
+            FailureInjector(network).fail_random(1.5)

@@ -1,0 +1,87 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.strings import DNA, PRINTABLE
+from repro.workloads import (
+    clustered_keys,
+    clustered_points,
+    degenerate_line_points,
+    dna_reads,
+    isbn_like_keys,
+    non_crossing_segments,
+    random_strings,
+    uniform_keys,
+    uniform_points,
+    zipf_query_mix,
+)
+from repro.workloads.strings import prefix_queries
+
+
+class TestNumericGenerators:
+    def test_uniform_keys_distinct_and_sorted(self):
+        keys = uniform_keys(200, seed=1)
+        assert len(keys) == 200 == len(set(keys))
+        assert keys == sorted(keys)
+
+    def test_uniform_keys_reproducible(self):
+        assert uniform_keys(50, seed=2) == uniform_keys(50, seed=2)
+        assert uniform_keys(50, seed=2) != uniform_keys(50, seed=3)
+
+    def test_clustered_keys_are_clustered(self):
+        keys = clustered_keys(200, seed=3, clusters=4, spread=1.0)
+        gaps = sorted(b - a for a, b in zip(keys, keys[1:]))
+        # Most gaps tiny (inside clusters), a few huge (between clusters).
+        assert gaps[len(gaps) // 2] < 10
+        assert gaps[-1] > 1000
+
+    def test_zipf_query_mix_contains_hits_and_misses(self):
+        keys = uniform_keys(100, seed=4)
+        queries = zipf_query_mix(keys, 300, seed=5, miss_fraction=0.3)
+        hits = sum(1 for q in queries if q in set(keys))
+        assert 100 < hits < 290
+        assert len(queries) == 300
+
+    def test_uniform_points_in_unit_cube(self):
+        points = uniform_points(100, dimension=3, seed=6)
+        assert len(points) == 100
+        assert all(len(p) == 3 and all(0 <= c < 1 for c in p) for p in points)
+
+    def test_clustered_points_are_tight(self):
+        points = clustered_points(100, seed=7, clusters=2, spread=0.001)
+        xs = sorted(p[0] for p in points)
+        assert xs[-1] - xs[0] < 1.0
+
+    def test_degenerate_points_span_many_scales(self):
+        points = degenerate_line_points(50, seed=8)
+        assert len(points) >= 30
+        assert all(0 <= c <= 1 for p in points for c in p)
+
+
+class TestStringGenerators:
+    def test_random_strings_valid_and_distinct(self):
+        strings = random_strings(120, seed=1)
+        assert len(strings) == 120 == len(set(strings))
+
+    def test_dna_reads_use_dna_alphabet(self):
+        reads = dna_reads(80, seed=2)
+        for read in reads:
+            DNA.validate_string(read)
+
+    def test_dna_reads_share_motifs(self):
+        reads = dna_reads(80, seed=3, motif_count=2)
+        prefixes = {read[:12] for read in reads}
+        assert len(prefixes) <= 2
+
+    def test_isbn_keys_share_publisher_prefixes(self):
+        keys = isbn_like_keys(100, seed=4, publisher_count=5)
+        for key in keys:
+            PRINTABLE.validate_string(key)
+        publishers = {key.rsplit("-", 2)[0] for key in keys}
+        assert len(publishers) <= 5
+
+    def test_prefix_queries_are_related_to_corpus(self):
+        strings = random_strings(50, seed=5)
+        queries = prefix_queries(strings, 40, seed=6)
+        assert len(queries) == 40
+        assert any(any(s.startswith(q) for s in strings) for q in queries)
