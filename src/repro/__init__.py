@@ -15,6 +15,12 @@ The package is organised around the paper's structure:
     (``H``, ``M``, ``C(n)``, ``Q(n)``, ``U(n)``) are measured against this
     substrate.
 
+``repro.engine``
+    The batched execution engine: operations as resumable step
+    generators, the ``DistributedStructure`` protocol, and the
+    ``BatchExecutor`` that interleaves whole workloads round by round so
+    throughput and per-host per-round congestion are measured directly.
+
 ``repro.core``
     The skip-web framework itself: range-determined link structures,
     set-halving lemmas, level construction, distributed blocking, query

@@ -27,12 +27,12 @@ from dataclasses import dataclass
 from statistics import mean
 from typing import Any, Iterable, Sequence
 
+from repro.engine.steps import StepCursor, StepGenerator, local_steps, run_immediate
 from repro.errors import QueryError, UpdateError
 from repro.net.congestion import CongestionReport, congestion_report
 from repro.net.message import MessageKind
 from repro.net.naming import Address, HostId
 from repro.net.network import Network
-from repro.net.rpc import Traversal
 
 
 @dataclass(frozen=True)
@@ -84,6 +84,9 @@ class DistributedOrderedStructure(abc.ABC):
         self.network = network if network is not None else Network()
         self._table_addresses: dict[HostId, Address] = {}
         self._host_of_key: dict[float, HostId] = {}
+        # Lazily-built inverse of _host_of_key (host -> one resident key),
+        # used to resolve batch origins in O(1); invalidated on updates.
+        self._origin_index: dict[HostId, float] | None = None
         self._setup_hosts()
         self._install_tables(charge_messages=False)
 
@@ -148,7 +151,9 @@ class DistributedOrderedStructure(abc.ABC):
                 self._table_addresses[host_id] = self.network.store(host_id, table)
                 changed.add(host_id)
                 continue
-            if self.network.load(address) != table:
+            # Bookkeeping access: table repair applies atomically and must
+            # not be interruptible by an injected host failure mid-update.
+            if self.network.load(address, check_alive=False) != table:
                 self.network.replace(address, table)
                 changed.add(host_id)
         # Drop tables of hosts that no longer have one (rare: shrinking).
@@ -167,6 +172,54 @@ class DistributedOrderedStructure(abc.ABC):
     # ------------------------------------------------------------------ #
     # searching
     # ------------------------------------------------------------------ #
+    def _origin_key_for(
+        self, origin_host: HostId | None, origin_key: float | None
+    ) -> float:
+        """Resolve the key a search starts from (protocol passes hosts, not keys)."""
+        if origin_key is not None:
+            return float(origin_key)
+        if origin_host is not None:
+            key = self._origin_index_lookup(origin_host)
+            if key is not None:
+                return key
+        return self._keys[0]
+
+    def _origin_index_lookup(self, origin_host: HostId) -> float | None:
+        """A key stored at ``origin_host``, via the cached inverse map.
+
+        The cache is dropped in the same uninterrupted step as every
+        ``_host_of_key`` mutation (insert/delete), so it is never stale.
+        """
+        if self._origin_index is None:
+            index: dict[HostId, float] = {}
+            for key, host in self._host_of_key.items():
+                index.setdefault(host, key)
+            self._origin_index = index
+        return self._origin_index.get(origin_host)
+
+    def search_steps(
+        self,
+        query: float,
+        origin_host: HostId | None = None,
+        origin_key: float | None = None,
+    ) -> StepGenerator:
+        """The greedy routing walk as a resumable step generator."""
+        query = float(query)
+        origin_key = self._origin_key_for(origin_host, origin_key)
+        if origin_key not in self._host_of_key:
+            raise QueryError(f"{self.name}: origin key {origin_key!r} is not stored")
+        cursor = StepCursor(self._host_of_key[origin_key])
+        current_key = origin_key
+        safety = 4 * len(self._keys) + 16
+        for _ in range(safety):
+            table = self.network.load(self._table_addresses[self._host_of_key[current_key]])
+            next_key = self._route(table, current_key, query)
+            if next_key is None:
+                return self._finish(query, current_key, cursor)
+            yield from cursor.hop_to(self._host_of_key[next_key])
+            current_key = next_key
+        raise QueryError(f"{self.name}: routing did not converge for query {query!r}")
+
     def search(
         self,
         query: float,
@@ -174,26 +227,13 @@ class DistributedOrderedStructure(abc.ABC):
         kind: MessageKind = MessageKind.QUERY,
     ) -> SearchOutcome:
         """Route a nearest-neighbour search for ``query`` through the overlay."""
-        query = float(query)
-        if origin_key is None:
-            origin_key = self._keys[0]
-        origin_key = float(origin_key)
-        if origin_key not in self._host_of_key:
-            raise QueryError(f"{self.name}: origin key {origin_key!r} is not stored")
-        traversal = Traversal(self.network, self._host_of_key[origin_key], kind=kind)
-        current_key = origin_key
-        safety = 4 * len(self._keys) + 16
-        for _ in range(safety):
-            table = self.network.load(self._table_addresses[self._host_of_key[current_key]])
-            next_key = self._route(table, current_key, query)
-            if next_key is None:
-                return self._finish(query, current_key, traversal)
-            traversal.hop_to(self._host_of_key[next_key])
-            current_key = next_key
-        raise QueryError(f"{self.name}: routing did not converge for query {query!r}")
+        resolved = self._origin_key_for(None, origin_key)
+        origin = self._host_of_key.get(resolved)
+        gen = self.search_steps(query, origin_key=resolved)
+        return run_immediate(self.network, gen, origin, kind=kind)
 
     def _finish(
-        self, query: float, final_key: float, traversal: Traversal
+        self, query: float, final_key: float, traversal: StepCursor
     ) -> SearchOutcome:
         index = self._keys.index(final_key)
         predecessor = None
@@ -219,17 +259,25 @@ class DistributedOrderedStructure(abc.ABC):
     # ------------------------------------------------------------------ #
     # updates
     # ------------------------------------------------------------------ #
-    def insert(self, key: float, origin_key: float | None = None) -> BaselineUpdateOutcome:
-        """Insert ``key``: search for its position, then repair routing tables."""
+    def insert_steps(
+        self,
+        key: float,
+        origin_host: HostId | None = None,
+        origin_key: float | None = None,
+    ) -> StepGenerator:
+        """Insertion as a resumable step generator (search, then table repair)."""
         key = float(key)
         if key in self._host_of_key:
             raise UpdateError(f"{self.name}: key {key!r} already stored")
-        search = self.search(key, origin_key=origin_key, kind=MessageKind.UPDATE)
+        search = yield from self.search_steps(
+            key, origin_host=origin_host, origin_key=origin_key
+        )
         self._keys = sorted(self._keys + [key])
         self._assign_new_key(key)
         self._after_ground_set_change()
+        self._origin_index = None
         changed_count, changed_hosts = self._install_tables(charge_messages=True)
-        messages = self._charge_update(search, changed_hosts)
+        messages = yield from self._charge_update(search, changed_hosts)
         return BaselineUpdateOutcome(
             key=key,
             kind="insert",
@@ -239,21 +287,35 @@ class DistributedOrderedStructure(abc.ABC):
             hosts_touched=changed_count,
         )
 
-    def delete(self, key: float, origin_key: float | None = None) -> BaselineUpdateOutcome:
-        """Delete ``key`` and repair routing tables."""
+    def insert(self, key: float, origin_key: float | None = None) -> BaselineUpdateOutcome:
+        """Insert ``key``: search for its position, then repair routing tables."""
+        resolved = self._origin_key_for(None, origin_key)
+        origin = self._host_of_key.get(resolved)
+        gen = self.insert_steps(key, origin_key=resolved)
+        return run_immediate(self.network, gen, origin, kind=MessageKind.UPDATE)
+
+    def delete_steps(
+        self,
+        key: float,
+        origin_host: HostId | None = None,
+        origin_key: float | None = None,
+    ) -> StepGenerator:
+        """Deletion as a resumable step generator (search, then table repair)."""
         key = float(key)
         if key not in self._host_of_key:
             raise UpdateError(f"{self.name}: key {key!r} is not stored")
         if len(self._keys) == 1:
             raise UpdateError(f"{self.name}: cannot delete the last key")
-        if origin_key is None or float(origin_key) == key:
-            origin_key = next(existing for existing in self._keys if existing != key)
-        search = self.search(key, origin_key=origin_key, kind=MessageKind.UPDATE)
+        origin_key = self._delete_origin_key(key, origin_key)
+        search = yield from self.search_steps(
+            key, origin_host=origin_host, origin_key=origin_key
+        )
         self._keys = [existing for existing in self._keys if existing != key]
         self._host_of_key.pop(key)
         self._after_ground_set_change()
+        self._origin_index = None
         changed_count, changed_hosts = self._install_tables(charge_messages=True)
-        messages = self._charge_update(search, changed_hosts)
+        messages = yield from self._charge_update(search, changed_hosts)
         return BaselineUpdateOutcome(
             key=key,
             kind="delete",
@@ -263,6 +325,27 @@ class DistributedOrderedStructure(abc.ABC):
             hosts_touched=changed_count,
         )
 
+    def _delete_origin_key(self, key: float, origin_key: float | None) -> float:
+        """Origin key for a delete's search: never the key being deleted.
+
+        Shared by :meth:`delete` (which needs the origin *host* for the
+        immediate driver) and :meth:`delete_steps` (which seeds its cursor
+        from the same key), so the two can never diverge.
+        """
+        if origin_key is None or float(origin_key) == key:
+            return next(
+                (existing for existing in self._keys if existing != key), self._keys[0]
+            )
+        return float(origin_key)
+
+    def delete(self, key: float, origin_key: float | None = None) -> BaselineUpdateOutcome:
+        """Delete ``key`` and repair routing tables."""
+        key = float(key)
+        effective = self._delete_origin_key(key, origin_key)
+        origin = self._host_of_key.get(effective)
+        gen = self.delete_steps(key, origin_key=origin_key)
+        return run_immediate(self.network, gen, origin, kind=MessageKind.UPDATE)
+
     def _assign_new_key(self, key: float) -> None:
         """Give a newly inserted key a home host (default: a fresh host)."""
         host = self.network.add_host()
@@ -271,13 +354,27 @@ class DistributedOrderedStructure(abc.ABC):
     def _after_ground_set_change(self) -> None:
         """Hook for subclasses that keep derived state (membership vectors, ...)."""
 
-    def _charge_update(self, search: SearchOutcome, changed_hosts: set[HostId]) -> int:
+    def _charge_update(
+        self, search: SearchOutcome, changed_hosts: set[HostId]
+    ) -> StepGenerator:
         """Charge one update message per host whose routing table changed."""
         start = search.hosts_visited[-1] if search.hosts_visited else 0
-        traversal = Traversal(self.network, start, kind=MessageKind.UPDATE)
+        cursor = StepCursor(start)
         for host in sorted(changed_hosts):
-            traversal.hop_to(host)
-        return traversal.hops
+            yield from cursor.hop_to(host)
+        return cursor.hops
+
+    # ------------------------------------------------------------------ #
+    # DistributedStructure protocol (batched execution; see repro.engine)
+    # ------------------------------------------------------------------ #
+    def origin_hosts(self) -> list[HostId]:
+        """Hosts that store at least one key (every search starts at a key)."""
+        return sorted(set(self._host_of_key.values()))
+
+    def seed_roots(self, origin_host: HostId) -> StepGenerator:
+        """Step generator returning ``origin_host``'s locally stored routing table."""
+        address = self._table_addresses.get(origin_host)
+        return local_steps(self.network.load(address) if address is not None else None)
 
     # ------------------------------------------------------------------ #
     # measurement

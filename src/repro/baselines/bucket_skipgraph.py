@@ -17,11 +17,10 @@ import random
 from typing import Any, Sequence
 
 from repro.baselines.base import DistributedOrderedStructure, SearchOutcome
+from repro.engine.steps import StepCursor, StepGenerator
 from repro.errors import QueryError
-from repro.net.message import MessageKind
 from repro.net.naming import HostId
 from repro.net.network import Network
-from repro.net.rpc import Traversal
 
 
 class BucketSkipGraph(DistributedOrderedStructure):
@@ -180,20 +179,25 @@ class BucketSkipGraph(DistributedOrderedStructure):
             return max(lefts)
         return None
 
-    def search(
+    def search_steps(
         self,
         query: float,
+        origin_host: HostId | None = None,
         origin_key: float | None = None,
-        kind: MessageKind = MessageKind.QUERY,
-    ) -> SearchOutcome:
-        """Route to the responsible bucket, then answer from its local keys."""
+    ) -> StepGenerator:
+        """Route to the responsible bucket, then answer from its local keys.
+
+        Overrides the base generator so that *every* execution path — the
+        eager :meth:`search` below, the batched executor, and the searches
+        inside inherited ``insert_steps`` / ``delete_steps`` — finishes
+        with the bucket-local bisection rather than the per-key finish of
+        the base class.
+        """
         query = float(query)
-        if origin_key is None:
-            origin_key = self._keys[0]
-        origin_key = float(origin_key)
+        origin_key = self._origin_key_for(origin_host, origin_key)
         if origin_key not in self._host_of_key:
             raise QueryError(f"{self.name}: origin key {origin_key!r} is not stored")
-        traversal = Traversal(self.network, self._host_of_key[origin_key], kind=kind)
+        cursor = StepCursor(self._host_of_key[origin_key])
         current_key = origin_key
         safety = 4 * self.network.host_count + 16
         for _ in range(safety):
@@ -217,10 +221,10 @@ class BucketSkipGraph(DistributedOrderedStructure):
                     predecessor=predecessor,
                     successor=successor,
                     exact=exact,
-                    messages=traversal.hops,
-                    hosts_visited=tuple(traversal.path),
+                    messages=cursor.hops,
+                    hosts_visited=tuple(cursor.path),
                 )
-            traversal.hop_to(self._host_of_key[next_key])
+            yield from cursor.hop_to(self._host_of_key[next_key])
             current_key = next_key
         raise QueryError(f"{self.name}: routing did not converge for query {query!r}")
 

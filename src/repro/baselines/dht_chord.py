@@ -14,13 +14,13 @@ from __future__ import annotations
 import hashlib
 from bisect import bisect_left
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Sequence
 
-from repro.errors import QueryError
+from repro.engine.steps import StepCursor, StepGenerator, local_steps, run_immediate
+from repro.errors import QueryError, UpdateError
 from repro.net.message import MessageKind
 from repro.net.naming import Address, HostId
 from repro.net.network import Network
-from repro.net.rpc import Traversal
 
 
 def chord_id(value: object, bits: int) -> int:
@@ -117,13 +117,15 @@ class ChordDHT:
     # ------------------------------------------------------------------ #
     # lookups
     # ------------------------------------------------------------------ #
-    def lookup(self, key: float, origin_host: HostId | None = None) -> ChordLookup:
-        """Exact-match lookup of ``key`` via greedy finger routing."""
+    def search_steps(
+        self, key: float, origin_host: HostId | None = None
+    ) -> StepGenerator:
+        """Greedy finger routing as a resumable step generator."""
         key = float(key)
         target = chord_id(("key", key), self.bits)
         if origin_host is None:
             origin_host = self._host_ids[0]
-        traversal = Traversal(self.network, origin_host, kind=MessageKind.QUERY)
+        cursor = StepCursor(origin_host)
         current_host = origin_host
         modulus = 1 << self.bits
         safety = 4 * len(self._host_ids) + 16
@@ -133,14 +135,14 @@ class ChordDHT:
             successor_id, successor_host = table["fingers"][0]
             if self._in_arc(target, node_id, successor_id, modulus):
                 # The successor is responsible for the key.
-                traversal.hop_to(successor_host)
+                yield from cursor.hop_to(successor_host)
                 final_table = self.network.load(self._table_addresses[successor_host])
                 return ChordLookup(
                     key=key,
                     found=key in final_table["keys"],
                     responsible_host=successor_host,
-                    messages=traversal.hops,
-                    hosts_visited=tuple(traversal.path),
+                    messages=cursor.hops,
+                    hosts_visited=tuple(cursor.path),
                 )
             # Closest preceding finger.
             next_host = successor_host
@@ -150,9 +152,35 @@ class ChordDHT:
                     break
             if next_host == current_host:
                 next_host = successor_host
-            traversal.hop_to(next_host)
+            yield from cursor.hop_to(next_host)
             current_host = next_host
         raise QueryError("Chord routing did not converge")
+
+    def lookup(self, key: float, origin_host: HostId | None = None) -> ChordLookup:
+        """Exact-match lookup of ``key`` via greedy finger routing."""
+        if origin_host is None:
+            origin_host = self._host_ids[0]
+        gen = self.search_steps(key, origin_host=origin_host)
+        return run_immediate(self.network, gen, origin_host, kind=MessageKind.QUERY)
+
+    # ------------------------------------------------------------------ #
+    # DistributedStructure protocol (batched execution; see repro.engine)
+    # ------------------------------------------------------------------ #
+    def origin_hosts(self) -> list[HostId]:
+        """Any ring node may originate lookups."""
+        return list(self._host_ids)
+
+    def seed_roots(self, origin_host: HostId) -> StepGenerator:
+        """Step generator returning ``origin_host``'s finger table (local)."""
+        return local_steps(self.network.load(self._table_addresses[origin_host]))
+
+    def insert_steps(self, item: Any, origin_host: HostId | None = None) -> StepGenerator:
+        """Chord is measured as a static ring here; updates are unsupported."""
+        raise UpdateError("Chord DHT baseline is static: updates are not supported")
+
+    def delete_steps(self, item: Any, origin_host: HostId | None = None) -> StepGenerator:
+        """Chord is measured as a static ring here; updates are unsupported."""
+        raise UpdateError("Chord DHT baseline is static: updates are not supported")
 
     # ------------------------------------------------------------------ #
     # the limitation the paper highlights

@@ -7,20 +7,39 @@ Examples
     python -m repro.cli list
     python -m repro.cli table1
     python -m repro.cli fig3 --seed 7
+    python -m repro.cli throughput --format json
+    python -m repro.cli congestion-rounds --sizes 64,256 --format csv
     skipweb-repro theorem2-onedim
 
-Each experiment prints an aligned text table; the same functions back the
-``benchmarks/`` pytest modules, so numbers match between the two routes.
+Each experiment prints an aligned text table by default; ``--format json``
+and ``--format csv`` emit machine-readable rows instead, and ``--sizes``
+overrides the problem sizes of every experiment that takes them.  The
+same functions back the ``benchmarks/`` pytest modules, so numbers match
+between the two routes.
 """
 
 from __future__ import annotations
 
 import argparse
+import csv
+import inspect
+import io
+import json
 import sys
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.bench.experiments import EXPERIMENTS
 from repro.bench.reporting import format_table
+
+
+def _parse_sizes(text: str) -> tuple[int, ...]:
+    try:
+        sizes = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"invalid sizes {text!r}: {exc}") from exc
+    if not sizes or any(size <= 0 for size in sizes):
+        raise argparse.ArgumentTypeError(f"sizes must be positive integers, got {text!r}")
+    return sizes
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -34,14 +53,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="experiment to run ('list' shows descriptions, 'all' runs everything)",
     )
     parser.add_argument("--seed", type=int, default=0, help="random seed (default 0)")
+    parser.add_argument(
+        "--format",
+        choices=("table", "json", "csv"),
+        default="table",
+        dest="output_format",
+        help="output format: aligned text table (default), JSON, or CSV",
+    )
+    parser.add_argument(
+        "--sizes",
+        type=_parse_sizes,
+        default=None,
+        help="comma-separated problem sizes (e.g. 64,128,256); applied to every "
+        "experiment that accepts a 'sizes' (or scalar 'n') parameter",
+    )
     return parser
 
 
-def _run_one(name: str, seed: int) -> None:
-    function, description = EXPERIMENTS[name]
-    rows = function(seed=seed)
+def _experiment_kwargs(function, seed: int, sizes: tuple[int, ...] | None) -> dict[str, Any]:
+    kwargs: dict[str, Any] = {"seed": seed}
+    if sizes is not None:
+        parameters = inspect.signature(function).parameters
+        if "sizes" in parameters:
+            kwargs["sizes"] = sizes
+        elif "n" in parameters:
+            kwargs["n"] = sizes[0]
+    return kwargs
+
+
+def _emit(rows: list[dict[str, Any]], name: str, description: str, output_format: str) -> None:
+    if output_format == "json":
+        print(json.dumps({"experiment": name, "description": description, "rows": rows}, default=str))
+        return
+    if output_format == "csv":
+        buffer = io.StringIO()
+        columns = list(rows[0].keys()) if rows else []
+        # Rows that already carry an 'experiment' column (the `list`
+        # pseudo-experiment) must not get a duplicate one prepended.
+        fieldnames = columns if "experiment" in columns else ["experiment"] + columns
+        writer = csv.DictWriter(buffer, fieldnames=fieldnames)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({"experiment": name, **row})
+        sys.stdout.write(buffer.getvalue())
+        return
     print(format_table(rows, title=f"{name}: {description}"))
     print()
+
+
+def _run_one(
+    name: str, seed: int, output_format: str, sizes: tuple[int, ...] | None
+) -> None:
+    function, description = EXPERIMENTS[name]
+    rows = function(**_experiment_kwargs(function, seed, sizes))
+    _emit(rows, name, description, output_format)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -51,13 +116,16 @@ def main(argv: Sequence[str] | None = None) -> int:
             {"experiment": name, "description": description}
             for name, (_function, description) in sorted(EXPERIMENTS.items())
         ]
-        print(format_table(rows, title="Available experiments"))
+        if args.output_format == "table":
+            print(format_table(rows, title="Available experiments"))
+        else:
+            _emit(rows, "list", "Available experiments", args.output_format)
         return 0
     if args.experiment == "all":
         for name in sorted(EXPERIMENTS):
-            _run_one(name, args.seed)
+            _run_one(name, args.seed, args.output_format, args.sizes)
         return 0
-    _run_one(args.experiment, args.seed)
+    _run_one(args.experiment, args.seed, args.output_format, args.sizes)
     return 0
 
 

@@ -18,6 +18,12 @@ At level 0 the structure's ``answer`` decodes the domain-specific result
 (nearest key, matching prefix, containing trapezoid, smallest quadtree
 cell).  The number of messages charged to the traversal is the measured
 ``Q(n)``.
+
+The routing logic is written once, as the resumable step generator
+:func:`query_steps` (see :mod:`repro.engine.steps`).  :func:`execute_query`
+drives it to completion immediately — the classic one-operation-at-a-time
+path — while :class:`repro.engine.executor.BatchExecutor` interleaves many
+such generators round by round over the same code.
 """
 
 from __future__ import annotations
@@ -25,10 +31,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Hashable
 
+from repro.engine.steps import StepCursor, StepGenerator, run_immediate
 from repro.errors import QueryError
 from repro.net.message import MessageKind
 from repro.net.naming import Address, HostId
-from repro.net.rpc import Traversal
 
 
 @dataclass(frozen=True)
@@ -76,10 +82,10 @@ def _choose_entry(structure_cls, query: Any, entries: list[tuple[Any, Address]])
 
 def _settle_within_level(
     structure_cls,
-    traversal: Traversal,
+    cursor: StepCursor,
     query: Any,
     record,
-) -> Any:
+) -> StepGenerator:
     """Walk within one level structure until the target unit for ``query``.
 
     ``record`` is the record reached by following a hyperlink; the walk
@@ -99,8 +105,56 @@ def _settle_within_level(
                 f"advance returned unknown neighbour key {next_key!r} "
                 f"from unit {current.unit.key!r}"
             ) from exc
-        current = traversal.visit(address)
+        current = yield from cursor.visit(address)
     raise QueryError("intra-level navigation did not terminate (structure bug)")
+
+
+def query_steps(skipweb, query: Any, origin_host: HostId) -> StepGenerator:
+    """The query descent as a resumable step generator.
+
+    Yields one :class:`~repro.engine.steps.Visit` effect per pointer
+    dereference and returns the final :class:`QueryResult`; drive it with
+    :func:`execute_query` for the immediate path or hand it to a
+    :class:`~repro.engine.executor.BatchExecutor` for round-based
+    execution.
+    """
+    cursor = StepCursor(origin_host)
+    root_entries = skipweb.root_entries(origin_host)
+    if not root_entries:
+        raise QueryError("skip-web has no records (empty structure)")
+
+    per_level_messages: list[int] = []
+    hops_before = cursor.hops
+    entry_address = _choose_entry(skipweb.structure_cls, query, root_entries)
+    record = yield from cursor.visit(entry_address)
+    current = yield from _settle_within_level(skipweb.structure_cls, cursor, query, record)
+    per_level_messages.append(cursor.hops - hops_before)
+    levels_descended = 0
+
+    while current.level > 0:
+        hops_before = cursor.hops
+        entry_address = _choose_entry(
+            skipweb.structure_cls, query, list(current.down_links)
+        )
+        record = yield from cursor.visit(entry_address)
+        current = yield from _settle_within_level(
+            skipweb.structure_cls, cursor, query, record
+        )
+        per_level_messages.append(cursor.hops - hops_before)
+        levels_descended += 1
+
+    level0_structure = skipweb.level_structure(0, ())
+    answer = level0_structure.answer(query, current.unit)
+    return QueryResult(
+        query=query,
+        answer=answer,
+        messages=cursor.hops,
+        origin_host=origin_host,
+        hosts_visited=tuple(cursor.path),
+        levels_descended=levels_descended,
+        target_key=current.unit.key,
+        per_level_messages=tuple(per_level_messages),
+    )
 
 
 def execute_query(
@@ -110,38 +164,6 @@ def execute_query(
     kind: MessageKind = MessageKind.QUERY,
 ) -> QueryResult:
     """Route ``query`` through ``skipweb`` starting at ``origin_host``."""
-    traversal = Traversal(skipweb.network, origin_host, kind=kind)
-    root_entries = skipweb.root_entries(origin_host)
-    if not root_entries:
-        raise QueryError("skip-web has no records (empty structure)")
-
-    per_level_messages: list[int] = []
-    hops_before = traversal.hops
-    entry_address = _choose_entry(skipweb.structure_cls, query, root_entries)
-    record = traversal.visit(entry_address)
-    current = _settle_within_level(skipweb.structure_cls, traversal, query, record)
-    per_level_messages.append(traversal.hops - hops_before)
-    levels_descended = 0
-
-    while current.level > 0:
-        hops_before = traversal.hops
-        entry_address = _choose_entry(
-            skipweb.structure_cls, query, list(current.down_links)
-        )
-        record = traversal.visit(entry_address)
-        current = _settle_within_level(skipweb.structure_cls, traversal, query, record)
-        per_level_messages.append(traversal.hops - hops_before)
-        levels_descended += 1
-
-    level0_structure = skipweb.level_structure(0, ())
-    answer = level0_structure.answer(query, current.unit)
-    return QueryResult(
-        query=query,
-        answer=answer,
-        messages=traversal.hops,
-        origin_host=origin_host,
-        hosts_visited=tuple(traversal.path),
-        levels_descended=levels_descended,
-        target_key=current.unit.key,
-        per_level_messages=tuple(per_level_messages),
+    return run_immediate(
+        skipweb.network, query_steps(skipweb, query, origin_host), origin_host, kind=kind
     )

@@ -17,9 +17,21 @@ range-determined link structure:
 The records stored on hosts are self-contained: a record knows its unit,
 the ranges and addresses of its in-structure neighbours, and the
 addresses of the conflicting records one level down.  Query routing only
-ever reads records through a :class:`repro.net.rpc.Traversal`, so every
-host crossing is charged exactly one message — this is what the Table 1
-and Theorem 2 benchmarks measure.
+ever reads records through resumable step generators
+(:func:`repro.core.query.query_steps`), so every host crossing is charged
+exactly one message — this is what the Table 1 and Theorem 2 benchmarks
+measure.
+
+Operations run in two execution modes.  The default *immediate* mode
+(:meth:`SkipWeb.query` / :meth:`SkipWeb.insert` / :meth:`SkipWeb.delete`)
+drives each operation synchronously, one at a time.  The *batched,
+round-based* mode runs many operations concurrently: ``SkipWeb``
+implements the :class:`repro.engine.protocol.DistributedStructure`
+protocol (``search_steps`` / ``insert_steps`` / ``delete_steps`` /
+``seed_roots``), so a :class:`repro.engine.executor.BatchExecutor` can
+interleave whole workloads round by round over the network's queued
+delivery mode and measure throughput and per-host per-round congestion
+directly — see :mod:`repro.engine`.
 """
 
 from __future__ import annotations
@@ -37,7 +49,8 @@ from repro.core.blocking import (
 )
 from repro.core.levels import BitPrefix, LevelSets, MembershipAssignment
 from repro.core.link_structure import RangeDeterminedLinkStructure, RangeUnit
-from repro.core.query import QueryResult, execute_query
+from repro.core.query import QueryResult, execute_query, query_steps
+from repro.engine.steps import local_steps
 from repro.core.ranges import Range
 from repro.errors import QueryError, StructureError, UpdateError
 from repro.net.congestion import CongestionReport, congestion_report
@@ -214,7 +227,9 @@ class SkipWeb:
         return address
 
     def _record_at(self, level: int, prefix: BitPrefix, key: Hashable) -> SkipWebRecord:
-        return self.network.load(self._address_of[(level, prefix, key)])
+        # Bookkeeping access (rewiring during updates): must not be
+        # interruptible by an injected host failure mid-mutation.
+        return self.network.load(self._address_of[(level, prefix, key)], check_alive=False)
 
     def _rewire_record(self, level: int, prefix: BitPrefix, key: Hashable) -> bool:
         """Recompute a record's neighbour pointers and hyperlinks in place.
@@ -364,6 +379,43 @@ class SkipWeb:
         return execute_delete(self, item, origin_host)
 
     # ------------------------------------------------------------------ #
+    # DistributedStructure protocol (batched execution; see repro.engine)
+    # ------------------------------------------------------------------ #
+    def origin_hosts(self) -> list[HostId]:
+        """Hosts from which operations may originate (every host has a root)."""
+        return list(self._host_ids)
+
+    def seed_roots(self, origin_host: HostId):
+        """Step generator returning ``origin_host``'s root entries.
+
+        A skip-web root is a *local* copy of the top-level units along one
+        membership word, so no messages are charged.
+        """
+        return local_steps(self.root_entries(origin_host))
+
+    def search_steps(self, query: Any, origin_host: HostId | None = None):
+        """The query descent as a resumable step generator."""
+        if origin_host is None:
+            origin_host = self._host_ids[0]
+        return query_steps(self, query, origin_host)
+
+    def insert_steps(self, item: Any, origin_host: HostId | None = None):
+        """Insertion as a resumable step generator (§4)."""
+        from repro.core.update import insert_steps
+
+        if origin_host is None:
+            origin_host = self._host_ids[0]
+        return insert_steps(self, item, origin_host)
+
+    def delete_steps(self, item: Any, origin_host: HostId | None = None):
+        """Deletion as a resumable step generator (§4)."""
+        from repro.core.update import delete_steps
+
+        if origin_host is None:
+            origin_host = self._host_ids[0]
+        return delete_steps(self, item, origin_host)
+
+    # ------------------------------------------------------------------ #
     # cost accounting
     # ------------------------------------------------------------------ #
     def memory_profile(self) -> dict[HostId, int]:
@@ -443,3 +495,41 @@ class SkipWeb:
             f"hosts={self.host_count}, levels={self.height + 1}, "
             f"records={self.record_count()})"
         )
+
+
+class SkipWebStructureAdapter:
+    """Mixin giving a domain wrapper the ``DistributedStructure`` protocol.
+
+    The four instantiations (``SkipWeb1D``, ``SkipQuadtreeWeb``,
+    ``SkipTrieWeb``, ``SkipTrapezoidWeb``) each hold a generic
+    :class:`SkipWeb` in ``self.web`` and merely coerce domain values
+    (floats, points, strings, planar points) before delegating.  This
+    mixin forwards the step-generator protocol the same way, so every
+    wrapper runs under :class:`repro.engine.executor.BatchExecutor`
+    without further code.
+    """
+
+    web: SkipWeb
+
+    def _coerce_query(self, query: Any) -> Any:
+        """Normalise a domain query before handing it to the skip-web."""
+        return query
+
+    def _coerce_item(self, item: Any) -> Any:
+        """Normalise a domain item before handing it to the skip-web."""
+        return item
+
+    def origin_hosts(self) -> list[HostId]:
+        return self.web.origin_hosts()
+
+    def seed_roots(self, origin_host: HostId):
+        return self.web.seed_roots(origin_host)
+
+    def search_steps(self, query: Any, origin_host: HostId | None = None):
+        return self.web.search_steps(self._coerce_query(query), origin_host)
+
+    def insert_steps(self, item: Any, origin_host: HostId | None = None):
+        return self.web.insert_steps(self._coerce_item(item), origin_host)
+
+    def delete_steps(self, item: Any, origin_host: HostId | None = None):
+        return self.web.delete_steps(self._coerce_item(item), origin_host)

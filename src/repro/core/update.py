@@ -21,6 +21,12 @@ units adjacent to them.  Messages are charged per distinct host whose
 records change at each level, which is what a real distributed
 implementation would pay; how the new structure is computed locally does
 not affect the measured ``U(n)``.
+
+Like queries, updates are written as resumable step generators
+(:func:`insert_steps` / :func:`delete_steps`) so that
+:class:`repro.engine.executor.BatchExecutor` can interleave them with
+other in-flight operations round by round; :func:`execute_insert` /
+:func:`execute_delete` drive them immediately.
 """
 
 from __future__ import annotations
@@ -30,12 +36,12 @@ from typing import Any, Hashable
 
 from repro.core.levels import BitPrefix
 from repro.core.link_structure import RangeDeterminedLinkStructure
-from repro.core.query import execute_query
+from repro.core.query import query_steps
 from repro.core.ranges import Range
+from repro.engine.steps import StepCursor, StepGenerator, run_immediate
 from repro.errors import UpdateError
 from repro.net.message import MessageKind
 from repro.net.naming import HostId
-from repro.net.rpc import Traversal
 
 
 @dataclass(frozen=True)
@@ -152,23 +158,24 @@ def _apply_level_change(
     return affected_hosts, len(added), len(removed)
 
 
-def _charge_hosts(traversal: Traversal, hosts: set[HostId]) -> None:
-    """Charge one update message per affected remote host."""
-    for host in sorted(hosts):
-        traversal.hop_to(host)
+def insert_steps(skipweb, item: Any, origin_host: HostId) -> StepGenerator:
+    """Insertion of ``item`` as a resumable step generator (messages per §4).
 
-
-def execute_insert(skipweb, item: Any, origin_host: HostId) -> UpdateResult:
-    """Insert ``item`` into ``skipweb``, charging messages per §4."""
+    The search descent interleaves with other in-flight operations under
+    round-based execution.  The structural change itself is applied
+    *atomically* between two effects (local work is free and
+    instantaneous in the paper's cost model) and only then charged one
+    message per affected remote host, level by level — so an operation
+    interrupted mid-charge (e.g. by a host failure in a batch) leaves
+    the skip-web fully updated and consistent; only its billing is
+    incomplete.
+    """
     if item in skipweb._membership:
         raise UpdateError(f"item {item!r} is already stored in the skip-web")
 
     # Step 1: locate the insertion position (a query descent).
-    search = execute_query(
-        skipweb,
-        skipweb.structure_cls.item_to_query(item),
-        origin_host,
-        kind=MessageKind.UPDATE,
+    search = yield from query_steps(
+        skipweb, skipweb.structure_cls.item_to_query(item), origin_host
     )
     search_messages = search.messages
     start_host = search.hosts_visited[-1] if search.hosts_visited else origin_host
@@ -178,8 +185,8 @@ def execute_insert(skipweb, item: Any, origin_host: HostId) -> UpdateResult:
     skipweb._owners[item] = origin_host
     skipweb._root_word_of_host.setdefault(origin_host, word)
 
-    # Step 3: update every level bottom-up.
-    traversal = Traversal(skipweb.network, start_host, kind=MessageKind.UPDATE)
+    # Step 3: update every level bottom-up, atomically.
+    per_level_affected: list[set[HostId]] = []
     total_added = 0
     total_removed = 0
     hosts_touched: set[HostId] = set()
@@ -195,17 +202,25 @@ def execute_insert(skipweb, item: Any, origin_host: HostId) -> UpdateResult:
         affected, added, removed = _apply_level_change(
             skipweb, level, prefix, new_structure
         )
-        _charge_hosts(traversal, affected)
+        per_level_affected.append(affected)
         hosts_touched |= affected
         total_added += added
         total_removed += removed
 
+    # Step 4: charge the propagation messages (same per-level order the
+    # interleaved protocol would pay, so immediate-mode counts are
+    # unchanged).
+    cursor = StepCursor(start_host)
+    for affected in per_level_affected:
+        for host in sorted(affected):
+            yield from cursor.hop_to(host)
+
     return UpdateResult(
         item=item,
         kind="insert",
-        messages=search_messages + traversal.hops,
+        messages=search_messages + cursor.hops,
         search_messages=search_messages,
-        propagate_messages=traversal.hops,
+        propagate_messages=cursor.hops,
         levels_touched=skipweb.height + 1,
         records_added=total_added,
         records_removed=total_removed,
@@ -213,19 +228,16 @@ def execute_insert(skipweb, item: Any, origin_host: HostId) -> UpdateResult:
     )
 
 
-def execute_delete(skipweb, item: Any, origin_host: HostId) -> UpdateResult:
-    """Delete ``item`` from ``skipweb``, charging messages per §4."""
+def delete_steps(skipweb, item: Any, origin_host: HostId) -> StepGenerator:
+    """Deletion of ``item`` as a resumable step generator (messages per §4)."""
     if item not in skipweb._membership:
         raise UpdateError(f"item {item!r} is not stored in the skip-web")
     if skipweb.ground_set_size == 1:
         raise UpdateError("cannot delete the last item of a skip-web")
 
     # Step 1: locate the item (a query descent).
-    search = execute_query(
-        skipweb,
-        skipweb.structure_cls.item_to_query(item),
-        origin_host,
-        kind=MessageKind.UPDATE,
+    search = yield from query_steps(
+        skipweb, skipweb.structure_cls.item_to_query(item), origin_host
     )
     search_messages = search.messages
     start_host = search.hosts_visited[-1] if search.hosts_visited else origin_host
@@ -246,7 +258,8 @@ def execute_delete(skipweb, item: Any, origin_host: HostId) -> UpdateResult:
                     break
             skipweb._root_word_of_host[host_id] = replacement or surviving_word
 
-    traversal = Traversal(skipweb.network, start_host, kind=MessageKind.UPDATE)
+    # Apply every level change atomically, then charge (see insert_steps).
+    per_level_affected: list[set[HostId]] = []
     total_added = 0
     total_removed = 0
     hosts_touched: set[HostId] = set()
@@ -265,19 +278,44 @@ def execute_delete(skipweb, item: Any, origin_host: HostId) -> UpdateResult:
         affected, added, removed = _apply_level_change(
             skipweb, level, prefix, new_structure
         )
-        _charge_hosts(traversal, affected)
+        per_level_affected.append(affected)
         hosts_touched |= affected
         total_added += added
         total_removed += removed
 
+    cursor = StepCursor(start_host)
+    for affected in per_level_affected:
+        for host in sorted(affected):
+            yield from cursor.hop_to(host)
+
     return UpdateResult(
         item=item,
         kind="delete",
-        messages=search_messages + traversal.hops,
+        messages=search_messages + cursor.hops,
         search_messages=search_messages,
-        propagate_messages=traversal.hops,
+        propagate_messages=cursor.hops,
         levels_touched=skipweb.height + 1,
         records_added=total_added,
         records_removed=total_removed,
         hosts_touched=len(hosts_touched),
+    )
+
+
+def execute_insert(skipweb, item: Any, origin_host: HostId) -> UpdateResult:
+    """Insert ``item`` into ``skipweb`` immediately, charging messages per §4."""
+    return run_immediate(
+        skipweb.network,
+        insert_steps(skipweb, item, origin_host),
+        origin_host,
+        kind=MessageKind.UPDATE,
+    )
+
+
+def execute_delete(skipweb, item: Any, origin_host: HostId) -> UpdateResult:
+    """Delete ``item`` from ``skipweb`` immediately, charging messages per §4."""
+    return run_immediate(
+        skipweb.network,
+        delete_steps(skipweb, item, origin_host),
+        origin_host,
+        kind=MessageKind.UPDATE,
     )

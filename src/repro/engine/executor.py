@@ -1,0 +1,448 @@
+"""The batched execution engine: many operations, one round at a time.
+
+The paper's congestion bounds are statements about *concurrent* load —
+O(log n / log log n) messages per host per round w.h.p. when many
+operations are in flight (Theorem 2).  :class:`BatchExecutor` makes that
+measurable: it takes a batch of mixed operations (queries and updates),
+obtains each one's step generator from the structure (any
+:class:`~repro.engine.protocol.DistributedStructure`), and advances every
+in-flight operation by at most one host crossing per network round using
+the queued delivery mode of :meth:`repro.net.network.Network.rounds`.
+
+Concurrency is honest: an update that lands mid-batch really does mutate
+the records other operations are walking.  An operation that trips over
+concurrently-changed state (a freed slot, a vanished unit) is restarted
+from scratch — and pays its messages again — up to ``max_retries`` times,
+mirroring how a real deployment retries on stale pointers.  An operation
+that touches a *failed* host is not retried; its outcome carries the
+:class:`~repro.errors.HostFailedError` while the rest of the batch runs
+to completion undisturbed.  Updates apply their structural change
+*atomically* before yielding their propagation charges, so a failure can
+only abort an update cleanly (during its search phase) or lose its
+billing acks (during its charge phase, with the change already applied
+and the structure consistent) — never leave a half-mutated structure.
+
+A per-origin **route cache** is available as a measurable fast path:
+when enabled, the first remote record a search fetches (its top-level
+descent entry) is memoized per origin host, so subsequent searches from
+the same origin resolve that record from the local copy — no message, no
+host crossing.  The cache is invalidated whenever an update completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.engine.protocol import DistributedStructure
+from repro.engine.steps import HopTo, Resolution, StepGenerator, Visit
+from repro.errors import (
+    AddressError,
+    HostFailedError,
+    QueryError,
+    ReproError,
+    StructureError,
+)
+from repro.net.congestion import RoundCongestionReport, summarize_round_reports
+from repro.net.message import MessageKind
+from repro.net.naming import Address, HostId
+from repro.net.network import PendingDelivery, RoundReport
+
+#: Errors caused by concurrent structural changes; the executor restarts
+#: the operation (fresh generator) when one of these surfaces mid-flight.
+_RETRYABLE = (AddressError, QueryError, StructureError)
+
+#: Message kind charged for each operation kind.
+_KIND_OF = {
+    "search": MessageKind.QUERY,
+    "insert": MessageKind.UPDATE,
+    "delete": MessageKind.UPDATE,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Operation:
+    """One logical operation of a batch.
+
+    ``kind`` is ``"search"``, ``"insert"`` or ``"delete"``; ``payload`` is
+    the query / item; ``origin_host`` pins the originating host (``None``
+    lets the executor spread origins round-robin over
+    ``structure.origin_hosts()``).
+    """
+
+    kind: str
+    payload: Any
+    origin_host: HostId | None = None
+
+
+@dataclass
+class OpOutcome:
+    """What happened to one operation of a batch."""
+
+    operation: Operation
+    origin_host: HostId
+    value: Any = None
+    error: Exception | None = None
+    messages: int = 0
+    rounds: int = 0
+    retries: int = 0
+    cache_hits: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the operation completed without error."""
+        return self.error is None
+
+    def result(self) -> Any:
+        """The operation's result, re-raising its error if it failed."""
+        if self.error is not None:
+            raise self.error
+        return self.value
+
+
+@dataclass
+class BatchResult:
+    """Aggregate outcome of one :meth:`BatchExecutor.run` call."""
+
+    outcomes: list[OpOutcome]
+    rounds: int
+    messages: int
+    round_reports: list[RoundReport] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def ops(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.ok)
+
+    @property
+    def failed(self) -> int:
+        return self.ops - self.completed
+
+    @property
+    def messages_per_op(self) -> float:
+        return self.messages / self.ops if self.ops else 0.0
+
+    @property
+    def ops_per_round(self) -> float:
+        """Throughput: completed operations per network round."""
+        return self.completed / self.rounds if self.rounds else float(self.completed)
+
+    @property
+    def max_round_congestion(self) -> int:
+        """Worst per-host per-round delivery count observed during the batch."""
+        return max((report.max_host_load for report in self.round_reports), default=0)
+
+    def round_congestion(self) -> RoundCongestionReport:
+        """Full round-level congestion summary of the batch."""
+        return summarize_round_reports(self.round_reports)
+
+    def summary(self) -> dict[str, Any]:
+        """One benchmark-table row worth of aggregate numbers."""
+        return {
+            "ops": self.ops,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "msgs_per_op": round(self.messages_per_op, 2),
+            "ops_per_round": round(self.ops_per_round, 2),
+            "max_round_congestion": self.max_round_congestion,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
+
+class _InFlight:
+    """Executor-side state of one operation."""
+
+    __slots__ = (
+        "outcome",
+        "gen",
+        "current",
+        "ticket",
+        "effect",
+        "started",
+        "start_round",
+        "first_remote_done",
+        "warm_key",
+        "done",
+    )
+
+    def __init__(self, outcome: OpOutcome) -> None:
+        self.outcome = outcome
+        self.gen: StepGenerator | None = None
+        self.current: HostId = outcome.origin_host
+        self.ticket: PendingDelivery | None = None
+        self.effect: Visit | HopTo | None = None
+        self.started = False
+        self.start_round: int | None = None
+        self.first_remote_done = False
+        self.warm_key: tuple[HostId, Address] | None = None
+        self.done = False
+
+
+class BatchExecutor:
+    """Round-based interleaving executor over one distributed structure.
+
+    Parameters
+    ----------
+    structure:
+        Any :class:`~repro.engine.protocol.DistributedStructure`.
+    route_cache:
+        Enable the per-origin top-level record cache (default off, so
+        batched numbers match the immediate-mode numbers exactly).
+    max_retries:
+        How many times an operation is restarted after tripping over
+        concurrently-modified state before its error is recorded.  The
+        default absorbs the worst churn the mixed benchmark workloads
+        produce; lower it to surface conflicts in tests.
+    max_rounds:
+        Safety bound on the number of network rounds per batch.
+    on_round:
+        Optional hook called after every round with its
+        :class:`~repro.net.network.RoundReport` — chaos tests use it to
+        fail hosts mid-batch.
+    """
+
+    def __init__(
+        self,
+        structure: DistributedStructure,
+        route_cache: bool = False,
+        max_retries: int = 5,
+        max_rounds: int = 1_000_000,
+        on_round: Callable[[RoundReport], None] | None = None,
+    ) -> None:
+        self.structure = structure
+        self.network = structure.network
+        self.route_cache = route_cache
+        self.max_retries = max_retries
+        self.max_rounds = max_rounds
+        self.on_round = on_round
+        self._cache: dict[tuple[HostId, Address], Any] = {}
+        self._cache_hits = 0
+        self._cache_misses = 0
+
+    # ------------------------------------------------------------------ #
+    # batch driver
+    # ------------------------------------------------------------------ #
+    def run(self, operations: list[Operation] | tuple[Operation, ...]) -> BatchResult:
+        """Execute ``operations`` concurrently, one host crossing per round each."""
+        origins = list(self.structure.origin_hosts())
+        if not origins:
+            raise QueryError("structure has no origin hosts to run a batch from")
+        states: list[_InFlight] = []
+        for index, operation in enumerate(operations):
+            origin = (
+                operation.origin_host
+                if operation.origin_host is not None
+                else origins[index % len(origins)]
+            )
+            states.append(_InFlight(OpOutcome(operation=operation, origin_host=origin)))
+
+        self._cache_hits = 0
+        self._cache_misses = 0
+        with self.network.rounds():
+            with self.network.measure() as stats:
+                self.network.run_rounds(
+                    [self._stepper(state) for state in states],
+                    max_rounds=self.max_rounds,
+                    on_round=self.on_round,
+                )
+            rounds = self.network.rounds_completed
+            round_reports = self.network.round_reports
+        return BatchResult(
+            outcomes=[state.outcome for state in states],
+            rounds=rounds,
+            messages=stats.messages,
+            round_reports=round_reports,
+            cache_hits=self._cache_hits,
+            cache_misses=self._cache_misses,
+        )
+
+    # ------------------------------------------------------------------ #
+    # per-operation stepping
+    # ------------------------------------------------------------------ #
+    def _make_generator(self, outcome: OpOutcome) -> StepGenerator:
+        operation = outcome.operation
+        if operation.kind == "search":
+            return self.structure.search_steps(operation.payload, outcome.origin_host)
+        if operation.kind == "insert":
+            return self.structure.insert_steps(operation.payload, outcome.origin_host)
+        if operation.kind == "delete":
+            return self.structure.delete_steps(operation.payload, outcome.origin_host)
+        raise ValueError(f"unknown operation kind {operation.kind!r}")
+
+    def _stepper(self, state: _InFlight) -> Callable[[], bool]:
+        def step() -> bool:
+            if state.done:
+                return False
+            resolution: Resolution | None = None
+            if state.ticket is not None:
+                # Resolve last round's delivery before advancing further.
+                try:
+                    state.ticket.result()
+                except HostFailedError as error:
+                    self._fail(state, error)
+                    return False
+                assert state.effect is not None
+                target = (
+                    state.effect.address.host
+                    if isinstance(state.effect, Visit)
+                    else state.effect.host
+                )
+                state.current = target
+                state.outcome.messages += 1
+                try:
+                    value = (
+                        self.network.load(state.effect.address)
+                        if isinstance(state.effect, Visit)
+                        else None
+                    )
+                except HostFailedError as error:
+                    self._fail(state, error)
+                    return False
+                except _RETRYABLE as error:
+                    state.ticket = None
+                    state.effect = None
+                    state.warm_key = None
+                    return self._retry_or_fail(state, error)
+                if state.warm_key is not None and isinstance(state.effect, Visit):
+                    # Memoize the fetched top-level record as the origin
+                    # host's local copy for later searches.
+                    self._cache[state.warm_key] = value
+                state.ticket = None
+                state.effect = None
+                state.warm_key = None
+                resolution = Resolution(value=value, host=target, charged=True)
+            return self._advance(state, resolution)
+
+        return step
+
+    def _advance(self, state: _InFlight, resolution: Resolution | None) -> bool:
+        """Run the generator locally until its next cross-host effect."""
+        while True:
+            try:
+                if not state.started:
+                    state.started = True
+                    state.gen = self._make_generator(state.outcome)
+                    effect = next(state.gen)
+                elif resolution is not None:
+                    effect = state.gen.send(resolution)
+                    resolution = None
+                else:
+                    effect = next(state.gen)
+            except StopIteration as stop:
+                self._finish(state, stop.value)
+                return False
+            except HostFailedError as error:
+                self._fail(state, error)
+                return False
+            except _RETRYABLE as error:
+                return self._retry_or_fail(state, error)
+            except ReproError as error:
+                # Non-retryable domain error (duplicate insert, unsupported
+                # update, ...): fail this operation, keep the batch going.
+                self._fail(state, error)
+                return False
+
+            target = effect.address.host if isinstance(effect, Visit) else effect.host
+            if target == state.current:
+                # Local effect: free and instantaneous.
+                try:
+                    value = (
+                        self.network.load(effect.address)
+                        if isinstance(effect, Visit)
+                        else None
+                    )
+                except HostFailedError as error:
+                    self._fail(state, error)
+                    return False
+                except _RETRYABLE as error:
+                    return self._retry_or_fail(state, error)
+                resolution = Resolution(value=value, host=target, charged=False)
+                continue
+            if (
+                self.route_cache
+                and isinstance(effect, Visit)
+                and state.outcome.operation.kind == "search"
+                and not state.first_remote_done
+            ):
+                cache_key = (state.outcome.origin_host, effect.address)
+                cached = self._cache.get(cache_key)
+                state.first_remote_done = True
+                if cached is not None:
+                    # Served from the origin's local copy: no message, the
+                    # operation keeps executing at its origin host.
+                    self._cache_hits += 1
+                    state.outcome.cache_hits += 1
+                    resolution = Resolution(value=cached, host=state.current, charged=False)
+                    continue
+                self._cache_misses += 1
+                self._post(state, effect, target, warm_cache_key=cache_key)
+                return True
+            if isinstance(effect, Visit):
+                state.first_remote_done = True
+            self._post(state, effect, target)
+            return True
+
+    def _post(
+        self,
+        state: _InFlight,
+        effect: Visit | HopTo,
+        target: HostId,
+        warm_cache_key: tuple[HostId, Address] | None = None,
+    ) -> None:
+        kind = _KIND_OF[state.outcome.operation.kind]
+        state.ticket = self.network.post(state.current, target, kind=kind)
+        state.effect = effect
+        state.warm_key = warm_cache_key
+        if state.start_round is None:
+            state.start_round = self.network.rounds_completed
+
+    # ------------------------------------------------------------------ #
+    # completion paths
+    # ------------------------------------------------------------------ #
+    def _rounds_spanned(self, state: _InFlight) -> int:
+        if state.start_round is None:
+            return 0
+        return max(1, self.network.rounds_completed - state.start_round)
+
+    def _finish(self, state: _InFlight, value: Any) -> None:
+        state.outcome.value = value
+        state.outcome.rounds = self._rounds_spanned(state)
+        state.done = True
+        if state.outcome.operation.kind in ("insert", "delete"):
+            # Structure changed: every memoized top-level copy is suspect.
+            self._cache.clear()
+
+    def _fail(self, state: _InFlight, error: Exception) -> None:
+        state.outcome.error = error
+        state.outcome.rounds = self._rounds_spanned(state)
+        state.done = True
+        if state.outcome.operation.kind in ("insert", "delete"):
+            self._cache.clear()
+
+    def _retry_or_fail(self, state: _InFlight, error: Exception) -> bool:
+        if state.outcome.retries >= self.max_retries:
+            self._fail(state, error)
+            return False
+        state.outcome.retries += 1
+        state.started = False
+        state.gen = None
+        state.ticket = None
+        state.effect = None
+        state.current = state.outcome.origin_host
+        state.first_remote_done = False
+        state.warm_key = None
+        # A conflict means some record the operation relied on changed
+        # underneath it — possibly one that reached it through the route
+        # cache (e.g. an update made through the immediate API, which the
+        # executor cannot observe).  Drop every memoized copy so the retry
+        # re-fetches fresh state instead of looping on the same stale record.
+        self._cache.clear()
+        return self._advance(state, None)

@@ -1,0 +1,63 @@
+"""The ``DistributedStructure`` protocol: one executor for every structure.
+
+Skip-webs, their four instantiations, and the Table 1 baselines all
+search and update by walking pointers over the simulated network.  The
+protocol below captures that common shape as *step generators* (see
+:mod:`repro.engine.steps`): a structure exposes its operations as
+resumable generators and in exchange runs unmodified under both the
+immediate single-operation drivers and the round-based
+:class:`~repro.engine.executor.BatchExecutor`.
+
+A structure implements:
+
+* ``search_steps(query, origin_host)`` — the query descent;
+* ``insert_steps(item, origin_host)`` / ``delete_steps(item,
+  origin_host)`` — updates (structures that cannot update, e.g. the Chord
+  baseline, raise :class:`~repro.errors.UpdateError`);
+* ``seed_roots(origin_host)`` — the local routing state an operation at
+  ``origin_host`` starts from (root entries, a routing table, a finger
+  table), returned through a step generator so that structures whose
+  roots require remote fetches can charge them;
+* ``origin_hosts()`` — hosts from which operations may originate, used by
+  workload drivers to spread a batch across the network.
+
+The protocol is ``runtime_checkable`` so tests can assert conformance
+with ``isinstance``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, Sequence, runtime_checkable
+
+from repro.engine.steps import StepGenerator
+from repro.net.naming import HostId
+
+
+@runtime_checkable
+class DistributedStructure(Protocol):
+    """A distributed data structure whose operations are step generators."""
+
+    @property
+    def network(self) -> Any:
+        """The :class:`repro.net.network.Network` the structure lives on."""
+        ...  # pragma: no cover - protocol
+
+    def origin_hosts(self) -> Sequence[HostId]:
+        """Hosts from which operations may originate."""
+        ...  # pragma: no cover - protocol
+
+    def seed_roots(self, origin_host: HostId) -> StepGenerator:
+        """Step generator returning the local routing state of ``origin_host``."""
+        ...  # pragma: no cover - protocol
+
+    def search_steps(self, query: Any, origin_host: HostId | None = None) -> StepGenerator:
+        """Step generator answering ``query`` from ``origin_host``."""
+        ...  # pragma: no cover - protocol
+
+    def insert_steps(self, item: Any, origin_host: HostId | None = None) -> StepGenerator:
+        """Step generator inserting ``item`` from ``origin_host``."""
+        ...  # pragma: no cover - protocol
+
+    def delete_steps(self, item: Any, origin_host: HostId | None = None) -> StepGenerator:
+        """Step generator deleting ``item`` from ``origin_host``."""
+        ...  # pragma: no cover - protocol

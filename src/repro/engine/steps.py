@@ -1,0 +1,171 @@
+"""Resumable step generators: the execution currency of the engine.
+
+Every distributed operation in this package — a query descent, an insert,
+a Chord lookup — is expressed *once*, as a Python generator that yields
+:class:`Visit` and :class:`HopTo` effects whenever it wants to cross
+hosts and receives a :class:`Resolution` telling it where it now runs and
+whether the crossing cost a message.  The same generator can then be
+driven two ways:
+
+* :func:`run_immediate` resolves every effect synchronously against the
+  network, reproducing exactly the accounting of
+  :class:`repro.net.rpc.Traversal` — this is the default single-operation
+  path used by ``structure.query(...)`` and friends;
+* :class:`repro.engine.executor.BatchExecutor` interleaves many
+  generators round by round over the network's queued delivery mode, so
+  per-host per-round congestion is measured directly.
+
+Generators do not talk to the network themselves for remote state; they
+use a :class:`StepCursor` (``yield from cursor.visit(address)``) which
+forwards the effect to whichever driver is in charge.  Local work between
+effects is free, matching the paper's cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+from repro.net.message import MessageKind
+from repro.net.naming import Address, HostId
+
+
+@dataclass(frozen=True, slots=True)
+class Visit:
+    """Effect: dereference ``address``, moving the operation to its host.
+
+    Resolves to the stored item.  Costs one message when the address lives
+    on a different host than the operation's current position (unless a
+    driver-level cache serves a local copy, in which case the operation
+    stays put and pays nothing).
+    """
+
+    address: Address
+
+
+@dataclass(frozen=True, slots=True)
+class HopTo:
+    """Effect: move the operation to ``host`` explicitly (one message if remote)."""
+
+    host: HostId
+
+
+#: Effects a step generator may yield.
+Step = Visit | HopTo
+
+
+@dataclass(frozen=True, slots=True)
+class Resolution:
+    """What the driver hands back into the generator for one effect.
+
+    ``host`` is where the operation executes after the effect (a cache hit
+    leaves it in place), ``charged`` says whether a message was spent, and
+    ``value`` is the dereferenced item for :class:`Visit` effects.
+    """
+
+    value: Any
+    host: HostId
+    charged: bool
+
+
+#: A resumable distributed operation: yields effects, receives resolutions,
+#: and returns its final result via ``StopIteration.value``.
+StepGenerator = Generator[Step, Resolution, Any]
+
+
+class StepCursor:
+    """Generator-side bookkeeping of a step-driven traversal.
+
+    Mirrors :class:`repro.net.rpc.Traversal` (current host, hop count,
+    visited path) but delegates the actual message charging to the driver
+    through yielded effects, so the same routing code is honest under both
+    immediate and round-based execution.
+    """
+
+    def __init__(self, origin: HostId) -> None:
+        self._current: HostId = origin
+        self._hops = 0
+        self._path: list[HostId] = [origin]
+
+    @property
+    def current_host(self) -> HostId:
+        """The host currently executing the operation."""
+        return self._current
+
+    @property
+    def hops(self) -> int:
+        """Number of messages charged so far to this operation."""
+        return self._hops
+
+    @property
+    def path(self) -> list[HostId]:
+        """Sequence of hosts visited (consecutive duplicates collapsed)."""
+        return list(self._path)
+
+    def _absorb(self, resolution: Resolution) -> None:
+        if resolution.charged:
+            self._hops += 1
+        if resolution.host != self._current:
+            self._current = resolution.host
+            self._path.append(resolution.host)
+
+    def visit(self, address: Address) -> StepGenerator:
+        """Dereference ``address`` through the driver; use as ``yield from``."""
+        resolution = yield Visit(address)
+        self._absorb(resolution)
+        return resolution.value
+
+    def hop_to(self, host: HostId) -> StepGenerator:
+        """Move to ``host`` through the driver; use as ``yield from``."""
+        resolution = yield HopTo(host)
+        self._absorb(resolution)
+        return None
+
+
+def local_steps(value: Any) -> StepGenerator:
+    """Wrap an already-local value as a zero-effect step generator.
+
+    Structures whose ``seed_roots`` state lives on the origin host return
+    it through this helper, keeping the protocol uniformly
+    generator-based without each implementation repeating the
+    unreachable-``yield`` idiom.
+    """
+    return value
+    yield  # pragma: no cover - intentionally unreachable: makes this a generator
+
+
+def run_immediate(
+    network,
+    gen: StepGenerator,
+    origin: HostId,
+    kind: MessageKind = MessageKind.QUERY,
+) -> Any:
+    """Drive a step generator to completion synchronously.
+
+    Every cross-host effect is charged one message on the spot, exactly as
+    :meth:`repro.net.rpc.Traversal.visit` would charge it; this keeps the
+    single-operation numbers identical to the pre-engine code paths.
+    """
+    current = origin
+    try:
+        effect = next(gen)
+        while True:
+            if isinstance(effect, Visit):
+                target = effect.address.host
+                charged = target != current
+                if charged:
+                    network.send(current, target, kind=kind)
+                    current = target
+                value = network.load(effect.address)
+            elif isinstance(effect, HopTo):
+                target = effect.host
+                charged = target != current
+                if charged:
+                    network.send(current, target, kind=kind)
+                    current = target
+                value = None
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"step generator yielded a non-effect: {effect!r}")
+            effect = gen.send(Resolution(value=value, host=current, charged=charged))
+    except StopIteration as stop:
+        return stop.value

@@ -25,9 +25,15 @@ single-process simulator:
 from repro.net.naming import Address, HostId, fresh_host_ids
 from repro.net.message import Message, MessageKind, MessageLog
 from repro.net.host import Host
-from repro.net.network import Network, OperationStats
+from repro.net.network import Network, OperationStats, PendingDelivery, RoundReport
 from repro.net.rpc import Traversal, RemoteRef
-from repro.net.congestion import CongestionReport, congestion_report
+from repro.net.congestion import (
+    CongestionReport,
+    RoundCongestionReport,
+    congestion_report,
+    round_congestion_report,
+    summarize_round_reports,
+)
 from repro.net.failure import FailureInjector
 
 __all__ = [
@@ -40,9 +46,14 @@ __all__ = [
     "Host",
     "Network",
     "OperationStats",
+    "PendingDelivery",
+    "RoundReport",
     "Traversal",
     "RemoteRef",
     "CongestionReport",
+    "RoundCongestionReport",
     "congestion_report",
+    "round_congestion_report",
+    "summarize_round_reports",
     "FailureInjector",
 ]

@@ -10,6 +10,14 @@ Section 1.1 of the paper defines the congestion of a host as
 :func:`congestion_report` computes exactly that quantity per host from
 the reference counters maintained by :class:`repro.net.host.Host`, plus
 summary statistics (max, mean) that the Table 1 benchmark reports.
+
+That static measure is a *proxy*: it counts pointers that could carry
+traffic.  When the network runs in round-based mode (see
+:meth:`repro.net.network.Network.rounds` and :mod:`repro.engine`), the
+congestion each host actually absorbs is measured directly —
+:func:`round_congestion_report` summarises the per-host per-round
+delivery counts of a batch, the quantity Theorem 2 bounds by
+O(log n / log log n) per host per round w.h.p.
 """
 
 from __future__ import annotations
@@ -86,3 +94,76 @@ def congestion_report(network, ground_set_size: int) -> CongestionReport:
         ground_set_size=ground_set_size,
         host_count=host_count,
     )
+
+
+@dataclass(frozen=True, slots=True)
+class RoundCongestionReport:
+    """Directly-measured congestion of a round-based batch execution.
+
+    ``per_round_max`` holds, for every round, the largest number of
+    messages any single host received in that round; ``busiest_host`` /
+    ``busiest_round`` identify where the overall maximum occurred.
+    """
+
+    rounds: int
+    total_messages: int
+    per_round_max: tuple[int, ...]
+    busiest_host: HostId | None
+    busiest_round: int | None
+
+    @property
+    def max_host_round_load(self) -> int:
+        """Worst per-host per-round load — what Theorem 2 bounds w.h.p."""
+        return max(self.per_round_max, default=0)
+
+    @property
+    def mean_round_max(self) -> float:
+        """Average (over rounds) of the per-round maximum host load."""
+        if not self.per_round_max:
+            return 0.0
+        return mean(self.per_round_max)
+
+    def as_dict(self) -> dict[str, float]:
+        """Summary suitable for benchmark tables."""
+        return {
+            "rounds": float(self.rounds),
+            "messages": float(self.total_messages),
+            "max_host_round_load": float(self.max_host_round_load),
+            "mean_round_max": self.mean_round_max,
+        }
+
+
+def summarize_round_reports(reports) -> RoundCongestionReport:
+    """Fold a sequence of :class:`~repro.net.network.RoundReport` into one summary."""
+    per_round_max: list[int] = []
+    busiest_host: HostId | None = None
+    busiest_round: int | None = None
+    best = 0
+    total = 0
+    count = 0
+    for report in reports:
+        count += 1
+        per_round_max.append(report.max_host_load)
+        total += report.delivered
+        for host_id, load in report.per_host.items():
+            if load > best:
+                best = load
+                busiest_host = host_id
+                busiest_round = report.index
+    return RoundCongestionReport(
+        rounds=count,
+        total_messages=total,
+        per_round_max=tuple(per_round_max),
+        busiest_host=busiest_host,
+        busiest_round=busiest_round,
+    )
+
+
+def round_congestion_report(network) -> RoundCongestionReport:
+    """Summarise the per-host per-round deliveries of the last round session.
+
+    Reads the :class:`~repro.net.network.RoundReport` list the network
+    accumulated while in round-based mode (empty when the network has only
+    ever run in immediate mode).
+    """
+    return summarize_round_reports(network.round_reports)

@@ -17,13 +17,25 @@ the counters::
     with network.measure() as op:
         structure.search(origin, key)
     assert op.messages <= expected
+
+Two delivery modes are supported.  The default *immediate* mode charges
+and delivers each message synchronously, which is what every
+single-operation code path uses.  The *round-based* mode — entered with
+:meth:`Network.rounds` — queues messages via :meth:`Network.post` and
+delivers a whole round of them at once via :meth:`Network.run_round` /
+:meth:`Network.run_rounds`, recording how many messages each host had to
+absorb in each round.  This is the substrate under
+:class:`repro.engine.executor.BatchExecutor`, which interleaves many
+logical operations so that the paper's per-host congestion bounds
+(O(log n / log log n) w.h.p., Theorem 2) can be *measured per round*
+rather than inferred from pointer counts; see :mod:`repro.engine`.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
 from repro.errors import HostFailedError, UnknownHostError
 from repro.net.host import Host
@@ -33,15 +45,75 @@ from repro.net.naming import Address, HostId
 
 @dataclass
 class OperationStats:
-    """Message counts observed during one :meth:`Network.measure` block."""
+    """Message counts observed during one :meth:`Network.measure` block.
+
+    ``by_round`` and ``rounds`` are only populated while the network runs
+    in round-based mode: they record how many of the measured messages
+    were delivered in each network round, and how many distinct rounds the
+    measured block spanned.
+    """
 
     messages: int = 0
     by_kind: dict[MessageKind, int] = field(default_factory=dict)
     hosts_touched: set[HostId] = field(default_factory=set)
+    by_round: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def rounds(self) -> int:
+        """Number of distinct network rounds the measured messages spanned."""
+        return len(self.by_round)
 
     def count(self, kind: MessageKind) -> int:
         """Messages of one kind sent during the measured operation."""
         return self.by_kind.get(kind, 0)
+
+
+@dataclass(frozen=True, slots=True)
+class RoundReport:
+    """Delivery summary of one network round.
+
+    ``per_host`` maps each host to the number of messages it received
+    during the round — the directly-measured per-host per-round
+    congestion.  ``dropped`` counts messages whose destination (or source)
+    host had failed; those deliveries carry a :class:`HostFailedError` on
+    their ticket instead of reaching the log.
+    """
+
+    index: int
+    delivered: int
+    per_host: dict[HostId, int]
+    dropped: int = 0
+
+    @property
+    def max_host_load(self) -> int:
+        """Largest number of messages any single host received this round."""
+        return max(self.per_host.values(), default=0)
+
+
+class PendingDelivery:
+    """A queued message awaiting the next :meth:`Network.run_round`.
+
+    After the round runs, exactly one of ``delivered`` / ``error`` is set;
+    :meth:`result` re-raises the delivery error, if any, in the caller's
+    context (the :class:`~repro.engine.executor.BatchExecutor` uses this
+    to fail only the one in-flight operation that touched a dead host).
+    """
+
+    __slots__ = ("src", "dst", "kind", "payload", "delivered", "error")
+
+    def __init__(self, src: HostId, dst: HostId, kind: MessageKind, payload: Any) -> None:
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.payload = payload
+        self.delivered: Message | None = None
+        self.error: Exception | None = None
+
+    def result(self) -> Message | None:
+        """The delivered message, or raise the delivery error."""
+        if self.error is not None:
+            raise self.error
+        return self.delivered
 
 
 class Network:
@@ -70,6 +142,13 @@ class Network:
         self._next_host_id = 0
         self._measure_stack: list[OperationStats] = []
         self._failed_hosts: set[HostId] = set()
+        # Round-based delivery state (inactive in the default immediate mode).
+        self._round_mode = False
+        self._pending: list[PendingDelivery] = []
+        self._round_index = 0
+        self._round_per_host: dict[HostId, int] = {}
+        self._round_delivered = 0
+        self._round_reports: list[RoundReport] = []
 
     # ------------------------------------------------------------------ #
     # host management
@@ -122,14 +201,20 @@ class Network:
         """Store ``item`` on host ``host_id`` and return its address."""
         return self.host(host_id).store(item)
 
-    def load(self, address: Address) -> Any:
+    def load(self, address: Address, check_alive: bool = True) -> Any:
         """Dereference ``address`` *without* charging a message.
 
         Structures must only call this for local dereferences, or after
         having charged the hop via :meth:`send` /
-        :class:`~repro.net.rpc.Traversal`.
+        :class:`~repro.net.rpc.Traversal`.  ``check_alive=False`` skips
+        the failure-injection liveness check; it is reserved for
+        structural bookkeeping that must apply atomically (update
+        propagation, reference recounts) and must therefore not be
+        interruptible halfway by an injected failure — operation *routing*
+        always keeps the check on.
         """
-        self._check_alive(address.host)
+        if check_alive:
+            self._check_alive(address.host)
         return self.host(address.host).load(address)
 
     def free(self, address: Address) -> Any:
@@ -162,12 +247,25 @@ class Network:
         self._check_alive(dst)
         if src == dst:
             return None
+        return self._record_delivery(src, dst, kind, payload)
+
+    def _record_delivery(
+        self, src: HostId, dst: HostId, kind: MessageKind, payload: Any
+    ) -> Message:
+        """Log one inter-host message and update measurement/round counters."""
         message = self._log.record(src=src, dst=dst, kind=kind, payload=payload)
         for stats in self._measure_stack:
             stats.messages += 1
             stats.by_kind[kind] = stats.by_kind.get(kind, 0) + 1
             stats.hosts_touched.add(src)
             stats.hosts_touched.add(dst)
+            if self._round_mode:
+                stats.by_round[self._round_index] = (
+                    stats.by_round.get(self._round_index, 0) + 1
+                )
+        if self._round_mode:
+            self._round_per_host[dst] = self._round_per_host.get(dst, 0) + 1
+            self._round_delivered += 1
         return message
 
     @property
@@ -193,6 +291,172 @@ class Network:
             yield stats
         finally:
             self._measure_stack.pop()
+
+    # ------------------------------------------------------------------ #
+    # round-based delivery (batched execution mode)
+    # ------------------------------------------------------------------ #
+    @property
+    def in_round_mode(self) -> bool:
+        """Whether the network currently queues messages into rounds."""
+        return self._round_mode
+
+    @property
+    def rounds_completed(self) -> int:
+        """Number of rounds delivered since the last :meth:`rounds` entry."""
+        return self._round_index
+
+    @property
+    def round_reports(self) -> list[RoundReport]:
+        """Per-round delivery reports of the current / most recent round session."""
+        return list(self._round_reports)
+
+    @contextmanager
+    def rounds(self) -> Iterator["Network"]:
+        """Enter round-based delivery mode for the ``with`` body.
+
+        Messages posted with :meth:`post` are queued and only delivered
+        (and charged) by :meth:`run_round`.  Direct :meth:`send` calls
+        remain legal inside the block — they are charged immediately,
+        attributed to the round currently being assembled, and counted in
+        that round's report exactly like queued deliveries (a trailing
+        send after the final :meth:`run_round` gets a closing report of
+        its own on exit).  Round counters are reset on entry so that each
+        batch measures its own congestion.
+        """
+        if self._round_mode:
+            raise RuntimeError("network is already in round-based mode")
+        self._round_mode = True
+        self._round_index = 0
+        self._round_per_host = {}
+        self._round_delivered = 0
+        self._round_reports = []
+        self._pending = []
+        try:
+            yield self
+        finally:
+            if self._round_per_host:
+                # Direct sends charged after the last run_round: close
+                # them out so no delivered traffic is missing from the
+                # session's reports.
+                self._round_reports.append(
+                    RoundReport(
+                        index=self._round_index,
+                        delivered=self._round_delivered,
+                        per_host=dict(self._round_per_host),
+                        dropped=0,
+                    )
+                )
+                self._round_index += 1
+            self._round_mode = False
+            self._pending = []
+            self._round_per_host = {}
+            self._round_delivered = 0
+
+    def post(
+        self,
+        src: HostId,
+        dst: HostId,
+        kind: MessageKind = MessageKind.QUERY,
+        payload: Any = None,
+    ) -> PendingDelivery:
+        """Queue one message for the next round; returns its delivery ticket.
+
+        Host existence is validated immediately; host *liveness* is only
+        checked at delivery time (a host may fail between posting and the
+        round running), in which case the ticket carries the
+        :class:`HostFailedError` instead of the whole round failing.
+        """
+        if not self._round_mode:
+            raise RuntimeError("post() requires round-based mode; see Network.rounds()")
+        if src not in self._hosts:
+            raise UnknownHostError(f"unknown source host {src}")
+        if dst not in self._hosts:
+            raise UnknownHostError(f"unknown destination host {dst}")
+        ticket = PendingDelivery(src=src, dst=dst, kind=kind, payload=payload)
+        self._pending.append(ticket)
+        return ticket
+
+    def run_round(self) -> RoundReport:
+        """Deliver every queued message, closing out one round.
+
+        Deliveries to (or from) failed hosts are dropped and recorded on
+        their tickets; all other queued messages are charged and logged.
+        Self-sends deliver for free, as in immediate mode.
+        """
+        if not self._round_mode:
+            raise RuntimeError("run_round() requires round-based mode; see Network.rounds()")
+        pending, self._pending = self._pending, []
+        dropped = 0
+        for ticket in pending:
+            failed = self._first_failed(ticket.src, ticket.dst)
+            if failed is not None:
+                ticket.error = HostFailedError(f"host {failed} has failed")
+                dropped += 1
+                continue
+            if ticket.src == ticket.dst:
+                # Self-delivery is free in the cost model: resolved, but
+                # neither logged nor counted as a delivered message.
+                continue
+            ticket.delivered = self._record_delivery(
+                ticket.src, ticket.dst, ticket.kind, ticket.payload
+            )
+        # ``_round_delivered`` counts every charged message attributed to
+        # this round — queued deliveries and direct send() calls alike —
+        # so the report stays consistent with ``per_host``.
+        report = RoundReport(
+            index=self._round_index,
+            delivered=self._round_delivered,
+            per_host=dict(self._round_per_host),
+            dropped=dropped,
+        )
+        self._round_reports.append(report)
+        self._round_index += 1
+        self._round_per_host = {}
+        self._round_delivered = 0
+        return report
+
+    def run_rounds(
+        self,
+        steppers: Iterable[Callable[[], bool]],
+        max_rounds: int = 1_000_000,
+        on_round: Callable[[RoundReport], None] | None = None,
+    ) -> list[RoundReport]:
+        """Drive a set of concurrent step functions to completion, round by round.
+
+        Each *stepper* represents one in-flight logical operation: when
+        called it does its local work, posts at most a few messages for
+        the upcoming round, and returns ``True`` while it wants to keep
+        running.  One call to every live stepper plus one
+        :meth:`run_round` is one network round.  ``on_round`` (if given)
+        runs after each round — failure-injection tests use it to kill
+        hosts mid-batch.  Returns the reports of every round that actually
+        delivered messages.
+        """
+        if not self._round_mode:
+            raise RuntimeError("run_rounds() requires round-based mode; see Network.rounds()")
+        reports: list[RoundReport] = []
+        active = list(steppers)
+        passes = 0
+        while active:
+            # Guard on scheduler passes, not delivered rounds: a stepper
+            # that stays active without ever posting must still trip the
+            # bound instead of spinning forever.
+            if passes >= max_rounds:
+                raise RuntimeError(f"round-based execution exceeded {max_rounds} rounds")
+            passes += 1
+            active = [stepper for stepper in active if stepper()]
+            if self._pending:
+                report = self.run_round()
+                reports.append(report)
+                if on_round is not None:
+                    on_round(report)
+        return reports
+
+    def _first_failed(self, *host_ids: HostId) -> HostId | None:
+        for host_id in host_ids:
+            if host_id in self._failed_hosts:
+                return host_id
+        return None
 
     # ------------------------------------------------------------------ #
     # failure injection hooks (extension; the paper assumes no failures)

@@ -36,24 +36,30 @@ from typing import Any, Hashable, Sequence
 from repro.core.levels import BitPrefix, MembershipAssignment
 from repro.core.link_structure import RangeUnit
 from repro.core.query import QueryResult
-from repro.core.skipweb import SkipWeb, SkipWebConfig
+from repro.core.skipweb import SkipWeb, SkipWebConfig, SkipWebStructureAdapter
 from repro.core.update import UpdateResult
+from repro.engine.steps import StepCursor, StepGenerator, local_steps, run_immediate
 from repro.errors import QueryError, StructureError, UpdateError
 from repro.net.congestion import CongestionReport, congestion_report
 from repro.net.message import MessageKind
 from repro.net.naming import Address, HostId
 from repro.net.network import Network
-from repro.net.rpc import Traversal
 from repro.onedim.linked_list import NearestNeighborAnswer, SortedListStructure
 
 
-class SkipWeb1D:
+class SkipWeb1D(SkipWebStructureAdapter):
     """A skip-web over sorted numeric keys (arbitrary blocking, §2.4).
 
     This is a thin convenience wrapper around the generic
     :class:`repro.core.skipweb.SkipWeb` that fixes the link structure to
     :class:`SortedListStructure` and exposes one-dimensional query names.
     """
+
+    def _coerce_query(self, query: Any) -> float:
+        return float(query)
+
+    def _coerce_item(self, item: Any) -> float:
+        return float(item)
 
     def __init__(
         self,
@@ -275,18 +281,38 @@ class BucketSkipWeb1D:
             chain.append((level, prefix, structure.locate(query)))
         return chain
 
-    def nearest(
+    def _root_host_for_key(self, origin_key: float, word: BitPrefix) -> HostId:
+        """The block host responsible for ``origin_key`` at the top basic level."""
+        top_basic = self.basic_levels[-1]
+        basic_prefix = word[:top_basic]
+        basic_structure = self._structures[(top_basic, basic_prefix)]
+        origin_unit = basic_structure.locate(origin_key)
+        return self._block_host[(top_basic, basic_prefix, origin_unit.key)]
+
+    def _origin_for_key(self, origin_key: float | None) -> HostId | None:
+        """Default origin host: the root (block host) of ``origin_key``.
+
+        Returns ``None`` for unknown keys; the step generators then raise
+        the same :class:`QueryError` the eager API used to raise.
+        """
+        key = float(origin_key) if origin_key is not None else self._keys[0]
+        if key not in self._membership:
+            return None
+        return self._root_host_for_key(key, self._membership.word(key))
+
+    def search_steps(
         self,
         query: float,
-        origin_key: float | None = None,
         origin_host: HostId | None = None,
-    ) -> QueryResult:
-        """Nearest-neighbour query; messages are charged per host crossing.
+        origin_key: float | None = None,
+    ) -> StepGenerator:
+        """The nearest-neighbour descent as a resumable step generator.
 
-        The search starts from the host owning ``origin_key`` (default:
-        the smallest stored key), descends the chain of per-level targets
-        along that key's membership word, and hops to the responsible
-        block host whenever the next target is not already stored locally.
+        The search starts from ``origin_host`` (default: the block host
+        responsible for ``origin_key``, i.e. that key's "root"), descends
+        the chain of per-level targets along the origin key's membership
+        word, and hops to the responsible block host whenever the next
+        target is not already stored locally.
         """
         point = float(query)
         if origin_key is None:
@@ -300,26 +326,20 @@ class BucketSkipWeb1D:
             raise QueryError("bucket skip-web has no level structures")
 
         if origin_host is None:
-            # The originating host is the block host responsible for the
-            # origin key at the top basic level (its "root").
-            top_basic = self.basic_levels[-1]
-            basic_prefix = word[:top_basic]
-            basic_structure = self._structures[(top_basic, basic_prefix)]
-            origin_unit = basic_structure.locate(origin_key)
-            origin_host = self._block_host[(top_basic, basic_prefix, origin_unit.key)]
+            origin_host = self._root_host_for_key(origin_key, word)
 
-        traversal = Traversal(self.network, origin_host, kind=MessageKind.QUERY)
+        cursor = StepCursor(origin_host)
         per_level_messages: list[int] = []
         for level, prefix, unit in chain:
-            hops_before = traversal.hops
+            hops_before = cursor.hops
             stored = self._stored_at.get((level, prefix, unit.key), set())
-            if traversal.current_host not in stored:
+            if cursor.current_host not in stored:
                 target_host = self._preferred_host(point, level, word)
                 if target_host not in stored:
                     # Block-boundary corner case: fall back to any holder.
                     target_host = next(iter(stored))
-                traversal.hop_to(target_host)
-            per_level_messages.append(traversal.hops - hops_before)
+                yield from cursor.hop_to(target_host)
+            per_level_messages.append(cursor.hops - hops_before)
 
         level0 = self._structures[(0, ())]
         final_unit = chain[-1][2]
@@ -327,13 +347,25 @@ class BucketSkipWeb1D:
         return QueryResult(
             query=point,
             answer=answer,
-            messages=traversal.hops,
+            messages=cursor.hops,
             origin_host=origin_host,
-            hosts_visited=tuple(traversal.path),
+            hosts_visited=tuple(cursor.path),
             levels_descended=len(chain) - 1,
             target_key=final_unit.key,
             per_level_messages=tuple(per_level_messages),
         )
+
+    def nearest(
+        self,
+        query: float,
+        origin_key: float | None = None,
+        origin_host: HostId | None = None,
+    ) -> QueryResult:
+        """Nearest-neighbour query; messages are charged per host crossing."""
+        if origin_host is None:
+            origin_host = self._origin_for_key(origin_key)
+        gen = self.search_steps(query, origin_host=origin_host, origin_key=origin_key)
+        return run_immediate(self.network, gen, origin_host, kind=MessageKind.QUERY)
 
     def _preferred_host(self, query: float, level: int, word: BitPrefix) -> HostId:
         """The block host that covers ``query`` from ``level`` down to its basic level."""
@@ -350,16 +382,27 @@ class BucketSkipWeb1D:
     # ------------------------------------------------------------------ #
     # updates (§4: messages only reach basic levels; block splits amortised)
     # ------------------------------------------------------------------ #
-    def insert(self, key: float, origin_key: float | None = None) -> UpdateResult:
-        """Insert ``key``; expected ``O(log n / log M)`` messages."""
+    def insert_steps(
+        self,
+        key: float,
+        origin_host: HostId | None = None,
+        origin_key: float | None = None,
+    ) -> StepGenerator:
+        """Insertion as a resumable step generator; ``O(log n / log M)`` messages."""
         point = float(key)
         if point in self._membership:
             raise UpdateError(f"key {point!r} is already stored")
-        search = self.nearest(point, origin_key=origin_key)
+        search = yield from self.search_steps(
+            point, origin_host=origin_host, origin_key=origin_key
+        )
         word = self._membership.assign(point)
-        messages, hosts_touched = self._charge_basic_levels(point, word, search)
+        # Determine the responsible block hosts from the pre-update layout,
+        # apply the whole structural change atomically, then charge — an
+        # operation interrupted mid-charge leaves the structure consistent.
+        targets = self._basic_level_hosts(point, word)
         self._keys = sorted(self._keys + [point])
         self._rebuild_layout()
+        messages, hosts_touched = yield from self._charge_hosts(search, targets)
         return UpdateResult(
             item=point,
             kind="insert",
@@ -372,21 +415,34 @@ class BucketSkipWeb1D:
             hosts_touched=hosts_touched,
         )
 
-    def delete(self, key: float, origin_key: float | None = None) -> UpdateResult:
-        """Delete ``key``; expected ``O(log n / log M)`` messages."""
+    def insert(self, key: float, origin_key: float | None = None) -> UpdateResult:
+        """Insert ``key``; expected ``O(log n / log M)`` messages."""
+        origin_host = self._origin_for_key(origin_key)
+        gen = self.insert_steps(key, origin_host=origin_host, origin_key=origin_key)
+        return run_immediate(self.network, gen, origin_host, kind=MessageKind.UPDATE)
+
+    def delete_steps(
+        self,
+        key: float,
+        origin_host: HostId | None = None,
+        origin_key: float | None = None,
+    ) -> StepGenerator:
+        """Deletion as a resumable step generator; ``O(log n / log M)`` messages."""
         point = float(key)
         if point not in self._membership:
             raise UpdateError(f"key {point!r} is not stored")
         if len(self._keys) == 1:
             raise UpdateError("cannot delete the last key")
-        if origin_key is None or float(origin_key) == point:
-            origin_key = next(existing for existing in self._keys if existing != point)
-        search = self.nearest(point, origin_key=origin_key)
+        origin_key = self._delete_origin_key(point, origin_key)
+        search = yield from self.search_steps(
+            point, origin_host=origin_host, origin_key=origin_key
+        )
         word = self._membership.word(point)
-        messages, hosts_touched = self._charge_basic_levels(point, word, search)
+        targets = self._basic_level_hosts(point, word)
         self._membership.forget(point)
         self._keys = [existing for existing in self._keys if existing != point]
         self._rebuild_layout()
+        messages, hosts_touched = yield from self._charge_hosts(search, targets)
         return UpdateResult(
             item=point,
             kind="delete",
@@ -399,19 +455,33 @@ class BucketSkipWeb1D:
             hosts_touched=hosts_touched,
         )
 
-    def _charge_basic_levels(
-        self, key: float, word: BitPrefix, search: QueryResult
-    ) -> tuple[int, int]:
-        """Charge one update message per basic level's responsible block host.
+    def _delete_origin_key(self, point: float, origin_key: float | None) -> float | None:
+        """Origin key for a delete's search: never the key being deleted.
+
+        Shared by :meth:`delete` (which resolves the driver's origin host
+        from it) and :meth:`delete_steps` (which seeds its search from the
+        same key), so the two can never diverge.
+        """
+        if origin_key is None or float(origin_key) == point:
+            return next((existing for existing in self._keys if existing != point), None)
+        return float(origin_key)
+
+    def delete(self, key: float, origin_key: float | None = None) -> UpdateResult:
+        """Delete ``key``; expected ``O(log n / log M)`` messages."""
+        point = float(key)
+        origin_host = self._origin_for_key(self._delete_origin_key(point, origin_key))
+        gen = self.delete_steps(point, origin_host=origin_host, origin_key=origin_key)
+        return run_immediate(self.network, gen, origin_host, kind=MessageKind.UPDATE)
+
+    def _basic_level_hosts(self, key: float, word: BitPrefix) -> list[HostId]:
+        """The responsible block host per basic level (in descent order).
 
         Non-basic levels live on the same hosts as the basic blocks below
-        them (the cascade), so the same message covers them — this is the
-        reason the paper's one-dimensional update bound improves to
-        ``O(log n / log log n)``.
+        them (the cascade), so one message per basic level covers them —
+        this is the reason the paper's one-dimensional update bound
+        improves to ``O(log n / log log n)``.
         """
-        start_host = search.hosts_visited[-1] if search.hosts_visited else 0
-        traversal = Traversal(self.network, start_host, kind=MessageKind.UPDATE)
-        touched: set[HostId] = set()
+        hosts: list[HostId] = []
         for level in self.basic_levels:
             prefix = word[:level]
             structure = self._structures.get((level, prefix))
@@ -419,11 +489,34 @@ class BucketSkipWeb1D:
                 continue
             unit = structure.locate(key)
             host = self._block_host.get((level, prefix, unit.key))
-            if host is None:
-                continue
-            traversal.hop_to(host)
+            if host is not None:
+                hosts.append(host)
+        return hosts
+
+    def _charge_hosts(
+        self, search: QueryResult, targets: Sequence[HostId]
+    ) -> StepGenerator:
+        """Charge one update message per responsible block host."""
+        start_host = search.hosts_visited[-1] if search.hosts_visited else 0
+        cursor = StepCursor(start_host)
+        touched: set[HostId] = set()
+        for host in targets:
+            yield from cursor.hop_to(host)
             touched.add(host)
-        return traversal.hops, len(touched)
+        return cursor.hops, len(touched)
+
+    # ------------------------------------------------------------------ #
+    # DistributedStructure protocol (batched execution; see repro.engine)
+    # ------------------------------------------------------------------ #
+    def origin_hosts(self) -> list[HostId]:
+        """Every host may originate operations (block hosts are roots)."""
+        return [host.host_id for host in self.network.hosts()]
+
+    def seed_roots(self, origin_host: HostId) -> StepGenerator:
+        """Step generator returning the copies ``origin_host`` stores locally."""
+        return local_steps(
+            [item for _address, item in self.network.host(origin_host).items()]
+        )
 
     # ------------------------------------------------------------------ #
     # accounting

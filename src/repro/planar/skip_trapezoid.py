@@ -21,7 +21,7 @@ from typing import Any, Hashable, Mapping, Sequence
 from repro.core.link_structure import RangeDeterminedLinkStructure, RangeUnit, UnitKind
 from repro.core.query import QueryResult
 from repro.core.ranges import Range
-from repro.core.skipweb import SkipWeb, SkipWebConfig
+from repro.core.skipweb import SkipWeb, SkipWebConfig, SkipWebStructureAdapter
 from repro.core.update import UpdateResult
 from repro.errors import QueryError, StructureError
 from repro.net.congestion import CongestionReport
@@ -260,13 +260,19 @@ class TrapezoidalMapStructure(RangeDeterminedLinkStructure):
         )
 
 
-class SkipTrapezoidWeb:
+class SkipTrapezoidWeb(SkipWebStructureAdapter):
     """A distributed skip-web for planar point location.
 
     ``n`` non-crossing segments are spread over the hosts of a simulated
     network; locating the trapezoid containing an arbitrary query point
     costs ``O(log n)`` expected messages (Theorem 2 via Lemma 5).
+    Implements the :class:`repro.engine.protocol.DistributedStructure`
+    protocol through the adapter mixin, so it runs under the batched
+    round-based executor as well.
     """
+
+    def _coerce_query(self, query: Any) -> tuple[float, float]:
+        return (float(query[0]), float(query[1]))
 
     def __init__(
         self,

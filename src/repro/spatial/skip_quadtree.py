@@ -21,7 +21,7 @@ from typing import Any, Hashable, Mapping, Sequence
 from repro.core.link_structure import RangeDeterminedLinkStructure, RangeUnit, UnitKind
 from repro.core.query import QueryResult
 from repro.core.ranges import Range
-from repro.core.skipweb import SkipWeb, SkipWebConfig
+from repro.core.skipweb import SkipWeb, SkipWebConfig, SkipWebStructureAdapter
 from repro.core.update import UpdateResult
 from repro.errors import QueryError, StructureError
 from repro.net.congestion import CongestionReport
@@ -323,13 +323,22 @@ def descent_conflicts(
             return max(count, 1)
 
 
-class SkipQuadtreeWeb:
+class SkipQuadtreeWeb(SkipWebStructureAdapter):
     """A distributed skip-web over a compressed quadtree / octree.
 
     Provides point location (and, through :mod:`repro.spatial.nearest`,
     approximate nearest-neighbour and range queries) over ``n`` points
     spread across ``n`` hosts with ``O(log n)`` expected messages.
+    Implements the :class:`repro.engine.protocol.DistributedStructure`
+    protocol through the adapter mixin, so it runs under the batched
+    round-based executor as well.
     """
+
+    def _coerce_query(self, query: Any) -> Point:
+        return as_point(query)
+
+    def _coerce_item(self, item: Any) -> Point:
+        return as_point(item)
 
     def __init__(
         self,

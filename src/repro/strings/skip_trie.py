@@ -25,7 +25,7 @@ from typing import Any, Hashable, Mapping, Sequence
 from repro.core.link_structure import RangeDeterminedLinkStructure, RangeUnit, UnitKind
 from repro.core.query import QueryResult
 from repro.core.ranges import Range
-from repro.core.skipweb import SkipWeb, SkipWebConfig
+from repro.core.skipweb import SkipWeb, SkipWebConfig, SkipWebStructureAdapter
 from repro.core.update import UpdateResult
 from repro.errors import QueryError, StructureError
 from repro.net.congestion import CongestionReport
@@ -280,12 +280,21 @@ class TrieStructure(RangeDeterminedLinkStructure):
         )
 
 
-class SkipTrieWeb:
+class SkipTrieWeb(SkipWebStructureAdapter):
     """A distributed skip-web over a compressed trie.
 
     Supports locating an arbitrary string (the deepest stored prefix that
     matches it) and prefix searches, with ``O(log n)`` expected messages.
+    Implements the :class:`repro.engine.protocol.DistributedStructure`
+    protocol through the adapter mixin, so it runs under the batched
+    round-based executor as well.
     """
+
+    def _coerce_query(self, query: Any) -> str:
+        return str(query)
+
+    def _coerce_item(self, item: Any) -> str:
+        return str(item)
 
     def __init__(
         self,

@@ -1,5 +1,8 @@
 """Tests for the benchmark harness (fitting, reporting, experiments) and the CLI."""
 
+import csv
+import io
+import json
 import math
 
 import pytest
@@ -7,10 +10,12 @@ import pytest
 from repro.bench.experiments import (
     EXPERIMENTS,
     ablation_blocking,
+    congestion_rounds,
     fig1_skiplist,
     fig2_skipweb_levels,
     lemma1_list,
     theorem2_onedim,
+    throughput,
 )
 from repro.bench.fitting import GROWTH_LAWS, best_growth_law, fit_scale, growth_ratio
 from repro.bench.reporting import format_series, format_table
@@ -84,6 +89,8 @@ class TestExperiments:
             "theorem2-onedim",
             "updates",
             "ablation-blocking",
+            "throughput",
+            "congestion-rounds",
         }
         assert set(EXPERIMENTS) == expected
 
@@ -116,6 +123,29 @@ class TestExperiments:
         assert any(p.startswith("arbitrary") for p in policies)
         assert any(p.startswith("bucket") for p in policies)
 
+    def test_throughput_rows_cover_three_structures(self):
+        rows = throughput(sizes=(48,), ops_per_size=40, seed=5)
+        mixed = [row for row in rows if row["cache"] == "off"]
+        assert {row["structure"] for row in mixed} == {
+            "skip-web 1-d",
+            "quadtree skip-web",
+            "trie skip-web",
+        }
+        for row in mixed:
+            assert row["rounds"] > 0
+            assert row["msgs_per_op"] > 0
+            assert row["C_round_max"] >= 1
+
+    def test_congestion_rounds_reports_bound_ratio(self):
+        rows = congestion_rounds(sizes=(32, 64), queries_per_host=1, seed=6)
+        assert [row["n"] for row in rows] == [32, 64]
+        for row in rows:
+            assert row["ops"] == row["hosts"]
+            assert row["max_host_round_load"] >= 1
+            assert row["ratio"] == pytest.approx(
+                row["max_host_round_load"] / row["logn_loglogn"], abs=0.01
+            )
+
 
 class TestCli:
     def test_parser_lists_experiments(self):
@@ -127,7 +157,33 @@ class TestCli:
         assert main(["list"]) == 0
         output = capsys.readouterr().out
         assert "table1" in output and "fig3" in output
+        assert "throughput" in output and "congestion-rounds" in output
 
     def test_cli_rejects_unknown_experiment(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["nonsense"])
+
+    def test_cli_json_format_and_sizes(self, capsys):
+        assert main(["lemma1", "--sizes", "48", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "lemma1"
+        assert [row["n"] for row in payload["rows"]] == [48]
+
+    def test_cli_csv_format(self, capsys):
+        assert main(["congestion-rounds", "--sizes", "32", "--format", "csv"]) == 0
+        reader = csv.DictReader(io.StringIO(capsys.readouterr().out))
+        rows = list(reader)
+        assert rows
+        assert rows[0]["experiment"] == "congestion-rounds"
+        assert rows[0]["n"] == "32"
+        assert "max_host_round_load" in reader.fieldnames
+
+    def test_cli_sizes_applies_to_scalar_n_experiments(self, capsys):
+        assert main(["fig2", "--sizes", "32,64", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        # fig2 takes a single n; the first size is used.
+        assert payload["rows"][-1]["largest_set"] == 32
+
+    def test_cli_rejects_bad_sizes(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--sizes", "12,-3"])

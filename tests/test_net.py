@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import AddressError, HostFailedError, HostMemoryExceeded, UnknownHostError
 from repro.net import Address, FailureInjector, Host, MessageKind, Network, Traversal
-from repro.net.congestion import congestion_report
+from repro.net.congestion import congestion_report, round_congestion_report
 from repro.net.message import MessageLog
 
 
@@ -239,6 +239,164 @@ class TestCongestion:
         assert report.as_dict()["hosts"] == 0.0
 
 
+class TestRoundMode:
+    def test_post_requires_round_mode(self):
+        network = Network()
+        network.add_hosts(2)
+        with pytest.raises(RuntimeError):
+            network.post(0, 1)
+
+    def test_run_round_delivers_queued_messages(self):
+        network = Network()
+        network.add_hosts(3)
+        with network.rounds():
+            ticket_a = network.post(0, 1)
+            ticket_b = network.post(2, 1)
+            report = network.run_round()
+        assert report.delivered == 2
+        assert report.per_host == {1: 2}
+        assert report.max_host_load == 2
+        assert ticket_a.result() is not None
+        assert ticket_b.result() is not None
+        assert network.total_messages == 2
+
+    def test_self_post_is_free(self):
+        network = Network()
+        network.add_hosts(1)
+        with network.rounds():
+            ticket = network.post(0, 0)
+            report = network.run_round()
+        # Free in the cost model: resolved, but not a delivered message —
+        # round totals stay consistent with the network's own accounting.
+        assert report.delivered == 0
+        assert ticket.result() is None
+        assert network.total_messages == 0
+        assert round_congestion_report(network).total_messages == 0
+
+    def test_round_reports_accumulate_per_session(self):
+        network = Network()
+        network.add_hosts(2)
+        with network.rounds():
+            network.post(0, 1)
+            network.run_round()
+            network.post(1, 0)
+            network.post(1, 0)
+            network.run_round()
+            assert network.rounds_completed == 2
+        reports = network.round_reports
+        assert [report.index for report in reports] == [0, 1]
+        assert [report.delivered for report in reports] == [1, 2]
+        # Entering a new session resets the round counters.
+        with network.rounds():
+            assert network.rounds_completed == 0
+            assert network.round_reports == []
+
+    def test_measure_records_round_counters(self):
+        network = Network()
+        network.add_hosts(2)
+        with network.measure() as stats:
+            with network.rounds():
+                network.post(0, 1)
+                network.run_round()
+                network.post(1, 0)
+                network.post(0, 1)
+                network.run_round()
+        assert stats.messages == 3
+        assert stats.by_round == {0: 1, 1: 2}
+        assert stats.rounds == 2
+
+    def test_delivery_to_failed_host_is_dropped_not_raised(self):
+        """Round-level failure semantics: only the affected ticket errors."""
+        network = Network()
+        network.add_hosts(3)
+        with network.rounds():
+            doomed = network.post(0, 2)
+            healthy = network.post(0, 1)
+            network.fail_host(2)
+            report = network.run_round()
+        assert report.delivered == 1
+        assert report.dropped == 1
+        with pytest.raises(HostFailedError):
+            doomed.result()
+        assert healthy.result() is not None
+        assert network.total_messages == 1
+
+    def test_run_rounds_drives_steppers(self):
+        network = Network()
+        network.add_hosts(4)
+        sent: list[int] = []
+
+        def make_stepper(src, dst, hops):
+            remaining = [hops]
+
+            def step() -> bool:
+                if remaining[0] == 0:
+                    return False
+                remaining[0] -= 1
+                network.post(src, dst)
+                sent.append(src)
+                return True
+
+            return step
+
+        with network.rounds():
+            reports = network.run_rounds([make_stepper(0, 1, 3), make_stepper(2, 3, 1)])
+        assert len(reports) == 3
+        assert reports[0].delivered == 2
+        assert reports[1].delivered == 1
+        assert sent.count(0) == 3 and sent.count(2) == 1
+
+    def test_direct_sends_count_in_round_reports(self):
+        """send() inside a session is consistent with queued deliveries,
+        and a trailing send after the last run_round gets a closing report."""
+        network = Network()
+        network.add_hosts(2)
+        with network.rounds():
+            network.send(0, 1)
+            network.post(0, 1)
+            report = network.run_round()
+            network.send(1, 0)
+        assert report.delivered == 2
+        assert report.per_host == {1: 2}
+        summary = round_congestion_report(network)
+        assert summary.rounds == 2
+        assert summary.total_messages == network.total_messages == 3
+
+    def test_round_congestion_report_summarises_session(self):
+        network = Network()
+        network.add_hosts(3)
+        with network.rounds():
+            network.post(0, 1)
+            network.post(2, 1)
+            network.run_round()
+            network.post(1, 0)
+            network.run_round()
+        report = round_congestion_report(network)
+        assert report.rounds == 2
+        assert report.total_messages == 3
+        assert report.per_round_max == (2, 1)
+        assert report.max_host_round_load == 2
+        assert report.busiest_host == 1
+        assert report.busiest_round == 0
+        assert report.as_dict()["max_host_round_load"] == 2.0
+
+    def test_round_congestion_report_empty_without_rounds(self):
+        network = Network()
+        network.add_hosts(2)
+        report = round_congestion_report(network)
+        assert report.rounds == 0
+        assert report.max_host_round_load == 0
+        assert report.busiest_host is None
+
+    def test_nested_round_sessions_rejected(self):
+        network = Network()
+        network.add_hosts(1)
+        with network.rounds():
+            with pytest.raises(RuntimeError):
+                with network.rounds():
+                    pass  # pragma: no cover
+
+
 class TestFailureInjector:
     def test_fail_and_recover(self):
         network = Network()
@@ -255,3 +413,26 @@ class TestFailureInjector:
         network.add_hosts(2)
         with pytest.raises(ValueError):
             FailureInjector(network).fail_random(1.5)
+
+    def test_injector_failure_between_rounds(self):
+        """Failing a host mid-session only poisons deliveries to that host."""
+        network = Network()
+        network.add_hosts(4)
+        injector = FailureInjector(network)
+        with network.rounds():
+            before = network.post(0, 1)
+            network.run_round()
+            injector.fail([1])
+            doomed = network.post(0, 1)
+            unaffected = network.post(2, 3)
+            report = network.run_round()
+        assert before.result() is not None
+        with pytest.raises(HostFailedError):
+            doomed.result()
+        assert unaffected.result() is not None
+        assert report.dropped == 1
+        injector.recover_all()
+        with network.rounds():
+            recovered = network.post(0, 1)
+            network.run_round()
+        assert recovered.result() is not None
