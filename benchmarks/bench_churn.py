@@ -1,0 +1,55 @@
+"""Churn — live join/leave/crash with self-repair (beyond the paper).
+
+The paper freezes the host set (§1.1); this extension churns it while the
+structures keep serving batched queries through the round engine.  Each
+churn event is repaired by the structure itself (record hand-off on a
+graceful leave, reconstruction + pointer rewiring after a crash), with
+the repair traffic billed through the same round-based accounting as the
+queries, so the rows report repair messages per churn event alongside the
+worst per-host per-round congestion of the whole scenario.
+"""
+
+from repro.bench.experiments import churn
+from repro.bench.reporting import format_table
+
+_QUICK = dict(sizes=(48,), events=5, ops_per_phase=24, seed=0)
+
+
+def test_churn_sustains_query_health(capsys):
+    rows = churn(sizes=(64,), events=6, ops_per_phase=40, seed=0)
+    with capsys.disabled():
+        print()
+        print(format_table(rows, title="Churn: join/leave/crash with self-repair"))
+
+    # All four skip-web instantiations plus Chord run the schedule.
+    assert [row["structure"] for row in rows] == [
+        "skip-web 1-d",
+        "quadtree skip-web",
+        "trie skip-web",
+        "trapezoid skip-web",
+        "Chord DHT",
+    ]
+    for row in rows:
+        # Membership accounting is exact: every event is a join, a leave
+        # or a crash, and the live host count moves by their difference.
+        assert row["joins"] + row["leaves"] + row["crashes"] == row["events"]
+        assert row["hosts_end"] == row["hosts_start"] + row["joins"] - (
+            row["leaves"] + row["crashes"]
+        )
+        # Queries stay healthy through sustained churn: every batched
+        # operation of every phase completed, at sane message costs.
+        assert row["failed"] == 0
+        assert row["completed"] == (row["events"] + 1) * 40
+        assert row["msgs_per_op"] > 0
+        assert row["C_round_max"] >= 1
+        # Self-repair did real work and was billed for it.
+        assert row["records_moved"] > 0
+        assert row["repair_msgs_per_event"] > 0
+
+
+def test_churn_is_deterministic_under_a_fixed_seed():
+    assert churn(**_QUICK) == churn(**_QUICK)
+
+
+def test_benchmark_churn(benchmark):
+    benchmark.pedantic(lambda: churn(**_QUICK), rounds=3, iterations=1)

@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Benchmark-regression gate: quick-mode experiments vs a committed baseline.
+
+Runs a curated set of experiments at small ``--sizes``-style quick
+parameters (everything seeded, so the numbers are exact) and compares
+each message-cost metric against ``benchmarks/baseline.json``.  A metric
+that **regresses by more than 20 %** — more messages per operation than
+the committed baseline allows — fails the gate; improvements and small
+jitter pass.  New or vanished metrics also fail, so the baseline stays in
+lockstep with the experiment registry.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py            # gate
+    PYTHONPATH=src python benchmarks/check_regression.py --update   # re-baseline
+
+Run with ``PYTHONHASHSEED=0`` (as CI does) so dict/set iteration cannot
+introduce cross-run jitter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):
+    _SRC = Path(__file__).resolve().parent.parent / "src"
+    if str(_SRC) not in sys.path:  # pragma: no cover - direct-script shim
+        sys.path.insert(0, str(_SRC))
+
+from repro.bench.experiments import EXPERIMENTS
+
+BASELINE_PATH = Path(__file__).resolve().parent / "baseline.json"
+
+#: Allowed relative regression before the gate fails.
+TOLERANCE = 0.20
+
+#: Quick-mode parameters per gated experiment (small sizes, fixed seed).
+QUICK_PARAMS: dict[str, dict] = {
+    "throughput": {"sizes": (64,), "ops_per_size": 120, "seed": 0},
+    "congestion-rounds": {"sizes": (64, 128), "queries_per_host": 1, "seed": 0},
+    "theorem2-onedim": {
+        "sizes": (128,),
+        "memory_sizes": (16,),
+        "queries_per_size": 20,
+        "seed": 0,
+    },
+    "updates": {"sizes": (64,), "updates_per_size": 6, "seed": 0},
+    "churn": {"sizes": (48,), "events": 4, "ops_per_phase": 24, "seed": 0},
+}
+
+#: Row columns treated as message-cost metrics (lower is better).
+METRIC_COLUMNS = (
+    "msgs_per_op",
+    "Q_mean",
+    "insert_mean",
+    "delete_mean",
+    "repair_msgs_per_event",
+)
+
+#: Row columns that identify a row within its experiment.
+IDENTITY_COLUMNS = ("structure", "method", "policy", "cache", "n", "M")
+
+
+def _row_identity(row: dict) -> str:
+    parts = [
+        f"{column}={row[column]}" for column in IDENTITY_COLUMNS if column in row
+    ]
+    return ",".join(parts)
+
+
+def collect_metrics() -> dict[str, float]:
+    """Run every gated experiment and flatten its message-cost metrics."""
+    metrics: dict[str, float] = {}
+    for name, params in QUICK_PARAMS.items():
+        function, _description = EXPERIMENTS[name]
+        for row in function(**params):
+            identity = _row_identity(row)
+            for column in METRIC_COLUMNS:
+                value = row.get(column)
+                if isinstance(value, (int, float)):
+                    metrics[f"{name}[{identity}].{column}"] = float(value)
+    return metrics
+
+
+def compare(current: dict[str, float], baseline: dict[str, float]) -> list[str]:
+    """Return one failure line per regressed, new, or vanished metric."""
+    failures: list[str] = []
+    for key in sorted(set(current) | set(baseline)):
+        if key not in baseline:
+            failures.append(
+                f"NEW METRIC     {key} = {current[key]} (re-baseline with --update)"
+            )
+            continue
+        if key not in current:
+            failures.append(
+                f"MISSING METRIC {key} (was {baseline[key]}; re-baseline with --update)"
+            )
+            continue
+        reference = baseline[key]
+        measured = current[key]
+        allowed = reference * (1.0 + TOLERANCE)
+        if measured > allowed and measured - reference > 1e-9:
+            failures.append(
+                f"REGRESSION     {key}: {measured} > {reference} "
+                f"(+{(measured / reference - 1.0) * 100.0 if reference else float('inf'):.1f}%, "
+                f"allowed +{TOLERANCE * 100.0:.0f}%)"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite benchmarks/baseline.json from the current measurements",
+    )
+    args = parser.parse_args(argv)
+
+    current = collect_metrics()
+    if args.update:
+        BASELINE_PATH.write_text(json.dumps(current, indent=2, sort_keys=True) + "\n")
+        print(f"baseline updated: {len(current)} metrics -> {BASELINE_PATH}")
+        return 0
+
+    if not BASELINE_PATH.exists():
+        print(f"no baseline at {BASELINE_PATH}; run with --update first", file=sys.stderr)
+        return 2
+    baseline = json.loads(BASELINE_PATH.read_text())
+    failures = compare(current, baseline)
+    if failures:
+        print(f"bench-regression gate FAILED ({len(failures)} issue(s)):")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print(
+        f"bench-regression gate passed: {len(current)} metrics within "
+        f"+{TOLERANCE * 100.0:.0f}% of baseline"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,7 +49,7 @@ def main() -> None:
     print(f"hosts: {bucket.host_count}, max items per host: {bucket.max_memory_per_host()}")
     costs = [bucket.nearest(rng.uniform(0, 1_000_000)).messages for _ in range(20)]
     print(f"  mean query messages: {sum(costs) / len(costs):.2f} "
-          f"(vs the plain skip-web's O(log n))")
+          "(vs the plain skip-web's O(log n))")
 
 
 if __name__ == "__main__":

@@ -23,12 +23,14 @@ To keep the eight baselines small and uniform they share this pattern:
 from __future__ import annotations
 
 import abc
+import math
 from dataclasses import dataclass
 from statistics import mean
 from typing import Any, Iterable, Sequence
 
+from repro.engine.repair import MigrationSummary
 from repro.engine.steps import StepCursor, StepGenerator, local_steps, run_immediate
-from repro.errors import QueryError, UpdateError
+from repro.errors import ChurnError, QueryError, UpdateError
 from repro.net.congestion import CongestionReport, congestion_report
 from repro.net.message import MessageKind
 from repro.net.naming import Address, HostId
@@ -363,6 +365,126 @@ class DistributedOrderedStructure(abc.ABC):
         for host in sorted(changed_hosts):
             yield from cursor.hop_to(host)
         return cursor.hops
+
+    # ------------------------------------------------------------------ #
+    # churn: migration and self-repair (see repro.engine.repair)
+    # ------------------------------------------------------------------ #
+    def _churn_pool(self, exclude: set[HostId]) -> list[HostId]:
+        """Live hosts that can take over keys, excluding departing ones."""
+        pool = [
+            host_id
+            for host_id in self.network.alive_host_ids()
+            if host_id not in exclude
+        ]
+        if not pool:
+            raise ChurnError(f"{self.name}: no live hosts left to hold keys")
+        return pool
+
+    def _rehome_keys(
+        self, cursor: StepCursor, keys: list[float], pool: list[HostId], origin: HostId
+    ) -> StepGenerator:
+        """Hand each key over to a vacant host (≥ 1 message per hand-off).
+
+        These overlays are one-key-per-host designs: a host's stored
+        routing table belongs to *its* key, so re-homing preserves the
+        invariant by preferring vacant pool hosts and otherwise
+        registering a fresh host — exactly what :meth:`_assign_new_key`
+        does for inserts.
+        """
+        moving = set(keys)
+        occupied = {
+            host for key, host in self._host_of_key.items() if key not in moving
+        }
+        for key in keys:
+            destination = next(
+                (candidate for candidate in pool if candidate not in occupied), None
+            )
+            if destination is None:
+                destination = self.network.add_host().host_id
+            occupied.add(destination)
+            yield from cursor.hand_off(destination, origin)
+            self._host_of_key[key] = destination
+        return None
+
+    def _finish_churn(
+        self,
+        cursor: StepCursor,
+        kind: str,
+        hosts: tuple[HostId, ...],
+        moved: int,
+    ) -> StepGenerator:
+        """Repair the routing tables and assemble the churn summary."""
+        self._origin_index = None
+        self._after_ground_set_change()
+        changed_count, changed_hosts = self._install_tables(charge_messages=True)
+        # Dropping a dead (or departed) host's table is pure bookkeeping —
+        # there is nobody left to message — so only live hosts are billed.
+        failed = self.network.failed_hosts
+        for host in sorted(changed_hosts):
+            if host in failed or host not in self.network:
+                continue
+            yield from cursor.hop_to(host)
+        return MigrationSummary(
+            kind=kind,
+            hosts=hosts,
+            records_moved=moved,
+            pointers_rewired=changed_count,
+            hosts_touched=len(set(cursor.path)),
+        )
+
+    def migrate_host(
+        self,
+        host_id: HostId,
+        targets: Sequence[HostId] | None = None,
+        fraction: float = 1.0,
+    ) -> StepGenerator:
+        """Hand keys off ``host_id``, then repair every changed routing table.
+
+        A full evacuation prepares a graceful leave; a partial migration
+        toward explicit ``targets`` rebalances keys onto a newly joined
+        host.  One message is charged per key hand-off and per host whose
+        stored routing table changed.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        self.network.host(host_id)  # validate early
+        if targets is not None:
+            pool = [target for target in targets if target != host_id]
+        else:
+            pool = self._churn_pool({host_id})
+        if not pool:
+            raise ChurnError(f"{self.name}: no live hosts to migrate keys to")
+        resident = [key for key in self._keys if self._host_of_key[key] == host_id]
+        moving = resident[: math.ceil(fraction * len(resident))]
+        cursor = StepCursor(host_id)
+        yield from cursor.hop_to(host_id)  # announce the coordinator (free)
+        yield from self._rehome_keys(cursor, moving, pool, host_id)
+        summary = yield from self._finish_churn(
+            cursor, "migrate", (host_id,), len(moving)
+        )
+        return summary
+
+    def repair(self, host_ids: Sequence[HostId]) -> StepGenerator:
+        """Re-home the keys orphaned by crashed ``host_ids``; repair tables.
+
+        The keys themselves are reconstructed from the global key registry
+        (the stand-in for the replicated metadata a real deployment would
+        keep); placements and changed routing tables are charged one
+        message each.
+        """
+        dead = set(host_ids)
+        if not dead:
+            raise ChurnError(f"{self.name}: repair needs at least one crashed host")
+        pool = self._churn_pool(dead)
+        coordinator = pool[0]
+        orphaned = [key for key in self._keys if self._host_of_key[key] in dead]
+        cursor = StepCursor(coordinator)
+        yield from cursor.hop_to(coordinator)  # announce the coordinator (free)
+        yield from self._rehome_keys(cursor, orphaned, pool, coordinator)
+        summary = yield from self._finish_churn(
+            cursor, "repair", tuple(sorted(dead)), len(orphaned)
+        )
+        return summary
 
     # ------------------------------------------------------------------ #
     # DistributedStructure protocol (batched execution; see repro.engine)

@@ -16,8 +16,9 @@ from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Any, Sequence
 
+from repro.engine.repair import MigrationSummary
 from repro.engine.steps import StepCursor, StepGenerator, local_steps, run_immediate
-from repro.errors import QueryError, UpdateError
+from repro.errors import ChurnError, QueryError, UpdateError
 from repro.net.message import MessageKind
 from repro.net.naming import Address, HostId
 from repro.net.network import Network
@@ -84,16 +85,21 @@ class ChordDHT:
         # Finger tables, stored on the hosts for memory accounting.
         self._table_addresses: dict[HostId, Address] = {}
         for node_id, host_id in self._node_ids:
-            fingers = []
-            for exponent in range(bits):
-                target = (node_id + (1 << exponent)) % (1 << bits)
-                fingers.append(self._successor_entry(target))
-            table = {
-                "node_id": node_id,
-                "fingers": fingers,
-                "keys": sorted(self._stored_keys.get(host_id, [])),
-            }
-            self._table_addresses[host_id] = self.network.store(host_id, table)
+            self._table_addresses[host_id] = self.network.store(
+                host_id, self._table_for(node_id, host_id)
+            )
+
+    def _table_for(self, node_id: int, host_id: HostId) -> dict[str, Any]:
+        """The finger table host ``host_id`` should currently store."""
+        fingers = []
+        for exponent in range(self.bits):
+            target = (node_id + (1 << exponent)) % (1 << self.bits)
+            fingers.append(self._successor_entry(target))
+        return {
+            "node_id": node_id,
+            "fingers": fingers,
+            "keys": sorted(self._stored_keys.get(host_id, [])),
+        }
 
     # ------------------------------------------------------------------ #
     # ring helpers
@@ -181,6 +187,153 @@ class ChordDHT:
     def delete_steps(self, item: Any, origin_host: HostId | None = None) -> StepGenerator:
         """Chord is measured as a static ring here; updates are unsupported."""
         raise UpdateError("Chord DHT baseline is static: updates are not supported")
+
+    # ------------------------------------------------------------------ #
+    # churn: ring membership and finger-table repair (see repro.engine.repair)
+    # ------------------------------------------------------------------ #
+    def _drop_from_ring(self, host_ids: set[HostId]) -> None:
+        remaining = [
+            (node_id, host_id)
+            for node_id, host_id in self._node_ids
+            if host_id not in host_ids
+        ]
+        if not remaining:
+            # Validate before mutating: a refused drop must leave the
+            # ring state untouched for callers that catch the error.
+            raise ChurnError("Chord ring cannot lose its last node")
+        self._node_ids = remaining
+        self._ring = [node_id for node_id, _host in self._node_ids]
+        self._host_ids = [
+            host_id for host_id in self._host_ids if host_id not in host_ids
+        ]
+
+    def _join_ring(self, host_id: HostId) -> None:
+        node_id = chord_id(("node", host_id), self.bits)
+        self._node_ids = sorted(self._node_ids + [(node_id, host_id)])
+        self._ring = [ring_id for ring_id, _host in self._node_ids]
+        self._host_ids.append(host_id)
+        self._stored_keys.setdefault(host_id, [])
+
+    def _rehome_keys_by_hash(
+        self, cursor: StepCursor, coordinator: HostId, lost_hosts: set[HostId]
+    ) -> StepGenerator:
+        """Move every key whose ring successor changed to its new home.
+
+        One message per key hand-off.  Keys coming from a live host travel
+        from that host (pull-style: a request leg is charged when the
+        token is already at the destination); keys whose old home is in
+        ``lost_hosts`` are reconstructed via the coordinator — the
+        stand-in for the successor-list replication a production Chord
+        deployment keeps.
+        """
+        moved = 0
+        for key in self._keys:
+            new_home = self._successor_host(chord_id(("key", key), self.bits))
+            old_home = self._key_home.get(key)
+            if new_home == old_home:
+                continue
+            source = coordinator if old_home in lost_hosts else old_home
+            yield from cursor.hand_off(new_home, source)
+            if old_home is not None and key in self._stored_keys.get(old_home, []):
+                self._stored_keys[old_home].remove(key)
+            self._stored_keys.setdefault(new_home, []).append(key)
+            self._key_home[key] = new_home
+            moved += 1
+        return moved
+
+    def _repair_finger_tables(self, cursor: StepCursor) -> StepGenerator:
+        """Reinstall every finger table that changed; one message per host."""
+        changed: list[HostId] = []
+        wanted = {host_id: node_id for node_id, host_id in self._node_ids}
+        for host_id in list(self._table_addresses):
+            if host_id not in wanted:
+                # The host left the ring: its table is gone with it.
+                self.network.free(self._table_addresses.pop(host_id))
+        for node_id, host_id in self._node_ids:
+            table = self._table_for(node_id, host_id)
+            address = self._table_addresses.get(host_id)
+            if address is None:
+                self._table_addresses[host_id] = self.network.store(host_id, table)
+                changed.append(host_id)
+            elif self.network.load(address, check_alive=False) != table:
+                self.network.replace(address, table)
+                changed.append(host_id)
+        for host_id in changed:
+            yield from cursor.hop_to(host_id)
+        return len(changed)
+
+    def migrate_host(
+        self,
+        host_id: HostId,
+        targets: Sequence[HostId] | None = None,
+        fraction: float = 1.0,
+    ) -> StepGenerator:
+        """Ring membership change as a resumable step generator.
+
+        Hosts in ``targets`` that are not yet ring nodes *join* first:
+        each is inserted at its hashed ring position and takes over the
+        keys in its arc from their old successor (this is Chord's own
+        rebalancing rule, so the ``host_id``/``fraction`` rebalance hints
+        used by other structures are advisory here).  A full evacuation
+        (``fraction == 1.0``) then retires ``host_id`` from the ring,
+        handing its keys to their new successors.  Every finger table
+        that changed is repaired at one message per host.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        self.network.host(host_id)  # validate early
+        ring_hosts = {ring_host for _node_id, ring_host in self._node_ids}
+        joining = [
+            target
+            for target in (targets or [])
+            if target not in ring_hosts and target in self.network
+        ]
+        for newcomer in joining:
+            self._join_ring(newcomer)
+        evacuating = fraction >= 1.0
+        if evacuating:
+            self._drop_from_ring({host_id})
+        elif not joining:
+            raise ChurnError(
+                "Chord rebalances only through ring membership: pass a joining "
+                "target or a full evacuation"
+            )
+        cursor = StepCursor(host_id)
+        yield from cursor.hop_to(host_id)  # announce the coordinator (free)
+        moved = yield from self._rehome_keys_by_hash(cursor, host_id, set())
+        rewired = yield from self._repair_finger_tables(cursor)
+        return MigrationSummary(
+            kind="migrate",
+            hosts=(host_id,),
+            records_moved=moved,
+            pointers_rewired=rewired,
+            hosts_touched=len(set(cursor.path)),
+        )
+
+    def repair(self, host_ids: Sequence[HostId]) -> StepGenerator:
+        """Crash repair: drop dead nodes, re-home their keys, fix fingers."""
+        dead = set(host_ids)
+        if not dead:
+            raise ChurnError("Chord repair needs at least one crashed host")
+        self._drop_from_ring(dead)
+        for host_id in dead:
+            self._stored_keys.pop(host_id, None)
+            address = self._table_addresses.pop(host_id, None)
+            if address is not None:
+                # Bookkeeping: the dead host's finger table is lost with it.
+                self.network.free(address)
+        coordinator = self._node_ids[0][1]
+        cursor = StepCursor(coordinator)
+        yield from cursor.hop_to(coordinator)  # announce the coordinator (free)
+        moved = yield from self._rehome_keys_by_hash(cursor, coordinator, dead)
+        rewired = yield from self._repair_finger_tables(cursor)
+        return MigrationSummary(
+            kind="repair",
+            hosts=tuple(sorted(dead)),
+            records_moved=moved,
+            pointers_rewired=rewired,
+            hosts_touched=len(set(cursor.path)),
+        )
 
     # ------------------------------------------------------------------ #
     # the limitation the paper highlights

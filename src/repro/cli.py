@@ -9,6 +9,7 @@ Examples
     python -m repro.cli fig3 --seed 7
     python -m repro.cli throughput --format json
     python -m repro.cli congestion-rounds --sizes 64,256 --format csv
+    python -m repro.cli churn --sizes 48
     skipweb-repro theorem2-onedim
 
 Each experiment prints an aligned text table by default; ``--format json``

@@ -24,7 +24,7 @@ from __future__ import annotations
 import abc
 import hashlib
 import itertools
-from typing import Any, Callable, Hashable, Sequence
+from typing import Any, Callable, Sequence
 
 from repro.core.levels import BitPrefix
 from repro.core.link_structure import RangeUnit

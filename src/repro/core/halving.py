@@ -17,7 +17,7 @@ locates each query in ``D(T)`` and counts the conflicting ranges in
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from statistics import mean
 from typing import Any, Sequence, Type
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Any, Hashable, Iterable, Iterator, Sequence
+from typing import Any, Hashable, Iterator, Sequence
 
 BitPrefix = tuple[int, ...]
 """A level index: the tuple of membership bits shared by a level set."""

@@ -26,8 +26,8 @@ from __future__ import annotations
 
 import abc
 import enum
-from dataclasses import dataclass, field
-from typing import Any, Hashable, Iterable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Any, Hashable, Mapping, Sequence
 
 from repro.core.ranges import Range, ranges_conflict
 from repro.errors import QueryError, StructureError

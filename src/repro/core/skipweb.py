@@ -36,6 +36,7 @@ directly — see :mod:`repro.engine`.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
 from typing import Any, Hashable, Iterable, Sequence, Type
@@ -47,12 +48,13 @@ from repro.core.blocking import (
     RoundRobinBlocking,
     evenly_owned_items,
 )
-from repro.core.levels import BitPrefix, LevelSets, MembershipAssignment
+from repro.core.levels import BitPrefix, MembershipAssignment
 from repro.core.link_structure import RangeDeterminedLinkStructure, RangeUnit
 from repro.core.query import QueryResult, execute_query, query_steps
-from repro.engine.steps import local_steps
+from repro.engine.repair import MigrationSummary
+from repro.engine.steps import StepCursor, StepGenerator, local_steps
 from repro.core.ranges import Range
-from repro.errors import QueryError, StructureError, UpdateError
+from repro.errors import ChurnError, QueryError, StructureError
 from repro.net.congestion import CongestionReport, congestion_report
 from repro.net.naming import Address, HostId
 from repro.net.network import Network
@@ -416,6 +418,178 @@ class SkipWeb:
         return delete_steps(self, item, origin_host)
 
     # ------------------------------------------------------------------ #
+    # churn: migration and self-repair (see repro.engine.repair)
+    # ------------------------------------------------------------------ #
+    def _refresh_membership(self, exclude: Iterable[HostId] = ()) -> list[HostId]:
+        """Re-sync host list and blocking policy with the network's membership.
+
+        ``exclude`` removes hosts that are about to depart (graceful
+        leavers mid-hand-off are still registered and alive).  Returns the
+        refreshed live host list.
+        """
+        excluded = set(exclude)
+        self._host_ids = [
+            host_id
+            for host_id in self.network.alive_host_ids()
+            if host_id not in excluded
+        ]
+        if not self._host_ids:
+            raise ChurnError("skip-web cannot lose its last live host")
+        self._blocking = self._make_blocking_policy()
+        return self._host_ids
+
+    def _reassign_owned_items(self, host_ids: set[HostId], pool: list[HostId]) -> int:
+        """Re-home the items owned by departing ``host_ids`` onto ``pool``."""
+        moved = 0
+        for item, owner in self._owners.items():
+            if owner in host_ids:
+                self._owners[item] = pool[moved % len(pool)]
+                moved += 1
+        for host_id in host_ids:
+            self._root_word_of_host.pop(host_id, None)
+        return moved
+
+    def _rewire_referencers(
+        self, stale_addresses: set[Address], cursor: StepCursor
+    ) -> StepGenerator:
+        """Refresh every record whose stored pointers hit ``stale_addresses``.
+
+        Charges one message per rewired record on a host other than the
+        cursor's current position (the same per-changed-record billing the
+        update protocol uses).  Returns the number of records rewired.
+        """
+        rewired = 0
+        for (level, prefix, key), address in list(self._address_of.items()):
+            record: SkipWebRecord = self.network.load(address, check_alive=False)
+            stale = any(
+                down_address in stale_addresses for _unit, down_address in record.down_links
+            ) or any(
+                neighbor_address in stale_addresses
+                for _range, neighbor_address in record.neighbors.values()
+            )
+            if not stale:
+                continue
+            if self._rewire_record(level, prefix, key):
+                rewired += 1
+                yield from cursor.hop_to(address.host)
+        return rewired
+
+    def migrate_host(
+        self,
+        host_id: HostId,
+        targets: Sequence[HostId] | None = None,
+        fraction: float = 1.0,
+    ) -> StepGenerator:
+        """Hand records off ``host_id`` as a resumable step generator.
+
+        With ``fraction == 1.0`` and no targets this is the graceful-leave
+        hand-off: every record moves to the remaining live hosts
+        (round-robin), ownership and root pointers are re-homed, and every
+        record elsewhere that pointed at a moved record is rewired.  With
+        a partial ``fraction`` toward explicit ``targets`` it rebalances
+        load onto a newly joined host.  One message is charged per record
+        hand-off and per remote pointer rewrite.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        self.network.host(host_id)  # validate early
+        evacuating = fraction >= 1.0
+        # Refresh runs for its side effects (host list + blocking policy);
+        # the pool of hand-off destinations is derived from its result
+        # only when no explicit targets are given.
+        live = self._refresh_membership(exclude=(host_id,) if evacuating else ())
+        if targets is not None:
+            pool = [target for target in targets if target != host_id]
+        else:
+            pool = [candidate for candidate in live if candidate != host_id]
+        if not pool:
+            raise ChurnError(f"no live hosts to migrate host {host_id}'s records to")
+
+        resident = [
+            entry for entry, address in self._address_of.items() if address.host == host_id
+        ]
+        moving = resident[: math.ceil(fraction * len(resident))]
+
+        cursor = StepCursor(host_id)
+        yield from cursor.hop_to(host_id)  # announce the coordinator (free)
+        stale_addresses: set[Address] = set()
+        for index, (level, prefix, key) in enumerate(moving):
+            destination = pool[index % len(pool)]
+            old_address = self._address_of[(level, prefix, key)]
+            record = self.network.load(old_address, check_alive=False)
+            yield from cursor.hand_off(destination, host_id)
+            self._address_of[(level, prefix, key)] = self.network.store(
+                destination, record
+            )
+            self.network.free(old_address)
+            stale_addresses.add(old_address)
+
+        if evacuating:
+            self._reassign_owned_items({host_id}, pool)
+        rewired = yield from self._rewire_referencers(stale_addresses, cursor)
+        return MigrationSummary(
+            kind="migrate",
+            hosts=(host_id,),
+            records_moved=len(moving),
+            pointers_rewired=rewired,
+            hosts_touched=len(set(cursor.path)),
+        )
+
+    def repair(self, host_ids: Sequence[HostId]) -> StepGenerator:
+        """Re-home the records orphaned by crashed ``host_ids`` (self-repair).
+
+        Each orphaned record is reconstructed from the level structures on
+        a live host chosen round-robin (one message per placement; the
+        record's own pointers are recomputed on receipt, which is local
+        work, and a record the coordinator reconstructs for itself is
+        entirely local and therefore free — see
+        :meth:`repro.engine.steps.StepCursor.hand_off`), then every
+        surviving record that pointed into the dead hosts is rewired (one
+        message per remote rewrite).
+        """
+        dead = set(host_ids)
+        if not dead:
+            raise ChurnError("repair needs at least one crashed host")
+        pool = self._refresh_membership(exclude=dead)
+        coordinator = pool[0]
+
+        orphaned = [
+            (entry, address)
+            for entry, address in self._address_of.items()
+            if address.host in dead
+        ]
+        cursor = StepCursor(coordinator)
+        yield from cursor.hop_to(coordinator)  # announce the coordinator (free)
+        stale_addresses: set[Address] = set()
+        for index, ((level, prefix, key), old_address) in enumerate(orphaned):
+            destination = pool[index % len(pool)]
+            yield from cursor.hand_off(destination, coordinator)
+            unit = self._structures[(level, prefix)].unit(key)
+            record = SkipWebRecord(level=level, prefix=prefix, unit=unit)
+            self._address_of[(level, prefix, key)] = self.network.store(
+                destination, record
+            )
+            # The dead host's slot is gone with it; freeing keeps the
+            # simulator's memory profile honest should the host recover.
+            self.network.free(old_address)
+            stale_addresses.add(old_address)
+        for (level, prefix, key), _old_address in orphaned:
+            # Recompute the reconstructed record's own pointers: local
+            # work at its new home, already covered by the placement
+            # message.
+            self._rewire_record(level, prefix, key)
+
+        self._reassign_owned_items(dead, pool)
+        rewired = yield from self._rewire_referencers(stale_addresses, cursor)
+        return MigrationSummary(
+            kind="repair",
+            hosts=tuple(sorted(dead)),
+            records_moved=len(orphaned),
+            pointers_rewired=rewired,
+            hosts_touched=len(set(cursor.path)),
+        )
+
+    # ------------------------------------------------------------------ #
     # cost accounting
     # ------------------------------------------------------------------ #
     def memory_profile(self) -> dict[HostId, int]:
@@ -533,3 +707,14 @@ class SkipWebStructureAdapter:
 
     def delete_steps(self, item: Any, origin_host: HostId | None = None):
         return self.web.delete_steps(self._coerce_item(item), origin_host)
+
+    def migrate_host(
+        self,
+        host_id: HostId,
+        targets: Sequence[HostId] | None = None,
+        fraction: float = 1.0,
+    ):
+        return self.web.migrate_host(host_id, targets=targets, fraction=fraction)
+
+    def repair(self, host_ids: Sequence[HostId]):
+        return self.web.repair(host_ids)

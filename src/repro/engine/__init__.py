@@ -12,6 +12,11 @@ Three pieces turn the one-at-a-time simulator into a concurrent one:
   a batch of mixed operations round by round over the network's queued
   delivery mode, measuring throughput and per-host per-round congestion
   directly, with an optional per-origin route cache as a fast path.
+
+A fourth piece, :mod:`repro.engine.repair`, drives the churn hooks of the
+protocol (``migrate_host`` / ``repair``) through the same round-based
+accounting, so live join/leave/crash repair traffic is measured exactly
+like query traffic; see :mod:`repro.net.churn` for the controller.
 """
 
 from repro.engine.steps import (
@@ -26,8 +31,12 @@ from repro.engine.steps import (
 )
 from repro.engine.protocol import DistributedStructure
 from repro.engine.executor import BatchExecutor, BatchResult, Operation, OpOutcome
+from repro.engine.repair import MigrationSummary, RepairEngine, RepairResult
 
 __all__ = [
+    "MigrationSummary",
+    "RepairEngine",
+    "RepairResult",
     "HopTo",
     "Resolution",
     "Step",

@@ -26,7 +26,11 @@ A per-origin **route cache** is available as a measurable fast path:
 when enabled, the first remote record a search fetches (its top-level
 descent entry) is memoized per origin host, so subsequent searches from
 the same origin resolve that record from the local copy — no message, no
-host crossing.  The cache is invalidated whenever an update completes.
+host crossing.  The cache is invalidated whenever an update completes,
+and whenever the network's membership changes (a host failing, recovering,
+joining or leaving — tracked via
+:attr:`repro.net.network.Network.membership_epoch`), since a memoized
+route may aim at a host that is now dead or gone.
 """
 
 from __future__ import annotations
@@ -224,8 +228,22 @@ class BatchExecutor:
         self.max_rounds = max_rounds
         self.on_round = on_round
         self._cache: dict[tuple[HostId, Address], Any] = {}
+        self._cache_epoch = self.network.membership_epoch
         self._cache_hits = 0
         self._cache_misses = 0
+
+    def _sync_cache_epoch(self) -> None:
+        """Drop every memoized route once the network's membership changed.
+
+        Hosts can fail, recover, join or leave *mid-batch* (failure
+        injection via ``on_round``, churn between batches); a cached
+        top-level record may then live on a dead or departed host, and
+        serving it locally would silently route operations into the hole.
+        """
+        epoch = self.network.membership_epoch
+        if epoch != self._cache_epoch:
+            self._cache.clear()
+            self._cache_epoch = epoch
 
     # ------------------------------------------------------------------ #
     # batch driver
@@ -246,6 +264,7 @@ class BatchExecutor:
 
         self._cache_hits = 0
         self._cache_misses = 0
+        self._sync_cache_epoch()
         with self.network.rounds():
             with self.network.measure() as stats:
                 self.network.run_rounds(
@@ -372,6 +391,7 @@ class BatchExecutor:
                 and state.outcome.operation.kind == "search"
                 and not state.first_remote_done
             ):
+                self._sync_cache_epoch()
                 cache_key = (state.outcome.origin_host, effect.address)
                 cached = self._cache.get(cache_key)
                 state.first_remote_done = True

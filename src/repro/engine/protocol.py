@@ -19,7 +19,14 @@ A structure implements:
   table), returned through a step generator so that structures whose
   roots require remote fetches can charge them;
 * ``origin_hosts()`` — hosts from which operations may originate, used by
-  workload drivers to spread a batch across the network.
+  workload drivers to spread a batch across the network;
+* ``migrate_host(host_id, targets, fraction)`` / ``repair(host_ids)`` —
+  the churn hooks (see :mod:`repro.engine.repair`): migration hands
+  records off a live host (a graceful leave, or a rebalance toward a
+  newly joined target), repair re-homes the records orphaned by crashed
+  hosts and rewires the pointers that referenced them.  Both are step
+  generators, so their traffic is billed through the same immediate or
+  round-based accounting as queries and updates.
 
 The protocol is ``runtime_checkable`` so tests can assert conformance
 with ``isinstance``.
@@ -60,4 +67,31 @@ class DistributedStructure(Protocol):
 
     def delete_steps(self, item: Any, origin_host: HostId | None = None) -> StepGenerator:
         """Step generator deleting ``item`` from ``origin_host``."""
+        ...  # pragma: no cover - protocol
+
+    def migrate_host(
+        self,
+        host_id: HostId,
+        targets: Sequence[HostId] | None = None,
+        fraction: float = 1.0,
+    ) -> StepGenerator:
+        """Step generator handing records off ``host_id`` (leave / rebalance).
+
+        ``fraction`` of the host's records move to ``targets`` (default:
+        every other live host, round-robin).  A full evacuation
+        (``fraction == 1.0``, no targets) prepares a graceful leave; a
+        partial migration toward a single fresh target rebalances load
+        onto a newly joined host.  Returns a
+        :class:`~repro.engine.repair.MigrationSummary`.
+        """
+        ...  # pragma: no cover - protocol
+
+    def repair(self, host_ids: Sequence[HostId]) -> StepGenerator:
+        """Step generator re-homing the records orphaned by crashed ``host_ids``.
+
+        Reconstructs each orphaned record on a live host and rewires the
+        neighbour/hyperlink (or routing-table / finger-table) pointers
+        that referenced the dead hosts.  Returns a
+        :class:`~repro.engine.repair.MigrationSummary`.
+        """
         ...  # pragma: no cover - protocol

@@ -121,6 +121,24 @@ class StepCursor:
         self._absorb(resolution)
         return None
 
+    def hand_off(self, destination: HostId, origin: HostId) -> StepGenerator:
+        """One record hand-off from ``origin``'s data to ``destination``.
+
+        The billing idiom shared by every churn migration/repair
+        generator: a cross-host hand-off costs one message, and when the
+        cursor already sits at ``destination`` (consecutive hand-offs to
+        the same host) a request leg back to ``origin`` is charged first —
+        the pull half of the transfer — so repeated deliveries are never
+        accidentally free.  The one genuinely free case is a hand-off
+        that both originates and lands on the cursor's current host
+        (``origin == destination == current``, e.g. a repair coordinator
+        reconstructing a record for itself): that is local work, which
+        the paper's cost model does not charge.
+        """
+        if self._current == destination:
+            yield from self.hop_to(origin)
+        yield from self.hop_to(destination)
+
 
 def local_steps(value: Any) -> StepGenerator:
     """Wrap an already-local value as a zero-effect step generator.

@@ -39,3 +39,7 @@ class QueryError(ReproError):
 
 class UpdateError(ReproError):
     """An insertion or deletion could not be applied."""
+
+
+class ChurnError(ReproError):
+    """A membership change (join, leave, crash, repair) could not proceed."""

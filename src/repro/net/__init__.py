@@ -20,6 +20,9 @@ single-process simulator:
 * :mod:`repro.net.failure` — optional failure injection used by tests to
   check that stale pointers are detected (the paper assumes no failures;
   this is an extension).
+* :mod:`repro.net.churn` — live membership change: hosts joining,
+  leaving gracefully (with record hand-off) or crashing (followed by
+  structure self-repair); also an extension beyond the paper.
 """
 
 from repro.net.naming import Address, HostId, fresh_host_ids
@@ -35,8 +38,12 @@ from repro.net.congestion import (
     summarize_round_reports,
 )
 from repro.net.failure import FailureInjector
+from repro.net.churn import ChurnController, ChurnEvent, churn_schedule
 
 __all__ = [
+    "ChurnController",
+    "ChurnEvent",
+    "churn_schedule",
     "Address",
     "HostId",
     "fresh_host_ids",

@@ -37,7 +37,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator
 
-from repro.errors import HostFailedError, UnknownHostError
+from repro.errors import HostFailedError, StructureError, UnknownHostError
 from repro.net.host import Host
 from repro.net.message import Message, MessageKind, MessageLog
 from repro.net.naming import Address, HostId
@@ -142,6 +142,11 @@ class Network:
         self._next_host_id = 0
         self._measure_stack: list[OperationStats] = []
         self._failed_hosts: set[HostId] = set()
+        # Bumped on every membership change (join, leave, failure,
+        # recovery) so that caches keyed on host layout — e.g. the
+        # BatchExecutor's per-origin route cache — can cheaply detect
+        # that their entries may now point at dead or departed hosts.
+        self._membership_epoch = 0
         # Round-based delivery state (inactive in the default immediate mode).
         self._round_mode = False
         self._pending: list[PendingDelivery] = []
@@ -169,6 +174,26 @@ class Network:
         limit = memory_limit if memory_limit is not None else self.default_memory_limit
         host = Host(host_id=host_id, memory_limit=limit)
         self._hosts[host_id] = host
+        self._membership_epoch += 1
+        return host
+
+    def remove_host(self, host_id: HostId, force: bool = False) -> Host:
+        """Retire a host from the network (a graceful or post-repair leave).
+
+        The host must be empty — its records handed off or repaired away —
+        unless ``force`` is given, in which case any remaining slots are
+        abandoned (their addresses become permanently unresolvable).
+        Returns the removed :class:`Host` for inspection.
+        """
+        host = self.host(host_id)
+        if host.memory_used and not force:
+            raise StructureError(
+                f"host {host_id} still stores {host.memory_used} item(s); "
+                "migrate its records before removing it (or pass force=True)"
+            )
+        del self._hosts[host_id]
+        self._failed_hosts.discard(host_id)
+        self._membership_epoch += 1
         return host
 
     def add_hosts(self, count: int, memory_limit: int | None = None) -> list[Host]:
@@ -185,6 +210,21 @@ class Network:
     def hosts(self) -> Iterator[Host]:
         """Iterate over all registered hosts."""
         return iter(self._hosts.values())
+
+    def alive_host_ids(self) -> list[HostId]:
+        """Ids of every registered host that has not failed, in id order."""
+        return [
+            host_id for host_id in self._hosts if host_id not in self._failed_hosts
+        ]
+
+    @property
+    def membership_epoch(self) -> int:
+        """Counter bumped on every join, leave, failure or recovery.
+
+        Consumers holding host-layout-dependent caches compare this
+        against the epoch they cached at and invalidate on mismatch.
+        """
+        return self._membership_epoch
 
     @property
     def host_count(self) -> int:
@@ -465,11 +505,13 @@ class Network:
         """Mark a host as failed; any traffic to it raises :class:`HostFailedError`."""
         self.host(host_id).failed = True
         self._failed_hosts.add(host_id)
+        self._membership_epoch += 1
 
     def recover_host(self, host_id: HostId) -> None:
         """Bring a failed host back."""
         self.host(host_id).failed = False
         self._failed_hosts.discard(host_id)
+        self._membership_epoch += 1
 
     @property
     def failed_hosts(self) -> set[HostId]:

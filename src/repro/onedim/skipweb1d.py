@@ -38,13 +38,14 @@ from repro.core.link_structure import RangeUnit
 from repro.core.query import QueryResult
 from repro.core.skipweb import SkipWeb, SkipWebConfig, SkipWebStructureAdapter
 from repro.core.update import UpdateResult
+from repro.engine.repair import MigrationSummary
 from repro.engine.steps import StepCursor, StepGenerator, local_steps, run_immediate
-from repro.errors import QueryError, StructureError, UpdateError
+from repro.errors import ChurnError, QueryError, StructureError, UpdateError
 from repro.net.congestion import CongestionReport, congestion_report
 from repro.net.message import MessageKind
 from repro.net.naming import Address, HostId
 from repro.net.network import Network
-from repro.onedim.linked_list import NearestNeighborAnswer, SortedListStructure
+from repro.onedim.linked_list import SortedListStructure
 
 
 class SkipWeb1D(SkipWebStructureAdapter):
@@ -179,6 +180,8 @@ class BucketSkipWeb1D:
         self.basic_levels = list(range(0, self.height + 1, self.level_gap))
         self.block_capacity = max(2, memory_size // self.level_gap)
 
+        # Hosts that left (or crashed) and must not receive blocks again.
+        self._retired_hosts: set[HostId] = set()
         # (level, prefix) -> SortedListStructure
         self._structures: dict[tuple[int, BitPrefix], SortedListStructure] = {}
         # (level, prefix, unit key) -> hosts storing a copy
@@ -193,6 +196,14 @@ class BucketSkipWeb1D:
     # ------------------------------------------------------------------ #
     # layout construction
     # ------------------------------------------------------------------ #
+    def _pool_hosts(self) -> list[HostId]:
+        """Hosts eligible to hold blocks: alive and never retired by churn."""
+        return [
+            host_id
+            for host_id in self.network.alive_host_ids()
+            if host_id not in self._retired_hosts
+        ]
+
     def _rebuild_layout(self) -> None:
         """(Re)compute level structures, blocks and copies from scratch."""
         for address in self._copy_addresses:
@@ -211,7 +222,7 @@ class BucketSkipWeb1D:
         # hosts instead of each grabbing their own.
         n = len(self._keys)
         target_hosts = max(1, math.ceil(2 * n * (self.height + 1) / self.memory_size))
-        host_pool = [host.host_id for host in self.network.hosts()]
+        host_pool = self._pool_hosts()
         while len(host_pool) < target_hosts:
             host_pool.append(self.network.add_host().host_id)
         block_cycle = 0
@@ -506,11 +517,79 @@ class BucketSkipWeb1D:
         return cursor.hops, len(touched)
 
     # ------------------------------------------------------------------ #
+    # churn: migration and self-repair (see repro.engine.repair)
+    # ------------------------------------------------------------------ #
+    def _relayout_for_churn(
+        self, kind: str, hosts: tuple[HostId, ...], origin: HostId
+    ) -> StepGenerator:
+        """Rebuild the block layout and charge every copy that changed home.
+
+        Bucket blocking is positional (contiguous blocks dealt round-robin
+        to the host pool), so membership change re-deals the layout rather
+        than moving records one by one; the diff against the previous
+        placement is what a real redistribution would have shipped, and
+        each newly placed copy is charged one message.  Copies carry no
+        stored pointers, so no rewiring pass is needed.
+        """
+        before: dict[tuple[int, BitPrefix, Hashable], set[HostId]] = {
+            entry: set(holders) for entry, holders in self._stored_at.items()
+        }
+        self._rebuild_layout()
+        cursor = StepCursor(origin)
+        yield from cursor.hop_to(origin)  # announce the coordinator (free)
+        moved = 0
+        for entry, holders in self._stored_at.items():
+            for destination in sorted(holders - before.get(entry, set())):
+                yield from cursor.hand_off(destination, origin)
+                moved += 1
+        return MigrationSummary(
+            kind=kind,
+            hosts=hosts,
+            records_moved=moved,
+            pointers_rewired=0,
+            hosts_touched=len(set(cursor.path)),
+        )
+
+    def migrate_host(
+        self,
+        host_id: HostId,
+        targets: Sequence[HostId] | None = None,
+        fraction: float = 1.0,
+    ) -> StepGenerator:
+        """Retire ``host_id`` from the block pool and re-deal the layout.
+
+        Bucket blocking cannot migrate partially — blocks are contiguous —
+        so any ``fraction`` re-deals the full layout; ``targets`` join the
+        pool implicitly by being alive in the network.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        self.network.host(host_id)  # validate early
+        if fraction >= 1.0:
+            self._retired_hosts.add(host_id)
+        summary = yield from self._relayout_for_churn("migrate", (host_id,), host_id)
+        return summary
+
+    def repair(self, host_ids: Sequence[HostId]) -> StepGenerator:
+        """Crash repair: drop dead hosts from the pool and re-deal the layout."""
+        dead = set(host_ids)
+        if not dead:
+            raise ChurnError("bucket skip-web repair needs at least one crashed host")
+        self._retired_hosts |= dead
+        alive = self._pool_hosts()
+        if not alive:
+            raise ChurnError("bucket skip-web cannot lose its last live host")
+        summary = yield from self._relayout_for_churn(
+            "repair", tuple(sorted(dead)), alive[0]
+        )
+        return summary
+
+    # ------------------------------------------------------------------ #
     # DistributedStructure protocol (batched execution; see repro.engine)
     # ------------------------------------------------------------------ #
     def origin_hosts(self) -> list[HostId]:
-        """Every host may originate operations (block hosts are roots)."""
-        return [host.host_id for host in self.network.hosts()]
+        """Every live pool host may originate operations (block hosts are roots)."""
+        return self._pool_hosts()
 
     def seed_roots(self, origin_host: HostId) -> StepGenerator:
         """Step generator returning the copies ``origin_host`` stores locally."""

@@ -24,9 +24,8 @@ The number of trapezoids produced is the standard ``≤ 3n + 1``.
 
 from __future__ import annotations
 
-import bisect
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.errors import QueryError, StructureError
 from repro.planar.segments import PlanarPoint, Segment, bounding_box, segments_in_general_position

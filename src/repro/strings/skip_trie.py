@@ -27,7 +27,7 @@ from repro.core.query import QueryResult
 from repro.core.ranges import Range
 from repro.core.skipweb import SkipWeb, SkipWebConfig, SkipWebStructureAdapter
 from repro.core.update import UpdateResult
-from repro.errors import QueryError, StructureError
+from repro.errors import StructureError
 from repro.net.congestion import CongestionReport
 from repro.net.naming import HostId
 from repro.net.network import Network

@@ -16,7 +16,7 @@ built from (see :class:`repro.strings.skip_trie.TrieRange`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence
+from typing import Iterator, Sequence
 
 from repro.errors import StructureError
 from repro.strings.alphabet import Alphabet

@@ -16,7 +16,6 @@ generators below produce such inputs deterministically:
 from __future__ import annotations
 
 import random
-from typing import Iterable
 
 from repro.planar.segments import Segment
 

@@ -10,6 +10,7 @@ import pytest
 from repro.bench.experiments import (
     EXPERIMENTS,
     ablation_blocking,
+    churn,
     congestion_rounds,
     fig1_skiplist,
     fig2_skipweb_levels,
@@ -91,6 +92,7 @@ class TestExperiments:
             "ablation-blocking",
             "throughput",
             "congestion-rounds",
+            "churn",
         }
         assert set(EXPERIMENTS) == expected
 
@@ -135,6 +137,30 @@ class TestExperiments:
             assert row["rounds"] > 0
             assert row["msgs_per_op"] > 0
             assert row["C_round_max"] >= 1
+
+    def test_churn_rows_cover_all_instantiations_and_chord(self):
+        rows = churn(sizes=(32,), events=3, ops_per_phase=12, seed=7)
+        assert [row["structure"] for row in rows] == [
+            "skip-web 1-d",
+            "quadtree skip-web",
+            "trie skip-web",
+            "trapezoid skip-web",
+            "Chord DHT",
+        ]
+        for row in rows:
+            assert row["joins"] + row["leaves"] + row["crashes"] == 3
+            assert row["failed"] == 0
+            assert row["repair_msgs_per_event"] >= 0
+            assert row["C_round_max"] >= 1
+
+    def test_churn_survives_tiny_sizes_via_join_fallback(self):
+        # A schedule that draws a retirement at the min-hosts floor falls
+        # back to a join instead of aborting the experiment.
+        rows = churn(sizes=(4,), events=6, ops_per_phase=8, seed=1)
+        for row in rows:
+            assert row["joins"] + row["leaves"] + row["crashes"] == 6
+            assert row["failed"] == 0
+            assert row["hosts_end"] >= 2
 
     def test_congestion_rounds_reports_bound_ratio(self):
         rows = congestion_rounds(sizes=(32, 64), queries_per_host=1, seed=6)
@@ -187,3 +213,47 @@ class TestCli:
     def test_cli_rejects_bad_sizes(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["table1", "--sizes", "12,-3"])
+
+
+class TestCliFormatRoundTrip:
+    """--format json/csv carry exactly the rows the table format prints."""
+
+    # Experiments with distinct row shapes; all sizes-parameterised so the
+    # round-trip runs at toy sizes.
+    CASES = (
+        ("lemma1", {"sizes": (48,)}),
+        ("congestion-rounds", {"sizes": (32,)}),
+        ("churn", {"sizes": (24,)}),
+    )
+
+    @staticmethod
+    def _expected_rows(name, sizes):
+        function, _description = EXPERIMENTS[name]
+        return function(sizes=sizes, seed=0)
+
+    @pytest.mark.parametrize("name,kwargs", CASES)
+    def test_json_rows_match_table_data(self, capsys, name, kwargs):
+        sizes = kwargs["sizes"]
+        expected = self._expected_rows(name, sizes)
+        argv = [name, "--sizes", ",".join(str(s) for s in sizes), "--format", "json"]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == name
+        assert payload["rows"] == expected
+
+    @pytest.mark.parametrize("name,kwargs", CASES)
+    def test_csv_rows_match_table_data(self, capsys, name, kwargs):
+        sizes = kwargs["sizes"]
+        expected = self._expected_rows(name, sizes)
+        argv = [name, "--sizes", ",".join(str(s) for s in sizes), "--format", "csv"]
+        assert main(argv) == 0
+        reader = csv.DictReader(io.StringIO(capsys.readouterr().out))
+        parsed = list(reader)
+        assert len(parsed) == len(expected)
+        for parsed_row, expected_row in zip(parsed, expected):
+            assert parsed_row.pop("experiment") == name
+            # CSV stringifies every value; compare per cell after the same
+            # coercion the writer applied.
+            assert list(parsed_row) == [str(column) for column in expected_row]
+            for column, value in expected_row.items():
+                assert parsed_row[str(column)] == str(value)

@@ -12,7 +12,7 @@ from repro.core.blocking import (
     evenly_owned_items,
 )
 from repro.core.halving import sample_half, verify_halving
-from repro.core.levels import LevelSets, MembershipAssignment, required_height
+from repro.core.levels import MembershipAssignment, required_height
 from repro.core.link_structure import RangeUnit, UnitKind
 from repro.core.ranges import EverythingRange, Interval, Singleton, ranges_conflict
 from repro.core.stats import measure_costs

@@ -280,6 +280,57 @@ class TestBatchExecutor:
         assert after.cache_misses > 0
         web.web.validate()
 
+    def test_failure_injection_invalidates_route_cache(self):
+        """Failing or recovering hosts mid-session drops memoized routes.
+
+        A cached top-level record is served without touching the network,
+        so without epoch-based invalidation a batch after a failure would
+        happily route searches via records on dead hosts.
+        """
+        from repro.net import FailureInjector
+
+        rng = random.Random(13)
+        keys = uniform_keys(32, seed=13)
+        web = SkipWeb1D(keys, seed=13)
+        executor = BatchExecutor(web, route_cache=True)
+        operations = [
+            Operation("search", rng.uniform(0, 1e6), origin_host=1) for _ in range(10)
+        ]
+        executor.run(operations)
+        warm = executor.run(operations)
+        assert warm.cache_hits > 0 and warm.cache_misses == 0
+
+        injector = FailureInjector(web.network)
+        victim = web.origin_hosts()[-1]
+        injector.fail([victim])
+        injector.recover_all()
+        # Membership changed (fail + recover): every memoized route is
+        # suspect, so the next batch must re-fetch instead of hitting.
+        after = executor.run(operations)
+        assert after.cache_misses > 0
+
+    def test_mid_batch_failure_invalidates_route_cache(self):
+        """Epoch sync also fires inside a batch, via the on_round hook."""
+        rng = random.Random(14)
+        keys = uniform_keys(32, seed=14)
+        web = SkipWeb1D(keys, seed=14)
+
+        def flicker(report):
+            if report.index == 0:
+                victim = web.origin_hosts()[-1]
+                web.network.fail_host(victim)
+                web.network.recover_host(victim)
+
+        executor = BatchExecutor(web, route_cache=True, on_round=flicker)
+        operations = [
+            Operation("search", rng.uniform(0, 1e6), origin_host=2) for _ in range(8)
+        ]
+        executor.run(operations)
+        warm = executor.run(operations)
+        # The flicker during each run keeps clearing the cache, so warm
+        # batches cannot blindly reuse pre-failure routes.
+        assert warm.cache_misses > 0
+
     def test_unknown_operation_kind_rejected(self):
         web = SkipWeb1D(uniform_keys(8, seed=11), seed=11)
         with pytest.raises(ValueError):

@@ -1,13 +1,11 @@
 """Tests for alphabets, compressed tries and trie skip-webs."""
 
-import random
-
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import StructureError
 from repro.strings import BINARY, DNA, LOWERCASE, Alphabet, CompressedTrie, SkipTrieWeb
-from repro.strings.skip_trie import TrieRange, TrieStructure
+from repro.strings.skip_trie import TrieRange
 from repro.strings.trie import longest_common_prefix
 from repro.workloads import dna_reads, random_strings
 from repro.workloads.strings import isbn_like_keys, prefix_queries

@@ -1,7 +1,5 @@
 """Tests for the synthetic workload generators."""
 
-import pytest
-
 from repro.strings import DNA, PRINTABLE
 from repro.workloads import (
     clustered_keys,
@@ -9,7 +7,6 @@ from repro.workloads import (
     degenerate_line_points,
     dna_reads,
     isbn_like_keys,
-    non_crossing_segments,
     random_strings,
     uniform_keys,
     uniform_points,
