@@ -6,8 +6,12 @@ parameters (everything seeded, so the numbers are exact) and compares
 each message-cost metric against ``benchmarks/baseline.json``.  A metric
 that **regresses by more than 20 %** — more messages per operation than
 the committed baseline allows — fails the gate; improvements and small
-jitter pass.  New or vanished metrics also fail, so the baseline stays in
-lockstep with the experiment registry.
+jitter pass.  Missing-key behaviour is explicit: a current-run metric
+with **no baseline entry** (a freshly added experiment) is reported as
+"no baseline, skipped" and does not fail the gate — it is simply not
+checked until the next ``--update`` records it — while a **vanished**
+metric (present in the baseline, absent from the run) still fails, since
+that means coverage was silently lost.
 
 Usage::
 
@@ -47,6 +51,12 @@ QUICK_PARAMS: dict[str, dict] = {
         "queries_per_size": 20,
         "seed": 0,
     },
+    "range-queries": {
+        "sizes": (48,),
+        "target_ks": (4, 16),
+        "queries_per_size": 4,
+        "seed": 0,
+    },
     "updates": {"sizes": (64,), "updates_per_size": 6, "seed": 0},
     "churn": {"sizes": (48,), "events": 4, "ops_per_phase": 24, "seed": 0},
 }
@@ -61,7 +71,7 @@ METRIC_COLUMNS = (
 )
 
 #: Row columns that identify a row within its experiment.
-IDENTITY_COLUMNS = ("structure", "method", "policy", "cache", "n", "M")
+IDENTITY_COLUMNS = ("structure", "method", "policy", "cache", "n", "M", "k_target")
 
 
 def _row_identity(row: dict) -> str:
@@ -85,13 +95,20 @@ def collect_metrics() -> dict[str, float]:
     return metrics
 
 
-def compare(current: dict[str, float], baseline: dict[str, float]) -> list[str]:
-    """Return one failure line per regressed, new, or vanished metric."""
+def compare(current: dict[str, float], baseline: dict[str, float]) -> tuple[list[str], list[str]]:
+    """Compare the run against the baseline: ``(failures, skipped)``.
+
+    A current metric with no baseline entry is *skipped*, not failed —
+    it is reported explicitly so a fresh experiment cannot silently
+    pass *or* crash the gate before its baseline lands.  A baseline
+    metric missing from the run is still a failure (lost coverage).
+    """
     failures: list[str] = []
+    skipped: list[str] = []
     for key in sorted(set(current) | set(baseline)):
         if key not in baseline:
-            failures.append(
-                f"NEW METRIC     {key} = {current[key]} (re-baseline with --update)"
+            skipped.append(
+                f"NO BASELINE    {key} = {current[key]} (skipped; record it with --update)"
             )
             continue
         if key not in current:
@@ -108,7 +125,7 @@ def compare(current: dict[str, float], baseline: dict[str, float]) -> list[str]:
                 f"(+{(measured / reference - 1.0) * 100.0 if reference else float('inf'):.1f}%, "
                 f"allowed +{TOLERANCE * 100.0:.0f}%)"
             )
-    return failures
+    return failures, skipped
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -130,16 +147,22 @@ def main(argv: list[str] | None = None) -> int:
         print(f"no baseline at {BASELINE_PATH}; run with --update first", file=sys.stderr)
         return 2
     baseline = json.loads(BASELINE_PATH.read_text())
-    failures = compare(current, baseline)
+    failures, skipped = compare(current, baseline)
+    for line in skipped:
+        print(f"  {line}")
     if failures:
         print(f"bench-regression gate FAILED ({len(failures)} issue(s)):")
         for line in failures:
             print(f"  {line}")
         return 1
-    print(
-        f"bench-regression gate passed: {len(current)} metrics within "
+    checked = len(current) - len(skipped)
+    summary = (
+        f"bench-regression gate passed: {checked} metrics within "
         f"+{TOLERANCE * 100.0:.0f}% of baseline"
     )
+    if skipped:
+        summary += f" ({len(skipped)} new metric(s) skipped, no baseline yet)"
+    print(summary)
     return 0
 
 

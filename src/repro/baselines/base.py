@@ -28,6 +28,14 @@ from dataclasses import dataclass
 from statistics import mean
 from typing import Any, Iterable, Sequence
 
+from repro.core.range_query import (
+    DEFAULT_FAN_OUT,
+    RangeBranchReport,
+    RangeQueryResult,
+    assemble_range_result,
+    partition_walks,
+)
+from repro.core.ranges import coerce_interval, interval_anchor
 from repro.engine.repair import MigrationSummary
 from repro.engine.steps import StepCursor, StepGenerator, local_steps, run_immediate
 from repro.errors import ChurnError, QueryError, UpdateError
@@ -257,6 +265,80 @@ class DistributedOrderedStructure(abc.ABC):
             messages=traversal.hops,
             hosts_visited=tuple(traversal.path),
         )
+
+    # ------------------------------------------------------------------ #
+    # range reporting (output-sensitive; ordered overlays support it)
+    # ------------------------------------------------------------------ #
+    def _range_report_walk(
+        self,
+        keys: Sequence[float],
+        start_host: HostId,
+    ) -> StepGenerator:
+        """One report sub-walk: hop through the home hosts of ``keys`` in order."""
+        cursor = StepCursor(start_host)
+        for key in keys:
+            yield from cursor.hop_to(self._host_of_key[key])
+        return RangeBranchReport(
+            values=tuple(keys),
+            messages=cursor.hops,
+            hosts_visited=tuple(cursor.path),
+        )
+
+    def range_steps(
+        self,
+        query_range: Any,
+        origin_host: HostId | None = None,
+        origin_key: float | None = None,
+        fan_out: int = DEFAULT_FAN_OUT,
+    ) -> StepGenerator:
+        """Output-sensitive key-range reporting over the ordered overlay.
+
+        Orderedness is what makes this possible at all (the point §1.2
+        makes against plain DHTs): the search locates the low endpoint in
+        the overlay's usual O(log n) messages, then forked sub-walks hop
+        successor by successor through the matched keys' home hosts —
+        one message per key in these one-key-per-host designs, so
+        O(log n + k) total.
+        """
+        interval = coerce_interval(query_range)
+        anchor = interval_anchor(interval, self._keys[0])
+        search = yield from self.search_steps(
+            anchor, origin_host=origin_host, origin_key=origin_key
+        )
+        matched = [key for key in self._keys if interval.contains(key)]
+        start_host = (
+            search.hosts_visited[-1]
+            if search.hosts_visited
+            else self._host_of_key[self._origin_key_for(origin_host, origin_key)]
+        )
+        chunks = partition_walks(matched, fan_out)
+        cursor = StepCursor(start_host)
+        reports = yield from cursor.fork(
+            [self._range_report_walk(chunk, start_host) for chunk in chunks]
+        )
+        return assemble_range_result(
+            interval,
+            reports,
+            descent_messages=search.messages,
+            descent_hosts=search.hosts_visited,
+            origin_host=search.hosts_visited[0] if search.hosts_visited else start_host,
+            levels_descended=0,
+        )
+
+    def range_search(
+        self,
+        low: float,
+        high: float,
+        origin_key: float | None = None,
+        fan_out: int = DEFAULT_FAN_OUT,
+    ) -> RangeQueryResult:
+        """Immediate-mode key-range reporting; see :meth:`range_steps`."""
+        resolved = self._origin_key_for(None, origin_key)
+        origin = self._host_of_key.get(resolved)
+        gen = self.range_steps(
+            (low, high), origin_key=resolved, fan_out=fan_out
+        )
+        return run_immediate(self.network, gen, origin, kind=MessageKind.QUERY)
 
     # ------------------------------------------------------------------ #
     # updates

@@ -18,7 +18,7 @@ from typing import Any, Sequence
 
 from repro.engine.repair import MigrationSummary
 from repro.engine.steps import StepCursor, StepGenerator, local_steps, run_immediate
-from repro.errors import ChurnError, QueryError, UpdateError
+from repro.errors import ChurnError, QueryError, UnsupportedOperationError, UpdateError
 from repro.net.message import MessageKind
 from repro.net.naming import Address, HostId
 from repro.net.network import Network
@@ -179,6 +179,23 @@ class ChordDHT:
     def seed_roots(self, origin_host: HostId) -> StepGenerator:
         """Step generator returning ``origin_host``'s finger table (local)."""
         return local_steps(self.network.load(self._table_addresses[origin_host]))
+
+    def range_steps(
+        self, query_range: Any, origin_host: HostId | None = None
+    ) -> StepGenerator:
+        """Chord cannot answer range queries — the paper's point about hashing.
+
+        Consistent hashing destroys key locality: the keys of any value
+        range are scattered uniformly around the ring, so reporting them
+        would require contacting every node (Θ(H) messages), not
+        O(log n + k).  The ordered structures (skip-webs and the Table 1
+        overlays) support ranges precisely because they keep keys in
+        order; this baseline raises instead of pretending otherwise.
+        """
+        raise UnsupportedOperationError(
+            "Chord DHT cannot answer range queries: consistent hashing "
+            "destroys key locality (§1.2)"
+        )
 
     def insert_steps(self, item: Any, origin_host: HostId | None = None) -> StepGenerator:
         """Chord is measured as a static ring here; updates are unsupported."""

@@ -5,8 +5,10 @@ Examples
 ::
 
     python -m repro.cli list
+    python -m repro.cli --list
     python -m repro.cli table1
     python -m repro.cli fig3 --seed 7
+    python -m repro.cli range-queries --sizes 48,96
     python -m repro.cli throughput --format json
     python -m repro.cli congestion-rounds --sizes 64,256 --format csv
     python -m repro.cli churn --sizes 48
@@ -50,8 +52,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
+        nargs="?",
         choices=sorted(EXPERIMENTS) + ["list", "all"],
         help="experiment to run ('list' shows descriptions, 'all' runs everything)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_experiments",
+        help="print the experiment registry (name + description) and exit",
     )
     parser.add_argument("--seed", type=int, default=0, help="random seed (default 0)")
     parser.add_argument(
@@ -111,8 +120,13 @@ def _run_one(
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
-    if args.experiment == "list":
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.experiment is None and not args.list_experiments:
+        parser.error("an experiment name is required (or use --list)")
+    if args.list_experiments and args.experiment not in (None, "list"):
+        parser.error("--list cannot be combined with an experiment name")
+    if args.list_experiments or args.experiment == "list":
         rows = [
             {"experiment": name, "description": description}
             for name, (_function, description) in sorted(EXPERIMENTS.items())

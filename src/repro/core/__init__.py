@@ -41,6 +41,7 @@ from repro.core.blocking import (
 from repro.core.halving import HalvingReport, verify_halving
 from repro.core.skipweb import SkipWeb, SkipWebConfig
 from repro.core.query import QueryResult
+from repro.core.range_query import RangeQueryResult
 from repro.core.update import UpdateResult
 from repro.core.stats import StructureCosts, measure_costs
 
@@ -63,6 +64,7 @@ __all__ = [
     "SkipWeb",
     "SkipWebConfig",
     "QueryResult",
+    "RangeQueryResult",
     "UpdateResult",
     "StructureCosts",
     "measure_costs",

@@ -29,7 +29,13 @@ import enum
 from dataclasses import dataclass
 from typing import Any, Hashable, Mapping, Sequence
 
-from repro.core.ranges import Range, ranges_conflict
+from repro.core.ranges import (
+    Interval,
+    Range,
+    Singleton,
+    interval_anchor,
+    ranges_conflict,
+)
 from repro.errors import QueryError, StructureError
 
 
@@ -162,6 +168,53 @@ class RangeDeterminedLinkStructure(abc.ABC):
         :meth:`advance` steps.
         """
         return self.overlapping(query_range)
+
+    # ------------------------------------------------------------------ #
+    # range reporting (output-sensitive queries)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def range_to_query(cls, query_range: Range) -> Any:
+        """A representative query point of ``query_range``, anchoring the descent.
+
+        A distributed range query first *locates* one point of the range
+        in O(log n) expected messages, then fans out sub-walks over the
+        matching records.  This hook supplies the point the locate phase
+        descends toward.  The default understands the generic
+        one-dimensional ranges; multi-dimensional structures override it
+        for their own range types.
+        """
+        if isinstance(query_range, Singleton):
+            return query_range.value
+        if isinstance(query_range, Interval):
+            return interval_anchor(query_range, 0.0)
+        raise QueryError(
+            f"{cls.name}: no descent anchor for range {query_range!r}"
+        )
+
+    def report_units(self, query_range: Range) -> list[RangeUnit]:
+        """The node units a reporting query for ``query_range`` must visit.
+
+        Returned in walk order (the order the report sub-walks traverse
+        them), so contiguous chunks of the list make host-coherent
+        sub-walks.  The default filters :meth:`overlapping` to nodes,
+        which is correct for every structure whose items live on node
+        units; structures with a cheaper structure-aware enumeration
+        (pruned tree walks, prefix subtrees) override it.
+        """
+        return [unit for unit in self.overlapping(query_range) if unit.is_node]
+
+    def report_values(self, query_range: Range, unit: RangeUnit) -> list[Any]:
+        """The matched items stored at ``unit`` for a reporting query.
+
+        Called on each record a report sub-walk visits; the returned
+        values are concatenated into the query's match list.  The default
+        reports the unit's payload when it lies inside the range (the
+        sorted-list convention: a node's payload is its key).
+        """
+        payload = unit.payload
+        if payload is not None and query_range.contains(payload):
+            return [payload]
+        return []
 
     # ------------------------------------------------------------------ #
     # searching

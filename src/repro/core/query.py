@@ -109,17 +109,18 @@ def _settle_within_level(
     raise QueryError("intra-level navigation did not terminate (structure bug)")
 
 
-def query_steps(skipweb, query: Any, origin_host: HostId) -> StepGenerator:
-    """The query descent as a resumable step generator.
+def descend_steps(skipweb, query: Any, cursor: StepCursor) -> StepGenerator:
+    """The shared descent: from the cursor's host down to its level-0 target.
 
-    Yields one :class:`~repro.engine.steps.Visit` effect per pointer
-    dereference and returns the final :class:`QueryResult`; drive it with
-    :func:`execute_query` for the immediate path or hand it to a
-    :class:`~repro.engine.executor.BatchExecutor` for round-based
-    execution.
+    Starts at the root entries of the cursor's current host, descends one
+    level at a time (hyperlink choice, then intra-level settling) and
+    returns ``(record, levels_descended, per_level_messages)`` where
+    ``record`` is the level-0 record the search stopped at.  Both the
+    point queries (:func:`query_steps`) and the locate phase of the range
+    queries (:mod:`repro.core.range_query`) are built on it, so the two
+    charge the descent identically.
     """
-    cursor = StepCursor(origin_host)
-    root_entries = skipweb.root_entries(origin_host)
+    root_entries = skipweb.root_entries(cursor.current_host)
     if not root_entries:
         raise QueryError("skip-web has no records (empty structure)")
 
@@ -142,6 +143,23 @@ def query_steps(skipweb, query: Any, origin_host: HostId) -> StepGenerator:
         )
         per_level_messages.append(cursor.hops - hops_before)
         levels_descended += 1
+
+    return current, levels_descended, per_level_messages
+
+
+def query_steps(skipweb, query: Any, origin_host: HostId) -> StepGenerator:
+    """The query descent as a resumable step generator.
+
+    Yields one :class:`~repro.engine.steps.Visit` effect per pointer
+    dereference and returns the final :class:`QueryResult`; drive it with
+    :func:`execute_query` for the immediate path or hand it to a
+    :class:`~repro.engine.executor.BatchExecutor` for round-based
+    execution.
+    """
+    cursor = StepCursor(origin_host)
+    current, levels_descended, per_level_messages = yield from descend_steps(
+        skipweb, query, cursor
+    )
 
     level0_structure = skipweb.level_structure(0, ())
     answer = level0_structure.answer(query, current.unit)

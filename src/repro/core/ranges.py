@@ -133,6 +133,23 @@ class EverythingRange:
         return "<everything>"
 
 
+def coerce_interval(query_range: Any) -> Interval:
+    """Normalise a 1-d range spec: an :class:`Interval` or a (low, high) pair."""
+    if isinstance(query_range, Interval):
+        return query_range
+    low, high = query_range
+    return Interval(float(low), float(high))
+
+
+def interval_anchor(interval: Interval, fallback: float) -> float:
+    """The finite endpoint a 1-d range query's locate phase descends toward."""
+    if math.isfinite(interval.low):
+        return interval.low
+    if math.isfinite(interval.high):
+        return interval.high
+    return fallback
+
+
 def ranges_conflict(first: Range, second: Range) -> bool:
     """Symmetric conflict test between two ranges.
 

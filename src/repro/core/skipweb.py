@@ -51,6 +51,12 @@ from repro.core.blocking import (
 from repro.core.levels import BitPrefix, MembershipAssignment
 from repro.core.link_structure import RangeDeterminedLinkStructure, RangeUnit
 from repro.core.query import QueryResult, execute_query, query_steps
+from repro.core.range_query import (
+    DEFAULT_FAN_OUT,
+    RangeQueryResult,
+    execute_range_query,
+    range_steps as range_query_steps,
+)
 from repro.engine.repair import MigrationSummary
 from repro.engine.steps import StepCursor, StepGenerator, local_steps
 from repro.core.ranges import Range
@@ -324,6 +330,15 @@ class SkipWeb:
         """The home host of an item."""
         return self._owners[item]
 
+    def address_of(self, level: int, prefix: BitPrefix, key: Hashable) -> Address:
+        """The address of one unit's record (range reporting walks use it)."""
+        try:
+            return self._address_of[(level, prefix, key)]
+        except KeyError as exc:
+            raise StructureError(
+                f"no record for unit {key!r} at level {level} prefix {prefix}"
+            ) from exc
+
     def membership_word(self, item: Any) -> BitPrefix:
         """The random membership word assigned to ``item``."""
         return self._membership.word(item)
@@ -364,6 +379,17 @@ class SkipWeb:
         """Answer ``query`` starting from the host that owns ``origin_item``."""
         return self.query(query, origin_host=self._owners[origin_item])
 
+    def range_query(
+        self,
+        query_range: Any,
+        origin_host: HostId | None = None,
+        fan_out: int = DEFAULT_FAN_OUT,
+    ) -> RangeQueryResult:
+        """Output-sensitive range reporting; see :mod:`repro.core.range_query`."""
+        if origin_host is None:
+            origin_host = self._host_ids[0]
+        return execute_range_query(self, query_range, origin_host, fan_out=fan_out)
+
     def insert(self, item: Any, origin_host: HostId | None = None):
         """Insert a new ground-set item (§4); returns an ``UpdateResult``."""
         from repro.core.update import execute_insert
@@ -400,6 +426,17 @@ class SkipWeb:
         if origin_host is None:
             origin_host = self._host_ids[0]
         return query_steps(self, query, origin_host)
+
+    def range_steps(
+        self,
+        query_range: Any,
+        origin_host: HostId | None = None,
+        fan_out: int = DEFAULT_FAN_OUT,
+    ):
+        """The range query (locate, then forked report) as a step generator."""
+        if origin_host is None:
+            origin_host = self._host_ids[0]
+        return range_query_steps(self, query_range, origin_host, fan_out=fan_out)
 
     def insert_steps(self, item: Any, origin_host: HostId | None = None):
         """Insertion as a resumable step generator (§4)."""
@@ -693,6 +730,10 @@ class SkipWebStructureAdapter:
         """Normalise a domain item before handing it to the skip-web."""
         return item
 
+    def _coerce_range(self, query_range: Any) -> Any:
+        """Normalise a domain range before handing it to the skip-web."""
+        return query_range
+
     def origin_hosts(self) -> list[HostId]:
         return self.web.origin_hosts()
 
@@ -701,6 +742,27 @@ class SkipWebStructureAdapter:
 
     def search_steps(self, query: Any, origin_host: HostId | None = None):
         return self.web.search_steps(self._coerce_query(query), origin_host)
+
+    def range_steps(
+        self,
+        query_range: Any,
+        origin_host: HostId | None = None,
+        fan_out: int = DEFAULT_FAN_OUT,
+    ):
+        return self.web.range_steps(
+            self._coerce_range(query_range), origin_host, fan_out=fan_out
+        )
+
+    def range_report(
+        self,
+        query_range: Any,
+        origin_host: HostId | None = None,
+        fan_out: int = DEFAULT_FAN_OUT,
+    ) -> RangeQueryResult:
+        """Immediate-mode range reporting with the domain's range coercion."""
+        return self.web.range_query(
+            self._coerce_range(query_range), origin_host=origin_host, fan_out=fan_out
+        )
 
     def insert_steps(self, item: Any, origin_host: HostId | None = None):
         return self.web.insert_steps(self._coerce_item(item), origin_host)

@@ -20,6 +20,7 @@ like query traffic; see :mod:`repro.net.churn` for the controller.
 """
 
 from repro.engine.steps import (
+    Fork,
     HopTo,
     Resolution,
     Step,
@@ -37,6 +38,7 @@ __all__ = [
     "MigrationSummary",
     "RepairEngine",
     "RepairResult",
+    "Fork",
     "HopTo",
     "Resolution",
     "Step",

@@ -3,11 +3,15 @@
 The paper's congestion bounds are statements about *concurrent* load —
 O(log n / log log n) messages per host per round w.h.p. when many
 operations are in flight (Theorem 2).  :class:`BatchExecutor` makes that
-measurable: it takes a batch of mixed operations (queries and updates),
-obtains each one's step generator from the structure (any
-:class:`~repro.engine.protocol.DistributedStructure`), and advances every
-in-flight operation by at most one host crossing per network round using
-the queued delivery mode of :meth:`repro.net.network.Network.rounds`.
+measurable: it takes a batch of mixed operations (queries, range
+reports and updates), obtains each one's step generator from the
+structure (any :class:`~repro.engine.protocol.DistributedStructure`),
+and advances every in-flight operation by at most one host crossing per
+network round using the queued delivery mode of
+:meth:`repro.net.network.Network.rounds`.  An operation that forks
+(:class:`~repro.engine.steps.Fork`) advances every sub-walk by one host
+crossing per round, so a range query's report phase genuinely runs its
+sub-walks in parallel.
 
 Concurrency is honest: an update that lands mid-batch really does mutate
 the records other operations are walking.  An operation that trips over
@@ -39,7 +43,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.engine.protocol import DistributedStructure
-from repro.engine.steps import HopTo, Resolution, StepGenerator, Visit
+from repro.engine.steps import Fork, HopTo, Resolution, StepGenerator, Visit
 from repro.errors import (
     AddressError,
     HostFailedError,
@@ -59,6 +63,7 @@ _RETRYABLE = (AddressError, QueryError, StructureError)
 #: Message kind charged for each operation kind.
 _KIND_OF = {
     "search": MessageKind.QUERY,
+    "range": MessageKind.QUERY,
     "insert": MessageKind.UPDATE,
     "delete": MessageKind.UPDATE,
 }
@@ -68,10 +73,10 @@ _KIND_OF = {
 class Operation:
     """One logical operation of a batch.
 
-    ``kind`` is ``"search"``, ``"insert"`` or ``"delete"``; ``payload`` is
-    the query / item; ``origin_host`` pins the originating host (``None``
-    lets the executor spread origins round-robin over
-    ``structure.origin_hosts()``).
+    ``kind`` is ``"search"``, ``"range"``, ``"insert"`` or ``"delete"``;
+    ``payload`` is the query / range / item; ``origin_host`` pins the
+    originating host (``None`` lets the executor spread origins
+    round-robin over the *alive* hosts of ``structure.origin_hosts()``).
     """
 
     kind: str
@@ -161,6 +166,21 @@ class BatchResult:
         }
 
 
+class _Branch:
+    """Executor-side state of one forked sub-walk of an operation."""
+
+    __slots__ = ("gen", "current", "ticket", "effect", "resolution", "result", "done")
+
+    def __init__(self, gen: StepGenerator, current: HostId) -> None:
+        self.gen = gen
+        self.current: HostId = current
+        self.ticket: PendingDelivery | None = None
+        self.effect: Visit | HopTo | None = None
+        self.resolution: Resolution | None = None
+        self.result: Any = None
+        self.done = False
+
+
 class _InFlight:
     """Executor-side state of one operation."""
 
@@ -170,6 +190,8 @@ class _InFlight:
         "current",
         "ticket",
         "effect",
+        "branches",
+        "branch_error",
         "started",
         "start_round",
         "first_remote_done",
@@ -183,6 +205,8 @@ class _InFlight:
         self.current: HostId = outcome.origin_host
         self.ticket: PendingDelivery | None = None
         self.effect: Visit | HopTo | None = None
+        self.branches: list[_Branch] | None = None
+        self.branch_error: tuple[str, Exception] | None = None
         self.started = False
         self.start_round: int | None = None
         self.first_remote_done = False
@@ -250,9 +274,18 @@ class BatchExecutor:
     # ------------------------------------------------------------------ #
     def run(self, operations: list[Operation] | tuple[Operation, ...]) -> BatchResult:
         """Execute ``operations`` concurrently, one host crossing per round each."""
-        origins = list(self.structure.origin_hosts())
+        # Post-churn, ``origin_hosts()`` may still name failed hosts whose
+        # records have not been repaired away; originating an operation
+        # there would fail it instantly, so spread the batch over the
+        # alive origins only.
+        alive = set(self.network.alive_host_ids())
+        origins = [
+            host for host in self.structure.origin_hosts() if host in alive
+        ]
         if not origins:
-            raise QueryError("structure has no origin hosts to run a batch from")
+            raise QueryError(
+                "structure has no alive origin hosts to run a batch from"
+            )
         states: list[_InFlight] = []
         for index, operation in enumerate(operations):
             origin = (
@@ -290,6 +323,8 @@ class BatchExecutor:
         operation = outcome.operation
         if operation.kind == "search":
             return self.structure.search_steps(operation.payload, outcome.origin_host)
+        if operation.kind == "range":
+            return self.structure.range_steps(operation.payload, outcome.origin_host)
         if operation.kind == "insert":
             return self.structure.insert_steps(operation.payload, outcome.origin_host)
         if operation.kind == "delete":
@@ -300,6 +335,8 @@ class BatchExecutor:
         def step() -> bool:
             if state.done:
                 return False
+            if state.branches is not None:
+                return self._step_branches(state)
             resolution: Resolution | None = None
             if state.ticket is not None:
                 # Resolve last round's delivery before advancing further.
@@ -369,6 +406,14 @@ class BatchExecutor:
                 self._fail(state, error)
                 return False
 
+            if isinstance(effect, Fork):
+                # Split into sub-walks: each advances one host crossing
+                # per round from here on, all billed to this operation.
+                state.branches = [
+                    _Branch(gen=branch, current=state.current)
+                    for branch in effect.branches
+                ]
+                return self._step_branches(state)
             target = effect.address.host if isinstance(effect, Visit) else effect.host
             if target == state.current:
                 # Local effect: free and instantaneous.
@@ -409,6 +454,139 @@ class BatchExecutor:
                 state.first_remote_done = True
             self._post(state, effect, target)
             return True
+
+    # ------------------------------------------------------------------ #
+    # forked sub-walks (the Fork effect)
+    # ------------------------------------------------------------------ #
+    def _note_branch_error(self, state: _InFlight, kind: str, error: Exception) -> None:
+        """Record a sub-walk's error; a non-retryable failure takes precedence."""
+        if state.branch_error is None or (
+            kind == "fail" and state.branch_error[0] == "retry"
+        ):
+            state.branch_error = (kind, error)
+
+    def _step_branches(self, state: _InFlight) -> bool:
+        """Advance every forked sub-walk by at most one host crossing.
+
+        A sub-walk that touches a failed host fails the whole operation
+        (its partial report is worthless); a sub-walk that trips over
+        concurrently-changed state restarts the whole operation — all
+        sub-walks included — through the ordinary retry path.  Either
+        way, the abort waits for the sibling sub-walks' in-flight
+        deliveries to drain first, billing each delivered crossing to
+        the operation — an abort must not orphan messages the network
+        has already charged.
+        """
+        branches = state.branches
+        assert branches is not None
+        # 1. resolve last round's deliveries, billing every delivered
+        #    crossing even when another sub-walk is failing.
+        for branch in branches:
+            if branch.ticket is None:
+                continue
+            ticket = branch.ticket
+            effect = branch.effect
+            branch.ticket = None
+            branch.effect = None
+            assert effect is not None
+            try:
+                ticket.result()
+            except HostFailedError as error:
+                # Dropped delivery: never charged, so nothing to bill.
+                self._note_branch_error(state, "fail", error)
+                continue
+            target = (
+                effect.address.host if isinstance(effect, Visit) else effect.host
+            )
+            branch.current = target
+            state.outcome.messages += 1
+            try:
+                value = (
+                    self.network.load(effect.address)
+                    if isinstance(effect, Visit)
+                    else None
+                )
+            except HostFailedError as error:
+                self._note_branch_error(state, "fail", error)
+                continue
+            except _RETRYABLE as error:
+                self._note_branch_error(state, "retry", error)
+                continue
+            branch.resolution = Resolution(value=value, host=target, charged=True)
+        # 2. run each idle sub-walk locally until its next cross-host
+        #    effect (skipped while an abort is pending).
+        if state.branch_error is None:
+            for branch in branches:
+                if branch.done or branch.ticket is not None:
+                    continue
+                try:
+                    self._run_branch(state, branch)
+                except HostFailedError as error:
+                    self._note_branch_error(state, "fail", error)
+                    break
+                except _RETRYABLE as error:
+                    self._note_branch_error(state, "retry", error)
+                    break
+                except ReproError as error:
+                    self._note_branch_error(state, "fail", error)
+                    break
+        # 3. abort (after draining) or join.
+        if state.branch_error is not None:
+            if any(branch.ticket is not None for branch in branches):
+                return True  # siblings' posted messages deliver (and bill) first
+            kind, error = state.branch_error
+            state.branch_error = None
+            if kind == "retry":
+                return self._retry_or_fail(state, error)
+            self._fail(state, error)
+            return False
+        if all(branch.done for branch in branches):
+            results = tuple(branch.result for branch in branches)
+            state.branches = None
+            return self._advance(
+                state, Resolution(value=results, host=state.current, charged=False)
+            )
+        return True
+
+    def _run_branch(self, state: _InFlight, branch: _Branch) -> None:
+        """Run one sub-walk's generator locally until it posts or finishes.
+
+        Errors raised by the generator (or by a local dereference)
+        propagate to :meth:`_step_branches`, which maps them onto the
+        operation-level failure / retry paths.
+        """
+        resolution = branch.resolution
+        branch.resolution = None
+        while True:
+            try:
+                effect = (
+                    branch.gen.send(resolution)
+                    if resolution is not None
+                    else next(branch.gen)
+                )
+            except StopIteration as stop:
+                branch.done = True
+                branch.result = stop.value
+                return
+            resolution = None
+            if isinstance(effect, Fork):
+                raise TypeError("nested Fork effects are not supported")
+            target = effect.address.host if isinstance(effect, Visit) else effect.host
+            if target == branch.current:
+                # Local effect: free and instantaneous.
+                value = (
+                    self.network.load(effect.address)
+                    if isinstance(effect, Visit)
+                    else None
+                )
+                resolution = Resolution(value=value, host=target, charged=False)
+                continue
+            kind = _KIND_OF[state.outcome.operation.kind]
+            branch.ticket = self.network.post(branch.current, target, kind=kind)
+            branch.effect = effect
+            if state.start_round is None:
+                state.start_round = self.network.rounds_completed
+            return
 
     def _post(
         self,
@@ -456,6 +634,8 @@ class BatchExecutor:
         state.gen = None
         state.ticket = None
         state.effect = None
+        state.branches = None
+        state.branch_error = None
         state.current = state.outcome.origin_host
         state.first_remote_done = False
         state.warm_key = None

@@ -11,6 +11,10 @@ immediate single-operation drivers and the round-based
 A structure implements:
 
 * ``search_steps(query, origin_host)`` — the query descent;
+* ``range_steps(query_range, origin_host)`` — output-sensitive range
+  reporting (O(log n + k) messages via forked report sub-walks;
+  hash-based structures raise
+  :class:`~repro.errors.UnsupportedOperationError`);
 * ``insert_steps(item, origin_host)`` / ``delete_steps(item,
   origin_host)`` — updates (structures that cannot update, e.g. the Chord
   baseline, raise :class:`~repro.errors.UpdateError`);
@@ -59,6 +63,21 @@ class DistributedStructure(Protocol):
 
     def search_steps(self, query: Any, origin_host: HostId | None = None) -> StepGenerator:
         """Step generator answering ``query`` from ``origin_host``."""
+        ...  # pragma: no cover - protocol
+
+    def range_steps(
+        self, query_range: Any, origin_host: HostId | None = None
+    ) -> StepGenerator:
+        """Step generator reporting every stored item inside ``query_range``.
+
+        Output-sensitive: O(log n + k) expected messages for output size
+        ``k``, achieved by locating one point of the range and then
+        forking parallel report sub-walks (:class:`~repro.engine.steps
+        .Fork`) over the matching records.  Structures that cannot
+        support range queries at all (hash-based overlays such as the
+        Chord baseline — the paper's point about hashing) raise
+        :class:`~repro.errors.UnsupportedOperationError`.
+        """
         ...  # pragma: no cover - protocol
 
     def insert_steps(self, item: Any, origin_host: HostId | None = None) -> StepGenerator:

@@ -50,8 +50,31 @@ class HopTo:
     host: HostId
 
 
+@dataclass(frozen=True, slots=True)
+class Fork:
+    """Effect: split the operation into parallel sub-walks.
+
+    ``branches`` are step generators; each starts at the operation's
+    current host and is driven to completion by the driver.  Forking
+    itself is free — only the host crossings the branches perform are
+    charged, each billed to the forking operation.  Under
+    :func:`run_immediate` the branches run back to back; under the
+    :class:`~repro.engine.executor.BatchExecutor` each branch advances by
+    at most one host crossing per round, so a fan-out of ``b`` lets one
+    logical operation inject up to ``b`` messages into a round — exactly
+    the concurrency the output-sensitive range queries rely on.
+
+    The effect resolves to the tuple of branch return values (in branch
+    order); the forking operation stays at the host it forked from.
+    Branches are flat walks: a branch yielding a nested ``Fork`` is a
+    programming error and raises ``TypeError`` under both drivers.
+    """
+
+    branches: tuple[StepGenerator, ...]
+
+
 #: Effects a step generator may yield.
-Step = Visit | HopTo
+Step = Visit | HopTo | Fork
 
 
 @dataclass(frozen=True, slots=True)
@@ -121,6 +144,18 @@ class StepCursor:
         self._absorb(resolution)
         return None
 
+    def fork(self, branches: "tuple[StepGenerator, ...] | list[StepGenerator]") -> StepGenerator:
+        """Split into parallel sub-walks through the driver; use as ``yield from``.
+
+        Returns the tuple of branch return values.  The fork itself is
+        free and leaves the cursor at its current host — each branch
+        tracks its own crossings (typically through a private
+        :class:`StepCursor` seeded at ``self.current_host``).
+        """
+        resolution = yield Fork(tuple(branches))
+        self._absorb(resolution)
+        return resolution.value
+
     def hand_off(self, destination: HostId, origin: HostId) -> StepGenerator:
         """One record hand-off from ``origin``'s data to ``destination``.
 
@@ -162,9 +197,22 @@ def run_immediate(
 
     Every cross-host effect is charged one message on the spot, exactly as
     :meth:`repro.net.rpc.Traversal.visit` would charge it; this keeps the
-    single-operation numbers identical to the pre-engine code paths.
+    single-operation numbers identical to the pre-engine code paths.  A
+    :class:`Fork` effect drives each branch to completion (back to back,
+    every branch starting at the fork host) and resolves to the tuple of
+    branch results — the same billing the round-based executor applies,
+    so immediate and batched totals match.
     """
-    current = origin
+    return _drive(network, gen, origin, kind, allow_fork=True)
+
+
+def _drive(
+    network,
+    gen: StepGenerator,
+    current: HostId,
+    kind: MessageKind,
+    allow_fork: bool,
+) -> Any:
     try:
         effect = next(gen)
         while True:
@@ -182,6 +230,14 @@ def run_immediate(
                     network.send(current, target, kind=kind)
                     current = target
                 value = None
+            elif isinstance(effect, Fork):
+                if not allow_fork:
+                    raise TypeError("nested Fork effects are not supported")
+                charged = False
+                value = tuple(
+                    _drive(network, branch, current, kind, allow_fork=False)
+                    for branch in effect.branches
+                )
             else:  # pragma: no cover - defensive
                 raise TypeError(f"step generator yielded a non-effect: {effect!r}")
             effect = gen.send(Resolution(value=value, host=current, charged=charged))

@@ -37,6 +37,16 @@ class QueryError(ReproError):
     """A query could not be answered (empty structure, key outside universe, ...)."""
 
 
+class UnsupportedOperationError(ReproError):
+    """The structure cannot support the requested operation at all.
+
+    Distinct from :class:`QueryError` (which signals transient or
+    input-specific trouble and is retried by the batch executor): an
+    unsupported operation — e.g. a range query on a hash-based DHT —
+    will never succeed, so the executor records it without retrying.
+    """
+
+
 class UpdateError(ReproError):
     """An insertion or deletion could not be applied."""
 

@@ -79,9 +79,12 @@ def congestion_report(network, ground_set_size: int) -> CongestionReport:
         counters populated by the structure under measurement.
     ground_set_size:
         ``n``, the number of items stored in the structure.  The ``n/H``
-        term uses the network's host count for ``H``.
+        term uses the network's *alive* host count for ``H``: queries can
+        only begin at (and load can only be absorbed by) hosts that are
+        actually up, so after churn a failed host neither dilutes the
+        per-host base load nor contributes a per-host row of its own.
     """
-    hosts = list(network.hosts())
+    hosts = [network.host(host_id) for host_id in network.alive_host_ids()]
     host_count = len(hosts)
     if host_count == 0:
         return CongestionReport(per_host={}, ground_set_size=ground_set_size, host_count=0)

@@ -36,6 +36,14 @@ from typing import Any, Hashable, Sequence
 from repro.core.levels import BitPrefix, MembershipAssignment
 from repro.core.link_structure import RangeUnit
 from repro.core.query import QueryResult
+from repro.core.range_query import (
+    DEFAULT_FAN_OUT,
+    RangeBranchReport,
+    RangeQueryResult,
+    assemble_range_result,
+    partition_walks,
+)
+from repro.core.ranges import Interval, coerce_interval, interval_anchor
 from repro.core.skipweb import SkipWeb, SkipWebConfig, SkipWebStructureAdapter
 from repro.core.update import UpdateResult
 from repro.engine.repair import MigrationSummary
@@ -61,6 +69,9 @@ class SkipWeb1D(SkipWebStructureAdapter):
 
     def _coerce_item(self, item: Any) -> float:
         return float(item)
+
+    def _coerce_range(self, query_range: Any) -> Interval:
+        return coerce_interval(query_range)
 
     def __init__(
         self,
@@ -90,6 +101,12 @@ class SkipWeb1D(SkipWebStructureAdapter):
         """Exact-membership query."""
         result = self.nearest(key, origin_host=origin_host)
         return bool(result.answer.exact)
+
+    def range_search(
+        self, low: float, high: float, origin_host: HostId | None = None
+    ) -> RangeQueryResult:
+        """All stored keys in ``[low, high]``: O(log n + k) expected messages."""
+        return self.range_report((low, high), origin_host=origin_host)
 
     # -- updates -------------------------------------------------------- #
     def insert(self, key: float, origin_host: HostId | None = None) -> UpdateResult:
@@ -389,6 +406,95 @@ class BucketSkipWeb1D:
     def contains(self, key: float, origin_key: float | None = None) -> bool:
         """Exact-membership query."""
         return bool(self.nearest(key, origin_key=origin_key).answer.exact)
+
+    # ------------------------------------------------------------------ #
+    # range reporting (output-sensitive; block-host walks)
+    # ------------------------------------------------------------------ #
+    def _bucket_report_walk(
+        self,
+        interval: Interval,
+        entries: Sequence[tuple[RangeUnit, HostId]],
+        start_host: HostId,
+    ) -> StepGenerator:
+        """One report sub-walk over (unit, block host) pairs in key order.
+
+        Consecutive keys of the same block share a host, so a whole block
+        of matches costs a single crossing — this is where the bucket
+        blocking's advantage shows up in the k term (≈ k / block size
+        messages instead of ≈ k).
+        """
+        level0 = self._structures[(0, ())]
+        cursor = StepCursor(start_host)
+        values: list[Any] = []
+        for unit, host in entries:
+            yield from cursor.hop_to(host)
+            values.extend(level0.report_values(interval, unit))
+        return RangeBranchReport(
+            values=tuple(values),
+            messages=cursor.hops,
+            hosts_visited=tuple(cursor.path),
+        )
+
+    def range_steps(
+        self,
+        query_range: Any,
+        origin_host: HostId | None = None,
+        origin_key: float | None = None,
+        fan_out: int = DEFAULT_FAN_OUT,
+    ) -> StepGenerator:
+        """Output-sensitive 1-d range reporting as a resumable step generator.
+
+        Locates the low endpoint through the ordinary bucket descent
+        (``O(log n / log M)`` messages), then forks block-host sub-walks
+        over the matching level-0 units.
+        """
+        interval = coerce_interval(query_range)
+        anchor = interval_anchor(interval, self._keys[0])
+        search = yield from self.search_steps(
+            anchor, origin_host=origin_host, origin_key=origin_key
+        )
+        level0 = self._structures[(0, ())]
+        matched_units = level0.report_units(interval)
+        entries = [
+            (unit, self._block_host[(0, (), unit.key)]) for unit in matched_units
+        ]
+        start_host = (
+            search.hosts_visited[-1] if search.hosts_visited else search.origin_host
+        )
+        chunks = partition_walks(entries, fan_out)
+        cursor = StepCursor(start_host)
+        reports = yield from cursor.fork(
+            [self._bucket_report_walk(interval, chunk, start_host) for chunk in chunks]
+        )
+        return assemble_range_result(
+            interval,
+            reports,
+            descent_messages=search.messages,
+            descent_hosts=search.hosts_visited,
+            origin_host=search.origin_host,
+            levels_descended=search.levels_descended,
+        )
+
+    def range_report(
+        self,
+        query_range: Any,
+        origin_key: float | None = None,
+        origin_host: HostId | None = None,
+        fan_out: int = DEFAULT_FAN_OUT,
+    ) -> RangeQueryResult:
+        """Immediate-mode range reporting; see :meth:`range_steps`."""
+        if origin_host is None:
+            origin_host = self._origin_for_key(origin_key)
+        gen = self.range_steps(
+            query_range, origin_host=origin_host, origin_key=origin_key, fan_out=fan_out
+        )
+        return run_immediate(self.network, gen, origin_host, kind=MessageKind.QUERY)
+
+    def range_search(
+        self, low: float, high: float, origin_key: float | None = None
+    ) -> RangeQueryResult:
+        """All stored keys in ``[low, high]``; see :meth:`range_steps`."""
+        return self.range_report((low, high), origin_key=origin_key)
 
     # ------------------------------------------------------------------ #
     # updates (§4: messages only reach basic levels; block splits amortised)

@@ -16,7 +16,7 @@ endpoint (Figure 4):
 
 from repro.planar.segments import Segment, segments_in_general_position
 from repro.planar.trapezoidal_map import Trapezoid, TrapezoidalMap
-from repro.planar.skip_trapezoid import SkipTrapezoidWeb, TrapezoidalMapStructure
+from repro.planar.skip_trapezoid import SkipTrapezoidWeb, TrapezoidalMapStructure, Window
 
 __all__ = [
     "Segment",
@@ -25,4 +25,5 @@ __all__ = [
     "TrapezoidalMap",
     "SkipTrapezoidWeb",
     "TrapezoidalMapStructure",
+    "Window",
 ]

@@ -57,6 +57,107 @@ class TrapezoidPairRange:
         )
 
 
+@dataclass(frozen=True, slots=True)
+class Window:
+    """A closed axis-aligned query window for segment-stabbing reporting.
+
+    The range of a window-reporting query: the query asks for every
+    trapezoid of the map whose face overlaps the window (and thereby for
+    the segments bounding those faces — the segments the window
+    "stabs").
+    """
+
+    x_low: float
+    x_high: float
+    y_low: float
+    y_high: float
+
+    def __post_init__(self) -> None:
+        if self.x_low > self.x_high or self.y_low > self.y_high:
+            raise ValueError(f"empty window: {self!r}")
+
+    @property
+    def center(self) -> PlanarPoint:
+        return ((self.x_low + self.x_high) / 2, (self.y_low + self.y_high) / 2)
+
+    def contains(self, point: Any) -> bool:
+        if not isinstance(point, tuple) or len(point) != 2:
+            return False
+        x, y = point
+        return self.x_low <= x <= self.x_high and self.y_low <= y <= self.y_high
+
+    @staticmethod
+    def _x_interval_satisfying(
+        value_low: float,
+        value_high: float,
+        x_low: float,
+        x_high: float,
+        bound: float,
+        below: bool,
+    ) -> tuple[float, float] | None:
+        """Where a linear boundary meets a y-bound over ``[x_low, x_high]``.
+
+        The boundary takes values ``value_low`` / ``value_high`` at the
+        interval's endpoints; returns the sub-interval where it is
+        ``<= bound`` (``below``) or ``>= bound``, or ``None`` if empty.
+        Sampling a single x is not enough: a slanted boundary can satisfy
+        the bound near one wall only, so the crossing point must be
+        solved for.
+        """
+        ok_low = value_low <= bound if below else value_low >= bound
+        ok_high = value_high <= bound if below else value_high >= bound
+        if ok_low and ok_high:
+            return (x_low, x_high)
+        if not ok_low and not ok_high:
+            return None
+        crossing = x_low + (bound - value_low) * (x_high - x_low) / (
+            value_high - value_low
+        )
+        return (x_low, crossing) if ok_low else (crossing, x_high)
+
+    def intersects(self, other) -> bool:
+        if isinstance(other, Trapezoid):
+            x_low = max(self.x_low, other.x_left)
+            x_high = min(self.x_high, other.x_right)
+            if x_low > x_high:
+                return False
+            below = self._x_interval_satisfying(
+                other.bottom_y(x_low),
+                other.bottom_y(x_high),
+                x_low,
+                x_high,
+                self.y_high + 1e-12,
+                below=True,
+            )
+            above = self._x_interval_satisfying(
+                other.top_y(x_low),
+                other.top_y(x_high),
+                x_low,
+                x_high,
+                self.y_low - 1e-12,
+                below=False,
+            )
+            if below is None or above is None:
+                return False
+            return max(below[0], above[0]) <= min(below[1], above[1])
+        if isinstance(other, TrapezoidPairRange):
+            return self.intersects(other.first) or self.intersects(other.second)
+        if isinstance(other, Window):
+            return (
+                self.x_low <= other.x_high
+                and other.x_low <= self.x_high
+                and self.y_low <= other.y_high
+                and other.y_low <= self.y_high
+            )
+        return other.intersects(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Window(x=[{self.x_low:.3g},{self.x_high:.3g}], "
+            f"y=[{self.y_low:.3g},{self.y_high:.3g}])"
+        )
+
+
 @dataclass(frozen=True)
 class PlanarLocationAnswer:
     """Answer to a planar point-location query."""
@@ -187,6 +288,35 @@ class TrapezoidalMapStructure(RangeDeterminedLinkStructure):
             return (mid_x, item.y_at(mid_x))
         return item
 
+    # ------------------------------------------------------------------ #
+    # range reporting
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def range_to_query(cls, query_range: Range) -> Any:
+        """Anchor a window query's descent at the window centre."""
+        if isinstance(query_range, Window):
+            return query_range.center
+        return super().range_to_query(query_range)
+
+    def report_units(self, query_range: Range) -> list[RangeUnit]:
+        """The trapezoid nodes overlapping the window, swept left to right."""
+        if not isinstance(query_range, Window):
+            return super().report_units(query_range)
+        matched = [
+            trapezoid
+            for trapezoid in self.map.trapezoids
+            if query_range.intersects(trapezoid)
+        ]
+        matched.sort(key=lambda t: (t.x_left, t.bottom_y((t.x_left + t.x_right) / 2)))
+        return [self._units_by_key[_node_key(trapezoid)] for trapezoid in matched]
+
+    def report_values(self, query_range: Range, unit: RangeUnit) -> list[Any]:
+        """The visited trapezoid, when its face overlaps the window."""
+        if unit.is_node and isinstance(unit.range, Trapezoid):
+            if query_range.intersects(unit.range):
+                return [unit.range]
+        return []
+
     def locate(self, query: Any) -> RangeUnit:
         """The trapezoid containing the query point."""
         point = (float(query[0]), float(query[1]))
@@ -274,6 +404,12 @@ class SkipTrapezoidWeb(SkipWebStructureAdapter):
     def _coerce_query(self, query: Any) -> tuple[float, float]:
         return (float(query[0]), float(query[1]))
 
+    def _coerce_range(self, query_range: Any) -> Window:
+        if isinstance(query_range, Window):
+            return query_range
+        x_low, x_high, y_low, y_high = query_range
+        return Window(float(x_low), float(x_high), float(y_low), float(y_high))
+
     def __init__(
         self,
         segments: Sequence[Segment],
@@ -302,6 +438,31 @@ class SkipTrapezoidWeb(SkipWebStructureAdapter):
     def locate(self, point: PlanarPoint, origin_host: HostId | None = None) -> QueryResult:
         """Planar point location: the trapezoid containing ``point``."""
         return self.web.query((float(point[0]), float(point[1])), origin_host=origin_host)
+
+    def window_report(self, window: Any, origin_host: HostId | None = None):
+        """Segment-stabbing window reporting: the faces overlapping ``window``.
+
+        ``window`` is a :class:`Window` or an ``(x_low, x_high, y_low,
+        y_high)`` tuple; the result's matches are the overlapping
+        trapezoids (use :meth:`stabbed_segments` to reduce them to the
+        distinct stabbed segments).  O(log n + k) expected messages.
+        """
+        return self.range_report(window, origin_host=origin_host)
+
+    @staticmethod
+    def stabbed_segments(trapezoids) -> list[Segment]:
+        """The distinct segments bounding a set of reported trapezoids."""
+        segments: list[Segment] = []
+        seen: set[tuple] = set()
+        for trapezoid in trapezoids:
+            for segment in (trapezoid.top, trapezoid.bottom):
+                if segment is None:
+                    continue
+                key = segment.endpoints()
+                if key not in seen:
+                    seen.add(key)
+                    segments.append(segment)
+        return segments
 
     # -- updates -------------------------------------------------------- #
     def insert(self, segment: Segment, origin_host: HostId | None = None) -> UpdateResult:

@@ -15,7 +15,7 @@ and octrees (any fixed dimension ``d ≥ 2``):
   quadtree of Eppstein, Goodrich and Sun that §3.1 cites.
 """
 
-from repro.spatial.geometry import BoundingBox, HyperCube, Point
+from repro.spatial.geometry import BoundingBox, Box, HyperCube, Point
 from repro.spatial.quadtree import CompressedQuadtree, QuadtreeCell
 from repro.spatial.skip_quadtree import QuadtreeStructure, SkipQuadtreeWeb
 from repro.spatial.nearest import (
@@ -25,6 +25,7 @@ from repro.spatial.nearest import (
 
 __all__ = [
     "BoundingBox",
+    "Box",
     "HyperCube",
     "Point",
     "CompressedQuadtree",

@@ -68,6 +68,69 @@ class BoundingBox:
 
 
 @dataclass(frozen=True, slots=True)
+class Box:
+    """A closed axis-aligned box with per-axis extents.
+
+    The query range of an axis-aligned box-reporting query: unlike
+    :class:`HyperCube` (whose sides are equal because it doubles as the
+    dyadic quadtree cell), a box may be arbitrarily elongated.
+    """
+
+    lower: Point
+    upper: Point
+
+    def __post_init__(self) -> None:
+        if len(self.lower) != len(self.upper):
+            raise ValueError("box corners must have the same dimension")
+        if any(low > high for low, high in zip(self.lower, self.upper)):
+            raise ValueError(f"empty box: lower={self.lower} > upper={self.upper}")
+
+    @property
+    def dimension(self) -> int:
+        return len(self.lower)
+
+    @property
+    def center(self) -> Point:
+        return tuple((low + high) / 2 for low, high in zip(self.lower, self.upper))
+
+    def contains(self, point: Point) -> bool:
+        """Closed membership test."""
+        if len(point) != self.dimension:
+            return False
+        return all(
+            low <= coordinate <= high
+            for low, coordinate, high in zip(self.lower, point, self.upper)
+        )
+
+    def intersects(self, other) -> bool:
+        """Closed-overlap test against a cube or another box."""
+        if isinstance(other, HyperCube):
+            return all(
+                low <= other_low + other.side and other_low <= high
+                for low, high, other_low in zip(self.lower, self.upper, other.lower)
+            )
+        if isinstance(other, Box):
+            return all(
+                low <= other_high and other_low <= high
+                for low, high, other_low, other_high in zip(
+                    self.lower, self.upper, other.lower, other.upper
+                )
+            )
+        return other.intersects(self)
+
+    @staticmethod
+    def around_point(point: Point, radius: float) -> "Box":
+        """The Chebyshev ball of the given radius around ``point``."""
+        return Box(
+            lower=tuple(coordinate - radius for coordinate in point),
+            upper=tuple(coordinate + radius for coordinate in point),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Box(lower={self.lower}, upper={self.upper})"
+
+
+@dataclass(frozen=True, slots=True)
 class HyperCube:
     """An axis-aligned hypercube ``[lower, lower + side)^d``.
 

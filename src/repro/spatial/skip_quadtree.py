@@ -27,7 +27,15 @@ from repro.errors import QueryError, StructureError
 from repro.net.congestion import CongestionReport
 from repro.net.naming import HostId
 from repro.net.network import Network
-from repro.spatial.geometry import BoundingBox, HyperCube, Point, as_point, point_distance
+from repro.core.ranges import ranges_conflict
+from repro.spatial.geometry import (
+    BoundingBox,
+    Box,
+    HyperCube,
+    Point,
+    as_point,
+    point_distance,
+)
 from repro.spatial.quadtree import CompressedQuadtree, QuadtreeCell
 
 
@@ -207,6 +215,47 @@ class QuadtreeStructure(RangeDeterminedLinkStructure):
             result.append(self._units_by_key[_link_key(current.cube)])
         return result
 
+    # ------------------------------------------------------------------ #
+    # range reporting
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def range_to_query(cls, query_range: Range) -> Any:
+        """Anchor a box query's descent at the box centre.
+
+        The centre must lie inside the bounding cube (box queries are
+        windows over the stored data, so benchmark and application
+        queries satisfy this by construction).
+        """
+        if isinstance(query_range, (Box, HyperCube)):
+            return query_range.center
+        return super().range_to_query(query_range)
+
+    def report_units(self, query_range: Range) -> list[RangeUnit]:
+        """Leaf cells holding a matched point, in depth-first tree order.
+
+        A pruned walk: subtrees whose cell misses the query range are
+        never entered, so the enumeration is output-sensitive local work.
+        """
+        result: list[RangeUnit] = []
+        stack = [self.tree.root]
+        while stack:
+            cell = stack.pop()
+            if not ranges_conflict(query_range, cell.cube):
+                continue
+            if cell.is_leaf:
+                if any(query_range.contains(point) for point in cell.points):
+                    result.append(self._units_by_key[_node_key(cell.cube)])
+            else:
+                stack.extend(reversed(cell.children))
+        return result
+
+    def report_values(self, query_range: Range, unit: RangeUnit) -> list[Any]:
+        """The stored points of the visited cell that lie in the range."""
+        cell = self._cell_by_key.get(unit.key)
+        if cell is None:
+            return []
+        return [point for point in cell.points if query_range.contains(point)]
+
     def locate(self, query: Any) -> RangeUnit:
         """The smallest quadtree cell containing the query point."""
         cell = self.tree.locate(as_point(query))
@@ -339,6 +388,12 @@ class SkipQuadtreeWeb(SkipWebStructureAdapter):
 
     def _coerce_item(self, item: Any) -> Point:
         return as_point(item)
+
+    def _coerce_range(self, query_range: Any) -> Any:
+        if isinstance(query_range, (Box, HyperCube)):
+            return query_range
+        lower, upper = query_range
+        return Box(lower=as_point(lower), upper=as_point(upper))
 
     def __init__(
         self,

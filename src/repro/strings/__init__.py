@@ -15,7 +15,7 @@ Section 3.2 of the paper builds skip-webs over compressed digital tries:
 
 from repro.strings.alphabet import Alphabet, BINARY, DNA, LOWERCASE, PRINTABLE
 from repro.strings.trie import CompressedTrie, TrieNode
-from repro.strings.skip_trie import SkipTrieWeb, TrieStructure, TrieRange
+from repro.strings.skip_trie import PrefixRange, SkipTrieWeb, TrieStructure, TrieRange
 
 __all__ = [
     "Alphabet",
@@ -25,6 +25,7 @@ __all__ = [
     "PRINTABLE",
     "CompressedTrie",
     "TrieNode",
+    "PrefixRange",
     "SkipTrieWeb",
     "TrieStructure",
     "TrieRange",

@@ -78,6 +78,38 @@ class TrieRange:
         return f"TrieRange({self.high!r}[{self.low + 1}:])"
 
 
+@dataclass(frozen=True, slots=True)
+class PrefixRange:
+    """All strings extending ``prefix`` — the range of a prefix-enumeration query.
+
+    Dual to :class:`TrieRange` (which holds *prefixes of* its ``high``
+    string): a reporting query for ``PrefixRange(p)`` asks for every
+    stored string that starts with ``p``.
+    """
+
+    prefix: str
+
+    def contains(self, point: Any) -> bool:
+        return isinstance(point, str) and point.startswith(self.prefix)
+
+    def intersects(self, other: Range) -> bool:
+        if isinstance(other, TrieRange):
+            # ``other`` holds the prefixes high[:k] for low < k <= len(high);
+            # one of them extends ``prefix`` exactly when high does and the
+            # run reaches at least len(prefix) characters.
+            return other.high.startswith(self.prefix) and len(other.high) >= max(
+                other.low + 1, len(self.prefix)
+            )
+        if isinstance(other, PrefixRange):
+            return self.prefix.startswith(other.prefix) or other.prefix.startswith(
+                self.prefix
+            )
+        return other.intersects(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PrefixRange({self.prefix!r}*)"
+
+
 @dataclass(frozen=True)
 class PrefixSearchAnswer:
     """Answer to a string-location query in the trie."""
@@ -224,6 +256,30 @@ class TrieStructure(RangeDeterminedLinkStructure):
                     result.append(link_unit)
         return result
 
+    # ------------------------------------------------------------------ #
+    # range reporting
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def range_to_query(cls, query_range: Range) -> Any:
+        """Anchor a prefix enumeration's descent at the prefix itself."""
+        if isinstance(query_range, PrefixRange):
+            return query_range.prefix
+        return super().range_to_query(query_range)
+
+    def report_units(self, query_range: Range) -> list[RangeUnit]:
+        """The terminal nodes of every stored string extending the prefix."""
+        if not isinstance(query_range, PrefixRange):
+            return super().report_units(query_range)
+        matches = sorted(self.trie.strings_with_prefix(query_range.prefix))
+        return [self._units_by_key[_node_key(text)] for text in matches]
+
+    def report_values(self, query_range: Range, unit: RangeUnit) -> list[Any]:
+        """The stored string at a visited terminal node, if it matches."""
+        node = self._node_by_key.get(unit.key)
+        if node is not None and node.terminal and query_range.contains(node.prefix):
+            return [node.prefix]
+        return []
+
     def locate(self, query: Any) -> RangeUnit:
         """The unit where a search for ``query`` stops (deepest match)."""
         text = str(query)
@@ -295,6 +351,11 @@ class SkipTrieWeb(SkipWebStructureAdapter):
 
     def _coerce_item(self, item: Any) -> str:
         return str(item)
+
+    def _coerce_range(self, query_range: Any) -> PrefixRange:
+        if isinstance(query_range, PrefixRange):
+            return query_range
+        return PrefixRange(str(query_range))
 
     def __init__(
         self,

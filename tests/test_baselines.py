@@ -229,3 +229,24 @@ class TestChord:
         chord = ChordDHT([1.0, 2.0, 3.0])
         with pytest.raises(NotImplementedError):
             chord.nearest_neighbor(1.5)
+
+
+class TestBaselineRangeSearch:
+    """Ordered overlays answer ranges in O(log n + k); hashing cannot."""
+
+    @pytest.mark.parametrize("cls", ORDERED_BASELINES)
+    def test_range_matches_reference(self, cls):
+        keys = sorted(set(float(k) for k in uniform_keys(64, seed=90)))
+        structure = cls(keys, seed=90)
+        low, high = keys[10], keys[30]
+        result = structure.range_search(low, high)
+        assert sorted(result.matches) == keys[10:31]
+        assert result.messages == result.descent_messages + result.report_messages
+        assert result.report_messages <= len(result.matches) + 1
+
+    def test_chord_range_raises_unsupported(self):
+        from repro.errors import UnsupportedOperationError
+
+        chord = ChordDHT(uniform_keys(32, seed=91))
+        with pytest.raises(UnsupportedOperationError):
+            chord.range_steps((0.0, 1.0))

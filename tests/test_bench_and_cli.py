@@ -15,6 +15,7 @@ from repro.bench.experiments import (
     fig1_skiplist,
     fig2_skipweb_levels,
     lemma1_list,
+    range_queries,
     theorem2_onedim,
     throughput,
 )
@@ -88,6 +89,7 @@ class TestExperiments:
             "lemma4",
             "theorem2-multidim",
             "theorem2-onedim",
+            "range-queries",
             "updates",
             "ablation-blocking",
             "throughput",
@@ -162,6 +164,29 @@ class TestExperiments:
             assert row["failed"] == 0
             assert row["hosts_end"] >= 2
 
+    def test_range_queries_rows_cover_instantiations_and_chord(self):
+        rows = range_queries(sizes=(32,), target_ks=(4,), queries_per_size=3, seed=8)
+        structures = [row["structure"] for row in rows]
+        assert structures == [
+            "skip-web 1-d",
+            "bucket skip-web (M=32)",
+            "quadtree skip-web",
+            "trie skip-web",
+            "trapezoid skip-web",
+            "skip graph (baseline)",
+            "Chord DHT",
+        ]
+        for row in rows:
+            if row["structure"] == "Chord DHT":
+                assert row["supported"] == "no"
+                continue
+            assert row["supported"] == "yes"
+            assert row["k_mean"] >= 1
+            # Immediate and batched runs of the same queries charge the
+            # same messages per operation.
+            assert row["msgs_per_op"] == row["batched_msgs_per_op"]
+            assert row["rounds"] >= 1
+
     def test_congestion_rounds_reports_bound_ratio(self):
         rows = congestion_rounds(sizes=(32, 64), queries_per_host=1, seed=6)
         assert [row["n"] for row in rows] == [32, 64]
@@ -184,6 +209,28 @@ class TestCli:
         output = capsys.readouterr().out
         assert "table1" in output and "fig3" in output
         assert "throughput" in output and "congestion-rounds" in output
+
+    def test_cli_list_flag_prints_registry(self, capsys):
+        assert main(["--list"]) == 0
+        output = capsys.readouterr().out
+        for name, (_function, description) in EXPERIMENTS.items():
+            assert name in output
+            assert description in output
+
+    def test_cli_list_flag_supports_formats(self, capsys):
+        assert main(["--list", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = [row["experiment"] for row in payload["rows"]]
+        assert names == sorted(EXPERIMENTS)
+        assert "range-queries" in names
+
+    def test_cli_requires_experiment_or_list(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_cli_rejects_list_flag_with_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--list"])
 
     def test_cli_rejects_unknown_experiment(self):
         with pytest.raises(SystemExit):

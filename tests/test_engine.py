@@ -5,6 +5,7 @@ import random
 import pytest
 
 from repro.baselines import ChordDHT, SkipGraph
+from repro.core.ranges import Interval
 from repro.engine import (
     BatchExecutor,
     DistributedStructure,
@@ -13,9 +14,16 @@ from repro.engine import (
     Resolution,
     StepCursor,
     Visit,
+    local_steps,
     run_immediate,
 )
-from repro.errors import HostFailedError, UpdateError
+from repro.errors import (
+    ChurnError,
+    HostFailedError,
+    QueryError,
+    StructureError,
+    UpdateError,
+)
 from repro.net import MessageKind, Network
 from repro.onedim import BucketSkipWeb1D, SkipWeb1D
 from repro.spatial.geometry import HyperCube
@@ -335,3 +343,181 @@ class TestBatchExecutor:
         web = SkipWeb1D(uniform_keys(8, seed=11), seed=11)
         with pytest.raises(ValueError):
             BatchExecutor(web).run([Operation("rename", 1.0)])
+
+    def test_batch_skips_failed_origin_hosts(self):
+        """Churn-then-batch: operations never originate on a dead host."""
+        keys = uniform_keys(32, seed=15)
+        web = SkipWeb1D(keys, seed=15)
+        victim = web.origin_hosts()[3]
+        web.network.fail_host(victim)
+        rng = random.Random(15)
+        operations = [Operation("search", rng.uniform(0, 1e6)) for _ in range(20)]
+        result = BatchExecutor(web).run(operations)
+        assert all(outcome.origin_host != victim for outcome in result.outcomes)
+        web.network.recover_host(victim)
+
+    def test_batch_raises_cleanly_when_no_origin_survives(self):
+        keys = uniform_keys(8, seed=16)
+        web = SkipWeb1D(keys, seed=16)
+        for host in web.origin_hosts():
+            web.network.fail_host(host)
+        with pytest.raises(QueryError):
+            BatchExecutor(web).run([Operation("search", 1.0)])
+
+
+class _ForkingStructure:
+    """Minimal DistributedStructure whose range op forks two fixed sub-walks.
+
+    Host 0 is the origin; the left sub-walk visits records on hosts 1
+    then 2, the right sub-walk visits hosts 3 then 4 — four cross-host
+    messages total, deterministic, with per-attempt poisoning hooks so
+    retry semantics can be asserted exactly.
+    """
+
+    def __init__(self, fail_first_attempts: int = 0) -> None:
+        self.network = Network()
+        self.network.add_hosts(5)
+        self.left = [self.network.store(1, "L1"), self.network.store(2, "L2")]
+        self.right = [self.network.store(3, "R1"), self.network.store(4, "R2")]
+        self.fail_first_attempts = fail_first_attempts
+        self.range_attempts = 0
+        self.left_walk_starts = 0
+
+    def origin_hosts(self):
+        return [0]
+
+    def seed_roots(self, origin_host):
+        return local_steps(None)
+
+    def search_steps(self, query, origin_host=None):
+        cursor = StepCursor(0 if origin_host is None else origin_host)
+        value = yield from cursor.visit(self.left[0])
+        return (value, cursor.hops)
+
+    def insert_steps(self, item, origin_host=None):
+        raise UpdateError("static")
+
+    def delete_steps(self, item, origin_host=None):
+        raise UpdateError("static")
+
+    def migrate_host(self, host_id, targets=None, fraction=1.0):
+        raise ChurnError("static")
+
+    def repair(self, host_ids):
+        raise ChurnError("static")
+
+    def _walk(self, addresses, start, poison=False, count_left=False):
+        if count_left:
+            self.left_walk_starts += 1
+        cursor = StepCursor(start)
+        values = []
+        for index, address in enumerate(addresses):
+            if poison and index == 1:
+                raise StructureError("record changed under the walk")
+            values.append((yield from cursor.visit(address)))
+        return (tuple(values), cursor.hops)
+
+    def range_steps(self, query_range, origin_host=None):
+        self.range_attempts += 1
+        origin = 0 if origin_host is None else origin_host
+        poison = self.range_attempts <= self.fail_first_attempts
+        cursor = StepCursor(origin)
+        reports = yield from cursor.fork(
+            [
+                self._walk(self.left, origin, count_left=True),
+                self._walk(self.right, origin, poison=poison),
+            ]
+        )
+        values = tuple(value for branch_values, _hops in reports for value in branch_values)
+        return (values, cursor.hops + sum(hops for _values, hops in reports))
+
+
+class TestForkedCursors:
+    """Forked sub-walk semantics: billing, failure isolation, retry restarts."""
+
+    def test_fork_billing_identical_immediate_vs_batched(self):
+        imm = _ForkingStructure()
+        with imm.network.measure() as stats:
+            values, billed = run_immediate(imm.network, imm.range_steps(None), 0)
+        assert values == ("L1", "L2", "R1", "R2")
+        assert billed == 4
+        assert stats.messages == 4
+
+        batched = _ForkingStructure()
+        with batched.network.measure() as batch_stats:
+            result = BatchExecutor(batched).run([Operation("range", None)])
+        outcome = result.outcomes[0]
+        assert outcome.ok
+        assert outcome.value[0] == ("L1", "L2", "R1", "R2")
+        assert outcome.messages == 4
+        assert batch_stats.messages == 4
+        # Fan-out of 2: both sub-walks cross one host per round, so the
+        # four messages land in two delivery rounds.
+        assert result.rounds <= 3
+
+    def test_range_totals_match_on_real_structures(self):
+        rng = random.Random(17)
+        keys = uniform_keys(48, seed=17)
+        web = SkipWeb1D(keys, seed=17)
+        sorted_keys = sorted(set(float(key) for key in keys))
+        queries = []
+        for _ in range(6):
+            start = rng.randrange(0, len(sorted_keys) - 6)
+            queries.append(Interval(sorted_keys[start], sorted_keys[start + 5]))
+        origins = [web.origin_hosts()[index % 5] for index in range(len(queries))]
+        immediate = [
+            run_immediate(web.network, web.range_steps(query, origin), origin)
+            for query, origin in zip(queries, origins)
+        ]
+        batch = BatchExecutor(web).run(
+            [
+                Operation("range", query, origin_host=origin)
+                for query, origin in zip(queries, origins)
+            ]
+        )
+        assert batch.failed == 0
+        for outcome, reference in zip(batch.outcomes, immediate):
+            assert outcome.messages == reference.messages
+            assert outcome.value.matches == reference.matches
+        assert batch.messages == sum(result.messages for result in immediate)
+
+    def test_branch_host_failure_fails_only_that_operation(self):
+        structure = _ForkingStructure()
+
+        def kill_right_tail(report):
+            if report.index == 0:
+                structure.network.fail_host(4)
+
+        executor = BatchExecutor(structure, on_round=kill_right_tail)
+        result = executor.run([Operation("range", None), Operation("search", None)])
+        range_outcome, search_outcome = result.outcomes
+        assert not range_outcome.ok
+        assert isinstance(range_outcome.error, HostFailedError)
+        # The concurrent search never touches host 4 and is undisturbed.
+        assert search_outcome.ok
+        assert search_outcome.value[0] == "L1"
+
+    def test_retry_after_concurrent_update_restarts_all_subwalks(self):
+        structure = _ForkingStructure(fail_first_attempts=1)
+        result = BatchExecutor(structure).run([Operation("range", None)])
+        outcome = result.outcomes[0]
+        assert outcome.ok
+        assert outcome.value[0] == ("L1", "L2", "R1", "R2")
+        assert outcome.retries == 1
+        # The poisoned right walk failed once, and the retry re-ran the
+        # *left* walk too: a fork restarts from scratch, never partially.
+        assert structure.range_attempts == 2
+        assert structure.left_walk_starts == 2
+        # The aborted first attempt's messages stay billed to the op —
+        # including the sibling walk's deliveries in flight at the abort —
+        # so per-op accounting still adds up to the network-measured total.
+        assert outcome.messages > 4
+        assert outcome.messages == result.messages
+
+    def test_retry_exhaustion_records_error(self):
+        structure = _ForkingStructure(fail_first_attempts=100)
+        result = BatchExecutor(structure, max_retries=2).run([Operation("range", None)])
+        outcome = result.outcomes[0]
+        assert not outcome.ok
+        assert isinstance(outcome.error, StructureError)
+        assert outcome.retries == 2

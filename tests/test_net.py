@@ -238,6 +238,34 @@ class TestCongestion:
         assert report.max_congestion == 0.0
         assert report.as_dict()["hosts"] == 0.0
 
+    def test_congestion_counts_alive_hosts_only(self):
+        """Regression: failed hosts must not dilute the n/H base load.
+
+        With H registered hosts but one failed, the base-load term n/H
+        must use the alive count — otherwise every per-host congestion
+        figure after churn is understated (and the dead host still gets
+        a row of its own).
+        """
+        network = Network()
+        network.add_hosts(4)
+        network.host(0).note_out_reference(2)
+        before = congestion_report(network, ground_set_size=12)
+        assert before.host_count == 4
+        assert before.per_host[0] == pytest.approx(2 + 12 / 4)
+
+        network.fail_host(3)
+        after = congestion_report(network, ground_set_size=12)
+        assert after.host_count == 3
+        assert 3 not in after.per_host
+        # The surviving hosts absorb the failed host's share of queries.
+        assert after.per_host[0] == pytest.approx(2 + 12 / 3)
+        assert after.per_host[0] > before.per_host[0]
+
+        network.recover_host(3)
+        recovered = congestion_report(network, ground_set_size=12)
+        assert recovered.host_count == 4
+        assert recovered.per_host == before.per_host
+
 
 class TestRoundMode:
     def test_post_requires_round_mode(self):

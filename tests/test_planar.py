@@ -201,3 +201,43 @@ class TestSkipTrapezoidWeb:
         web.delete(segments[0])
         assert segments[0] not in web.segments
         web.web.validate()
+
+
+class TestWindowReporting:
+    """Segment-stabbing window reporting on the trapezoid skip-web."""
+
+    def test_window_report_matches_brute_force(self):
+        from repro.planar.skip_trapezoid import Window
+
+        rng = random.Random(51)
+        segments = non_crossing_segments(14, seed=51)
+        box = bounding_box(segments)
+        web = SkipTrapezoidWeb(segments, box=box, seed=51)
+        trapezoids = web.level0_map.trapezoids
+        for _ in range(5):
+            center = rng.choice(trapezoids).center
+            half_x = 0.2 * (box[1] - box[0])
+            half_y = 0.25 * (box[3] - box[2])
+            window = Window(
+                max(box[0], center[0] - half_x),
+                min(box[1], center[0] + half_x),
+                max(box[2], center[1] - half_y),
+                min(box[3], center[1] + half_y),
+            )
+            expected = {t.key() for t in trapezoids if window.intersects(t)}
+            result = web.window_report(window)
+            assert {t.key() for t in result.matches} == expected
+            assert result.messages == result.descent_messages + result.report_messages
+            stabbed = web.stabbed_segments(result.matches)
+            assert all(segment in segments for segment in stabbed)
+
+    def test_window_accepts_tuples_and_validates(self):
+        from repro.planar.skip_trapezoid import Window
+
+        segments = non_crossing_segments(8, seed=52)
+        box = bounding_box(segments)
+        web = SkipTrapezoidWeb(segments, box=box, seed=52)
+        result = web.window_report((box[0], box[1], box[2], box[3]))
+        assert result.count == len(web.level0_map.trapezoids)
+        with pytest.raises(ValueError):
+            Window(1.0, 0.0, 0.0, 1.0)

@@ -247,3 +247,41 @@ class TestSkipQuadtreeWeb:
             descent_conflicts(full, half, (rng.random(), rng.random())) for _ in range(40)
         ]
         assert sum(samples) / len(samples) <= 6
+
+
+class TestBoxRangeReporting:
+    """Axis-aligned box reporting on the quadtree skip-web."""
+
+    def test_box_range_matches_brute_force(self):
+        from repro.spatial.geometry import Box
+
+        rng = random.Random(31)
+        points = uniform_points(60, dimension=2, seed=31)
+        web = SkipQuadtreeWeb(points, bounding_cube=UNIT_CUBE, seed=31)
+        for _ in range(6):
+            anchor = rng.choice(points)
+            box = Box.around_point(anchor, rng.uniform(0.05, 0.3))
+            expected = sorted(point for point in points if box.contains(point))
+            result = web.range_report(box)
+            assert sorted(result.matches) == expected
+            assert result.messages == result.descent_messages + result.report_messages
+
+    def test_box_range_accepts_corner_tuples(self):
+        points = uniform_points(24, dimension=2, seed=32)
+        web = SkipQuadtreeWeb(points, bounding_cube=UNIT_CUBE, seed=32)
+        result = web.range_report(((0.25, 0.25), (0.75, 0.75)))
+        expected = sorted(
+            point
+            for point in points
+            if all(0.25 <= coordinate <= 0.75 for coordinate in point)
+        )
+        assert sorted(result.matches) == expected
+
+    def test_box_intersects_cube_both_directions(self):
+        from repro.spatial.geometry import Box
+
+        box = Box((0.0, 0.0), (0.5, 0.1))
+        cube = HyperCube((0.4, 0.0), 0.2)
+        assert box.intersects(cube)
+        assert cube.intersects(box)
+        assert not box.intersects(HyperCube((0.6, 0.3), 0.2))

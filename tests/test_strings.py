@@ -195,3 +195,26 @@ class TestSkipTrieWeb:
         assert trie.depth() >= 12
         for query in dna_reads(10, seed=6):
             assert web.locate(query).answer.matched_prefix == trie.longest_matching_prefix(query)
+
+
+class TestPrefixRangeReporting:
+    """Prefix enumeration on the trie skip-web (O(log n + k) messages)."""
+
+    def test_prefix_range_matches_reference(self):
+        reads = dna_reads(48, seed=41)
+        web = SkipTrieWeb(reads, alphabet=DNA, seed=41)
+        for prefix in ("A", "AC", "G", ""):
+            expected = sorted(set(text for text in reads if text.startswith(prefix)))
+            result = web.range_report(prefix)
+            assert sorted(result.matches) == expected
+            assert result.messages == result.descent_messages + result.report_messages
+
+    def test_prefix_range_intersections(self):
+        from repro.strings.skip_trie import PrefixRange
+
+        assert PrefixRange("ab").contains("abc")
+        assert not PrefixRange("ab").contains("a")
+        assert PrefixRange("ab").intersects(TrieRange(low=0, high="abcd"))
+        assert not PrefixRange("ab").intersects(TrieRange(low=0, high="ax"))
+        assert PrefixRange("ab").intersects(PrefixRange("a"))
+        assert not PrefixRange("ab").intersects(PrefixRange("ba"))
