@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from statistics import mean
 from typing import Any, Iterable, Sequence
 
+from repro.core.bulkload import charge_construction, is_strictly_increasing
 from repro.core.range_query import (
     DEFAULT_FAN_OUT,
     RangeBranchReport,
@@ -87,7 +88,11 @@ class DistributedOrderedStructure(abc.ABC):
         network: Network | None = None,
         seed: int = 0,
     ) -> None:
-        self._keys = sorted(set(float(key) for key in keys))
+        converted = [float(key) for key in keys]
+        if is_strictly_increasing(converted):
+            self._keys = converted  # O(n) bulk-load fast path
+        else:
+            self._keys = sorted(set(converted))
         if not self._keys:
             raise QueryError(f"{self.name}: needs at least one key")
         self.seed = seed
@@ -97,8 +102,28 @@ class DistributedOrderedStructure(abc.ABC):
         # Lazily-built inverse of _host_of_key (host -> one resident key),
         # used to resolve batch origins in O(1); invalidated on updates.
         self._origin_index: dict[HostId, float] | None = None
+        #: CONSTRUCTION messages charged by a bulk-load build (0 otherwise).
+        self.construction_messages = 0
         self._setup_hosts()
         self._install_tables(charge_messages=False)
+
+    @classmethod
+    def build_from_sorted(
+        cls, keys: Sequence[float], **kwargs: Any
+    ) -> "DistributedOrderedStructure":
+        """Bulk-load constructor over pre-sorted, deduplicated ``keys``.
+
+        The constructor verifies sortedness in O(n) and skips its
+        defensive sort; one CONSTRUCTION ledger message is then charged
+        per routing table installed on a host other than the coordinator
+        (the first key's home), making the bulk-load traffic measurable.
+        """
+        structure = cls(keys, **kwargs)
+        coordinator = structure._host_of_key[structure._keys[0]]
+        structure.construction_messages = charge_construction(
+            structure.network, coordinator, structure._table_addresses
+        )
+        return structure
 
     # ------------------------------------------------------------------ #
     # host layout

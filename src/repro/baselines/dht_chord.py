@@ -16,6 +16,7 @@ from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Any, Sequence
 
+from repro.core.bulkload import charge_construction, is_strictly_increasing
 from repro.engine.repair import MigrationSummary
 from repro.engine.steps import StepCursor, StepGenerator, local_steps, run_immediate
 from repro.errors import ChurnError, QueryError, UnsupportedOperationError, UpdateError
@@ -61,9 +62,15 @@ class ChordDHT:
         network: Network | None = None,
         bits: int = 32,
     ) -> None:
-        self._keys = sorted(set(float(key) for key in keys))
+        converted = [float(key) for key in keys]
+        if is_strictly_increasing(converted):
+            self._keys = converted  # O(n) bulk-load fast path
+        else:
+            self._keys = sorted(set(converted))
         if not self._keys:
             raise QueryError("Chord needs at least one key")
+        #: CONSTRUCTION messages charged by a bulk-load build (0 otherwise).
+        self.construction_messages = 0
         self.bits = bits
         self.network = network if network is not None else Network()
         needed = len(self._keys) - self.network.host_count
@@ -88,6 +95,21 @@ class ChordDHT:
             self._table_addresses[host_id] = self.network.store(
                 host_id, self._table_for(node_id, host_id)
             )
+
+    @classmethod
+    def build_from_sorted(cls, keys: Sequence[float], **kwargs: Any) -> "ChordDHT":
+        """Bulk-load constructor over pre-sorted, deduplicated ``keys``.
+
+        Skips the defensive sort (verified in O(n)) and charges one
+        CONSTRUCTION ledger message per finger table installed on a host
+        other than the coordinator (the first ring node's host).
+        """
+        ring = cls(keys, **kwargs)
+        coordinator = ring._node_ids[0][1]
+        ring.construction_messages = charge_construction(
+            ring.network, coordinator, ring._table_addresses
+        )
+        return ring
 
     def _table_for(self, node_id: int, host_id: HostId) -> dict[str, Any]:
         """The finger table host ``host_id`` should currently store."""

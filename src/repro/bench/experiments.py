@@ -29,6 +29,7 @@ function               reproduces
 
 from __future__ import annotations
 
+import functools
 import math
 import random
 from statistics import mean
@@ -49,6 +50,7 @@ from repro.core.ranges import Interval
 from repro.engine import BatchExecutor, BatchResult, Operation, RepairEngine, run_immediate
 from repro.errors import ChurnError, UnsupportedOperationError
 from repro.net.churn import ChurnController, churn_schedule
+from repro.net.network import ledger_mode
 from repro.onedim import BucketSkipWeb1D, SkipWeb1D, SortedListStructure
 from repro.planar.segments import bounding_box
 from repro.planar.skip_trapezoid import SkipTrapezoidWeb, TrapezoidalMapStructure, Window
@@ -68,6 +70,25 @@ from repro.workloads.strings import prefix_queries, random_strings
 Row = dict[str, Any]
 
 
+def _ledger(function: Callable[..., list[Row]]) -> Callable[..., list[Row]]:
+    """Run an experiment on the zero-allocation ledger substrate.
+
+    Experiments only ever read counters, so their rows are byte-identical
+    between the traced and ledger substrates (asserted by
+    ``tests/test_perf_equivalence.py``); the ledger one just skips the
+    per-delivery :class:`~repro.net.message.Message` allocation.  An
+    enclosing :func:`repro.net.network.tracing_mode` block (the CLI's
+    ``--trace`` flag) re-enables full tracing for debugging.
+    """
+
+    @functools.wraps(function)
+    def wrapper(*args: Any, **kwargs: Any) -> list[Row]:
+        with ledger_mode():
+            return function(*args, **kwargs)
+
+    return wrapper
+
+
 def _query_points(count: int, rng: random.Random, low: float = 0.0, high: float = 1_000_000.0) -> list[float]:
     return [rng.uniform(low, high) for _ in range(count)]
 
@@ -75,6 +96,7 @@ def _query_points(count: int, rng: random.Random, low: float = 0.0, high: float 
 # --------------------------------------------------------------------- #
 # Table 1
 # --------------------------------------------------------------------- #
+@_ledger
 def table1_comparison(
     sizes: Sequence[int] = (128, 256, 512),
     queries_per_size: int = 40,
@@ -167,6 +189,7 @@ def table1_comparison(
 # --------------------------------------------------------------------- #
 # Figure 1 — the classic skip list
 # --------------------------------------------------------------------- #
+@_ledger
 def fig1_skiplist(
     sizes: Sequence[int] = (128, 512, 2048, 8192),
     queries_per_size: int = 200,
@@ -196,6 +219,7 @@ def fig1_skiplist(
 # --------------------------------------------------------------------- #
 # Figure 2 — one-dimensional skip-web levels
 # --------------------------------------------------------------------- #
+@_ledger
 def fig2_skipweb_levels(n: int = 256, queries: int = 60, seed: int = 0) -> list[Row]:
     """Level-structure statistics plus per-level query messages for a 1-d skip-web."""
     rng = random.Random(seed)
@@ -227,6 +251,7 @@ def fig2_skipweb_levels(n: int = 256, queries: int = 60, seed: int = 0) -> list[
 # --------------------------------------------------------------------- #
 # Set-halving lemmas (Lemma 1, 3, 4, 5 / Figures 3 and 4)
 # --------------------------------------------------------------------- #
+@_ledger
 def lemma1_list(
     sizes: Sequence[int] = (64, 256, 1024),
     trials: int = 12,
@@ -256,6 +281,7 @@ def lemma1_list(
     return rows
 
 
+@_ledger
 def fig3_quadtree(
     sizes: Sequence[int] = (64, 256, 1024),
     trials: int = 8,
@@ -289,6 +315,7 @@ def fig3_quadtree(
     return rows
 
 
+@_ledger
 def lemma4_trie(
     sizes: Sequence[int] = (64, 256, 1024),
     trials: int = 8,
@@ -315,6 +342,7 @@ def lemma4_trie(
     return rows
 
 
+@_ledger
 def fig4_trapezoid(
     sizes: Sequence[int] = (16, 32, 64),
     trials: int = 6,
@@ -353,6 +381,7 @@ def fig4_trapezoid(
 # --------------------------------------------------------------------- #
 # Theorem 2 — query message complexity
 # --------------------------------------------------------------------- #
+@_ledger
 def theorem2_multidim(
     sizes: Sequence[int] = (64, 128, 256),
     queries_per_size: int = 25,
@@ -420,6 +449,7 @@ def theorem2_multidim(
     return rows
 
 
+@_ledger
 def theorem2_onedim(
     sizes: Sequence[int] = (128, 512, 2048),
     memory_sizes: Sequence[int] = (16, 64, 256),
@@ -601,6 +631,7 @@ def _range_scenarios(n: int, bucket_memory: int, seed: int):
     )
 
 
+@_ledger
 def range_queries(
     sizes: Sequence[int] = (48, 96, 192),
     target_ks: Sequence[int] = (4, 16),
@@ -695,6 +726,7 @@ def range_queries(
 # --------------------------------------------------------------------- #
 # §4 — update costs
 # --------------------------------------------------------------------- #
+@_ledger
 def update_costs(
     sizes: Sequence[int] = (64, 128, 256),
     updates_per_size: int = 10,
@@ -755,6 +787,7 @@ def update_costs(
 # --------------------------------------------------------------------- #
 # Ablation: blocking strategies (§2.4 vs §2.4.1)
 # --------------------------------------------------------------------- #
+@_ledger
 def ablation_blocking(
     n: int = 512,
     memory_sizes: Sequence[int] = (16, 64, 256),
@@ -834,6 +867,7 @@ def _throughput_row(
     }
 
 
+@_ledger
 def throughput(
     sizes: Sequence[int] = (128, 256),
     ops_per_size: int = 400,
@@ -916,6 +950,7 @@ def throughput(
     return rows
 
 
+@_ledger
 def congestion_rounds(
     sizes: Sequence[int] = (64, 128, 256, 512),
     queries_per_host: int = 1,
@@ -1003,6 +1038,7 @@ def _churn_scenarios(n: int, seed: int):
     )
 
 
+@_ledger
 def churn(
     sizes: Sequence[int] = (64,),
     events: int = 6,

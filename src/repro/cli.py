@@ -29,10 +29,12 @@ import inspect
 import io
 import json
 import sys
+from contextlib import nullcontext
 from typing import Any, Sequence
 
 from repro.bench.experiments import EXPERIMENTS
 from repro.bench.reporting import format_table
+from repro.net.network import tracing_mode
 
 
 def _parse_sizes(text: str) -> tuple[int, ...]:
@@ -77,6 +79,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated problem sizes (e.g. 64,128,256); applied to every "
         "experiment that accepts a 'sizes' (or scalar 'n') parameter",
     )
+    parser.add_argument(
+        "--profile",
+        type=int,
+        nargs="?",
+        const=20,
+        default=None,
+        metavar="N",
+        help="run each experiment under cProfile and print the top N functions "
+        "by cumulative time to stderr (default N: 20)",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="force full message tracing (experiments default to the faster "
+        "zero-allocation ledger substrate; counters are identical either way)",
+    )
     return parser
 
 
@@ -112,11 +130,36 @@ def _emit(rows: list[dict[str, Any]], name: str, description: str, output_format
 
 
 def _run_one(
-    name: str, seed: int, output_format: str, sizes: tuple[int, ...] | None
+    name: str,
+    seed: int,
+    output_format: str,
+    sizes: tuple[int, ...] | None,
+    profile: int | None = None,
 ) -> None:
     function, description = EXPERIMENTS[name]
-    rows = function(**_experiment_kwargs(function, seed, sizes))
+    kwargs = _experiment_kwargs(function, seed, sizes)
+    if profile is not None:
+        rows = _run_profiled(function, kwargs, name, profile)
+    else:
+        rows = function(**kwargs)
     _emit(rows, name, description, output_format)
+
+
+def _run_profiled(function, kwargs, name: str, top: int) -> list[dict[str, Any]]:
+    """Run one experiment under cProfile, reporting the top-N to stderr."""
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        rows = function(**kwargs)
+    finally:
+        profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stderr).sort_stats("cumulative")
+    print(f"--- cProfile: {name} (top {top} by cumulative time) ---", file=sys.stderr)
+    stats.print_stats(top)
+    return rows
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -136,11 +179,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         else:
             _emit(rows, "list", "Available experiments", args.output_format)
         return 0
-    if args.experiment == "all":
-        for name in sorted(EXPERIMENTS):
-            _run_one(name, args.seed, args.output_format, args.sizes)
-        return 0
-    _run_one(args.experiment, args.seed, args.output_format, args.sizes)
+    with tracing_mode() if args.trace else nullcontext():
+        if args.experiment == "all":
+            for name in sorted(EXPERIMENTS):
+                _run_one(name, args.seed, args.output_format, args.sizes, args.profile)
+            return 0
+        _run_one(args.experiment, args.seed, args.output_format, args.sizes, args.profile)
     return 0
 
 

@@ -46,7 +46,7 @@ class UnitKind(enum.Enum):
     LINK = "link"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RangeUnit:
     """One node or link of a range-determined link structure.
 
@@ -134,6 +134,16 @@ class RangeDeterminedLinkStructure(abc.ABC):
             if candidate.key == key:
                 return candidate
         raise StructureError(f"{self.name}: no unit with key {key!r}")
+
+    def unit_map(self) -> Mapping[Hashable, RangeUnit]:
+        """The key → unit mapping (default: built fresh from :meth:`units`).
+
+        Subclasses that already index their units return the index
+        directly, so diff-heavy callers (the §4 update protocol) do not
+        rebuild a dictionary per level per operation.  Callers must not
+        mutate the returned mapping.
+        """
+        return {unit.key: unit for unit in self.units()}
 
     def __len__(self) -> int:
         """Number of units (nodes plus links)."""

@@ -48,6 +48,7 @@ from repro.core.blocking import (
     RoundRobinBlocking,
     evenly_owned_items,
 )
+from repro.core.bulkload import charge_construction
 from repro.core.levels import BitPrefix, MembershipAssignment
 from repro.core.link_structure import RangeDeterminedLinkStructure, RangeUnit
 from repro.core.query import QueryResult, execute_query, query_steps
@@ -169,11 +170,56 @@ class SkipWeb:
         self._structures: dict[tuple[int, BitPrefix], RangeDeterminedLinkStructure] = {}
         # (level, prefix, unit key) -> address of the record
         self._address_of: dict[tuple[int, BitPrefix, Hashable], Address] = {}
+        # Same addresses, nested per level set: the rewiring hot path does
+        # many lookups within one level, and hashing the short unit key
+        # beats re-hashing the composite triple every time.
+        self._level_addresses: dict[tuple[int, BitPrefix], dict[Hashable, Address]] = {}
         # host -> membership word of the item whose top-level structure is
         # that host's root
         self._root_word_of_host: dict[HostId, BitPrefix] = {}
+        # root_entries() memo, invalidated whenever the record layout moves
+        # (record creation/removal, churn re-homing) via ``_layout_epoch``.
+        self._layout_epoch = 0
+        self._root_cache: dict[HostId, list[tuple[RangeUnit, Address]]] = {}
+        self._root_cache_epoch = -1
+
+        #: CONSTRUCTION messages charged by a bulk-load build (0 otherwise).
+        self.construction_messages = 0
 
         self._build()
+
+    @classmethod
+    def build_from_sorted(
+        cls,
+        structure_cls: Type[RangeDeterminedLinkStructure],
+        items: Sequence[Any],
+        network: Network | None = None,
+        config: SkipWebConfig | None = None,
+    ) -> "SkipWeb":
+        """Bulk-load constructor over pre-sorted, deduplicated ``items``.
+
+        Semantically identical to the ordinary constructor — membership
+        words are drawn in item order either way, so queries and updates
+        cost exactly the same afterwards — but built for benchmark setup:
+        the level structures detect the pre-sorted input and skip their
+        defensive O(n log n) sorts, and every record placed on a host
+        other than the coordinator is charged one
+        :attr:`~repro.net.message.MessageKind.CONSTRUCTION` ledger
+        message (``construction_messages`` records the total), so
+        bulk-load traffic is measurable instead of silently free.
+        """
+        web = cls(structure_cls, items, network=network, config=config)
+        web.construction_messages = web._charge_construction()
+        return web
+
+    def _charge_construction(self) -> int:
+        """Bill one CONSTRUCTION message per remotely placed record."""
+        coordinator = self._host_ids[0]
+        return charge_construction(
+            self.network,
+            coordinator,
+            (address.host for address in self._address_of.values()),
+        )
 
     # ------------------------------------------------------------------ #
     # construction
@@ -226,12 +272,16 @@ class SkipWeb:
         record = SkipWebRecord(level=level, prefix=prefix, unit=unit)
         address = self.network.store(host_id, record)
         self._address_of[(level, prefix, unit.key)] = address
+        self._level_addresses.setdefault((level, prefix), {})[unit.key] = address
+        self._layout_epoch += 1
         return address
 
     def _remove_record(self, level: int, prefix: BitPrefix, key: Hashable) -> Address:
         """Free a record's slot and forget its address."""
         address = self._address_of.pop((level, prefix, key))
+        self._level_addresses[(level, prefix)].pop(key, None)
         self.network.free(address)
+        self._layout_epoch += 1
         return address
 
     def _record_at(self, level: int, prefix: BitPrefix, key: Hashable) -> SkipWebRecord:
@@ -252,13 +302,14 @@ class SkipWeb:
         real deployment would have had to touch.
         """
         structure = self._structures[(level, prefix)]
-        record = self._record_at(level, prefix, key)
+        addresses = self._level_addresses[(level, prefix)]
+        record: SkipWebRecord = self.network.load(addresses[key], check_alive=False)
         unit = structure.unit(key)
 
-        neighbors: dict[Hashable, tuple[Range, Address]] = {}
-        for neighbor in structure.neighbors(key):
-            address = self._address_of[(level, prefix, neighbor.key)]
-            neighbors[neighbor.key] = (neighbor.range, address)
+        neighbors: dict[Hashable, tuple[Range, Address]] = {
+            neighbor.key: (neighbor.range, addresses[neighbor.key])
+            for neighbor in structure.neighbors(key)
+        }
 
         down_links: list[tuple[RangeUnit, Address]] = []
         if level > 0:
@@ -268,13 +319,11 @@ class SkipWeb:
                 raise StructureError(
                     f"missing parent structure for level {level} prefix {prefix}"
                 )
-            for conflicting in parent_structure.conflicts(unit.range):
-                down_links.append(
-                    (
-                        conflicting,
-                        self._address_of[(level - 1, parent_prefix, conflicting.key)],
-                    )
-                )
+            parent_addresses = self._level_addresses[(level - 1, parent_prefix)]
+            down_links = [
+                (conflicting, parent_addresses[conflicting.key])
+                for conflicting in parent_structure.conflicts(unit.range)
+            ]
 
         changed = (
             record.unit != unit
@@ -350,6 +399,12 @@ class SkipWeb:
         the top-level structure along the membership word of one of the
         items it owns, each paired with the address of the unit's record.
         """
+        if self._root_cache_epoch != self._layout_epoch:
+            self._root_cache = {}
+            self._root_cache_epoch = self._layout_epoch
+        cached = self._root_cache.get(host_id)
+        if cached is not None:
+            return list(cached)
         word = self._root_word_of_host.get(host_id)
         if word is None:
             # Host joined after construction; fall back to any item's word.
@@ -360,10 +415,14 @@ class SkipWeb:
             prefix = word[:level]
             structure = self._structures.get((level, prefix))
             if structure is not None:
-                return [
+                entries = [
                     (unit, self._address_of[(level, prefix, unit.key)])
                     for unit in structure.units()
                 ]
+                self._root_cache[host_id] = entries
+                # Hand out a copy so a caller mutating its list cannot
+                # poison the memo for later descents from this host.
+                return list(entries)
         raise QueryError("skip-web has no level structures")
 
     # ------------------------------------------------------------------ #
@@ -473,6 +532,7 @@ class SkipWeb:
         if not self._host_ids:
             raise ChurnError("skip-web cannot lose its last live host")
         self._blocking = self._make_blocking_policy()
+        self._layout_epoch += 1
         return self._host_ids
 
     def _reassign_owned_items(self, host_ids: set[HostId], pool: list[HostId]) -> int:
@@ -555,9 +615,10 @@ class SkipWeb:
             old_address = self._address_of[(level, prefix, key)]
             record = self.network.load(old_address, check_alive=False)
             yield from cursor.hand_off(destination, host_id)
-            self._address_of[(level, prefix, key)] = self.network.store(
-                destination, record
-            )
+            new_address = self.network.store(destination, record)
+            self._address_of[(level, prefix, key)] = new_address
+            self._level_addresses.setdefault((level, prefix), {})[key] = new_address
+            self._layout_epoch += 1
             self.network.free(old_address)
             stale_addresses.add(old_address)
 
@@ -603,9 +664,10 @@ class SkipWeb:
             yield from cursor.hand_off(destination, coordinator)
             unit = self._structures[(level, prefix)].unit(key)
             record = SkipWebRecord(level=level, prefix=prefix, unit=unit)
-            self._address_of[(level, prefix, key)] = self.network.store(
-                destination, record
-            )
+            new_address = self.network.store(destination, record)
+            self._address_of[(level, prefix, key)] = new_address
+            self._level_addresses.setdefault((level, prefix), {})[key] = new_address
+            self._layout_epoch += 1
             # The dead host's slot is gone with it; freeing keeps the
             # simulator's memory profile honest should the host recover.
             self.network.free(old_address)
@@ -638,23 +700,37 @@ class SkipWeb:
         return self.network.max_memory_used()
 
     def recompute_reference_counts(self) -> None:
-        """Refresh the per-host reference counters used by the congestion report."""
+        """Refresh the per-host reference counters used by the congestion report.
+
+        Cross-host pointer counts are aggregated into plain dictionaries
+        first and applied to the hosts once, instead of two host lookups
+        per stored pointer.
+        """
         for host in self.network.hosts():
             host.reset_reference_counts()
         for item, owner in self._owners.items():
             if item in self._membership:
                 self.network.host(owner).note_owned_items(1)
-        for (level, prefix, key), address in self._address_of.items():
-            record: SkipWebRecord = self.network.load(address)
+        out_refs: dict[HostId, int] = {}
+        in_refs: dict[HostId, int] = {}
+        load = self.network.load
+        for address in self._address_of.values():
+            record: SkipWebRecord = load(address)
             home = address.host
-            for _key, (_range, neighbor_address) in record.neighbors.items():
-                if neighbor_address.host != home:
-                    self.network.host(home).note_out_reference(1)
-                    self.network.host(neighbor_address.host).note_in_reference(1)
+            for _range, neighbor_address in record.neighbors.values():
+                other = neighbor_address.host
+                if other != home:
+                    out_refs[home] = out_refs.get(home, 0) + 1
+                    in_refs[other] = in_refs.get(other, 0) + 1
             for _unit, down_address in record.down_links:
-                if down_address.host != home:
-                    self.network.host(home).note_out_reference(1)
-                    self.network.host(down_address.host).note_in_reference(1)
+                other = down_address.host
+                if other != home:
+                    out_refs[home] = out_refs.get(home, 0) + 1
+                    in_refs[other] = in_refs.get(other, 0) + 1
+        for host_id, count in out_refs.items():
+            self.network.host(host_id).note_out_reference(count)
+        for host_id, count in in_refs.items():
+            self.network.host(host_id).note_in_reference(count)
 
     def congestion(self) -> CongestionReport:
         """The congestion measure ``C(n)`` of §1.1 for the current structure."""
@@ -721,6 +797,25 @@ class SkipWebStructureAdapter:
     """
 
     web: SkipWeb
+
+    @classmethod
+    def build_from_sorted(cls, items: Sequence[Any], **kwargs: Any):
+        """Bulk-load constructor: ``items`` pre-sorted and deduplicated.
+
+        Builds the wrapper normally (the level structures detect sorted
+        input and skip their defensive sorts), then charges one
+        CONSTRUCTION ledger message per remotely placed record — see
+        :meth:`SkipWeb.build_from_sorted`.  ``kwargs`` pass through to
+        the wrapper's constructor.
+        """
+        structure = cls(items, **kwargs)
+        structure.web.construction_messages = structure.web._charge_construction()
+        return structure
+
+    @property
+    def construction_messages(self) -> int:
+        """CONSTRUCTION messages charged by a bulk-load build (0 otherwise)."""
+        return self.web.construction_messages
 
     def _coerce_query(self, query: Any) -> Any:
         """Normalise a domain query before handing it to the skip-web."""

@@ -75,11 +75,11 @@ def _level_diff(
     added = new_keys - old_keys
     removed = old_keys - new_keys
     changed_ranges: list[Range] = []
-    if old_structure is not None:
-        old_units = {unit.key: unit for unit in old_structure.units()}
+    if old_structure is not None and removed:
+        old_units = old_structure.unit_map()
         changed_ranges.extend(old_units[key].range for key in removed)
-    if new_structure is not None:
-        new_units = {unit.key: unit for unit in new_structure.units()}
+    if new_structure is not None and added:
+        new_units = new_structure.unit_map()
         changed_ranges.extend(new_units[key].range for key in added)
     return added, removed, changed_ranges
 

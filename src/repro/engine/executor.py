@@ -51,7 +51,11 @@ from repro.errors import (
     ReproError,
     StructureError,
 )
-from repro.net.congestion import RoundCongestionReport, summarize_round_reports
+from repro.net.congestion import (
+    RoundCongestionReport,
+    round_congestion_report,
+    summarize_round_reports,
+)
 from repro.net.message import MessageKind
 from repro.net.naming import Address, HostId
 from repro.net.network import PendingDelivery, RoundReport
@@ -111,7 +115,13 @@ class OpOutcome:
 
 @dataclass
 class BatchResult:
-    """Aggregate outcome of one :meth:`BatchExecutor.run` call."""
+    """Aggregate outcome of one :meth:`BatchExecutor.run` call.
+
+    ``round_reports`` holds the per-round detail, subject to the
+    network's ``round_report_retention``; ``congestion_summary`` is the
+    whole-session aggregate the network maintained as rounds closed, so
+    congestion numbers stay exact even when old reports were dropped.
+    """
 
     outcomes: list[OpOutcome]
     rounds: int
@@ -119,6 +129,7 @@ class BatchResult:
     round_reports: list[RoundReport] = field(default_factory=list)
     cache_hits: int = 0
     cache_misses: int = 0
+    congestion_summary: RoundCongestionReport | None = None
 
     @property
     def ops(self) -> int:
@@ -144,10 +155,14 @@ class BatchResult:
     @property
     def max_round_congestion(self) -> int:
         """Worst per-host per-round delivery count observed during the batch."""
+        if self.congestion_summary is not None:
+            return self.congestion_summary.max_host_round_load
         return max((report.max_host_load for report in self.round_reports), default=0)
 
     def round_congestion(self) -> RoundCongestionReport:
         """Full round-level congestion summary of the batch."""
+        if self.congestion_summary is not None:
+            return self.congestion_summary
         return summarize_round_reports(self.round_reports)
 
     def summary(self) -> dict[str, Any]:
@@ -314,6 +329,7 @@ class BatchExecutor:
             round_reports=round_reports,
             cache_hits=self._cache_hits,
             cache_misses=self._cache_misses,
+            congestion_summary=round_congestion_report(self.network),
         )
 
     # ------------------------------------------------------------------ #

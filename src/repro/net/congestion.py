@@ -72,6 +72,10 @@ class CongestionReport:
 def congestion_report(network, ground_set_size: int) -> CongestionReport:
     """Compute the §1.1 congestion measure for every host of ``network``.
 
+    A single pass over the alive hosts: the reference counters live on
+    the hosts themselves, so no intermediate per-host dictionaries are
+    rebuilt along the way.
+
     Parameters
     ----------
     network:
@@ -84,14 +88,15 @@ def congestion_report(network, ground_set_size: int) -> CongestionReport:
         actually up, so after churn a failed host neither dilutes the
         per-host base load nor contributes a per-host row of its own.
     """
-    hosts = [network.host(host_id) for host_id in network.alive_host_ids()]
-    host_count = len(hosts)
+    alive = network.alive_host_ids()
+    host_count = len(alive)
     if host_count == 0:
         return CongestionReport(per_host={}, ground_set_size=ground_set_size, host_count=0)
     base_load = ground_set_size / host_count
     per_host: dict[HostId, float] = {}
-    for host in hosts:
-        per_host[host.host_id] = host.in_references + host.out_references + base_load
+    for host_id in alive:
+        host = network.host(host_id)
+        per_host[host_id] = host.in_references + host.out_references + base_load
     return CongestionReport(
         per_host=per_host,
         ground_set_size=ground_set_size,
@@ -137,7 +142,14 @@ class RoundCongestionReport:
 
 
 def summarize_round_reports(reports) -> RoundCongestionReport:
-    """Fold a sequence of :class:`~repro.net.network.RoundReport` into one summary."""
+    """Fold a sequence of :class:`~repro.net.network.RoundReport` into one summary.
+
+    A single pass over the reports: every report already carries its own
+    per-round maximum (``max_load`` / ``max_load_host``, computed when the
+    round closed), so no per-host dictionaries are re-scanned here — and
+    ledger-mode reports, whose ``per_host`` dicts were dropped, summarise
+    identically to traced ones.
+    """
     per_round_max: list[int] = []
     busiest_host: HostId | None = None
     busiest_round: int | None = None
@@ -146,13 +158,17 @@ def summarize_round_reports(reports) -> RoundCongestionReport:
     count = 0
     for report in reports:
         count += 1
-        per_round_max.append(report.max_host_load)
+        load = report.max_host_load
+        per_round_max.append(load)
         total += report.delivered
-        for host_id, load in report.per_host.items():
-            if load > best:
-                best = load
-                busiest_host = host_id
-                busiest_round = report.index
+        if load > best:
+            best = load
+            busiest_host = (
+                report.max_load_host
+                if report.max_load >= 0
+                else max(report.per_host, key=report.per_host.__getitem__, default=None)
+            )
+            busiest_round = report.index
     return RoundCongestionReport(
         rounds=count,
         total_messages=total,
@@ -165,8 +181,19 @@ def summarize_round_reports(reports) -> RoundCongestionReport:
 def round_congestion_report(network) -> RoundCongestionReport:
     """Summarise the per-host per-round deliveries of the last round session.
 
-    Reads the :class:`~repro.net.network.RoundReport` list the network
-    accumulated while in round-based mode (empty when the network has only
-    ever run in immediate mode).
+    Reads the running aggregates the network maintains as each round
+    closes (see :meth:`repro.net.network.Network.round_congestion_summary`),
+    so the summary is O(rounds) even when ``round_report_retention``
+    truncated the stored report list.  Empty when the network has only
+    ever run in immediate mode.
     """
-    return summarize_round_reports(network.round_reports)
+    rounds, delivered, per_round_max, busiest_host, busiest_round = (
+        network.round_congestion_summary()
+    )
+    return RoundCongestionReport(
+        rounds=rounds,
+        total_messages=delivered,
+        per_round_max=per_round_max,
+        busiest_host=busiest_host,
+        busiest_round=busiest_round,
+    )

@@ -91,6 +91,18 @@ class MessageLog:
             self._messages.append(message)
         return message
 
+    def tally(self, src: HostId, dst: HostId, kind: MessageKind) -> None:
+        """Count one message without materialising a :class:`Message`.
+
+        The ledger-mode fast path of :class:`repro.net.network.Network`:
+        every counter (per-kind, per-host sent/received, total) advances
+        exactly as :meth:`record` would advance it, but no message object
+        is allocated and nothing is appended to the stored-message list.
+        """
+        self._counts[kind] += 1
+        self._per_host_received[dst] = self._per_host_received.get(dst, 0) + 1
+        self._per_host_sent[src] = self._per_host_sent.get(src, 0) + 1
+
     def __len__(self) -> int:
         return sum(self._counts.values())
 

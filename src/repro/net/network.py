@@ -29,6 +29,18 @@ absorb in each round.  This is the substrate under
 logical operations so that the paper's per-host congestion bounds
 (O(log n / log log n) w.h.p., Theorem 2) can be *measured per round*
 rather than inferred from pointer counts; see :mod:`repro.engine`.
+
+Two accounting substrates are supported as well.  With ``trace=True``
+(the default) every delivery materialises a :class:`Message` and flows
+through the :class:`MessageLog` exactly as before — what tests and
+debugging want.  With ``trace=False`` the network runs in **ledger
+mode**: deliveries bump integer counters (total, per-kind, per-host,
+per-round, per-measure snapshot) and allocate no message object, no log
+entry and no per-delivery ticket in the round fast path.  Every counter
+any benchmark reads — :class:`OperationStats`, :class:`RoundReport`
+aggregates, congestion summaries — is byte-identical between the two
+substrates; ledger mode only removes per-delivery allocation from the
+hot path (see DESIGN.md §6).
 """
 
 from __future__ import annotations
@@ -41,6 +53,68 @@ from repro.errors import HostFailedError, StructureError, UnknownHostError
 from repro.net.host import Host
 from repro.net.message import Message, MessageKind, MessageLog
 from repro.net.naming import Address, HostId
+
+#: Module-wide default for ``Network(trace=...)`` when the caller does not
+#: pass an explicit value.  Tests and interactive use keep full tracing;
+#: the experiment registry flips this to ledger mode for wall-clock speed
+#: (see :func:`ledger_mode`).
+_DEFAULT_TRACE = True
+#: Set by :func:`tracing_mode`: while locked, :func:`ledger_mode` is a
+#: no-op, so an outer "I need message objects" request (the CLI's
+#: ``--trace`` flag, a debugging session) wins over the experiment
+#: registry's blanket ledger default.
+_TRACE_LOCKED = False
+
+
+def set_default_trace(enabled: bool) -> None:
+    """Set the accounting substrate newly created networks default to."""
+    global _DEFAULT_TRACE
+    _DEFAULT_TRACE = bool(enabled)
+
+
+def default_trace() -> bool:
+    """The substrate a ``Network()`` created right now would use."""
+    return _DEFAULT_TRACE
+
+
+@contextmanager
+def ledger_mode() -> Iterator[None]:
+    """Create networks in ledger (``trace=False``) mode inside the block.
+
+    Only affects networks constructed without an explicit ``trace``
+    argument; an explicit ``Network(trace=True)`` still traces, and an
+    enclosing :func:`tracing_mode` block turns this into a no-op.  Nests
+    and restores the previous default on exit.
+    """
+    global _DEFAULT_TRACE
+    if _TRACE_LOCKED:
+        yield
+        return
+    previous = _DEFAULT_TRACE
+    _DEFAULT_TRACE = False
+    try:
+        yield
+    finally:
+        _DEFAULT_TRACE = previous
+
+
+@contextmanager
+def tracing_mode() -> Iterator[None]:
+    """Force full tracing for networks created inside the block.
+
+    The counterpart of :func:`ledger_mode`, used by the CLI's ``--trace``
+    flag to re-enable message objects under experiment functions that
+    default to the ledger substrate; nested :func:`ledger_mode` blocks
+    are suppressed while it is active.
+    """
+    global _DEFAULT_TRACE, _TRACE_LOCKED
+    previous = (_DEFAULT_TRACE, _TRACE_LOCKED)
+    _DEFAULT_TRACE = True
+    _TRACE_LOCKED = True
+    try:
+        yield
+    finally:
+        _DEFAULT_TRACE, _TRACE_LOCKED = previous
 
 
 @dataclass
@@ -74,19 +148,27 @@ class RoundReport:
 
     ``per_host`` maps each host to the number of messages it received
     during the round — the directly-measured per-host per-round
-    congestion.  ``dropped`` counts messages whose destination (or source)
-    host had failed; those deliveries carry a :class:`HostFailedError` on
-    their ticket instead of reaching the log.
+    congestion.  In ledger mode the dict is dropped after the round's
+    maximum is folded into ``max_load`` / ``max_load_host`` (so long
+    churn runs stop accumulating O(rounds × hosts) memory); the
+    aggregates every benchmark reads are identical either way.
+    ``dropped`` counts messages whose destination (or source) host had
+    failed; those deliveries carry a :class:`HostFailedError` on their
+    ticket instead of reaching the log.
     """
 
     index: int
     delivered: int
     per_host: dict[HostId, int]
     dropped: int = 0
+    max_load: int = -1
+    max_load_host: HostId | None = None
 
     @property
     def max_host_load(self) -> int:
         """Largest number of messages any single host received this round."""
+        if self.max_load >= 0:
+            return self.max_load
         return max(self.per_host.values(), default=0)
 
 
@@ -116,6 +198,26 @@ class PendingDelivery:
         return self.delivered
 
 
+class _DeliveredTicket:
+    """The shared always-succeeds ticket of the ledger-mode fast path.
+
+    When no host has failed at post time, ledger mode queues deliveries
+    as plain tuples and hands every caller this singleton instead of a
+    fresh :class:`PendingDelivery`.  Failures injected by the engine's
+    hooks happen *between* rounds (after delivery, before the next
+    posts), so any post that could observe a failed host takes the
+    ticketed slow path and error reporting is unchanged.
+    """
+
+    __slots__ = ()
+
+    def result(self) -> None:
+        return None
+
+
+_OK_TICKET = _DeliveredTicket()
+
+
 class Network:
     """Registry of hosts plus message accounting.
 
@@ -129,14 +231,36 @@ class Network:
     keep_messages:
         Whether the underlying :class:`MessageLog` stores message objects
         (useful in tests) or only counters (faster for large benchmarks).
+    trace:
+        ``True`` (the default outside :func:`ledger_mode`) materialises a
+        :class:`Message` per delivery; ``False`` runs the zero-allocation
+        ledger substrate.  All counters are identical either way.
+    round_report_retention:
+        Keep at most this many full :class:`RoundReport` entries per round
+        session (oldest dropped first); ``None`` keeps them all.  The
+        running congestion aggregates (:meth:`round_congestion_summary`)
+        cover the whole session regardless.
     """
 
     def __init__(
         self,
         default_memory_limit: int | None = None,
         keep_messages: bool = False,
+        trace: bool | None = None,
+        round_report_retention: int | None = None,
     ) -> None:
         self.default_memory_limit = default_memory_limit
+        if trace is None:
+            # Asking for stored message objects implies the tracing
+            # substrate even under an ambient ledger_mode() default.
+            self._trace = True if keep_messages else _DEFAULT_TRACE
+        else:
+            self._trace = bool(trace)
+            if keep_messages and not self._trace:
+                raise ValueError(
+                    "keep_messages=True requires the tracing substrate; "
+                    "ledger mode (trace=False) never materialises messages"
+                )
         self._hosts: dict[HostId, Host] = {}
         self._log = MessageLog(keep_messages=keep_messages)
         self._next_host_id = 0
@@ -147,13 +271,30 @@ class Network:
         # BatchExecutor's per-origin route cache — can cheaply detect
         # that their entries may now point at dead or departed hosts.
         self._membership_epoch = 0
+        # alive_host_ids() cache, invalidated by membership-epoch bumps.
+        self._alive_cache: list[HostId] = []
+        self._alive_cache_epoch = -1
         # Round-based delivery state (inactive in the default immediate mode).
         self._round_mode = False
         self._pending: list[PendingDelivery] = []
+        self._pending_fast: list[tuple[HostId, HostId, MessageKind]] = []
         self._round_index = 0
         self._round_per_host: dict[HostId, int] = {}
         self._round_delivered = 0
         self._round_reports: list[RoundReport] = []
+        self._round_report_retention = round_report_retention
+        # Whole-session congestion aggregates, maintained round by round so
+        # summaries never have to re-scan the stored reports.
+        self._session_per_round_max: list[int] = []
+        self._session_delivered = 0
+        self._session_busiest_host: HostId | None = None
+        self._session_busiest_round: int | None = None
+        self._session_busiest_load = 0
+
+    @property
+    def trace(self) -> bool:
+        """Whether deliveries materialise :class:`Message` objects."""
+        return self._trace
 
     # ------------------------------------------------------------------ #
     # host management
@@ -212,10 +353,19 @@ class Network:
         return iter(self._hosts.values())
 
     def alive_host_ids(self) -> list[HostId]:
-        """Ids of every registered host that has not failed, in id order."""
-        return [
-            host_id for host_id in self._hosts if host_id not in self._failed_hosts
-        ]
+        """Ids of every registered host that has not failed, in id order.
+
+        Cached between membership changes (joins, leaves, failures and
+        recoveries all bump :attr:`membership_epoch`), so the per-batch
+        and per-repair callers no longer pay a linear scan each time.
+        Returns a fresh copy; the cache itself is never handed out.
+        """
+        if self._alive_cache_epoch != self._membership_epoch:
+            self._alive_cache = [
+                host_id for host_id in self._hosts if host_id not in self._failed_hosts
+            ]
+            self._alive_cache_epoch = self._membership_epoch
+        return list(self._alive_cache)
 
     @property
     def membership_epoch(self) -> int:
@@ -253,8 +403,8 @@ class Network:
         interruptible halfway by an injected failure — operation *routing*
         always keeps the check on.
         """
-        if check_alive:
-            self._check_alive(address.host)
+        if check_alive and address.host in self._failed_hosts:
+            raise HostFailedError(f"host {address.host} has failed")
         return self.host(address.host).load(address)
 
     def free(self, address: Address) -> Any:
@@ -278,7 +428,9 @@ class Network:
         """Record one message from ``src`` to ``dst``.
 
         Sending a message to oneself is free (returns ``None``) — the
-        paper only charges for *inter-host* communication.
+        paper only charges for *inter-host* communication.  In ledger
+        mode the delivery is counted but no :class:`Message` is created,
+        so the return value is ``None`` for remote sends as well.
         """
         if src not in self._hosts:
             raise UnknownHostError(f"unknown source host {src}")
@@ -291,9 +443,13 @@ class Network:
 
     def _record_delivery(
         self, src: HostId, dst: HostId, kind: MessageKind, payload: Any
-    ) -> Message:
+    ) -> Message | None:
         """Log one inter-host message and update measurement/round counters."""
-        message = self._log.record(src=src, dst=dst, kind=kind, payload=payload)
+        if self._trace:
+            message = self._log.record(src=src, dst=dst, kind=kind, payload=payload)
+        else:
+            self._log.tally(src, dst, kind)
+            message = None
         for stats in self._measure_stack:
             stats.messages += 1
             stats.by_kind[kind] = stats.by_kind.get(kind, 0) + 1
@@ -347,8 +503,30 @@ class Network:
 
     @property
     def round_reports(self) -> list[RoundReport]:
-        """Per-round delivery reports of the current / most recent round session."""
+        """Per-round delivery reports of the current / most recent round session.
+
+        Subject to ``round_report_retention``; the whole-session
+        aggregates live in :meth:`round_congestion_summary` either way.
+        """
         return list(self._round_reports)
+
+    def round_congestion_summary(self) -> tuple[int, int, tuple[int, ...], HostId | None, int | None]:
+        """Whole-session congestion aggregates, maintained incrementally.
+
+        Returns ``(rounds, delivered, per_round_max, busiest_host,
+        busiest_round)`` for the current / most recent round session —
+        the raw material of
+        :func:`repro.net.congestion.round_congestion_report`, computed in
+        a single pass as rounds close instead of re-scanning the stored
+        reports (which ledger mode may have truncated).
+        """
+        return (
+            len(self._session_per_round_max),
+            self._session_delivered,
+            tuple(self._session_per_round_max),
+            self._session_busiest_host,
+            self._session_busiest_round,
+        )
 
     @contextmanager
     def rounds(self) -> Iterator["Network"]:
@@ -371,6 +549,12 @@ class Network:
         self._round_delivered = 0
         self._round_reports = []
         self._pending = []
+        self._pending_fast = []
+        self._session_per_round_max = []
+        self._session_delivered = 0
+        self._session_busiest_host = None
+        self._session_busiest_round = None
+        self._session_busiest_load = 0
         try:
             yield self
         finally:
@@ -378,17 +562,10 @@ class Network:
                 # Direct sends charged after the last run_round: close
                 # them out so no delivered traffic is missing from the
                 # session's reports.
-                self._round_reports.append(
-                    RoundReport(
-                        index=self._round_index,
-                        delivered=self._round_delivered,
-                        per_host=dict(self._round_per_host),
-                        dropped=0,
-                    )
-                )
-                self._round_index += 1
+                self._close_round(dropped=0)
             self._round_mode = False
             self._pending = []
+            self._pending_fast = []
             self._round_per_host = {}
             self._round_delivered = 0
 
@@ -405,6 +582,14 @@ class Network:
         checked at delivery time (a host may fail between posting and the
         round running), in which case the ticket carries the
         :class:`HostFailedError` instead of the whole round failing.
+
+        In ledger mode, while no host is marked failed, deliveries are
+        queued as plain tuples and the shared always-succeeds ticket is
+        returned — no per-delivery allocation.  The moment any host is
+        failed, posts fall back to real tickets so failure reporting is
+        exactly as in trace mode.  (The engine's failure hooks run
+        between rounds, so a post can never race a failure it should
+        have observed; see :class:`_DeliveredTicket`.)
         """
         if not self._round_mode:
             raise RuntimeError("post() requires round-based mode; see Network.rounds()")
@@ -412,6 +597,9 @@ class Network:
             raise UnknownHostError(f"unknown source host {src}")
         if dst not in self._hosts:
             raise UnknownHostError(f"unknown destination host {dst}")
+        if not self._trace and not self._failed_hosts and payload is None:
+            self._pending_fast.append((src, dst, kind))
+            return _OK_TICKET  # type: ignore[return-value]
         ticket = PendingDelivery(src=src, dst=dst, kind=kind, payload=payload)
         self._pending.append(ticket)
         return ticket
@@ -426,11 +614,30 @@ class Network:
         if not self._round_mode:
             raise RuntimeError("run_round() requires round-based mode; see Network.rounds()")
         pending, self._pending = self._pending, []
+        pending_fast, self._pending_fast = self._pending_fast, []
         dropped = 0
+        failed = self._failed_hosts
+        for src, dst, kind in pending_fast:
+            # Ledger fast path: tuples queued while no host was failed.
+            # A failure landing mid-assembly cannot be reported through
+            # the shared ticket these posts received, so it must not be
+            # swallowed either — fail loudly instead of silently
+            # diverging from what a traced ticket would have raised.
+            # (Unreachable from the engine: its failure hooks run
+            # between rounds, when nothing is queued.)
+            if failed and (src in failed or dst in failed):
+                raise RuntimeError(
+                    f"host failed between post() and run_round() with the ledger "
+                    f"fast path active (delivery {src} -> {dst}); inject "
+                    "mid-assembly failures on a trace=True network"
+                )
+            if src == dst:
+                continue
+            self._record_delivery(src, dst, kind, None)
         for ticket in pending:
-            failed = self._first_failed(ticket.src, ticket.dst)
-            if failed is not None:
-                ticket.error = HostFailedError(f"host {failed} has failed")
+            failed_host = self._first_failed(ticket.src, ticket.dst)
+            if failed_host is not None:
+                ticket.error = HostFailedError(f"host {failed_host} has failed")
                 dropped += 1
                 continue
             if ticket.src == ticket.dst:
@@ -443,13 +650,35 @@ class Network:
         # ``_round_delivered`` counts every charged message attributed to
         # this round — queued deliveries and direct send() calls alike —
         # so the report stays consistent with ``per_host``.
+        return self._close_round(dropped=dropped)
+
+    def _close_round(self, dropped: int) -> RoundReport:
+        """Fold the assembling round into a report and the session aggregates."""
+        per_host = self._round_per_host
+        max_load = 0
+        max_load_host: HostId | None = None
+        for host_id, load in per_host.items():
+            if load > max_load:
+                max_load = load
+                max_load_host = host_id
         report = RoundReport(
             index=self._round_index,
             delivered=self._round_delivered,
-            per_host=dict(self._round_per_host),
+            per_host=per_host if self._trace else {},
             dropped=dropped,
+            max_load=max_load,
+            max_load_host=max_load_host,
         )
         self._round_reports.append(report)
+        retention = self._round_report_retention
+        if retention is not None and len(self._round_reports) > retention:
+            del self._round_reports[: len(self._round_reports) - retention]
+        self._session_per_round_max.append(max_load)
+        self._session_delivered += self._round_delivered
+        if max_load > self._session_busiest_load:
+            self._session_busiest_load = max_load
+            self._session_busiest_host = max_load_host
+            self._session_busiest_round = self._round_index
         self._round_index += 1
         self._round_per_host = {}
         self._round_delivered = 0
@@ -485,7 +714,7 @@ class Network:
                 raise RuntimeError(f"round-based execution exceeded {max_rounds} rounds")
             passes += 1
             active = [stepper for stepper in active if stepper()]
-            if self._pending:
+            if self._pending or self._pending_fast:
                 report = self.run_round()
                 reports.append(report)
                 if on_round is not None:

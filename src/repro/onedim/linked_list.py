@@ -23,6 +23,7 @@ import math
 from dataclasses import dataclass
 from typing import Any, Hashable, Mapping, Sequence
 
+from repro.core.bulkload import is_strictly_increasing
 from repro.core.link_structure import RangeDeterminedLinkStructure, RangeUnit, UnitKind
 from repro.core.ranges import Interval, Range, Singleton
 from repro.errors import QueryError, StructureError
@@ -61,7 +62,12 @@ class SortedListStructure(RangeDeterminedLinkStructure):
     name = "sorted-list"
 
     def __init__(self, keys: Sequence[float]) -> None:
-        deduplicated = sorted(set(float(key) for key in keys))
+        converted = [float(key) for key in keys]
+        if is_strictly_increasing(converted):
+            # Already strictly sorted (the O(n) bulk-load fast path).
+            deduplicated = converted
+        else:
+            deduplicated = sorted(set(converted))
         if not deduplicated:
             raise StructureError("sorted list requires at least one key")
         self._keys = deduplicated
@@ -133,6 +139,80 @@ class SortedListStructure(RangeDeterminedLinkStructure):
         return adjacency
 
     # ------------------------------------------------------------------ #
+    # incremental insertion (canonical: identical to a full rebuild)
+    # ------------------------------------------------------------------ #
+    def with_item(self, item: Any) -> "SortedListStructure":
+        """``D(S ∪ {x})`` by splicing — bit-identical to rebuilding.
+
+        The sorted list's unit sequence is fully determined by the sorted
+        key array, so the rebuild that the base class performs can be
+        replaced by an O(n) splice around the insertion position: the one
+        link spanning the gap is replaced by node + two links, the
+        adjacency entries of the two bracketing nodes are patched, and
+        everything else is shared structurally with this instance (units
+        are immutable).  ``self`` is left untouched, so the §4 update
+        protocol can still diff against the pre-update snapshot.
+        """
+        value = float(item)
+        keys = self._keys
+        index = bisect.bisect_left(keys, value)
+        if index < len(keys) and keys[index] == value:
+            raise StructureError(f"{self.name}: item {item!r} already present")
+        low = keys[index - 1] if index > 0 else _NEG_INF
+        high = keys[index] if index < len(keys) else _POS_INF
+
+        node = RangeUnit(
+            key=_node_key(value), kind=UnitKind.NODE, range=Singleton(value), payload=value
+        )
+        left = RangeUnit(
+            key=_link_key(low, value),
+            kind=UnitKind.LINK,
+            range=Interval.below(value) if low == _NEG_INF else Interval(low, value),
+            payload=(None if low == _NEG_INF else low, value),
+        )
+        right = RangeUnit(
+            key=_link_key(value, high),
+            kind=UnitKind.LINK,
+            range=Interval.above(value) if high == _POS_INF else Interval(value, high),
+            payload=(value, None if high == _POS_INF else high),
+        )
+        old_link = _link_key(low, high)
+        # Unit-list layout: [low sentinel, node k0, link k0-k1, node k1, ...,
+        # node kN, high sentinel]; the replaced link sits at 2 * index.
+        splice_at = 2 * index
+        if self._units[splice_at].key != old_link:
+            raise StructureError(
+                f"sorted-list unit layout violated: expected {old_link!r} "
+                f"at position {splice_at}, found {self._units[splice_at].key!r}"
+            )
+
+        clone = SortedListStructure.__new__(SortedListStructure)
+        clone._keys = keys[:index] + [value] + keys[index:]
+        clone._units = self._units[:splice_at] + [left, node, right] + self._units[splice_at + 1 :]
+        units_by_key = dict(self._units_by_key)
+        del units_by_key[old_link]
+        units_by_key[left.key] = left
+        units_by_key[node.key] = node
+        units_by_key[right.key] = right
+        clone._units_by_key = units_by_key
+
+        adjacency = dict(self._adjacency)
+        del adjacency[old_link]
+        adjacency[node.key] = [left.key, right.key]
+        adjacency[left.key] = ([] if low == _NEG_INF else [_node_key(low)]) + [node.key]
+        adjacency[right.key] = [node.key] + ([] if high == _POS_INF else [_node_key(high)])
+        if low != _NEG_INF:
+            adjacency[_node_key(low)] = [
+                left.key if key == old_link else key for key in adjacency[_node_key(low)]
+            ]
+        if high != _POS_INF:
+            adjacency[_node_key(high)] = [
+                right.key if key == old_link else key for key in adjacency[_node_key(high)]
+            ]
+        clone._adjacency = adjacency
+        return clone
+
+    # ------------------------------------------------------------------ #
     # RangeDeterminedLinkStructure interface
     # ------------------------------------------------------------------ #
     @property
@@ -152,6 +232,12 @@ class SortedListStructure(RangeDeterminedLinkStructure):
             return self._units_by_key[key]
         except KeyError as exc:
             raise StructureError(f"sorted-list: no unit with key {key!r}") from exc
+
+    def unit_map(self) -> Mapping[Hashable, RangeUnit]:
+        return self._units_by_key
+
+    def keys(self) -> set[Hashable]:
+        return set(self._units_by_key)
 
     def neighbors(self, key: Hashable) -> list[RangeUnit]:
         try:

@@ -33,6 +33,7 @@ import random
 from dataclasses import dataclass
 from typing import Any, Hashable, Sequence
 
+from repro.core.bulkload import charge_construction, is_strictly_increasing
 from repro.core.levels import BitPrefix, MembershipAssignment
 from repro.core.link_structure import RangeUnit
 from repro.core.query import QueryResult
@@ -181,7 +182,11 @@ class BucketSkipWeb1D:
         seed: int = 0,
         network: Network | None = None,
     ) -> None:
-        unique_keys = sorted(set(float(key) for key in keys))
+        converted = [float(key) for key in keys]
+        if is_strictly_increasing(converted):
+            unique_keys = converted  # O(n) bulk-load fast path
+        else:
+            unique_keys = sorted(set(converted))
         if not unique_keys:
             raise StructureError("bucket skip-web requires at least one key")
         if memory_size < 4:
@@ -208,7 +213,30 @@ class BucketSkipWeb1D:
         # addresses of every stored copy, for memory accounting / teardown
         self._copy_addresses: list[Address] = []
 
+        #: CONSTRUCTION messages charged by a bulk-load build (0 otherwise).
+        self.construction_messages = 0
+
         self._rebuild_layout()
+
+    @classmethod
+    def build_from_sorted(
+        cls, keys: Sequence[float], memory_size: int, **kwargs: Any
+    ) -> "BucketSkipWeb1D":
+        """Bulk-load constructor over pre-sorted, deduplicated ``keys``.
+
+        Skips the defensive O(n log n) sort (the constructor verifies
+        sortedness in O(n)) and charges one CONSTRUCTION ledger message
+        per copy placed on a host other than the coordinator, mirroring
+        :meth:`repro.core.skipweb.SkipWeb.build_from_sorted`.
+        """
+        structure = cls(keys, memory_size, **kwargs)
+        coordinator = structure._pool_hosts()[0]
+        structure.construction_messages = charge_construction(
+            structure.network,
+            coordinator,
+            (address.host for address in structure._copy_addresses),
+        )
+        return structure
 
     # ------------------------------------------------------------------ #
     # layout construction
@@ -362,6 +390,15 @@ class BucketSkipWeb1D:
             hops_before = cursor.hops
             stored = self._stored_at.get((level, prefix, unit.key), set())
             if cursor.current_host not in stored:
+                if not stored:
+                    # A concurrent insert/delete re-dealt the layout and
+                    # this walk's target chain no longer exists; raising a
+                    # retryable error restarts the operation from fresh
+                    # state (the batch executor's ordinary conflict path).
+                    raise QueryError(
+                        f"unit {unit.key!r} at level {level} has no stored copies "
+                        "(layout re-dealt concurrently)"
+                    )
                 target_host = self._preferred_host(point, level, word)
                 if target_host not in stored:
                     # Block-boundary corner case: fall back to any holder.

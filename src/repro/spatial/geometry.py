@@ -164,38 +164,45 @@ class HyperCube:
     # ------------------------------------------------------------------ #
     def contains(self, point: Point) -> bool:
         """Half-open membership test: ``lower <= point < lower + side``."""
-        if len(point) != self.dimension:
+        lower = self.lower
+        if len(point) != len(lower):
             return False
-        return all(
-            low <= coordinate < low + self.side
-            for low, coordinate in zip(self.lower, point)
-        )
+        side = self.side
+        for low, coordinate in zip(lower, point):
+            if coordinate < low or coordinate >= low + side:
+                return False
+        return True
 
     def contains_closed(self, point: Point) -> bool:
         """Closed membership test (used at the bounding cube's far faces)."""
-        if len(point) != self.dimension:
+        lower = self.lower
+        if len(point) != len(lower):
             return False
-        return all(
-            low <= coordinate <= low + self.side
-            for low, coordinate in zip(self.lower, point)
-        )
+        side = self.side
+        for low, coordinate in zip(lower, point):
+            if coordinate < low or coordinate > low + side:
+                return False
+        return True
 
     def intersects(self, other) -> bool:
         """Closed-overlap test against another cube (or any range with cubes)."""
         if isinstance(other, HyperCube):
-            return all(
-                self_low <= other_low + other.side and other_low <= self_low + self.side
-                for self_low, other_low in zip(self.lower, other.lower)
-            )
+            self_side = self.side
+            other_side = other.side
+            for self_low, other_low in zip(self.lower, other.lower):
+                if self_low > other_low + other_side or other_low > self_low + self_side:
+                    return False
+            return True
         return other.intersects(self)
 
     def contains_cube(self, other: "HyperCube") -> bool:
         """Whether ``other`` lies entirely inside this cube."""
-        return all(
-            self_low <= other_low
-            and other_low + other.side <= self_low + self.side + 1e-12
-            for self_low, other_low in zip(self.lower, other.lower)
-        )
+        padded = self.side + 1e-12
+        other_side = other.side
+        for self_low, other_low in zip(self.lower, other.lower):
+            if self_low > other_low or other_low + other_side > self_low + padded:
+                return False
+        return True
 
     # ------------------------------------------------------------------ #
     # quadtree subdivision

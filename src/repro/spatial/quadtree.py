@@ -92,6 +92,7 @@ class CompressedQuadtree:
         self.bounding_cube = bounding_cube
         self.dimension = bounding_cube.dimension
         self._points = tuple(normalized)
+        self._point_set = seen
         self.root = self._build(bounding_cube, list(normalized), is_root=True)
         self.root.parent = None
 
@@ -137,6 +138,153 @@ class CompressedQuadtree:
         if not child.contains_closed(point):  # pragma: no cover - defensive
             raise StructureError(f"point {point} escaped its child cell")
         return index
+
+    # ------------------------------------------------------------------ #
+    # incremental insertion (canonical: identical to a full rebuild)
+    # ------------------------------------------------------------------ #
+    def insert_point(self, point: Point) -> None:
+        """Add one point in place, producing exactly the rebuilt tree.
+
+        Compressed quadtrees are canonical in their point set (given the
+        fixed bounding cube), so only the O(depth) path around the
+        insertion position needs touching: ancestors absorb the point
+        into their ``points`` tuples, and at the cell where compression
+        changes, the old subtree is re-hung unmodified under a new split
+        cell.  Anywhere the local reasoning cannot apply (degenerate
+        far-face compression), the affected subtree is rebuilt through
+        :meth:`_build`, which is canonical by definition.
+        """
+        p = as_point(point)
+        if p in self._point_set:
+            raise StructureError(f"point {p} already stored")
+        if not self.bounding_cube.contains_closed(p):
+            raise StructureError(
+                f"point {p} lies outside the bounding cube {self.bounding_cube}"
+            )
+        self._points = self._points + (p,)
+        self._point_set.add(p)
+        root = self.root
+        if root.is_leaf:
+            # n was 1: the root is the leaf; rebuild the two-point tree.
+            self.root = self._build(self.bounding_cube, list(self._points), is_root=True)
+            self.root.parent = None
+            return
+        root.points = root.points + (p,)
+        if len(root.children) == 1:
+            # Compressed root: the single child carries the real split cell.
+            # A point strictly inside the old split cell cannot move it
+            # (the enclosing-cell walk is unchanged), so the full
+            # recomputation only runs when the point falls outside.
+            child = root.children[0]
+            old_split = child.cube
+            new_split = (
+                old_split
+                if old_split.contains(p)
+                else self.bounding_cube.smallest_enclosing_cell(list(root.points))
+            )
+            if new_split == old_split:
+                self._insert_into(child, child.cube, p)
+            elif new_split == self.bounding_cube:
+                # The split cell grew all the way up: the root now splits.
+                root.children = []
+                self._attach(root, self.bounding_cube, child, p, list(root.points))
+            else:
+                carrier = QuadtreeCell(cube=new_split, points=tuple(root.points))
+                carrier.parent = root
+                root.children = [carrier]
+                self._attach(carrier, new_split, child, p, list(root.points))
+            return
+        self._insert_into_children(root, self.bounding_cube, p)
+
+    def _insert_into(self, cell: QuadtreeCell, slot_cube: HyperCube, p: Point) -> None:
+        """Insert ``p`` into the subtree that ``_build(slot_cube, ...)`` made."""
+        if cell.is_leaf:
+            # The leaf keeps its slot cube; splitting it forms the smallest
+            # cell separating the old point from the new one.
+            merged = list(cell.points) + [p]
+            new_cube = slot_cube.smallest_enclosing_cell(merged)
+            old_point = cell.points[0]
+            i_old = self._child_index(new_cube, old_point)
+            i_new = self._child_index(new_cube, p)
+            if i_old == i_new:
+                self._replace_subtree(cell, self._build(slot_cube, merged))
+                return
+            cell.cube = new_cube
+            cell.points = tuple(merged)
+            first = QuadtreeCell(cube=new_cube.child(i_old), points=(old_point,), parent=cell)
+            second = QuadtreeCell(cube=new_cube.child(i_new), points=(p,), parent=cell)
+            cell.children = [first, second] if i_old < i_new else [second, first]
+            return
+        # A point strictly inside the cell's (shrunk) cube leaves the
+        # enclosing-cell walk unchanged, so the cube survives as is; only
+        # an outside point forces the O(points) recomputation.
+        new_cube = (
+            cell.cube
+            if cell.cube.contains(p)
+            else slot_cube.smallest_enclosing_cell(list(cell.points) + [p])
+        )
+        if new_cube == cell.cube:
+            cell.points = cell.points + (p,)
+            self._insert_into_children(cell, cell.cube, p)
+            return
+        # Compression boundary moved: hang the untouched old subtree and a
+        # fresh leaf under a new split cell in the old slot.
+        carrier = QuadtreeCell(cube=new_cube, points=cell.points + (p,), parent=cell.parent)
+        self._replace_subtree(cell, carrier, reparent=False)
+        self._attach(carrier, new_cube, cell, p, list(carrier.points))
+
+    def _insert_into_children(
+        self, cell: QuadtreeCell, split_cube: HyperCube, p: Point
+    ) -> None:
+        """Route ``p`` to (or create) the child slot of an uncompressed cell."""
+        index = self._child_index(split_cube, p)
+        for child in cell.children:
+            if self._child_index(split_cube, child.points[0]) == index:
+                self._insert_into(child, split_cube.child(index), p)
+                return
+        leaf = QuadtreeCell(cube=split_cube.child(index), points=(p,), parent=cell)
+        position = len(cell.children)
+        for slot, child in enumerate(cell.children):
+            if self._child_index(split_cube, child.points[0]) > index:
+                position = slot
+                break
+        cell.children.insert(position, leaf)
+
+    def _attach(
+        self,
+        carrier: QuadtreeCell,
+        split_cube: HyperCube,
+        old_cell: QuadtreeCell,
+        p: Point,
+        all_points: list[Point],
+    ) -> None:
+        """Give ``carrier`` the old subtree plus a leaf for ``p`` as children."""
+        i_old = self._child_index(split_cube, old_cell.points[0])
+        i_new = self._child_index(split_cube, p)
+        if i_old == i_new:
+            # Degenerate compression stop (far-face guard): delegate to the
+            # canonical builder for the whole carrier slot.
+            rebuilt = self._build(split_cube, all_points)
+            carrier.cube = rebuilt.cube
+            carrier.points = rebuilt.points
+            carrier.children = rebuilt.children
+            for child in carrier.children:
+                child.parent = carrier
+            return
+        leaf = QuadtreeCell(cube=split_cube.child(i_new), points=(p,), parent=carrier)
+        old_cell.parent = carrier
+        carrier.children = [old_cell, leaf] if i_old < i_new else [leaf, old_cell]
+
+    def _replace_subtree(
+        self, old: QuadtreeCell, new: QuadtreeCell, reparent: bool = True
+    ) -> None:
+        """Swap ``old`` for ``new`` in the parent's child list (same position)."""
+        parent = old.parent
+        if parent is None:  # pragma: no cover - the root is never replaced here
+            raise StructureError("cannot replace the root cell")
+        if reparent:
+            new.parent = parent
+        parent.children[parent.children.index(old)] = new
 
     # ------------------------------------------------------------------ #
     # traversal

@@ -79,14 +79,20 @@ class QuadtreeStructure(RangeDeterminedLinkStructure):
 
     name = "compressed-quadtree"
 
-    def __init__(self, points: Sequence[Point], bounding_cube: HyperCube) -> None:
+    def __init__(
+        self,
+        points: Sequence[Point],
+        bounding_cube: HyperCube,
+        _tree: CompressedQuadtree | None = None,
+        _reuse: dict[Hashable, RangeUnit] | None = None,
+    ) -> None:
         self._bounding_cube = bounding_cube
-        self.tree = CompressedQuadtree(points, bounding_cube)
+        self.tree = CompressedQuadtree(points, bounding_cube) if _tree is None else _tree
         self._units: list[RangeUnit] = []
         self._units_by_key: dict[Hashable, RangeUnit] = {}
         self._adjacency: dict[Hashable, list[Hashable]] = {}
         self._cell_by_key: dict[Hashable, QuadtreeCell] = {}
-        self._collect_units()
+        self._collect_units(_reuse)
 
     # ------------------------------------------------------------------ #
     # construction
@@ -103,47 +109,85 @@ class QuadtreeStructure(RangeDeterminedLinkStructure):
     def build_params(self) -> dict[str, Any]:
         return {"bounding_cube": self._bounding_cube}
 
-    def _collect_units(self) -> None:
-        for cell in self.tree.cells():
-            node_key = _node_key(cell.cube)
-            node_unit = RangeUnit(
-                key=node_key,
-                kind=UnitKind.NODE,
-                range=cell.cube,
-                # A representative stored point, used by owner blocking to
-                # place the record on the host that owns one of the cell's
-                # points (the analogue of a skip graph tower's home host).
-                payload=cell.points[0] if cell.points else None,
-            )
-            self._register(node_unit)
-            self._cell_by_key[node_key] = cell
-        for cell in self.tree.cells():
+    def with_item(self, item: Any) -> "QuadtreeStructure":
+        """``D(S ∪ {x})`` via an in-place canonical tree insert.
+
+        Compressed quadtrees are canonical in their point set (the
+        bounding cube is fixed across skip-web levels), so
+        :meth:`repro.spatial.quadtree.CompressedQuadtree.insert_point`
+        yields exactly the tree a rebuild over the enlarged set would.
+        This instance keeps its unit snapshot for the §4 diff; the
+        returned structure shares the mutated tree and re-collects its
+        units from it.
+        """
+        self.tree.insert_point(as_point(item))
+        return QuadtreeStructure(
+            (), self._bounding_cube, _tree=self.tree, _reuse=self._units_by_key
+        )
+
+    def _collect_units(self, reuse: dict[Hashable, RangeUnit] | None = None) -> None:
+        """Derive units, indexes and adjacency from the tree, in tree order.
+
+        ``reuse`` (the previous structure's key → unit index, passed by
+        :meth:`with_item`) lets unchanged units be shared by identity: a
+        candidate is reused only when its range and payload objects *are*
+        the current tree's objects, which makes the reused unit
+        field-for-field equal to the one a fresh collection would build.
+        """
+        cells = list(self.tree.cells())
+        units = self._units
+        units_by_key = self._units_by_key
+        adjacency = self._adjacency
+        cell_by_key = self._cell_by_key
+        node_key_of: dict[int, Hashable] = {}
+        old = reuse if reuse is not None else {}
+        for cell in cells:
+            cube = cell.cube
+            node_key = ("qnode", (cube.lower, cube.side))
+            if node_key in units_by_key:
+                raise StructureError(f"duplicate quadtree unit key {node_key!r}")
+            node_key_of[id(cell)] = node_key
+            # A representative stored point, used by owner blocking to
+            # place the record on the host that owns one of the cell's
+            # points (the analogue of a skip graph tower's home host).
+            payload = cell.points[0] if cell.points else None
+            unit = old.get(node_key)
+            if unit is None or unit.range is not cube or unit.payload is not payload:
+                unit = RangeUnit(key=node_key, kind=UnitKind.NODE, range=cube, payload=payload)
+            units.append(unit)
+            units_by_key[node_key] = unit
+            adjacency[node_key] = []
+            cell_by_key[node_key] = cell
+        for cell in cells:
+            parent_key = node_key_of[id(cell)]
+            parent_payload = cell.points[0] if cell.points else None
+            parent_adjacency = adjacency[parent_key]
             for child in cell.children:
-                link_key = _link_key(child.cube)
-                link_unit = RangeUnit(
-                    key=link_key,
-                    kind=UnitKind.LINK,
-                    range=child.cube,
-                    payload=(
-                        child.points[0] if child.points else None,
-                        cell.points[0] if cell.points else None,
-                    ),
-                )
-                self._register(link_unit)
-                self._cell_by_key[link_key] = child
-                self._connect(link_key, _node_key(cell.cube))
-                self._connect(link_key, _node_key(child.cube))
-
-    def _register(self, unit: RangeUnit) -> None:
-        if unit.key in self._units_by_key:
-            raise StructureError(f"duplicate quadtree unit key {unit.key!r}")
-        self._units.append(unit)
-        self._units_by_key[unit.key] = unit
-        self._adjacency.setdefault(unit.key, [])
-
-    def _connect(self, first: Hashable, second: Hashable) -> None:
-        self._adjacency[first].append(second)
-        self._adjacency[second].append(first)
+                child_cube = child.cube
+                link_key = ("qlink", (child_cube.lower, child_cube.side))
+                if link_key in units_by_key:
+                    raise StructureError(f"duplicate quadtree unit key {link_key!r}")
+                child_payload = child.points[0] if child.points else None
+                unit = old.get(link_key)
+                if (
+                    unit is None
+                    or unit.range is not child_cube
+                    or unit.payload[0] is not child_payload
+                    or unit.payload[1] is not parent_payload
+                ):
+                    unit = RangeUnit(
+                        key=link_key,
+                        kind=UnitKind.LINK,
+                        range=child_cube,
+                        payload=(child_payload, parent_payload),
+                    )
+                units.append(unit)
+                units_by_key[link_key] = unit
+                cell_by_key[link_key] = child
+                child_key = node_key_of[id(child)]
+                adjacency[link_key] = [parent_key, child_key]
+                parent_adjacency.append(link_key)
+                adjacency[child_key].append(link_key)
 
     # ------------------------------------------------------------------ #
     # RangeDeterminedLinkStructure interface
@@ -160,6 +204,12 @@ class QuadtreeStructure(RangeDeterminedLinkStructure):
             return self._units_by_key[key]
         except KeyError as exc:
             raise StructureError(f"quadtree: no unit with key {key!r}") from exc
+
+    def unit_map(self) -> Mapping[Hashable, RangeUnit]:
+        return self._units_by_key
+
+    def keys(self) -> set[Hashable]:
+        return set(self._units_by_key)
 
     def neighbors(self, key: Hashable) -> list[RangeUnit]:
         try:

@@ -30,18 +30,25 @@ class Alphabet:
             raise ValueError("alphabet symbols must be single characters")
         if len(set(self.symbols)) != len(self.symbols):
             raise ValueError("alphabet symbols must be distinct")
+        # O(1) symbol → position lookups (the dataclass is frozen, so the
+        # derived index is attached via object.__setattr__; it is not a
+        # field and does not participate in equality or hashing).
+        object.__setattr__(
+            self, "_positions", {symbol: i for i, symbol in enumerate(self.symbols)}
+        )
 
     @property
     def size(self) -> int:
         return len(self.symbols)
 
     def __contains__(self, symbol: str) -> bool:
-        return symbol in self.symbols
+        return symbol in self._positions
 
     def validate_string(self, value: str) -> str:
         """Return ``value`` if every character belongs to the alphabet."""
+        positions = self._positions
         for character in value:
-            if character not in self.symbols:
+            if character not in positions:
                 raise ValueError(
                     f"character {character!r} of {value!r} is not in alphabet {self.name}"
                 )
@@ -53,11 +60,20 @@ class Alphabet:
 
     def index(self, symbol: str) -> int:
         """Position of ``symbol`` within the alphabet (deterministic ordering)."""
-        return self.symbols.index(symbol)
+        try:
+            return self._positions[symbol]
+        except KeyError:
+            # Preserve the tuple.index error type for unknown symbols.
+            return self.symbols.index(symbol)
 
     def sort_key(self, value: str) -> tuple[int, ...]:
         """A sort key consistent with the alphabet order."""
-        return tuple(self.index(character) for character in value)
+        positions = self._positions
+        try:
+            return tuple(positions[character] for character in value)
+        except KeyError:
+            # Preserve the tuple.index error type for unknown symbols.
+            return tuple(self.symbols.index(character) for character in value)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Alphabet({self.name!r}, size={self.size})"

@@ -139,14 +139,20 @@ class TrieStructure(RangeDeterminedLinkStructure):
 
     name = "compressed-trie"
 
-    def __init__(self, strings: Sequence[str], alphabet: Alphabet) -> None:
+    def __init__(
+        self,
+        strings: Sequence[str],
+        alphabet: Alphabet,
+        _trie: CompressedTrie | None = None,
+        _reuse: dict[Hashable, RangeUnit] | None = None,
+    ) -> None:
         self._alphabet = alphabet
-        self.trie = CompressedTrie(strings, alphabet)
+        self.trie = CompressedTrie(strings, alphabet) if _trie is None else _trie
         self._units: list[RangeUnit] = []
         self._units_by_key: dict[Hashable, RangeUnit] = {}
         self._adjacency: dict[Hashable, list[Hashable]] = {}
         self._node_by_key: dict[Hashable, TrieNode] = {}
-        self._collect_units()
+        self._collect_units(_reuse)
 
     @classmethod
     def build(cls, items: Sequence[Any], **params: Any) -> "TrieStructure":
@@ -155,6 +161,23 @@ class TrieStructure(RangeDeterminedLinkStructure):
 
     def build_params(self) -> dict[str, Any]:
         return {"alphabet": self._alphabet}
+
+    def with_item(self, item: Any) -> "TrieStructure":
+        """``D(S ∪ {x})`` via an in-place canonical trie insert.
+
+        Compressed tries are canonical in their string set, so
+        :meth:`repro.strings.trie.CompressedTrie.insert` yields exactly
+        the trie a rebuild over the enlarged set would (same nodes, same
+        child order) — only the O(depth) insertion path is touched
+        instead of re-deriving every node.  This instance keeps its unit
+        snapshot (the lists below are never mutated), which is what the
+        §4 update protocol diffs against; the returned structure shares
+        the mutated trie and re-collects its units from it.
+        """
+        self.trie.insert(str(item))
+        return TrieStructure(
+            (), self._alphabet, _trie=self.trie, _reuse=self._units_by_key
+        )
 
     # ------------------------------------------------------------------ #
     # unit collection
@@ -166,45 +189,97 @@ class TrieStructure(RangeDeterminedLinkStructure):
             current = next(iter(current.children.values()))
         return current.prefix
 
-    def _collect_units(self) -> None:
-        for node in self.trie.nodes():
-            node_key = _node_key(node.prefix)
-            unit = RangeUnit(
-                key=node_key,
-                kind=UnitKind.NODE,
-                range=TrieRange(low=len(node.prefix) - 1, high=node.prefix),
-                payload=self._representative(node),
-            )
-            self._register(unit)
-            self._node_by_key[node_key] = node
-        for node in self.trie.nodes():
+    def _representatives(self) -> dict[int, str]:
+        """Representative string per node (by id), in one bottom-up pass.
+
+        Equivalent to calling :meth:`_representative` on every node —
+        terminal nodes represent themselves, internal nodes inherit their
+        first child's representative — but O(n) total instead of
+        O(n · depth).
+        """
+        reps: dict[int, str] = {}
+        stack: list[tuple[TrieNode, bool]] = [(self.trie.root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded or node.is_leaf:
+                if node.terminal:
+                    reps[id(node)] = node.prefix
+                else:
+                    first = next(iter(node.children.values()))
+                    reps[id(node)] = reps[id(first)]
+                continue
+            stack.append((node, True))
+            stack.extend((child, False) for child in node.children.values())
+        return reps
+
+    def _collect_units(self, reuse: dict[Hashable, RangeUnit] | None = None) -> None:
+        """Derive units, indexes and adjacency from the trie, in trie order.
+
+        ``reuse`` (the previous structure's key → unit index, passed by
+        :meth:`with_item`) lets unchanged units be shared by identity: a
+        candidate is reused only when its payload objects and range bounds
+        match the current trie's, making it field-for-field equal to the
+        unit a fresh collection would build.
+        """
+        reps = self._representatives()
+        nodes = list(self.trie.nodes())
+        units = self._units
+        units_by_key = self._units_by_key
+        adjacency = self._adjacency
+        node_by_key = self._node_by_key
+        old = reuse if reuse is not None else {}
+        for node in nodes:
+            prefix = node.prefix
+            node_key = ("snode", prefix)
+            if node_key in units_by_key:
+                raise StructureError(f"duplicate trie unit key {node_key!r}")
+            rep = reps[id(node)]
+            unit = old.get(node_key)
+            if unit is None or unit.payload is not rep:
+                unit = RangeUnit(
+                    key=node_key,
+                    kind=UnitKind.NODE,
+                    range=TrieRange(low=len(prefix) - 1, high=prefix),
+                    payload=rep,
+                )
+            units.append(unit)
+            units_by_key[node_key] = unit
+            adjacency[node_key] = []
+            node_by_key[node_key] = node
+        for node in nodes:
+            parent_key = ("snode", node.prefix)
+            parent_low = len(node.prefix) - 1
+            parent_rep = reps[id(node)]
+            parent_adjacency = adjacency[parent_key]
             for child in node.children.values():
-                link_key = _link_key(child.prefix)
+                link_key = ("slink", child.prefix)
+                if link_key in units_by_key:
+                    raise StructureError(f"duplicate trie unit key {link_key!r}")
                 # §2.1: the edge range is the set of strings x·y where y is
                 # a *possibly empty* prefix of the edge label, so it also
                 # contains the parent node's own string — hence ``low`` is
                 # one less than the parent's depth.
-                unit = RangeUnit(
-                    key=link_key,
-                    kind=UnitKind.LINK,
-                    range=TrieRange(low=len(node.prefix) - 1, high=child.prefix),
-                    payload=(self._representative(child), self._representative(node)),
-                )
-                self._register(unit)
-                self._node_by_key[link_key] = child
-                self._connect(link_key, _node_key(node.prefix))
-                self._connect(link_key, _node_key(child.prefix))
-
-    def _register(self, unit: RangeUnit) -> None:
-        if unit.key in self._units_by_key:
-            raise StructureError(f"duplicate trie unit key {unit.key!r}")
-        self._units.append(unit)
-        self._units_by_key[unit.key] = unit
-        self._adjacency.setdefault(unit.key, [])
-
-    def _connect(self, first: Hashable, second: Hashable) -> None:
-        self._adjacency[first].append(second)
-        self._adjacency[second].append(first)
+                child_rep = reps[id(child)]
+                unit = old.get(link_key)
+                if (
+                    unit is None
+                    or unit.range.low != parent_low
+                    or unit.payload[0] is not child_rep
+                    or unit.payload[1] is not parent_rep
+                ):
+                    unit = RangeUnit(
+                        key=link_key,
+                        kind=UnitKind.LINK,
+                        range=TrieRange(low=parent_low, high=child.prefix),
+                        payload=(child_rep, parent_rep),
+                    )
+                units.append(unit)
+                units_by_key[link_key] = unit
+                node_by_key[link_key] = child
+                child_key = ("snode", child.prefix)
+                adjacency[link_key] = [parent_key, child_key]
+                parent_adjacency.append(link_key)
+                adjacency[child_key].append(link_key)
 
     # ------------------------------------------------------------------ #
     # RangeDeterminedLinkStructure interface
@@ -221,6 +296,12 @@ class TrieStructure(RangeDeterminedLinkStructure):
             return self._units_by_key[key]
         except KeyError as exc:
             raise StructureError(f"trie: no unit with key {key!r}") from exc
+
+    def unit_map(self) -> Mapping[Hashable, RangeUnit]:
+        return self._units_by_key
+
+    def keys(self) -> set[Hashable]:
+        return set(self._units_by_key)
 
     def neighbors(self, key: Hashable) -> list[RangeUnit]:
         try:

@@ -15,9 +15,11 @@ built from (see :class:`repro.strings.skip_trie.TrieRange`).
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
+from repro.core.bulkload import is_strictly_increasing
 from repro.errors import StructureError
 from repro.strings.alphabet import Alphabet
 
@@ -64,8 +66,12 @@ class TrieNode:
 def longest_common_prefix(first: str, second: str) -> str:
     """The longest common prefix of two strings."""
     limit = min(len(first), len(second))
+    head = first[:limit]
+    # Fast path: one string is a prefix of the other (one C-level compare).
+    if second.startswith(head):
+        return head
     index = 0
-    while index < limit and first[index] == second[index]:
+    while first[index] == second[index]:
         index += 1
     return first[:index]
 
@@ -83,7 +89,26 @@ class CompressedTrie:
     """
 
     def __init__(self, strings: Sequence[str], alphabet: Alphabet) -> None:
-        unique = sorted(set(strings), key=alphabet.sort_key)
+        self._sort_keys: list[tuple[int, ...]] | None = None
+        values = list(strings)
+        try:
+            candidate_keys = [alphabet.sort_key(value) for value in values]
+        except ValueError:  # invalid symbol: let validate_string report it below
+            candidate_keys = None
+        if candidate_keys is not None and is_strictly_increasing(candidate_keys):
+            # Already strictly sorted in alphabet order (the O(n) bulk-load
+            # fast path); the computed keys seed the insert-time cache.
+            unique = values
+            self._sort_keys = candidate_keys
+        elif candidate_keys is not None:
+            # Decorate-sort with the keys already computed (sort keys are
+            # injective, so this matches sorted(set(...), key=sort_key)).
+            key_of = dict(zip(values, candidate_keys))
+            ordered = sorted(key_of.items(), key=lambda item: item[1])
+            unique = [value for value, _key in ordered]
+            self._sort_keys = [key for _value, key in ordered]
+        else:
+            unique = sorted(set(values), key=alphabet.sort_key)
         if not unique:
             raise StructureError("compressed trie requires at least one string")
         self.alphabet = alphabet
@@ -120,6 +145,78 @@ class CompressedTrie:
             self._node_by_prefix[common] = child
             remaining = [value for value in group if len(value) > len(common)]
             self._build(child, remaining)
+
+    # ------------------------------------------------------------------ #
+    # incremental insertion (canonical: identical to a full rebuild)
+    # ------------------------------------------------------------------ #
+    def insert(self, value: str) -> None:
+        """Add ``value`` in place, producing exactly the rebuilt trie.
+
+        Compressed tries are canonical in their string set, so the
+        incremental edge split / child attach below yields the same nodes
+        (prefixes, terminal flags, child order) a from-scratch
+        :class:`CompressedTrie` over the enlarged set would.  Child
+        dictionaries are kept in alphabet order — the order the
+        rebuilding constructor inserts them in — because downstream unit
+        collection and representative choice iterate them.
+        """
+        self.alphabet.validate_string(value)
+        if value in self:
+            raise StructureError(f"string {value!r} already stored")
+        if self._sort_keys is None:
+            # Built lazily on the first insert, then maintained in step
+            # with ``_strings`` so later inserts bisect instead of
+            # recomputing every string's sort key.
+            self._sort_keys = [self.alphabet.sort_key(value_) for value_ in self._strings]
+        value_key = self.alphabet.sort_key(value)
+        position = bisect_left(self._sort_keys, value_key)
+        self._sort_keys.insert(position, value_key)
+        self._strings = self._strings[:position] + (value,) + self._strings[position:]
+        if value == "":
+            self.root.terminal = True
+            return
+        node, matched = self.locate(value)
+        if matched == len(value):
+            if matched == node.depth:
+                # The node already exists (it was a branching point).
+                node.terminal = True
+                return
+            # ``value`` ends inside the edge leading to ``node``: split it.
+            self._split_edge(node, matched).terminal = True
+            return
+        if matched == node.depth:
+            # No child matches the next character: attach a fresh leaf.
+            leaf = TrieNode(prefix=value, terminal=True, parent=node)
+            self._node_by_prefix[value] = leaf
+            node.children[value[matched]] = leaf
+            self._sort_children(node)
+            return
+        # Mismatch inside the edge leading to ``node``: split, then attach.
+        mid = self._split_edge(node, matched)
+        leaf = TrieNode(prefix=value, terminal=True, parent=mid)
+        self._node_by_prefix[value] = leaf
+        mid.children[value[matched]] = leaf
+        self._sort_children(mid)
+
+    def _split_edge(self, node: TrieNode, depth: int) -> TrieNode:
+        """Insert a node at string depth ``depth`` on the edge into ``node``."""
+        parent = node.parent
+        if parent is None:  # pragma: no cover - the root has no incoming edge
+            raise StructureError("cannot split above the root")
+        prefix = node.prefix[:depth]
+        mid = TrieNode(prefix=prefix, terminal=False, parent=parent)
+        parent.children[prefix[parent.depth]] = mid
+        mid.children[node.prefix[depth]] = node
+        node.parent = mid
+        self._node_by_prefix[prefix] = mid
+        return mid
+
+    def _sort_children(self, node: TrieNode) -> None:
+        """Restore the alphabet order a rebuild would have inserted children in."""
+        if len(node.children) > 1:
+            node.children = dict(
+                sorted(node.children.items(), key=lambda entry: self.alphabet.index(entry[0]))
+            )
 
     # ------------------------------------------------------------------ #
     # traversal and queries
