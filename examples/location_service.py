@@ -8,15 +8,12 @@ approximate nearest-neighbour and range queries, printing the message
 costs of each operation.
 
 Run with:  python examples/location_service.py
+(after ``pip install -e .``, or with ``PYTHONPATH=src`` from the repo root)
 """
 
 import random
-import sys
-from pathlib import Path
 
-sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
-
-from repro.spatial import SkipQuadtreeWeb
+from repro.api import Cluster
 from repro.spatial.geometry import HyperCube
 from repro.spatial.nearest import approximate_nearest_neighbor, approximate_range_query
 from repro.workloads import clustered_points
@@ -29,14 +26,18 @@ def main() -> None:
     campus = HyperCube((0.0, 0.0), 1.0)
 
     print(f"== distributed quadtree over {len(kiosks)} kiosks ==")
-    web = SkipQuadtreeWeb(kiosks, bounding_cube=campus, seed=11)
-    print(f"hosts: {web.host_count}, quadtree depth: {web.level0_tree.depth()}, "
+    cluster = Cluster(
+        structure="skipquadtree", items=kiosks, bounding_cube=campus, seed=11,
+        mode="immediate",
+    )
+    web = cluster.structure  # domain APIs (approx-NN) live on the structure
+    print(f"hosts: {cluster.stats().hosts}, quadtree depth: {web.level0_tree.depth()}, "
           f"max records per host: {web.max_memory_per_host()}")
 
     print("\n== point location: which cell of the campus subdivision am I in? ==")
     for _ in range(3):
         position = (rng.random(), rng.random())
-        located = web.locate(position)
+        located = cluster.nearest(position).result()
         print(f"  at {position[0]:.3f},{position[1]:.3f}: cell side "
               f"{located.answer.cell.side:.4f}, {located.messages} messages")
 
@@ -55,8 +56,8 @@ def main() -> None:
           f"({result.messages} messages to locate its corners)")
 
     print("\n== a new kiosk comes online / one is removed ==")
-    insert = web.insert((0.515, 0.515))
-    delete = web.delete(kiosks[0])
+    insert = cluster.insert((0.515, 0.515))
+    delete = cluster.delete(kiosks[0])
     print(f"  insert: {insert.messages} messages, delete: {delete.messages} messages")
 
 

@@ -1,20 +1,18 @@
-"""Quickstart: a one-dimensional skip-web over a simulated peer-to-peer network.
+"""Quickstart: the ``repro.api.Cluster`` façade in five minutes.
 
-Builds a skip-web over 200 numeric keys spread across 200 hosts, runs
-nearest-neighbour queries from different origin hosts, inserts and deletes
-keys, and prints the message costs — the quantities the paper's Theorem 2
-bounds.
+Deploys a one-dimensional skip-web over 200 numeric keys through the
+public API — one constructor instead of hand-wiring network, structure,
+executor and churn control — then runs queries, a concurrent batch, an
+update, a range report and a membership change, printing the message
+costs the paper's Theorem 2 bounds.
 
 Run with:  python examples/quickstart.py
+(after ``pip install -e .``, or with ``PYTHONPATH=src`` from the repo root)
 """
 
 import random
-import sys
-from pathlib import Path
 
-sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
-
-from repro.onedim import BucketSkipWeb1D, SkipWeb1D
+from repro.api import Cluster, available_structures
 from repro.workloads import uniform_keys
 
 
@@ -22,34 +20,68 @@ def main() -> None:
     rng = random.Random(42)
     keys = uniform_keys(200, seed=7)
 
-    print("== building a 1-d skip-web over", len(keys), "keys (one host per key) ==")
-    web = SkipWeb1D(keys, seed=7)
-    print(f"hosts: {web.host_count}, max records per host: {web.max_memory_per_host()}")
+    print("== structure families constructible via Cluster(structure=...) ==")
+    print("  " + ", ".join(available_structures()))
 
-    print("\n== nearest-neighbour queries ==")
-    for _ in range(5):
-        query = rng.uniform(0, 1_000_000)
-        result = web.nearest(query, origin_host=rng.randrange(web.host_count))
+    print("\n== deploying a 1-d skip-web over", len(keys), "keys (one host per key) ==")
+    with Cluster(structure="skipweb1d", items=keys, seed=7, mode="immediate") as cluster:
+        stats = cluster.stats()
+        print(f"hosts: {stats.hosts}, max records per host: {stats.max_memory_per_host}")
+
+        print("\n== nearest-neighbour queries ==")
+        for _ in range(5):
+            query = rng.uniform(0, 1_000_000)
+            handle = cluster.nearest(query, origin_host=rng.randrange(stats.hosts))
+            result = handle.result()
+            print(
+                f"  query {query:12.1f} -> nearest {result.answer.nearest:12.1f} "
+                f"({handle.messages} messages, {len(result.hosts_visited)} hosts on path)"
+            )
+
+        print("\n== a concurrent batch through the round engine ==")
+        report = cluster.batch(
+            [("search", rng.uniform(0, 1_000_000)) for _ in range(40)]
+        )
         print(
-            f"  query {query:12.1f} -> nearest {result.answer.nearest:12.1f} "
-            f"({result.messages} messages, {len(result.hosts_visited)} hosts on path)"
+            f"  {report.completed}/{report.ops} ok in {report.rounds} rounds, "
+            f"{report.messages_per_op:.2f} msgs/op, "
+            f"worst per-host per-round load {report.max_round_congestion}"
         )
 
-    print("\n== updates ==")
-    new_key = 424242.42
-    insert = web.insert(new_key)
-    print(f"  insert {new_key}: {insert.messages} messages "
-          f"({insert.records_added} records created)")
-    print(f"  membership check: {web.contains(new_key)}")
-    delete = web.delete(keys[10])
-    print(f"  delete {keys[10]}: {delete.messages} messages")
+        print("\n== updates and range reporting ==")
+        insert = cluster.insert(424242.42)
+        print(f"  insert 424242.42: {insert.status} ({insert.messages} messages)")
+        window = cluster.range((420000.0, 430000.0))
+        print(f"  range [420000, 430000]: {window.result().count} keys "
+              f"({window.messages} messages)")
+        delete = cluster.delete(keys[10])
+        print(f"  delete {keys[10]}: {delete.status} ({delete.messages} messages)")
 
-    print("\n== bucket skip-web (§2.4.1): hosts that can store M = 64 items ==")
-    bucket = BucketSkipWeb1D(keys, memory_size=64, seed=7)
-    print(f"hosts: {bucket.host_count}, max items per host: {bucket.max_memory_per_host()}")
-    costs = [bucket.nearest(rng.uniform(0, 1_000_000)).messages for _ in range(20)]
+        print("\n== live membership change with self-repair ==")
+        join = cluster.join_host()
+        print(f"  join: {join.records_moved} records rebalanced "
+              f"({join.repair_messages} messages)")
+        crash = cluster.crash_host()
+        print(f"  crash + repair: {crash.records_moved} records re-homed "
+              f"({crash.repair_messages} messages)")
+
+    print("\n== bucket skip-web (§2.4.1) bulk-loaded via build_from_sorted ==")
+    bucket = Cluster(structure="bucket-skipweb1d", memory_size=64, seed=7, mode="immediate")
+    load = bucket.bulk_load(sorted(set(float(key) for key in keys)))
+    stats = bucket.stats()
+    print(f"hosts: {stats.hosts}, max items per host: {stats.max_memory_per_host}, "
+          f"construction messages: {load.messages}")
+    costs = [
+        bucket.nearest(rng.uniform(0, 1_000_000)).messages for _ in range(20)
+    ]
     print(f"  mean query messages: {sum(costs) / len(costs):.2f} "
           "(vs the plain skip-web's O(log n))")
+
+    print("\n== error taxonomy: what a DHT cannot do ==")
+    chord = Cluster(structure="chord", items=keys)
+    handle = chord.range((0.0, 1000.0))
+    print(f"  range query on Chord: status={handle.status!r} "
+          "(hashing destroys order, §1.2)")
 
 
 if __name__ == "__main__":

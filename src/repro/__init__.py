@@ -6,7 +6,22 @@ This package is a from-scratch reproduction of
     "Skip-Webs: Efficient Distributed Data Structures for Multi-Dimensional
     Data Sets", PODC 2005.
 
-The package is organised around the paper's structure:
+**Start at** :mod:`repro.api` — the supported public surface.  Its
+:class:`~repro.api.cluster.Cluster` façade deploys any registered
+structure family behind one constructor and exposes the full operation
+surface (``get`` / ``insert`` / ``delete`` / ``range`` / ``nearest``,
+concurrent ``batch`` runs, ``bulk_load``, live join/leave/crash with
+self-repair, ``stats`` / ``congestion`` snapshots)::
+
+    from repro.api import Cluster
+
+    with Cluster(structure="skipweb1d", items=keys, seed=7) as cluster:
+        print(cluster.nearest(421337.0).result())
+
+``python -m repro.cli structures`` lists every registered family;
+``python -m repro.cli list`` lists the paper's experiments.  The layers
+below are importable for research use, organised around the paper's
+structure:
 
 ``repro.net``
     A discrete peer-to-peer network simulator: hosts with bounded memory,
@@ -38,7 +53,13 @@ The package is organised around the paper's structure:
 
 ``repro.workloads`` and ``repro.bench``
     Synthetic workload generators and the experiment harness that
-    regenerates every table and figure of the paper.
+    regenerates every table and figure of the paper (itself re-plumbed
+    through ``repro.api``).
+
+``repro.api``
+    The façade and structure registry described above — the only layer
+    with a stability guarantee (see ``repro.api.__all__`` and DESIGN.md
+    §7).
 """
 
 from repro._version import __version__

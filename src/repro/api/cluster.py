@@ -1,0 +1,609 @@
+"""The :class:`Cluster` façade: one typed entry point for every structure.
+
+Before this module, every consumer of the reproduction wired the stack
+by hand: build a :class:`~repro.net.network.Network`, construct one of
+eleven structure classes, wrap a
+:class:`~repro.engine.executor.BatchExecutor` for concurrency, a
+:class:`~repro.engine.repair.RepairEngine` +
+:class:`~repro.net.churn.ChurnController` for membership change, and
+pick the ledger or tracing substrate.  ``Cluster`` composes all of that
+behind one constructor::
+
+    from repro.api import Cluster
+
+    with Cluster(structure="skipweb1d", items=keys, seed=7) as cluster:
+        handle = cluster.nearest(421337.0)        # OperationHandle
+        report = cluster.batch([("search", q) for q in queries])
+        cluster.join_host(); cluster.crash_host()
+        print(cluster.stats().as_dict())
+
+Operation methods return :class:`~repro.api.results.OperationHandle`
+objects with a uniform ``status`` (``"ok"`` / ``"failed"`` /
+``"unsupported"``); a batch isolates per-operation failures instead of
+raising mid-flight.  ``mode="immediate"`` drives single operations
+synchronously (the paper's one-at-a-time cost model, byte-identical to
+calling the structures directly); ``mode="batched"`` funnels even single
+operations through the round-based engine so their congestion is
+measured.
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.api.registry import StructureSpec, resolve_structure, structure_specs
+from repro.api.results import (
+    BatchReport,
+    ClusterStats,
+    OPERATION_KINDS,
+    OperationHandle,
+    STATUS_FAILED,
+    STATUS_UNSUPPORTED,
+)
+from repro.engine.executor import BatchExecutor, Operation
+from repro.engine.repair import RepairEngine, RepairResult
+from repro.engine.steps import run_immediate
+from repro.errors import QueryError, ReproError, StructureError
+from repro.net.churn import ChurnController, ChurnEvent
+from repro.net.congestion import RoundCongestionReport, round_congestion_report
+from repro.net.message import MessageKind
+from repro.net.naming import HostId
+from repro.net.network import Network, OperationStats
+
+#: Message kind charged per operation kind (single-operation immediate mode).
+_KIND_OF = {
+    "search": MessageKind.QUERY,
+    "range": MessageKind.QUERY,
+    "insert": MessageKind.UPDATE,
+    "delete": MessageKind.UPDATE,
+}
+
+#: Convenience aliases accepted wherever an operation kind is named.
+_KIND_ALIASES = {
+    "get": "search",
+    "lookup": "search",
+    "nearest": "search",
+    "query": "search",
+    "locate": "search",
+    "range_search": "range",
+    "report": "range",
+}
+
+
+def _canonical_kind(kind: str) -> str:
+    resolved = _KIND_ALIASES.get(kind, kind)
+    if resolved not in OPERATION_KINDS:
+        raise ValueError(
+            f"unknown operation kind {kind!r}; expected one of "
+            f"{OPERATION_KINDS} (or an alias {tuple(_KIND_ALIASES)})"
+        )
+    return resolved
+
+
+class ClusterSession:
+    """Operations scoped to one measurement window (see :meth:`Cluster.session`).
+
+    Forwards the operation surface to its cluster; ``messages`` /
+    ``rounds`` / ``by_kind`` read the live
+    :class:`~repro.net.network.OperationStats` of the window.
+    """
+
+    def __init__(self, cluster: "Cluster", stats: OperationStats) -> None:
+        self.cluster = cluster
+        self._stats = stats
+
+    # -- the operation surface, forwarded ------------------------------- #
+    def get(self, key: Any, origin_host: HostId | None = None) -> OperationHandle:
+        return self.cluster.get(key, origin_host=origin_host)
+
+    def nearest(self, query: Any, origin_host: HostId | None = None) -> OperationHandle:
+        return self.cluster.nearest(query, origin_host=origin_host)
+
+    def range(self, query_range: Any, origin_host: HostId | None = None) -> OperationHandle:
+        return self.cluster.range(query_range, origin_host=origin_host)
+
+    def insert(self, item: Any, origin_host: HostId | None = None) -> OperationHandle:
+        return self.cluster.insert(item, origin_host=origin_host)
+
+    def delete(self, item: Any, origin_host: HostId | None = None) -> OperationHandle:
+        return self.cluster.delete(item, origin_host=origin_host)
+
+    def batch(self, operations: Sequence[Any]) -> BatchReport:
+        return self.cluster.batch(operations)
+
+    # -- window accounting ----------------------------------------------- #
+    @property
+    def messages(self) -> int:
+        """Messages charged inside this session so far."""
+        return self._stats.messages
+
+    @property
+    def rounds(self) -> int:
+        """Distinct network rounds this session's messages spanned."""
+        return self._stats.rounds
+
+    def by_kind(self) -> dict[str, int]:
+        """Per-kind message counts of this session so far."""
+        return {kind.value: count for kind, count in self._stats.by_kind.items()}
+
+
+class Cluster:
+    """A deployed distributed structure with its full operation surface.
+
+    Parameters
+    ----------
+    structure:
+        Registry name (see :func:`repro.api.registry.available_structures`),
+        e.g. ``"skipweb1d"``, ``"skipquadtree"``, ``"chord"``.
+    items:
+        The ground set to build over.  Omit it to configure a cluster
+        first and load data later via :meth:`bulk_load`.
+    hosts:
+        Host budget (structures that take ``host_count``); default one
+        host per item where the structure supports it.
+    memory_size:
+        The paper's ``M`` for bucketed structures (``bucket-skipweb1d``).
+    seed:
+        Seed for membership words / promotions; also seeds the churn
+        controller unless ``churn_rng`` is given.
+    mode:
+        ``"batched"`` (default) runs every operation through the
+        round-based engine; ``"immediate"`` drives single operations
+        synchronously (the paper's one-at-a-time accounting).
+    network:
+        Pre-existing :class:`~repro.net.network.Network` to deploy into.
+    route_cache / max_retries:
+        Forwarded to the :class:`~repro.engine.executor.BatchExecutor`.
+    churn_rng / join_fraction / min_hosts:
+        Churn-controller configuration (see
+        :class:`~repro.net.churn.ChurnController`).
+    options:
+        Structure-specific keywords passed through to the factory
+        (``alphabet=``, ``bounding_cube=``, ``box=``, ``blocking=``,
+        ``bits=``, ...).
+    """
+
+    def __init__(
+        self,
+        structure: str = "skipweb1d",
+        items: Sequence[Any] | None = None,
+        *,
+        hosts: int | None = None,
+        memory_size: int | None = None,
+        seed: int = 0,
+        mode: str = "batched",
+        network: Network | None = None,
+        route_cache: bool = False,
+        max_retries: int = 5,
+        churn_rng: random.Random | None = None,
+        join_fraction: float = 0.5,
+        min_hosts: int = 2,
+        **options: Any,
+    ) -> None:
+        if mode not in ("batched", "immediate"):
+            raise ValueError(f"mode must be 'batched' or 'immediate', got {mode!r}")
+        self.spec: StructureSpec = resolve_structure(structure)
+        self.mode = mode
+        self.seed = seed
+        self._hosts = hosts
+        self._memory_size = memory_size
+        self._options = dict(options)
+        self._network = network
+        self._route_cache = route_cache
+        self._max_retries = max_retries
+        self._churn_rng = churn_rng
+        self._join_fraction = join_fraction
+        self._min_hosts = min_hosts
+        self._structure: Any = None
+        self._executor: BatchExecutor | None = None
+        self._churn: ChurnController | None = None
+        self._repair_engine: RepairEngine | None = None
+        self._closed = False
+        if items is not None:
+            self._structure = self._construct(self.spec.factory, items)
+
+    # ------------------------------------------------------------------ #
+    # construction paths
+    # ------------------------------------------------------------------ #
+    def _factory_kwargs(self) -> dict[str, Any]:
+        kwargs: dict[str, Any] = {"network": self._network, "seed": self.seed}
+        kwargs.update(self._options)
+        if self._hosts is not None:
+            kwargs["hosts"] = self._hosts
+        if self._memory_size is not None:
+            kwargs["memory_size"] = self._memory_size
+        return kwargs
+
+    def _construct(self, factory: Any, items: Sequence[Any]) -> Any:
+        try:
+            return factory(items, **self._factory_kwargs())
+        except TypeError as exc:
+            raise StructureError(
+                f"structure {self.spec.name!r} rejected its configuration: {exc}"
+            ) from exc
+
+    @classmethod
+    def from_structure(
+        cls,
+        structure: Any,
+        *,
+        mode: str = "batched",
+        route_cache: bool = False,
+        max_retries: int = 5,
+        churn_rng: random.Random | None = None,
+        join_fraction: float = 0.5,
+        min_hosts: int = 2,
+    ) -> "Cluster":
+        """Wrap an already-built structure instance in a façade.
+
+        The structure must be registered (its class resolvable by name)
+        so the cluster knows its capabilities.
+        """
+        specs = list(structure_specs().values())
+        # Exact class match first: subclass families (SkipNet under
+        # SkipGraph, ...) must not resolve to their base family's spec.
+        exact = [spec for spec in specs if type(structure) is spec.cls]
+        for spec in exact or specs:
+            if isinstance(structure, spec.cls):
+                cluster = cls.__new__(cls)
+                cluster.spec = spec
+                cluster.mode = mode
+                cluster.seed = 0
+                cluster._hosts = None
+                cluster._memory_size = None
+                cluster._options = {}
+                cluster._network = structure.network
+                cluster._route_cache = route_cache
+                cluster._max_retries = max_retries
+                cluster._churn_rng = churn_rng
+                cluster._join_fraction = join_fraction
+                cluster._min_hosts = min_hosts
+                cluster._structure = structure
+                cluster._executor = None
+                cluster._churn = None
+                cluster._repair_engine = None
+                cluster._closed = False
+                return cluster
+        raise StructureError(
+            f"{type(structure).__name__} is not a registered structure family"
+        )
+
+    def bulk_load(self, sorted_items: Sequence[Any]) -> OperationHandle:
+        """Build the structure from pre-sorted, deduplicated items.
+
+        Maps to the structure's ``build_from_sorted`` bulk-load
+        constructor: the O(n log n) defensive sort is skipped (sortedness
+        is verified in O(n)) and one CONSTRUCTION ledger message is
+        charged per record placed off the coordinator host.  Only legal
+        on a cluster constructed without ``items``.
+        """
+        self._check_open()
+        if self._structure is not None:
+            raise StructureError(
+                "cluster already holds data; bulk_load only applies to a "
+                "cluster constructed without items"
+            )
+        if self.spec.bulk_factory is None:
+            raise StructureError(
+                f"structure {self.spec.name!r} has no bulk-load constructor"
+            )
+        self._structure = self._construct(self.spec.bulk_factory, sorted_items)
+        return OperationHandle(
+            kind="bulk_load",
+            payload=len(sorted_items),
+            origin_host=None,
+            status="ok",
+            value=self._structure,
+            messages=getattr(self._structure, "construction_messages", 0),
+        )
+
+    # ------------------------------------------------------------------ #
+    # composed components
+    # ------------------------------------------------------------------ #
+    @property
+    def structure(self) -> Any:
+        """The underlying structure instance (escape hatch for domain APIs)."""
+        self._check_open()
+        if self._structure is None:
+            raise StructureError(
+                "cluster holds no data yet; pass items= at construction "
+                "or call bulk_load()"
+            )
+        return self._structure
+
+    @property
+    def network(self) -> Network:
+        """The simulated network the structure is deployed on."""
+        return self.structure.network
+
+    @property
+    def executor(self) -> BatchExecutor:
+        """The round-based batch executor (created on first use)."""
+        if self._executor is None:
+            self._executor = BatchExecutor(
+                self.structure,
+                route_cache=self._route_cache,
+                max_retries=self._max_retries,
+            )
+        return self._executor
+
+    @property
+    def churn(self) -> ChurnController:
+        """The churn controller driving membership change (created on first use)."""
+        if self._churn is None:
+            self._repair_engine = RepairEngine(self.structure)
+            self._churn = ChurnController(
+                self.network,
+                self._repair_engine,
+                rng=self._churn_rng or random.Random(self.seed),
+                join_fraction=self._join_fraction,
+                min_hosts=self._min_hosts,
+            )
+        return self._churn
+
+    # ------------------------------------------------------------------ #
+    # the operation surface
+    # ------------------------------------------------------------------ #
+    def get(self, key: Any, origin_host: HostId | None = None) -> OperationHandle:
+        """Exact-match / nearest lookup of ``key``."""
+        return self._run_single("search", key, origin_host)
+
+    def nearest(self, query: Any, origin_host: HostId | None = None) -> OperationHandle:
+        """Nearest-neighbour (point-location) query."""
+        return self._run_single("search", query, origin_host)
+
+    def range(self, query_range: Any, origin_host: HostId | None = None) -> OperationHandle:
+        """Output-sensitive range reporting (``status="unsupported"`` on DHTs)."""
+        return self._run_single("range", query_range, origin_host)
+
+    def insert(self, item: Any, origin_host: HostId | None = None) -> OperationHandle:
+        """Insert one item."""
+        return self._run_single("insert", item, origin_host)
+
+    def delete(self, item: Any, origin_host: HostId | None = None) -> OperationHandle:
+        """Delete one item."""
+        return self._run_single("delete", item, origin_host)
+
+    def batch(self, operations: Sequence[Any]) -> BatchReport:
+        """Run a mixed batch concurrently through the round-based engine.
+
+        ``operations`` may mix :class:`~repro.engine.executor.Operation`
+        objects, ``(kind, payload)`` / ``(kind, payload, origin_host)``
+        tuples and ``{"kind": ..., "payload": ..., "origin_host": ...}``
+        mappings; kind aliases (``"get"``, ``"nearest"``, ...) resolve to
+        the canonical four.  Per-operation trouble — retryable conflicts
+        that exhaust their retries, dead hosts, unsupported operations —
+        comes back as per-handle statuses; the call itself only raises
+        for caller errors (unknown kinds, an empty cluster).
+        """
+        self._check_open()
+        normalized = [self._normalize(operation) for operation in operations]
+        result = self.executor.run(normalized)
+        handles = [
+            self._classify(OperationHandle.from_outcome(outcome, index))
+            for index, outcome in enumerate(result.outcomes)
+        ]
+        return BatchReport(handles, result)
+
+    def _normalize(self, operation: Any) -> Operation:
+        if isinstance(operation, Operation):
+            return Operation(
+                kind=_canonical_kind(operation.kind),
+                payload=operation.payload,
+                origin_host=operation.origin_host,
+            )
+        if isinstance(operation, Mapping):
+            return Operation(
+                kind=_canonical_kind(operation["kind"]),
+                payload=operation["payload"],
+                origin_host=operation.get("origin_host"),
+            )
+        if isinstance(operation, tuple) and 2 <= len(operation) <= 3:
+            kind, payload = operation[0], operation[1]
+            origin = operation[2] if len(operation) == 3 else None
+            return Operation(
+                kind=_canonical_kind(kind), payload=payload, origin_host=origin
+            )
+        raise ValueError(
+            f"cannot interpret {operation!r} as an operation; pass an "
+            "Operation, a (kind, payload[, origin_host]) tuple, or a mapping"
+        )
+
+    def _classify(self, handle: OperationHandle) -> OperationHandle:
+        """Promote capability-level failures to the ``unsupported`` status.
+
+        The executor reports what the structure raised; the spec knows
+        whether that operation could *ever* succeed on this family (e.g.
+        updates on the static Chord baseline).
+        """
+        if handle.status == STATUS_FAILED:
+            if handle.kind == "range" and not self.spec.supports_range:
+                handle.status = STATUS_UNSUPPORTED
+            elif handle.kind in ("insert", "delete") and not self.spec.supports_updates:
+                handle.status = STATUS_UNSUPPORTED
+        return handle
+
+    def _default_origin(self) -> HostId:
+        # Hot path for immediate singles: O(1) membership checks with an
+        # early exit, not a per-operation copy of the alive-host list.
+        network = self.network
+        failed = network.failed_hosts
+        for host in self.structure.origin_hosts():
+            if host in network and host not in failed:
+                return host
+        raise QueryError("cluster has no alive origin hosts")
+
+    def _run_single(
+        self, kind: str, payload: Any, origin_host: HostId | None
+    ) -> OperationHandle:
+        self._check_open()
+        kind = _canonical_kind(kind)
+        if self.mode == "batched":
+            return self.batch([Operation(kind, payload, origin_host=origin_host)])[0]
+        origin = origin_host if origin_host is not None else self._default_origin()
+        steps_of = {
+            "search": self.structure.search_steps,
+            "range": self.structure.range_steps,
+            "insert": self.structure.insert_steps,
+            "delete": self.structure.delete_steps,
+        }[kind]
+        handle = OperationHandle(
+            kind=kind, payload=payload, origin_host=origin, status="ok"
+        )
+        try:
+            with self.network.measure() as stats:
+                handle.value = run_immediate(
+                    self.network, steps_of(payload, origin), origin, kind=_KIND_OF[kind]
+                )
+        except ReproError as error:
+            handle.error = error
+            handle.status = STATUS_FAILED
+            self._classify(handle)
+        # Messages charged before a failure are real traffic; bill them on
+        # the handle either way (matching the batched path's accounting).
+        handle.messages = stats.messages
+        return handle
+
+    # ------------------------------------------------------------------ #
+    # lifecycle: churn, repair, sessions
+    # ------------------------------------------------------------------ #
+    def configure_churn(
+        self,
+        rng: random.Random | None = None,
+        join_fraction: float | None = None,
+        min_hosts: int | None = None,
+    ) -> None:
+        """Override churn-controller settings before the first lifecycle call.
+
+        Accepting an external ``rng`` lets a harness share one seeded
+        stream between victim selection and its own workload draws.
+        """
+        if self._churn is not None:
+            raise StructureError(
+                "churn controller already materialised; configure before the "
+                "first lifecycle call"
+            )
+        if rng is not None:
+            self._churn_rng = rng
+        if join_fraction is not None:
+            self._join_fraction = join_fraction
+        if min_hosts is not None:
+            self._min_hosts = min_hosts
+
+    def join_host(self) -> ChurnEvent:
+        """Register a fresh host and rebalance load onto it."""
+        self._check_open()
+        return self.churn.join()
+
+    def leave_host(self, host_id: HostId | None = None) -> ChurnEvent:
+        """Gracefully retire a host (records handed off first)."""
+        self._check_open()
+        return self.churn.leave(host_id)
+
+    def crash_host(self, host_id: HostId | None = None) -> ChurnEvent:
+        """Fail a host without warning, then self-repair and remove it."""
+        self._check_open()
+        return self.churn.crash(host_id)
+
+    def run_churn_schedule(self, kinds: Sequence[str]) -> list[ChurnEvent]:
+        """Apply a sequence of ``"join"`` / ``"leave"`` / ``"crash"`` events."""
+        self._check_open()
+        return self.churn.run_schedule(kinds)
+
+    @property
+    def churn_events(self) -> list[ChurnEvent]:
+        """Every membership change applied so far, with measured repair cost."""
+        return list(self._churn.events) if self._churn is not None else []
+
+    def repair(self, host_ids: Sequence[HostId]) -> RepairResult:
+        """Re-home the records orphaned by crashed ``host_ids``."""
+        self._check_open()
+        self.churn  # materialise the repair engine
+        assert self._repair_engine is not None
+        return self._repair_engine.repair(list(host_ids))
+
+    @contextmanager
+    def session(self) -> Iterator[ClusterSession]:
+        """Scope a measurement window: ``with cluster.session() as s: ...``."""
+        self._check_open()
+        with self.network.measure() as stats:
+            yield ClusterSession(self, stats)
+
+    def __enter__(self) -> "Cluster":
+        self._check_open()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the façade down; further operations raise ``StructureError``.
+
+        The churn controller is kept so ``churn_events`` — the measured
+        history of a run — stays readable after the context manager exits.
+        """
+        self._closed = True
+        self._executor = None
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StructureError("cluster is closed")
+
+    # ------------------------------------------------------------------ #
+    # snapshots
+    # ------------------------------------------------------------------ #
+    def _ground_set_size(self) -> int | None:
+        structure = self._structure
+        for candidate in (structure, getattr(structure, "web", None)):
+            if candidate is None:
+                continue
+            size = getattr(candidate, "ground_set_size", None)
+            if size is not None:
+                return size
+        keys = getattr(structure, "keys", None)
+        return len(keys) if keys is not None else None
+
+    def stats(self) -> ClusterStats:
+        """Deployment + lifetime-traffic snapshot (costs no messages)."""
+        network = self.network
+        log = network.message_log
+        return ClusterStats(
+            structure=self.spec.name,
+            hosts=network.host_count,
+            alive_hosts=len(network.alive_host_ids()),
+            failed_hosts=len(network.failed_hosts),
+            ground_set_size=self._ground_set_size(),
+            max_memory_per_host=(
+                self.structure.max_memory_per_host()
+                if hasattr(self.structure, "max_memory_per_host")
+                else network.max_memory_used()
+            ),
+            membership_epoch=network.membership_epoch,
+            messages_total=network.total_messages,
+            messages_by_kind={
+                kind.value: count
+                for kind, count in log.counts_by_kind().items()
+                if count
+            },
+            construction_messages=getattr(self.structure, "construction_messages", 0),
+        )
+
+    def congestion(self) -> Any:
+        """The structure-level congestion report ``C(n)`` of §1.1."""
+        structure = self.structure
+        if hasattr(structure, "congestion"):
+            return structure.congestion()
+        return structure.web.congestion()
+
+    def round_congestion(self) -> RoundCongestionReport:
+        """Whole-session per-round congestion aggregates (PR-4 ledger)."""
+        return round_congestion_report(self.network)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        loaded = self._structure is not None
+        return (
+            f"Cluster(structure={self.spec.name!r}, mode={self.mode!r}, "
+            f"loaded={loaded}, hosts={self.network.host_count if loaded else 0})"
+        )

@@ -1,0 +1,67 @@
+"""Deprecation shims for the pre-façade wiring idiom.
+
+Before :mod:`repro.api`, every consumer composed the stack by hand —
+construct a structure class directly, wrap a
+:class:`~repro.engine.executor.BatchExecutor` for batches, and wire a
+:class:`~repro.net.churn.ChurnController` over a
+:class:`~repro.engine.repair.RepairEngine` for membership change.  These
+shims keep that direct-construction idiom importable for one release,
+warning on use; new code should construct a
+:class:`repro.api.cluster.Cluster` instead, which composes all three
+behind one constructor.
+
+The shims are deliberately thin: each one forwards to exactly the code
+path the old idiom used, so behaviour (and message accounting) is
+unchanged — only the entry point is deprecated.
+"""
+
+from __future__ import annotations
+
+import random
+import warnings
+from typing import Any, Sequence
+
+from repro.api.registry import resolve_structure
+from repro.engine.executor import BatchExecutor
+from repro.engine.repair import RepairEngine
+from repro.net.churn import ChurnController
+
+
+def _warn(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead (see repro.api)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def build_structure(name: str, items: Sequence[Any], **kwargs: Any) -> Any:
+    """Deprecated: construct a bare structure by registry name.
+
+    Use ``Cluster(structure=name, items=items, ...)`` and its
+    ``.structure`` escape hatch instead.
+    """
+    _warn("repro.api.compat.build_structure", "repro.api.Cluster")
+    return resolve_structure(name).factory(items, **kwargs)
+
+
+def build_executor(structure: Any, **kwargs: Any) -> BatchExecutor:
+    """Deprecated: hand-wire a batch executor over a structure.
+
+    Use ``Cluster.batch`` (or ``Cluster.from_structure(structure)``)
+    instead.
+    """
+    _warn("repro.api.compat.build_executor", "Cluster.batch")
+    return BatchExecutor(structure, **kwargs)
+
+
+def build_churn_controller(
+    structure: Any, rng: random.Random | None = None, **kwargs: Any
+) -> ChurnController:
+    """Deprecated: hand-wire churn control over a structure.
+
+    Use the ``Cluster`` lifecycle methods (``join_host`` / ``leave_host``
+    / ``crash_host`` / ``repair``) instead.
+    """
+    _warn("repro.api.compat.build_churn_controller", "Cluster.join_host/leave_host/crash_host")
+    return ChurnController(structure.network, RepairEngine(structure), rng=rng, **kwargs)

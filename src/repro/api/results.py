@@ -1,0 +1,223 @@
+"""Uniform result objects returned by the :class:`repro.api.cluster.Cluster` façade.
+
+Every operation — single or batched, on any registered structure — comes
+back as an :class:`OperationHandle`: one object carrying the operation's
+identity, its *status*, its domain-level value and its measured cost.
+The statuses translate the internal error taxonomy
+(:mod:`repro.errors`) into three client-facing outcomes:
+
+``"ok"``
+    The operation completed; ``value`` holds the structure's result
+    object (a ``QueryResult``, ``RangeQueryResult``, ``UpdateResult``,
+    ``ChordLookup``, ...).
+``"unsupported"``
+    The structure can *never* perform this operation
+    (:class:`~repro.errors.UnsupportedOperationError` — e.g. a range
+    query on the Chord baseline, §1.2).  Retrying is pointless.
+``"failed"``
+    The operation failed on this attempt: a retryable conflict that
+    exhausted its retries, a dead host, a duplicate insert, an update on
+    a static structure.  ``error`` holds the underlying exception.
+
+A batch returns a :class:`BatchReport` — a sequence of handles (one per
+submitted operation, in submission order) that also exposes the
+round-engine aggregates (rounds, messages, per-host per-round congestion)
+the benchmarks are built on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.engine.executor import BatchResult, OpOutcome
+from repro.errors import UnsupportedOperationError
+from repro.net.congestion import RoundCongestionReport
+from repro.net.naming import HostId
+
+#: The operation kinds a cluster accepts (aliases resolved in the façade).
+OPERATION_KINDS = ("search", "range", "insert", "delete")
+
+#: The statuses an :class:`OperationHandle` can carry.
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+STATUS_UNSUPPORTED = "unsupported"
+
+
+@dataclass
+class OperationHandle:
+    """One operation's identity, status, value and measured cost."""
+
+    kind: str
+    payload: Any
+    origin_host: HostId | None
+    status: str
+    value: Any = None
+    error: Exception | None = None
+    messages: int = 0
+    rounds: int = 0
+    retries: int = 0
+    cache_hits: int = 0
+    index: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the operation completed without error."""
+        return self.status == STATUS_OK
+
+    @property
+    def unsupported(self) -> bool:
+        """Whether the structure can never perform this operation."""
+        return self.status == STATUS_UNSUPPORTED
+
+    def result(self) -> Any:
+        """The operation's value, re-raising its error if it did not complete."""
+        if self.error is not None:
+            raise self.error
+        return self.value
+
+    @classmethod
+    def from_outcome(cls, outcome: OpOutcome, index: int = 0) -> "OperationHandle":
+        """Wrap one executor outcome, translating errors into statuses."""
+        if outcome.error is None:
+            status = STATUS_OK
+        elif isinstance(outcome.error, UnsupportedOperationError):
+            status = STATUS_UNSUPPORTED
+        else:
+            status = STATUS_FAILED
+        return cls(
+            kind=outcome.operation.kind,
+            payload=outcome.operation.payload,
+            origin_host=outcome.origin_host,
+            status=status,
+            value=outcome.value,
+            error=outcome.error,
+            messages=outcome.messages,
+            rounds=outcome.rounds,
+            retries=outcome.retries,
+            cache_hits=outcome.cache_hits,
+            index=index,
+        )
+
+
+class BatchReport:
+    """Outcome of one :meth:`repro.api.cluster.Cluster.batch` call.
+
+    Behaves as a sequence of :class:`OperationHandle` (submission order)
+    and exposes the round-engine aggregates of the underlying
+    :class:`~repro.engine.executor.BatchResult` (kept as ``raw``).
+    """
+
+    def __init__(self, handles: list[OperationHandle], raw: BatchResult) -> None:
+        self.handles = handles
+        self.raw = raw
+
+    # -- sequence protocol ---------------------------------------------- #
+    def __len__(self) -> int:
+        return len(self.handles)
+
+    def __iter__(self) -> Iterator[OperationHandle]:
+        return iter(self.handles)
+
+    def __getitem__(self, index: int) -> OperationHandle:
+        return self.handles[index]
+
+    # -- aggregates ------------------------------------------------------ #
+    @property
+    def ops(self) -> int:
+        return len(self.handles)
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for handle in self.handles if handle.ok)
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for handle in self.handles if handle.status == STATUS_FAILED)
+
+    @property
+    def unsupported(self) -> int:
+        return sum(1 for handle in self.handles if handle.unsupported)
+
+    @property
+    def rounds(self) -> int:
+        return self.raw.rounds
+
+    @property
+    def messages(self) -> int:
+        return self.raw.messages
+
+    @property
+    def messages_per_op(self) -> float:
+        return self.raw.messages_per_op
+
+    @property
+    def ops_per_round(self) -> float:
+        return self.raw.ops_per_round
+
+    @property
+    def max_round_congestion(self) -> int:
+        return self.raw.max_round_congestion
+
+    @property
+    def retries(self) -> int:
+        return sum(handle.retries for handle in self.handles)
+
+    @property
+    def cache_hits(self) -> int:
+        return self.raw.cache_hits
+
+    @property
+    def cache_misses(self) -> int:
+        return self.raw.cache_misses
+
+    def round_congestion(self) -> RoundCongestionReport:
+        """Full round-level congestion summary of the batch."""
+        return self.raw.round_congestion()
+
+    def summary(self) -> dict[str, Any]:
+        """One benchmark-table row worth of aggregate numbers."""
+        summary = self.raw.summary()
+        summary["unsupported"] = self.unsupported
+        return summary
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BatchReport(ops={self.ops}, completed={self.completed}, "
+            f"failed={self.failed}, unsupported={self.unsupported}, "
+            f"rounds={self.rounds}, messages={self.messages})"
+        )
+
+
+@dataclass(frozen=True)
+class ClusterStats:
+    """Point-in-time snapshot of a cluster's deployment and traffic.
+
+    Built on the network's lifetime ledger counters and membership state
+    (the PR-4 aggregates), so taking a snapshot costs no messages.
+    """
+
+    structure: str
+    hosts: int
+    alive_hosts: int
+    failed_hosts: int
+    ground_set_size: int | None
+    max_memory_per_host: int
+    membership_epoch: int
+    messages_total: int
+    messages_by_kind: dict[str, int] = field(default_factory=dict)
+    construction_messages: int = 0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "structure": self.structure,
+            "hosts": self.hosts,
+            "alive_hosts": self.alive_hosts,
+            "failed_hosts": self.failed_hosts,
+            "ground_set_size": self.ground_set_size,
+            "max_memory_per_host": self.max_memory_per_host,
+            "membership_epoch": self.membership_epoch,
+            "messages_total": self.messages_total,
+            "messages_by_kind": dict(self.messages_by_kind),
+            "construction_messages": self.construction_messages,
+        }

@@ -42,3 +42,60 @@ __all__ = [
     "BucketSkipGraph",
     "ChordDHT",
 ]
+
+from repro.api.registry import StructureSpec, register_structure
+
+
+def _overlay_factories(cls):
+    """Factory pair for the shared ``(keys, network=None, seed=0)`` signature."""
+
+    def factory(items, *, network=None, seed=0, **options):
+        return cls(items, network=network, seed=seed, **options)
+
+    def bulk(items, *, network=None, seed=0, **options):
+        return cls.build_from_sorted(items, network=network, seed=seed, **options)
+
+    return factory, bulk
+
+
+for _name, _cls, _description in (
+    ("skipgraph", SkipGraph, "skip graph (Aspnes-Shah): one key per host, O(log n) search"),
+    ("skipnet", SkipNet, "SkipNet (Harvey et al.): ring-ordered skip graph variant"),
+    ("non-skipgraph", NoNSkipGraph, "NoN skip graph: neighbour-of-neighbour lookahead"),
+    ("family-tree", FamilyTreeOverlay, "family tree (Zatloukal-Harvey): O(1) pointers per host"),
+    ("det-skipnet", DeterministicSkipNet, "deterministic SkipNet (Harvey-Munro)"),
+    ("bucket-skipgraph", BucketSkipGraph, "bucket skip graph: H < n hosts, contiguous buckets"),
+):
+    _factory, _bulk = _overlay_factories(_cls)
+    register_structure(
+        StructureSpec(
+            name=_name,
+            cls=_cls,
+            factory=_factory,
+            bulk_factory=_bulk,
+            description=_description,
+        )
+    )
+
+
+def _chord(items, *, network=None, seed=0, **options):
+    # Chord's placement is pure hashing; ``seed`` is accepted for
+    # interface uniformity but has nothing to influence.
+    return ChordDHT(items, network=network, **options)
+
+
+def _chord_bulk(items, *, network=None, seed=0, **options):
+    return ChordDHT.build_from_sorted(items, network=network, **options)
+
+
+register_structure(
+    StructureSpec(
+        name="chord",
+        cls=ChordDHT,
+        factory=_chord,
+        bulk_factory=_chord_bulk,
+        supports_range=False,
+        supports_updates=False,
+        description="Chord DHT: exact-match only; hashing destroys order (§1.2)",
+    )
+)

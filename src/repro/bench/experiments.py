@@ -4,6 +4,11 @@ Every function returns a list of plain dictionaries (rows) so that the
 ``benchmarks/`` modules can assert on them and the CLI can print them with
 :func:`repro.bench.reporting.format_table`.  All randomness is seeded.
 
+Every distributed structure is deployed through the public
+:class:`repro.api.Cluster` façade (see :func:`_cluster` below) — the
+same registry path clients use — in immediate mode, so every message
+count is byte-identical to the pre-façade direct constructions.
+
 Experiment index (see DESIGN.md §3 for the full mapping):
 
 =====================  =========================================================
@@ -35,30 +40,22 @@ import random
 from statistics import mean
 from typing import Any, Callable, Sequence
 
-from repro.baselines import (
-    BucketSkipGraph,
-    ChordDHT,
-    DeterministicSkipNet,
-    FamilyTreeOverlay,
-    NoNSkipGraph,
-    SkipGraph,
-    SkipList,
-    SkipNet,
-)
+from repro.api import BatchReport, Cluster
+from repro.baselines import SkipList
 from repro.core.halving import sample_half, verify_halving
 from repro.core.ranges import Interval
-from repro.engine import BatchExecutor, BatchResult, Operation, RepairEngine, run_immediate
-from repro.errors import ChurnError, UnsupportedOperationError
-from repro.net.churn import ChurnController, churn_schedule
+from repro.engine import Operation
+from repro.errors import ChurnError
+from repro.net.churn import churn_schedule
 from repro.net.network import ledger_mode
-from repro.onedim import BucketSkipWeb1D, SkipWeb1D, SortedListStructure
+from repro.onedim import SortedListStructure
 from repro.planar.segments import bounding_box
-from repro.planar.skip_trapezoid import SkipTrapezoidWeb, TrapezoidalMapStructure, Window
+from repro.planar.skip_trapezoid import TrapezoidalMapStructure, Window
 from repro.spatial.geometry import Box, HyperCube
 from repro.spatial.quadtree import CompressedQuadtree
-from repro.spatial.skip_quadtree import SkipQuadtreeWeb, descent_conflicts
+from repro.spatial.skip_quadtree import descent_conflicts
 from repro.strings import DNA, LOWERCASE
-from repro.strings.skip_trie import PrefixRange, SkipTrieWeb, TrieStructure
+from repro.strings.skip_trie import PrefixRange, TrieStructure
 from repro.workloads import (
     dna_reads,
     non_crossing_segments,
@@ -68,6 +65,21 @@ from repro.workloads import (
 from repro.workloads.strings import prefix_queries, random_strings
 
 Row = dict[str, Any]
+
+
+def _cluster(name: str, items: Sequence[Any], **kwargs: Any) -> Cluster:
+    """Deploy one structure family through the public façade.
+
+    Every experiment constructs through :class:`repro.api.Cluster` (the
+    registry path clients use) in immediate mode, so single-operation
+    message counts stay byte-identical to the pre-façade direct calls.
+    """
+    return Cluster(structure=name, items=items, mode="immediate", **kwargs)
+
+
+def _structure(name: str, items: Sequence[Any], **kwargs: Any) -> Any:
+    """Shorthand for experiments that only need the raw structure."""
+    return _cluster(name, items, **kwargs).structure
 
 
 def _ledger(function: Callable[..., list[Row]]) -> Callable[..., list[Row]]:
@@ -128,15 +140,19 @@ def table1_comparison(
                 "U_mean": round(mean(update_costs), 2) if update_costs else 0.0,
             }
 
-        rows.append(measure_baseline(SkipGraph(keys, seed=seed), "skip graph"))
-        rows.append(measure_baseline(SkipNet(keys, seed=seed), "SkipNet"))
-        rows.append(measure_baseline(NoNSkipGraph(keys, seed=seed), "NoN skip graph"))
-        rows.append(measure_baseline(FamilyTreeOverlay(keys, seed=seed), "family tree"))
-        rows.append(measure_baseline(DeterministicSkipNet(keys, seed=seed), "deterministic SkipNet"))
-        rows.append(measure_baseline(BucketSkipGraph(keys, seed=seed), "bucket skip graph"))
+        rows.append(measure_baseline(_structure("skipgraph", keys, seed=seed), "skip graph"))
+        rows.append(measure_baseline(_structure("skipnet", keys, seed=seed), "SkipNet"))
+        rows.append(measure_baseline(_structure("non-skipgraph", keys, seed=seed), "NoN skip graph"))
+        rows.append(measure_baseline(_structure("family-tree", keys, seed=seed), "family tree"))
+        rows.append(
+            measure_baseline(_structure("det-skipnet", keys, seed=seed), "deterministic SkipNet")
+        )
+        rows.append(
+            measure_baseline(_structure("bucket-skipgraph", keys, seed=seed), "bucket skip graph")
+        )
 
         # skip-web (this paper)
-        web = SkipWeb1D(keys, seed=seed)
+        web = _structure("skipweb1d", keys, seed=seed)
         query_costs = [web.nearest(q).messages for q in queries]
         update_costs = [web.insert(key).messages for key in update_keys]
         congestion = web.congestion()
@@ -153,7 +169,7 @@ def table1_comparison(
         )
 
         # bucket skip-web (this paper)
-        bucket = BucketSkipWeb1D(keys, memory_size=bucket_memory, seed=seed)
+        bucket = _structure("bucket-skipweb1d", keys, memory_size=bucket_memory, seed=seed)
         query_costs = [bucket.nearest(q, origin_key=rng.choice(keys)).messages for q in queries]
         update_costs = [bucket.insert(key).messages for key in update_keys[: max(2, updates_per_size // 2)]]
         congestion = bucket.congestion()
@@ -170,7 +186,7 @@ def table1_comparison(
         )
 
         # Chord: exact-match lookups only (richer queries unsupported, §1.2).
-        chord = ChordDHT(keys)
+        chord = _structure("chord", keys)
         lookup_costs = [chord.lookup(key).messages for key in rng.sample(keys, min(len(keys), queries_per_size))]
         rows.append(
             {
@@ -224,7 +240,7 @@ def fig2_skipweb_levels(n: int = 256, queries: int = 60, seed: int = 0) -> list[
     """Level-structure statistics plus per-level query messages for a 1-d skip-web."""
     rng = random.Random(seed)
     keys = uniform_keys(n, seed=seed)
-    web = SkipWeb1D(keys, seed=seed)
+    web = _structure("skipweb1d", keys, seed=seed)
     rows: list[Row] = []
     per_level_messages: dict[int, list[int]] = {}
     for _ in range(queries):
@@ -393,7 +409,9 @@ def theorem2_multidim(
         rng = random.Random(seed + n)
 
         points = uniform_points(n, dimension=2, seed=seed + n)
-        quad_web = SkipQuadtreeWeb(points, bounding_cube=HyperCube((0.0, 0.0), 1.0), seed=seed)
+        quad_web = _structure(
+            "skipquadtree", points, bounding_cube=HyperCube((0.0, 0.0), 1.0), seed=seed
+        )
         quad_costs = [
             quad_web.locate((rng.random(), rng.random())).messages
             for _ in range(queries_per_size)
@@ -410,7 +428,7 @@ def theorem2_multidim(
         )
 
         strings = random_strings(n, alphabet=LOWERCASE, seed=seed + n)
-        trie_web = SkipTrieWeb(strings, alphabet=LOWERCASE, seed=seed)
+        trie_web = _structure("skiptrie", strings, alphabet=LOWERCASE, seed=seed)
         trie_costs = [
             trie_web.locate(query).messages
             for query in prefix_queries(strings, queries_per_size, seed=seed + n)
@@ -429,7 +447,7 @@ def theorem2_multidim(
         segment_count = max(8, n // 8)
         segments = non_crossing_segments(segment_count, seed=seed + n)
         box = bounding_box(segments)
-        trapezoid_web = SkipTrapezoidWeb(segments, box=box, seed=seed)
+        trapezoid_web = _structure("skiptrapezoid", segments, box=box, seed=seed)
         trapezoid_costs = [
             trapezoid_web.locate(
                 (rng.uniform(box[0], box[1]), rng.uniform(box[2], box[3]))
@@ -463,7 +481,7 @@ def theorem2_onedim(
         keys = uniform_keys(n, seed=seed + n)
         queries = _query_points(queries_per_size, rng)
 
-        web = SkipWeb1D(keys, seed=seed)
+        web = _structure("skipweb1d", keys, seed=seed)
         costs = [web.nearest(q).messages for q in queries]
         rows.append(
             {
@@ -476,7 +494,7 @@ def theorem2_onedim(
             }
         )
         for memory in memory_sizes:
-            bucket = BucketSkipWeb1D(keys, memory_size=memory, seed=seed)
+            bucket = _structure("bucket-skipweb1d", keys, memory_size=memory, seed=seed)
             costs = [bucket.nearest(q, origin_key=rng.choice(keys)).messages for q in queries]
             rows.append(
                 {
@@ -575,22 +593,23 @@ def _window_queries_near_k(
 def _range_scenarios(n: int, bucket_memory: int, seed: int):
     """The six range-capable structures with their per-k query makers.
 
-    Yields ``(name, structure, size, make_queries)`` where
-    ``make_queries(k, count, rng)`` draws ``count`` ranges with output
-    size near ``k``, and ``size`` is the structure's own ground-set size
-    (the trapezoid web is built over fewer segments than ``n``).
+    Yields ``(name, cluster, size, make_queries)`` where ``cluster`` is
+    the façade deployment, ``make_queries(k, count, rng)`` draws
+    ``count`` ranges with output size near ``k``, and ``size`` is the
+    structure's own ground-set size (the trapezoid web is built over
+    fewer segments than ``n``).
     """
     keys = uniform_keys(n, seed=seed + n)
     sorted_keys = sorted(set(float(key) for key in keys))
     yield (
         "skip-web 1-d",
-        SkipWeb1D(keys, seed=seed),
+        _cluster("skipweb1d", keys, seed=seed),
         n,
         lambda k, count, rng: _interval_queries_exact_k(sorted_keys, k, count, rng),
     )
     yield (
         f"bucket skip-web (M={bucket_memory})",
-        BucketSkipWeb1D(keys, memory_size=bucket_memory, seed=seed),
+        _cluster("bucket-skipweb1d", keys, memory_size=bucket_memory, seed=seed),
         n,
         lambda k, count, rng: _interval_queries_exact_k(sorted_keys, k, count, rng),
     )
@@ -598,7 +617,7 @@ def _range_scenarios(n: int, bucket_memory: int, seed: int):
     points = uniform_points(n, dimension=2, seed=seed + n)
     yield (
         "quadtree skip-web",
-        SkipQuadtreeWeb(points, bounding_cube=HyperCube((0.0, 0.0), 1.0), seed=seed),
+        _cluster("skipquadtree", points, bounding_cube=HyperCube((0.0, 0.0), 1.0), seed=seed),
         n,
         lambda k, count, rng: _box_queries_near_k(points, k, count, rng),
     )
@@ -606,7 +625,7 @@ def _range_scenarios(n: int, bucket_memory: int, seed: int):
     reads = dna_reads(n, seed=seed + n)
     yield (
         "trie skip-web",
-        SkipTrieWeb(reads, alphabet=DNA, seed=seed),
+        _cluster("skiptrie", reads, alphabet=DNA, seed=seed),
         n,
         lambda k, count, rng: _prefix_queries_near_k(reads, k, count, rng),
     )
@@ -614,18 +633,18 @@ def _range_scenarios(n: int, bucket_memory: int, seed: int):
     segment_count = max(8, n // 8)
     segments = non_crossing_segments(segment_count, seed=seed + n)
     box = bounding_box(segments)
-    trapezoid_web = SkipTrapezoidWeb(segments, box=box, seed=seed)
-    trapezoids = trapezoid_web.level0_map.trapezoids
+    trapezoid_cluster = _cluster("skiptrapezoid", segments, box=box, seed=seed)
+    trapezoids = trapezoid_cluster.structure.level0_map.trapezoids
     yield (
         "trapezoid skip-web",
-        trapezoid_web,
+        trapezoid_cluster,
         segment_count,
         lambda k, count, rng: _window_queries_near_k(trapezoids, box, k, count, rng),
     )
 
     yield (
         "skip graph (baseline)",
-        SkipGraph(keys, seed=seed),
+        _cluster("skipgraph", keys, seed=seed),
         n,
         lambda k, count, rng: _interval_queries_exact_k(sorted_keys, k, count, rng),
     )
@@ -653,10 +672,10 @@ def range_queries(
     """
     rows: list[Row] = []
     for n in sizes:
-        for name, structure, size, make_queries in _range_scenarios(
+        for name, cluster, size, make_queries in _range_scenarios(
             n, bucket_memory, seed
         ):
-            origins = structure.origin_hosts()
+            origins = cluster.structure.origin_hosts()
             for k_target in target_ks:
                 rng = random.Random(seed + n + 31 * k_target)
                 queries = make_queries(k_target, queries_per_size, rng)
@@ -666,14 +685,10 @@ def range_queries(
                 immediate_messages = []
                 k_values = []
                 for query, origin in zip(queries, pinned):
-                    result = run_immediate(
-                        structure.network,
-                        structure.range_steps(query, origin),
-                        origin,
-                    )
+                    result = cluster.range(query, origin_host=origin).result()
                     immediate_messages.append(result.messages)
                     k_values.append(result.count)
-                batch = BatchExecutor(structure).run(
+                batch = cluster.batch(
                     [
                         Operation("range", query, origin_host=origin)
                         for query, origin in zip(queries, pinned)
@@ -699,14 +714,12 @@ def range_queries(
                     }
                 )
 
-        # Chord: range queries are impossible over a hash overlay (§1.2).
+        # Chord: range queries are impossible over a hash overlay (§1.2);
+        # the façade reports that as a per-handle "unsupported" status.
         keys = uniform_keys(n, seed=seed + n)
-        chord = ChordDHT(keys)
-        try:
-            chord.range_steps(Interval(0.0, 1.0))
-            supported = "yes"  # pragma: no cover - would contradict §1.2
-        except UnsupportedOperationError:
-            supported = "no"
+        chord = _cluster("chord", keys)
+        handle = chord.range(Interval(0.0, 1.0))
+        supported = "no" if handle.unsupported else "yes"
         rows.append(
             {
                 "structure": "Chord DHT",
@@ -737,7 +750,7 @@ def update_costs(
     for n in sizes:
         rng = random.Random(seed + n)
         keys = uniform_keys(n, seed=seed + n)
-        web = SkipWeb1D(keys, seed=seed)
+        web = _structure("skipweb1d", keys, seed=seed)
         inserts = [web.insert(rng.uniform(0, 1_000_000)).messages for _ in range(updates_per_size)]
         deletes = [web.delete(key).messages for key in rng.sample(keys, updates_per_size // 2 or 1)]
         rows.append(
@@ -750,7 +763,9 @@ def update_costs(
         )
 
         points = uniform_points(n, dimension=2, seed=seed + n)
-        quad_web = SkipQuadtreeWeb(points, bounding_cube=HyperCube((0.0, 0.0), 1.0), seed=seed)
+        quad_web = _structure(
+            "skipquadtree", points, bounding_cube=HyperCube((0.0, 0.0), 1.0), seed=seed
+        )
         quad_inserts = [
             quad_web.insert((rng.random(), rng.random())).messages
             for _ in range(max(2, updates_per_size // 2))
@@ -768,7 +783,7 @@ def update_costs(
             }
         )
 
-        bucket = BucketSkipWeb1D(keys, memory_size=32, seed=seed)
+        bucket = _structure("bucket-skipweb1d", keys, memory_size=32, seed=seed)
         bucket_inserts = [
             bucket.insert(rng.uniform(0, 1_000_000)).messages
             for _ in range(max(2, updates_per_size // 2))
@@ -800,7 +815,7 @@ def ablation_blocking(
     query_points = _query_points(queries, rng)
     rows: list[Row] = []
     for blocking in ("owner", "round_robin", "hash"):
-        web = SkipWeb1D(keys, blocking=blocking, seed=seed)
+        web = _structure("skipweb1d", keys, blocking=blocking, seed=seed)
         costs = [web.nearest(q).messages for q in query_points]
         congestion = web.congestion()
         rows.append(
@@ -813,7 +828,7 @@ def ablation_blocking(
             }
         )
     for memory in memory_sizes:
-        bucket = BucketSkipWeb1D(keys, memory_size=memory, seed=seed)
+        bucket = _structure("bucket-skipweb1d", keys, memory_size=memory, seed=seed)
         costs = [bucket.nearest(q, origin_key=rng.choice(keys)).messages for q in query_points]
         rows.append(
             {
@@ -848,22 +863,21 @@ def _mixed_operations(
 
 
 def _throughput_row(
-    structure: str, n: int, result: BatchResult, cache: str = "off"
+    structure: str, n: int, report: BatchReport, cache: str = "off"
 ) -> Row:
-    retries = sum(outcome.retries for outcome in result.outcomes)
-    attempts = result.cache_hits + result.cache_misses
+    attempts = report.cache_hits + report.cache_misses
     return {
         "structure": structure,
         "n": n,
         "cache": cache,
-        "ops": result.ops,
-        "completed": result.completed,
-        "rounds": result.rounds,
-        "ops_per_round": round(result.ops_per_round, 2),
-        "msgs_per_op": round(result.messages_per_op, 2),
-        "C_round_max": result.max_round_congestion,
-        "retries": retries,
-        "cache_hit_rate": round(result.cache_hits / attempts, 2) if attempts else 0.0,
+        "ops": report.ops,
+        "completed": report.completed,
+        "rounds": report.rounds,
+        "ops_per_round": round(report.ops_per_round, 2),
+        "msgs_per_op": round(report.messages_per_op, 2),
+        "C_round_max": report.max_round_congestion,
+        "retries": report.retries,
+        "cache_hit_rate": round(report.cache_hits / attempts, 2) if attempts else 0.0,
     }
 
 
@@ -891,16 +905,18 @@ def throughput(
         search_count = ops_per_size - insert_count
 
         keys = uniform_keys(n, seed=seed + n)
-        web = SkipWeb1D(keys, seed=seed)
+        web = _cluster("skipweb1d", keys, seed=seed)
         operations = _mixed_operations(
             [rng.uniform(0.0, 1_000_000.0) for _ in range(search_count)],
             uniform_keys(insert_count, seed=seed + n + 1, low=1_000_001.0, high=2_000_000.0),
             rng,
         )
-        rows.append(_throughput_row("skip-web 1-d", n, BatchExecutor(web).run(operations)))
+        rows.append(_throughput_row("skip-web 1-d", n, web.batch(operations)))
 
         points = uniform_points(n, dimension=2, seed=seed + n)
-        quad_web = SkipQuadtreeWeb(points, bounding_cube=HyperCube((0.0, 0.0), 1.0), seed=seed)
+        quad_web = _cluster(
+            "skipquadtree", points, bounding_cube=HyperCube((0.0, 0.0), 1.0), seed=seed
+        )
         operations = _mixed_operations(
             [(rng.random(), rng.random()) for _ in range(search_count)],
             uniform_points(insert_count, dimension=2, seed=seed + n + 2),
@@ -911,12 +927,10 @@ def throughput(
             for operation in operations
             if operation.kind == "search" or operation.payload not in points
         ]
-        rows.append(
-            _throughput_row("quadtree skip-web", n, BatchExecutor(quad_web).run(operations))
-        )
+        rows.append(_throughput_row("quadtree skip-web", n, quad_web.batch(operations)))
 
         strings = random_strings(n, alphabet=LOWERCASE, seed=seed + n)
-        trie_web = SkipTrieWeb(strings, alphabet=LOWERCASE, seed=seed)
+        trie_web = _cluster("skiptrie", strings, alphabet=LOWERCASE, seed=seed)
         fresh = [
             text
             for text in random_strings(2 * insert_count, alphabet=LOWERCASE, seed=seed + n + 3)
@@ -925,14 +939,11 @@ def throughput(
         operations = _mixed_operations(
             prefix_queries(strings, search_count, seed=seed + n), fresh, rng
         )
-        rows.append(
-            _throughput_row("trie skip-web", n, BatchExecutor(trie_web).run(operations))
-        )
+        rows.append(_throughput_row("trie skip-web", n, trie_web.batch(operations)))
 
-        # Route cache: same executor, cold batch then warm batch of searches.
-        cached_web = SkipWeb1D(keys, seed=seed)
-        executor = BatchExecutor(cached_web, route_cache=True)
-        origins = cached_web.origin_hosts()
+        # Route cache: same cluster (one executor), cold batch then warm batch.
+        cached_web = _cluster("skipweb1d", keys, seed=seed, route_cache=True)
+        origins = cached_web.structure.origin_hosts()
         cache_queries = [
             Operation(
                 "search",
@@ -942,10 +953,10 @@ def throughput(
             for index in range(search_count)
         ]
         rows.append(
-            _throughput_row("skip-web 1-d", n, executor.run(cache_queries), cache="cold")
+            _throughput_row("skip-web 1-d", n, cached_web.batch(cache_queries), cache="cold")
         )
         rows.append(
-            _throughput_row("skip-web 1-d", n, executor.run(cache_queries), cache="warm")
+            _throughput_row("skip-web 1-d", n, cached_web.batch(cache_queries), cache="warm")
         )
     return rows
 
@@ -969,19 +980,19 @@ def congestion_rounds(
     for n in sizes:
         rng = random.Random(seed + n)
         keys = uniform_keys(n, seed=seed + n)
-        web = SkipWeb1D(keys, seed=seed)
+        web = _cluster("skipweb1d", keys, seed=seed)
         operations = [
             Operation("search", rng.uniform(0.0, 1_000_000.0), origin_host=host)
-            for host in web.origin_hosts()
+            for host in web.structure.origin_hosts()
             for _ in range(queries_per_host)
         ]
-        result = BatchExecutor(web).run(operations)
+        result = web.batch(operations)
         report = result.round_congestion()
         bound = _congestion_bound(n)
         rows.append(
             {
                 "n": n,
-                "hosts": web.host_count,
+                "hosts": web.structure.host_count,
                 "ops": result.ops,
                 "rounds": result.rounds,
                 "msgs_per_op": round(result.messages_per_op, 2),
@@ -997,20 +1008,20 @@ def congestion_rounds(
 def _churn_scenarios(n: int, seed: int):
     """The five structures a churn schedule runs over, with query makers.
 
-    Yields ``(name, structure, make_query)`` where ``make_query(rng)``
+    Yields ``(name, cluster, make_query)`` where ``make_query(rng)``
     draws one search payload for the structure's domain.
     """
     keys = uniform_keys(n, seed=seed + n)
     yield (
         "skip-web 1-d",
-        SkipWeb1D(keys, seed=seed),
+        _cluster("skipweb1d", keys, seed=seed),
         lambda rng: rng.uniform(0.0, 1_000_000.0),
     )
 
     points = uniform_points(n, dimension=2, seed=seed + n)
     yield (
         "quadtree skip-web",
-        SkipQuadtreeWeb(points, bounding_cube=HyperCube((0.0, 0.0), 1.0), seed=seed),
+        _cluster("skipquadtree", points, bounding_cube=HyperCube((0.0, 0.0), 1.0), seed=seed),
         lambda rng: (rng.random(), rng.random()),
     )
 
@@ -1018,7 +1029,7 @@ def _churn_scenarios(n: int, seed: int):
     trie_queries = prefix_queries(strings, 4 * n, seed=seed + n)
     yield (
         "trie skip-web",
-        SkipTrieWeb(strings, alphabet=LOWERCASE, seed=seed),
+        _cluster("skiptrie", strings, alphabet=LOWERCASE, seed=seed),
         lambda rng: rng.choice(trie_queries),
     )
 
@@ -1027,13 +1038,13 @@ def _churn_scenarios(n: int, seed: int):
     box = bounding_box(segments)
     yield (
         "trapezoid skip-web",
-        SkipTrapezoidWeb(segments, box=box, seed=seed),
+        _cluster("skiptrapezoid", segments, box=box, seed=seed),
         lambda rng: (rng.uniform(box[0], box[1]), rng.uniform(box[2], box[3])),
     )
 
     yield (
         "Chord DHT",
-        ChordDHT(keys),
+        _cluster("chord", keys),
         lambda rng: rng.choice(keys),
     )
 
@@ -1057,13 +1068,11 @@ def churn(
     """
     rows: list[Row] = []
     for n in sizes:
-        for name, structure, make_query in _churn_scenarios(n, seed):
+        for name, cluster, make_query in _churn_scenarios(n, seed):
             rng = random.Random(seed + n)
-            controller = ChurnController(
-                structure.network, RepairEngine(structure), rng=rng
-            )
+            cluster.configure_churn(rng=rng)
             schedule = churn_schedule(events, rng)
-            hosts_start = len(structure.network.alive_host_ids())
+            hosts_start = len(cluster.network.alive_host_ids())
 
             completed = 0
             failed = 0
@@ -1073,22 +1082,22 @@ def churn(
                 operations = [
                     Operation("search", make_query(rng)) for _ in range(ops_per_phase)
                 ]
-                batch = BatchExecutor(structure).run(operations)
+                batch = cluster.batch(operations)
                 completed += batch.completed
                 failed += batch.failed
                 congestion = max(congestion, batch.max_round_congestion)
                 if phase < events:
                     try:
-                        event = controller.run_schedule([schedule[phase]])[0]
+                        event = cluster.run_churn_schedule([schedule[phase]])[0]
                     except ChurnError:
                         # The schedule drew a retirement the controller's
                         # min-hosts floor refuses (tiny --sizes); a join
                         # keeps the scenario running deterministically.
-                        event = controller.join()
+                        event = cluster.join_host()
                     congestion = max(congestion, event.max_round_congestion)
 
-            kinds = [event.kind for event in controller.events]
-            repair_messages = [event.repair_messages for event in controller.events]
+            kinds = [event.kind for event in cluster.churn_events]
+            repair_messages = [event.repair_messages for event in cluster.churn_events]
             rows.append(
                 {
                     "structure": name,
@@ -1098,9 +1107,9 @@ def churn(
                     "leaves": kinds.count("leave"),
                     "crashes": kinds.count("crash"),
                     "hosts_start": hosts_start,
-                    "hosts_end": len(structure.network.alive_host_ids()),
+                    "hosts_end": len(cluster.network.alive_host_ids()),
                     "records_moved": sum(
-                        event.records_moved for event in controller.events
+                        event.records_moved for event in cluster.churn_events
                     ),
                     "repair_msgs_per_event": round(mean(repair_messages), 2)
                     if repair_messages

@@ -6,6 +6,7 @@ Examples
 
     python -m repro.cli list
     python -m repro.cli --list
+    python -m repro.cli structures
     python -m repro.cli table1
     python -m repro.cli fig3 --seed 7
     python -m repro.cli range-queries --sizes 48,96
@@ -19,6 +20,12 @@ and ``--format csv`` emit machine-readable rows instead, and ``--sizes``
 overrides the problem sizes of every experiment that takes them.  The
 same functions back the ``benchmarks/`` pytest modules, so numbers match
 between the two routes.
+
+``structures`` lists the :mod:`repro.api` registry — every structure
+family constructible via ``Cluster(structure=<name>)`` — with its
+capability flags; the experiments themselves are re-plumbed through that
+same façade, so the registry listing is also an index into what the
+experiments deploy.
 """
 
 from __future__ import annotations
@@ -55,8 +62,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         nargs="?",
-        choices=sorted(EXPERIMENTS) + ["list", "all"],
-        help="experiment to run ('list' shows descriptions, 'all' runs everything)",
+        choices=sorted(EXPERIMENTS) + ["list", "all", "structures"],
+        help="experiment to run ('list' shows descriptions, 'all' runs everything, "
+        "'structures' lists the repro.api structure registry)",
     )
     parser.add_argument(
         "--list",
@@ -178,6 +186,24 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(format_table(rows, title="Available experiments"))
         else:
             _emit(rows, "list", "Available experiments", args.output_format)
+        return 0
+    if args.experiment == "structures":
+        from repro.api import structure_specs
+
+        rows = [
+            {
+                "structure": name,
+                "class": spec.cls.__name__,
+                "range": "yes" if spec.supports_range else "no",
+                "updates": "yes" if spec.supports_updates else "no",
+                "description": spec.description,
+            }
+            for name, spec in sorted(structure_specs().items())
+        ]
+        if args.output_format == "table":
+            print(format_table(rows, title="Registered structures (repro.api.Cluster)"))
+        else:
+            _emit(rows, "structures", "Registered structures", args.output_format)
         return 0
     with tracing_mode() if args.trace else nullcontext():
         if args.experiment == "all":

@@ -14,6 +14,8 @@ framework:
   query messages (Table 1 rows "skip-webs" and "bucket skip-webs").
 """
 
+from repro.api.registry import StructureSpec, register_structure
+from repro.errors import StructureError
 from repro.onedim.linked_list import NearestNeighborAnswer, SortedListStructure
 from repro.onedim.skipweb1d import BucketSkipWeb1D, SkipWeb1D
 
@@ -23,3 +25,52 @@ __all__ = [
     "SkipWeb1D",
     "BucketSkipWeb1D",
 ]
+
+
+def _skipweb1d(items, *, network=None, seed=0, hosts=None, **options):
+    return SkipWeb1D(items, network=network, host_count=hosts, seed=seed, **options)
+
+
+def _skipweb1d_bulk(items, *, network=None, seed=0, hosts=None, **options):
+    return SkipWeb1D.build_from_sorted(
+        items, network=network, host_count=hosts, seed=seed, **options
+    )
+
+
+def _bucket_memory(options):
+    memory_size = options.pop("memory_size", None)
+    if memory_size is None:
+        raise StructureError("bucket-skipweb1d requires memory_size= (the paper's M)")
+    return memory_size
+
+
+def _bucket_skipweb1d(items, *, network=None, seed=0, **options):
+    return BucketSkipWeb1D(
+        items, _bucket_memory(options), network=network, seed=seed, **options
+    )
+
+
+def _bucket_skipweb1d_bulk(items, *, network=None, seed=0, **options):
+    return BucketSkipWeb1D.build_from_sorted(
+        items, _bucket_memory(options), network=network, seed=seed, **options
+    )
+
+
+register_structure(
+    StructureSpec(
+        name="skipweb1d",
+        cls=SkipWeb1D,
+        factory=_skipweb1d,
+        bulk_factory=_skipweb1d_bulk,
+        description="1-d skip-web over sorted keys (arbitrary blocking, §2.4)",
+    )
+)
+register_structure(
+    StructureSpec(
+        name="bucket-skipweb1d",
+        cls=BucketSkipWeb1D,
+        factory=_bucket_skipweb1d,
+        bulk_factory=_bucket_skipweb1d_bulk,
+        description="bucket skip-web of §2.4.1 (hosts store M items; O(log_M H) queries)",
+    )
+)

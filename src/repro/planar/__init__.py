@@ -27,3 +27,28 @@ __all__ = [
     "TrapezoidalMapStructure",
     "Window",
 ]
+
+from repro.api.registry import StructureSpec, register_structure
+
+
+def _skiptrapezoid(items, *, network=None, seed=0, hosts=None, **options):
+    return SkipTrapezoidWeb(
+        items, network=network, host_count=hosts, seed=seed, **options
+    )
+
+
+def _skiptrapezoid_bulk(items, *, network=None, seed=0, hosts=None, **options):
+    return SkipTrapezoidWeb.build_from_sorted(
+        items, network=network, host_count=hosts, seed=seed, **options
+    )
+
+
+register_structure(
+    StructureSpec(
+        name="skiptrapezoid",
+        cls=SkipTrapezoidWeb,
+        factory=_skiptrapezoid,
+        bulk_factory=_skiptrapezoid_bulk,
+        description="skip-web over a trapezoidal map: planar point location (§3.3, Lemma 5)",
+    )
+)

@@ -35,3 +35,28 @@ __all__ = [
     "approximate_nearest_neighbor",
     "approximate_range_query",
 ]
+
+from repro.api.registry import StructureSpec, register_structure
+
+
+def _skipquadtree(items, *, network=None, seed=0, hosts=None, **options):
+    return SkipQuadtreeWeb(
+        items, network=network, host_count=hosts, seed=seed, **options
+    )
+
+
+def _skipquadtree_bulk(items, *, network=None, seed=0, hosts=None, **options):
+    return SkipQuadtreeWeb.build_from_sorted(
+        items, network=network, host_count=hosts, seed=seed, **options
+    )
+
+
+register_structure(
+    StructureSpec(
+        name="skipquadtree",
+        cls=SkipQuadtreeWeb,
+        factory=_skipquadtree,
+        bulk_factory=_skipquadtree_bulk,
+        description="skip-web over a compressed quadtree/octree (§3.1, Lemma 3)",
+    )
+)

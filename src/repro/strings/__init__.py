@@ -30,3 +30,26 @@ __all__ = [
     "TrieStructure",
     "TrieRange",
 ]
+
+from repro.api.registry import StructureSpec, register_structure
+
+
+def _skiptrie(items, *, network=None, seed=0, hosts=None, **options):
+    return SkipTrieWeb(items, network=network, host_count=hosts, seed=seed, **options)
+
+
+def _skiptrie_bulk(items, *, network=None, seed=0, hosts=None, **options):
+    return SkipTrieWeb.build_from_sorted(
+        items, network=network, host_count=hosts, seed=seed, **options
+    )
+
+
+register_structure(
+    StructureSpec(
+        name="skiptrie",
+        cls=SkipTrieWeb,
+        factory=_skiptrie,
+        bulk_factory=_skiptrie_bulk,
+        description="skip-web over a compressed digital trie (§3.2, Lemma 4)",
+    )
+)
