@@ -1,0 +1,192 @@
+"""Serial-vs-sharded executor comparison: wall clock and zero count drift.
+
+Times the same seeded query batch through the serial
+:class:`~repro.engine.executor.BatchExecutor` and through
+:class:`~repro.engine.sharded.ShardedExecutor` at increasing worker
+counts, over three structure families, on the ledger substrate.  Each
+row reports elapsed wall clock, the speedup over serial, and how the
+batch actually ran (``sharded`` or ``serial-fallback: <reason>`` — e.g.
+on platforms without the ``fork`` start method).
+
+Two properties are asserted, not just displayed:
+
+- **Zero counted drift**: total messages and rounds from the sharded
+  run equal the serial run exactly, per family, per worker count (the
+  determinism-by-replay contract of DESIGN.md §8).
+- The executor shards (no fallback) whenever ``fork`` is available.
+
+Speedup itself is *not* gated: it depends on the runner's core count,
+and on a single-core machine the fork overhead makes sharding slower.
+The CI job publishes the table as its job summary so the trend is
+visible per runner class.
+
+Usage::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_parallel.py   # table + sanity
+    PYTHONPATH=src python benchmarks/bench_parallel.py             # table
+    PYTHONPATH=src python benchmarks/bench_parallel.py --markdown  # CI job summary
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+if __package__ in (None, ""):
+    _SRC = Path(__file__).resolve().parent.parent / "src"
+    if str(_SRC) not in sys.path:
+        sys.path.insert(0, str(_SRC))
+
+from repro.engine import BatchExecutor, Operation, ShardedExecutor, fork_available
+from repro.net.network import ledger_mode
+from repro.onedim import SkipWeb1D
+from repro.spatial.geometry import HyperCube
+from repro.spatial.skip_quadtree import SkipQuadtreeWeb
+from repro.strings import LOWERCASE
+from repro.strings.skip_trie import SkipTrieWeb
+from repro.workloads import uniform_keys, uniform_points
+from repro.workloads.strings import prefix_queries, random_strings
+
+Row = dict[str, Any]
+
+#: Worker counts compared against the serial executor.
+WORKER_COUNTS = (2, 4)
+
+#: Quick-mode sizes (the CI configuration).
+QUICK = {"n": 96, "queries": 120, "seed": 0}
+#: Full-mode sizes for local runs.
+FULL = {"n": 256, "queries": 400, "seed": 0}
+
+
+def _families(n: int, queries: int, seed: int) -> list[tuple[str, Callable[[], Any], list[Any]]]:
+    keys = sorted(set(float(key) for key in uniform_keys(n, seed=seed)))
+    import random as _random
+
+    rng = _random.Random(seed)
+    key_queries = [rng.uniform(0.0, 1_000_000.0) for _ in range(queries)]
+    points = uniform_points(n, dimension=2, seed=seed)
+    point_queries = [(rng.random(), rng.random()) for _ in range(queries)]
+    strings = random_strings(n, alphabet=LOWERCASE, seed=seed)
+    string_queries = prefix_queries(strings, queries, seed=seed)
+    return [
+        ("skip-web 1-d", lambda: SkipWeb1D.build_from_sorted(keys, seed=seed), key_queries),
+        (
+            "quadtree skip-web",
+            lambda: SkipQuadtreeWeb.build_from_sorted(
+                points, bounding_cube=HyperCube((0.0, 0.0), 1.0), seed=seed
+            ),
+            point_queries,
+        ),
+        (
+            "trie skip-web",
+            lambda: SkipTrieWeb.build_from_sorted(strings, alphabet=LOWERCASE, seed=seed),
+            string_queries,
+        ),
+    ]
+
+
+def _timed(fn: Callable[[], Any]) -> tuple[float, Any]:
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def parallel_rows(n: int, queries: int, seed: int) -> list[Row]:
+    """One row per structure family: serial vs every sharded worker count.
+
+    Raises ``AssertionError`` if any sharded run's message or round
+    totals drift from the serial run — the table doubles as an
+    equivalence check.
+    """
+    rows: list[Row] = []
+    with ledger_mode():
+        for name, build, payloads in _families(n, queries, seed):
+            structure = build()
+            operations = [Operation("search", payload) for payload in payloads]
+            serial_s, serial = _timed(lambda: BatchExecutor(structure).run(operations))
+            row: Row = {
+                "structure": name,
+                "ops": len(operations),
+                "serial_s": round(serial_s, 4),
+            }
+            modes: list[str] = []
+            for workers in WORKER_COUNTS:
+                executor = ShardedExecutor(structure, workers=workers)
+                sharded_s, sharded = _timed(lambda: executor.run(operations))
+                if sharded.messages != serial.messages or sharded.rounds != serial.rounds:
+                    raise AssertionError(
+                        f"{name}: sharded-{workers} drifted from serial "
+                        f"(messages {sharded.messages} vs {serial.messages}, "
+                        f"rounds {sharded.rounds} vs {serial.rounds})"
+                    )
+                row[f"sharded{workers}_s"] = round(sharded_s, 4)
+                row[f"speedup{workers}"] = round(serial_s / sharded_s, 2) if sharded_s else 0.0
+                reason = executor.last_fallback_reason
+                modes.append(f"serial-fallback: {reason}" if reason else "sharded")
+            row["mode"] = modes[0] if len(set(modes)) == 1 else "; ".join(modes)
+            rows.append(row)
+    return rows
+
+
+# --------------------------------------------------------------------- #
+# pytest entry point
+# --------------------------------------------------------------------- #
+def test_parallel_quick(capsys):
+    from repro.bench.reporting import format_table
+
+    rows = parallel_rows(**QUICK)
+    with capsys.disabled():
+        print()
+        print(format_table(rows, title="Serial vs sharded executor (quick)"))
+    assert len(rows) == 3
+    for row in rows:
+        assert row["serial_s"] > 0.0
+        for workers in WORKER_COUNTS:
+            assert row[f"sharded{workers}_s"] > 0.0
+        # parallel_rows already asserted zero message/round drift.
+        if fork_available():
+            assert row["mode"] == "sharded", row
+
+
+# --------------------------------------------------------------------- #
+# command line
+# --------------------------------------------------------------------- #
+def _markdown_table(rows: list[Row]) -> str:
+    columns = list(rows[0].keys())
+    lines = ["| " + " | ".join(columns) + " |", "|" + "---|" * len(columns)]
+    for row in rows:
+        lines.append("| " + " | ".join(str(row[column]) for column in columns) + " |")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--full", action="store_true", help="run the larger local sizes")
+    parser.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit a GitHub-flavoured markdown table (for CI job summaries)",
+    )
+    args = parser.parse_args(argv)
+    rows = parallel_rows(**(FULL if args.full else QUICK))
+    cores = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else os.cpu_count()
+    if args.markdown:
+        print("### Serial vs sharded executor" + (" (full)" if args.full else " (quick)"))
+        print()
+        print(f"Runner cores: {cores}; fork available: {fork_available()}")
+        print()
+        print(_markdown_table(rows))
+        return 0
+    from repro.bench.reporting import format_table
+
+    print(f"runner cores: {cores}; fork available: {fork_available()}")
+    print(format_table(rows, title="Serial vs sharded executor"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,7 +39,7 @@ if __package__ in (None, ""):
         sys.path.insert(0, str(_SRC))
 
 from repro.baselines import ChordDHT, SkipGraph
-from repro.engine import BatchExecutor, Operation, RepairEngine, run_immediate
+from repro.engine import BatchExecutor, Operation, RepairEngine, ShardedExecutor, run_immediate
 from repro.net.churn import ChurnController, churn_schedule
 from repro.net.network import ledger_mode
 from repro.onedim import BucketSkipWeb1D, SkipWeb1D
@@ -61,6 +61,27 @@ FULL = {"n": 256, "queries": 160, "inserts": 32, "ranges": 24, "churn_events": 6
 def _peak_rss_kb() -> int:
     """Process peak RSS in KB (monotone high-water mark on Linux)."""
     return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+#: Peak RSS measured once, before any workload has run (see
+#: :func:`_startup_rss_kb`).
+_STARTUP_RSS_KB: int | None = None
+
+
+def _startup_rss_kb() -> int:
+    """Calibrated startup baseline: peak RSS before the first workload.
+
+    On quick-mode sizes the interpreter, pytest and the imports dominate
+    ``ru_maxrss``, so the raw high-water mark says almost nothing about
+    the structures under test.  The baseline is captured once per
+    process, immediately before the first workload builds anything; the
+    ``rss_delta_kb`` column reports each row's peak minus this floor —
+    the memory the benchmark itself has added so far.
+    """
+    global _STARTUP_RSS_KB
+    if _STARTUP_RSS_KB is None:
+        _STARTUP_RSS_KB = _peak_rss_kb()
+    return _STARTUP_RSS_KB
 
 
 class _Scenario:
@@ -166,6 +187,7 @@ def _timed(fn: Callable[[], Any]) -> float:
 
 def _row(structure: str, workload: str, executor: str, ops: int, elapsed: float) -> Row:
     per_op = elapsed / ops if ops else 0.0
+    peak_rss = _peak_rss_kb()
     return {
         "structure": structure,
         "workload": workload,
@@ -176,7 +198,8 @@ def _row(structure: str, workload: str, executor: str, ops: int, elapsed: float)
         # recorded 0.0 baseline would fail every later (non-zero) run.
         "secs_per_op": round(per_op, 9),
         "ops_per_sec": round(1.0 / per_op, 1) if per_op else 0.0,
-        "peak_rss_kb": _peak_rss_kb(),
+        "peak_rss_kb": peak_rss,
+        "rss_delta_kb": max(0, peak_rss - _startup_rss_kb()),
     }
 
 
@@ -198,6 +221,17 @@ def _run_batched_ops(structure, kind: str, payloads: list[Any]) -> None:
     BatchExecutor(structure).run([Operation(op_kind, payload) for payload in payloads])
 
 
+#: Worker count for the ``executor=sharded-<N>`` rows.
+SHARD_WORKERS = 2
+
+
+def _run_sharded_ops(structure, kind: str, payloads: list[Any]) -> None:
+    op_kind = {"query": "search", "insert": "insert", "range": "range"}[kind]
+    ShardedExecutor(structure, workers=SHARD_WORKERS).run(
+        [Operation(op_kind, payload) for payload in payloads]
+    )
+
+
 def wallclock_rows(
     n: int, queries: int, inserts: int, ranges: int, churn_events: int, seed: int
 ) -> list[Row]:
@@ -209,6 +243,7 @@ def wallclock_rows(
     timings are the only non-deterministic column.
     """
     rows: list[Row] = []
+    _startup_rss_kb()  # calibrate the RSS floor before any workload runs
     with ledger_mode():
         for scenario in _scenarios(n, queries, inserts, ranges, seed):
             holder: dict[str, Any] = {}
@@ -235,6 +270,15 @@ def wallclock_rows(
                     "batched",
                     len(scenario.queries),
                     _timed(lambda: _run_batched_ops(structure, "query", scenario.queries)),
+                )
+            )
+            rows.append(
+                _row(
+                    scenario.name,
+                    "query",
+                    f"sharded-{SHARD_WORKERS}",
+                    len(scenario.queries),
+                    _timed(lambda: _run_sharded_ops(structure, "query", scenario.queries)),
                 )
             )
             if scenario.ranges:
@@ -331,10 +375,16 @@ def test_wallclock_quick(capsys):
         assert row["elapsed_s"] >= 0.0
         assert row["ops"] > 0
         assert row["peak_rss_kb"] > 0
-    # Both executors are exercised for every operational workload.
+        # The delta is measured against the calibrated startup floor, so
+        # it is non-negative and strictly below the raw high-water mark.
+        assert 0 <= row["rss_delta_kb"] < row["peak_rss_kb"]
+    # Both serial executors are exercised for every operational workload,
+    # and every family gets a sharded query row.
     for workload in ("query", "insert", "range"):
         executors = {row["executor"] for row in rows if row["workload"] == workload}
-        assert executors == {"immediate", "batched"}, workload
+        assert {"immediate", "batched"} <= executors, workload
+    sharded = {row["structure"] for row in rows if row["executor"] == f"sharded-{SHARD_WORKERS}"}
+    assert sharded == {row["structure"] for row in rows}
 
 
 # --------------------------------------------------------------------- #

@@ -23,7 +23,12 @@ releases; :mod:`repro.api.compat` keeps the old hand-wiring idiom alive
 one release longer with deprecation warnings.
 """
 
-from repro.api.cluster import Cluster, ClusterSession
+from repro.api.cluster import (
+    Cluster,
+    ClusterSession,
+    default_workers,
+    set_default_workers,
+)
 from repro.api.registry import (
     StructureSpec,
     available_structures,
@@ -46,4 +51,6 @@ __all__ = [
     "resolve_structure",
     "available_structures",
     "structure_specs",
+    "set_default_workers",
+    "default_workers",
 ]

@@ -44,6 +44,7 @@ from repro.api.results import (
 )
 from repro.engine.executor import BatchExecutor, Operation
 from repro.engine.repair import RepairEngine, RepairResult
+from repro.engine.sharded import ShardedExecutor
 from repro.engine.steps import run_immediate
 from repro.errors import QueryError, ReproError, StructureError
 from repro.net.churn import ChurnController, ChurnEvent
@@ -70,6 +71,24 @@ _KIND_ALIASES = {
     "range_search": "range",
     "report": "range",
 }
+
+
+#: Process-wide default worker count for clusters constructed without an
+#: explicit ``workers=``; set by the CLI's ``--workers`` flag.
+_DEFAULT_WORKERS = 1
+
+
+def set_default_workers(workers: int) -> None:
+    """Set the worker count clusters default to (the CLI's ``--workers``)."""
+    global _DEFAULT_WORKERS
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    _DEFAULT_WORKERS = workers
+
+
+def default_workers() -> int:
+    """The worker count a ``Cluster()`` created right now would use."""
+    return _DEFAULT_WORKERS
 
 
 def _canonical_kind(kind: str) -> str:
@@ -152,6 +171,15 @@ class Cluster:
         ``"batched"`` (default) runs every operation through the
         round-based engine; ``"immediate"`` drives single operations
         synchronously (the paper's one-at-a-time accounting).
+    workers:
+        ``> 1`` runs read-only batches through the multi-worker
+        :class:`~repro.engine.sharded.ShardedExecutor` (operation
+        origins partitioned across ``fork`` processes; accounting
+        identical to a serial run).  Mutating batches, churn and
+        non-shardable configurations transparently stay serial.  The
+        default of ``None`` uses the process-wide default set by
+        :func:`set_default_workers` (the CLI's ``--workers`` flag),
+        which itself defaults to serial execution.
     network:
         Pre-existing :class:`~repro.net.network.Network` to deploy into.
     route_cache / max_retries:
@@ -174,6 +202,7 @@ class Cluster:
         memory_size: int | None = None,
         seed: int = 0,
         mode: str = "batched",
+        workers: int | None = None,
         network: Network | None = None,
         route_cache: bool = False,
         max_retries: int = 5,
@@ -186,6 +215,9 @@ class Cluster:
             raise ValueError(f"mode must be 'batched' or 'immediate', got {mode!r}")
         self.spec: StructureSpec = resolve_structure(structure)
         self.mode = mode
+        self.workers = workers if workers is not None else _DEFAULT_WORKERS
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
         self.seed = seed
         self._hosts = hosts
         self._memory_size = memory_size
@@ -197,7 +229,7 @@ class Cluster:
         self._join_fraction = join_fraction
         self._min_hosts = min_hosts
         self._structure: Any = None
-        self._executor: BatchExecutor | None = None
+        self._executor: BatchExecutor | ShardedExecutor | None = None
         self._churn: ChurnController | None = None
         self._repair_engine: RepairEngine | None = None
         self._closed = False
@@ -250,6 +282,7 @@ class Cluster:
                 cluster = cls.__new__(cls)
                 cluster.spec = spec
                 cluster.mode = mode
+                cluster.workers = _DEFAULT_WORKERS
                 cluster.seed = 0
                 cluster._hosts = None
                 cluster._memory_size = None
@@ -319,14 +352,29 @@ class Cluster:
         return self.structure.network
 
     @property
-    def executor(self) -> BatchExecutor:
-        """The round-based batch executor (created on first use)."""
+    def executor(self) -> BatchExecutor | ShardedExecutor:
+        """The round-based batch executor (created on first use).
+
+        With ``workers > 1`` on a shardable structure family this is a
+        :class:`~repro.engine.sharded.ShardedExecutor`, which itself
+        falls back to its embedded serial executor for any batch outside
+        the shardable envelope — results and accounting are identical
+        either way.
+        """
         if self._executor is None:
-            self._executor = BatchExecutor(
-                self.structure,
-                route_cache=self._route_cache,
-                max_retries=self._max_retries,
-            )
+            if self.workers > 1 and self.spec.shardable:
+                self._executor = ShardedExecutor(
+                    self.structure,
+                    workers=self.workers,
+                    route_cache=self._route_cache,
+                    max_retries=self._max_retries,
+                )
+            else:
+                self._executor = BatchExecutor(
+                    self.structure,
+                    route_cache=self._route_cache,
+                    max_retries=self._max_retries,
+                )
         return self._executor
 
     @property

@@ -288,7 +288,7 @@ class DistributedOrderedStructure(abc.ABC):
             successor=successor,
             exact=(query in self._host_of_key),
             messages=traversal.hops,
-            hosts_visited=tuple(traversal.path),
+            hosts_visited=traversal.path_tuple(),
         )
 
     # ------------------------------------------------------------------ #
@@ -306,7 +306,7 @@ class DistributedOrderedStructure(abc.ABC):
         return RangeBranchReport(
             values=tuple(keys),
             messages=cursor.hops,
-            hosts_visited=tuple(cursor.path),
+            hosts_visited=cursor.path_tuple(),
         )
 
     def range_steps(
@@ -536,7 +536,7 @@ class DistributedOrderedStructure(abc.ABC):
             hosts=hosts,
             records_moved=moved,
             pointers_rewired=changed_count,
-            hosts_touched=len(set(cursor.path)),
+            hosts_touched=cursor.distinct_hosts(),
         )
 
     def migrate_host(

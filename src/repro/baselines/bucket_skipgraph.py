@@ -222,7 +222,7 @@ class BucketSkipGraph(DistributedOrderedStructure):
                     successor=successor,
                     exact=exact,
                     messages=cursor.hops,
-                    hosts_visited=tuple(cursor.path),
+                    hosts_visited=cursor.path_tuple(),
                 )
             yield from cursor.hop_to(self._host_of_key[next_key])
             current_key = next_key

@@ -170,7 +170,7 @@ class ChordDHT:
                     found=key in final_table["keys"],
                     responsible_host=successor_host,
                     messages=cursor.hops,
-                    hosts_visited=tuple(cursor.path),
+                    hosts_visited=cursor.path_tuple(),
                 )
             # Closest preceding finger.
             next_host = successor_host
@@ -346,7 +346,7 @@ class ChordDHT:
             hosts=(host_id,),
             records_moved=moved,
             pointers_rewired=rewired,
-            hosts_touched=len(set(cursor.path)),
+            hosts_touched=cursor.distinct_hosts(),
         )
 
     def repair(self, host_ids: Sequence[HostId]) -> StepGenerator:
@@ -371,7 +371,7 @@ class ChordDHT:
             hosts=tuple(sorted(dead)),
             records_moved=moved,
             pointers_rewired=rewired,
-            hosts_touched=len(set(cursor.path)),
+            hosts_touched=cursor.distinct_hosts(),
         )
 
     # ------------------------------------------------------------------ #

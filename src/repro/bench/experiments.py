@@ -105,6 +105,67 @@ def _query_points(count: int, rng: random.Random, low: float = 0.0, high: float 
     return [rng.uniform(low, high) for _ in range(count)]
 
 
+def _unit_main(conn: Any, unit: Callable[[], list[Row]]) -> None:
+    """Run one benchmark unit in a forked worker; ship its rows back."""
+    try:
+        conn.send(("ok", unit()))
+    except BaseException as error:  # pragma: no cover - defensive
+        try:
+            conn.send(("error", repr(error)))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def _run_units(units: Sequence[Callable[[], list[Row]]]) -> list[list[Row]]:
+    """Run independent benchmark units, forking one worker per unit.
+
+    Each unit is a zero-argument callable returning a list of rows.
+    Units must be *pre-planned*: all shared random state (payload
+    generation, shuffles) is consumed by the caller before the unit is
+    built, so a unit only constructs its own cluster and runs its own
+    batches — cross-process execution changes no counter.  Rows come
+    back in submission order.  Platforms without the ``fork`` start
+    method — or a worker that dies — fall back to in-process execution,
+    so the rows never depend on the platform.
+    """
+    import os
+
+    from repro.engine.sharded import fork_available
+
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        cpus = os.cpu_count() or 1
+    # On a single CPU the forks would only add setup cost — stay serial.
+    if len(units) < 2 or cpus < 2 or not fork_available():
+        return [unit() for unit in units]
+    import multiprocessing
+
+    ctx = multiprocessing.get_context("fork")
+    workers = []
+    for unit in units:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(target=_unit_main, args=(child_conn, unit))
+        process.start()
+        child_conn.close()
+        workers.append((process, parent_conn))
+    results: list[list[Row] | None] = []
+    for process, conn in workers:
+        try:
+            status, payload = conn.recv()
+        except EOFError:  # pragma: no cover - defensive
+            status, payload = "error", "worker pipe closed"
+        conn.close()
+        process.join()
+        results.append(payload if status == "ok" else None)
+    return [
+        result if result is not None else unit()
+        for unit, result in zip(units, results)
+    ]
+
+
 # --------------------------------------------------------------------- #
 # Table 1
 # --------------------------------------------------------------------- #
@@ -897,68 +958,92 @@ def throughput(
     cache cold versus warm.  Rows report throughput (ops per round),
     messages per operation and the directly-measured maximum per-host
     per-round congestion.
+
+    Execution is two-phase: every unit's payloads are drawn serially
+    from the one per-size ``rng`` (so the random streams are identical
+    to the historical single-pass loop), then the independent units —
+    cluster construction plus batch execution — run as forked workers
+    via :func:`_run_units`.  Counters are process-local, so the rows are
+    byte-identical to serial execution.
     """
-    rows: list[Row] = []
+    units: list[Callable[[], list[Row]]] = []
     for n in sizes:
         rng = random.Random(seed + n)
         insert_count = max(1, int(ops_per_size * insert_fraction))
         search_count = ops_per_size - insert_count
 
         keys = uniform_keys(n, seed=seed + n)
-        web = _cluster("skipweb1d", keys, seed=seed)
-        operations = _mixed_operations(
+        web_operations = _mixed_operations(
             [rng.uniform(0.0, 1_000_000.0) for _ in range(search_count)],
             uniform_keys(insert_count, seed=seed + n + 1, low=1_000_001.0, high=2_000_000.0),
             rng,
         )
-        rows.append(_throughput_row("skip-web 1-d", n, web.batch(operations)))
+
+        def web_unit(n=n, keys=keys, operations=web_operations):
+            web = _cluster("skipweb1d", keys, seed=seed)
+            return [_throughput_row("skip-web 1-d", n, web.batch(operations))]
+
+        units.append(web_unit)
 
         points = uniform_points(n, dimension=2, seed=seed + n)
-        quad_web = _cluster(
-            "skipquadtree", points, bounding_cube=HyperCube((0.0, 0.0), 1.0), seed=seed
-        )
-        operations = _mixed_operations(
-            [(rng.random(), rng.random()) for _ in range(search_count)],
-            uniform_points(insert_count, dimension=2, seed=seed + n + 2),
-            rng,
-        )
-        operations = [
+        quad_operations = [
             operation
-            for operation in operations
+            for operation in _mixed_operations(
+                [(rng.random(), rng.random()) for _ in range(search_count)],
+                uniform_points(insert_count, dimension=2, seed=seed + n + 2),
+                rng,
+            )
             if operation.kind == "search" or operation.payload not in points
         ]
-        rows.append(_throughput_row("quadtree skip-web", n, quad_web.batch(operations)))
+
+        def quad_unit(n=n, points=points, operations=quad_operations):
+            quad_web = _cluster(
+                "skipquadtree", points, bounding_cube=HyperCube((0.0, 0.0), 1.0), seed=seed
+            )
+            return [_throughput_row("quadtree skip-web", n, quad_web.batch(operations))]
+
+        units.append(quad_unit)
 
         strings = random_strings(n, alphabet=LOWERCASE, seed=seed + n)
-        trie_web = _cluster("skiptrie", strings, alphabet=LOWERCASE, seed=seed)
         fresh = [
             text
             for text in random_strings(2 * insert_count, alphabet=LOWERCASE, seed=seed + n + 3)
             if text not in strings
         ][:insert_count]
-        operations = _mixed_operations(
+        trie_operations = _mixed_operations(
             prefix_queries(strings, search_count, seed=seed + n), fresh, rng
         )
-        rows.append(_throughput_row("trie skip-web", n, trie_web.batch(operations)))
 
-        # Route cache: same cluster (one executor), cold batch then warm batch.
-        cached_web = _cluster("skipweb1d", keys, seed=seed, route_cache=True)
-        origins = cached_web.structure.origin_hosts()
-        cache_queries = [
-            Operation(
-                "search",
-                rng.uniform(0.0, 1_000_000.0),
-                origin_host=origins[index % max(1, len(origins) // 8)],
-            )
-            for index in range(search_count)
-        ]
-        rows.append(
-            _throughput_row("skip-web 1-d", n, cached_web.batch(cache_queries), cache="cold")
-        )
-        rows.append(
-            _throughput_row("skip-web 1-d", n, cached_web.batch(cache_queries), cache="warm")
-        )
-    return rows
+        def trie_unit(n=n, strings=strings, operations=trie_operations):
+            trie_web = _cluster("skiptrie", strings, alphabet=LOWERCASE, seed=seed)
+            return [_throughput_row("trie skip-web", n, trie_web.batch(operations))]
+
+        units.append(trie_unit)
+
+        # Route cache: same cluster (one executor), cold batch then warm
+        # batch.  Origin assignment is by batch index, so only the query
+        # payloads consume the shared rng here.
+        cache_payloads = [rng.uniform(0.0, 1_000_000.0) for _ in range(search_count)]
+
+        def cache_unit(n=n, keys=keys, payloads=cache_payloads):
+            cached_web = _cluster("skipweb1d", keys, seed=seed, route_cache=True)
+            origins = cached_web.structure.origin_hosts()
+            cache_queries = [
+                Operation(
+                    "search",
+                    payload,
+                    origin_host=origins[index % max(1, len(origins) // 8)],
+                )
+                for index, payload in enumerate(payloads)
+            ]
+            return [
+                _throughput_row("skip-web 1-d", n, cached_web.batch(cache_queries), cache="cold"),
+                _throughput_row("skip-web 1-d", n, cached_web.batch(cache_queries), cache="warm"),
+            ]
+
+        units.append(cache_unit)
+
+    return [row for unit_rows in _run_units(units) for row in unit_rows]
 
 
 @_ledger

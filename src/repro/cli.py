@@ -103,6 +103,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="force full message tracing (experiments default to the faster "
         "zero-allocation ledger substrate; counters are identical either way)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run read-only batches through the sharded multi-worker executor "
+        "with N fork workers (counters stay identical to serial runs; "
+        "mutating batches and churn remain serial)",
+    )
     return parser
 
 
@@ -205,6 +214,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         else:
             _emit(rows, "structures", "Registered structures", args.output_format)
         return 0
+    if args.workers is not None:
+        from repro.api.cluster import set_default_workers
+
+        set_default_workers(args.workers)
     with tracing_mode() if args.trace else nullcontext():
         if args.experiment == "all":
             for name in sorted(EXPERIMENTS):

@@ -75,7 +75,7 @@ def _choose_entry(structure_cls, query: Any, entries: list[tuple[Any, Address]])
     units = [unit for unit, _address in entries]
     chosen = structure_cls.select(query, units)
     for unit, address in entries:
-        if unit.key == chosen.key:
+        if unit is chosen or unit.key == chosen.key:
             return address
     raise QueryError("select returned a unit that is not among the candidates")
 
@@ -93,9 +93,14 @@ def _settle_within_level(
     ranges and addresses), charging a message per host crossing.
     """
     current = record
+    advance = structure_cls.advance
     for _ in range(_MAX_LEVEL_STEPS):
-        neighbor_ranges = {key: rng for key, (rng, _addr) in current.neighbors.items()}
-        next_key = structure_cls.advance(query, current.unit, neighbor_ranges)
+        neighbor_ranges = current.neighbor_ranges
+        if neighbor_ranges is None:
+            neighbor_ranges = current.neighbor_ranges = {
+                key: rng for key, (rng, _addr) in current.neighbors.items()
+            }
+        next_key = advance(query, current.unit, neighbor_ranges)
         if next_key is None:
             return current
         try:
@@ -134,9 +139,7 @@ def descend_steps(skipweb, query: Any, cursor: StepCursor) -> StepGenerator:
 
     while current.level > 0:
         hops_before = cursor.hops
-        entry_address = _choose_entry(
-            skipweb.structure_cls, query, list(current.down_links)
-        )
+        entry_address = _choose_entry(skipweb.structure_cls, query, current.down_links)
         record = yield from cursor.visit(entry_address)
         current = yield from _settle_within_level(
             skipweb.structure_cls, cursor, query, record
@@ -168,7 +171,7 @@ def query_steps(skipweb, query: Any, origin_host: HostId) -> StepGenerator:
         answer=answer,
         messages=cursor.hops,
         origin_host=origin_host,
-        hosts_visited=tuple(cursor.path),
+        hosts_visited=cursor.path_tuple(),
         levels_descended=levels_descended,
         target_key=current.unit.key,
         per_level_messages=tuple(per_level_messages),

@@ -152,7 +152,7 @@ def report_walk(
     return RangeBranchReport(
         values=tuple(values),
         messages=cursor.hops,
-        hosts_visited=tuple(cursor.path),
+        hosts_visited=cursor.path_tuple(),
     )
 
 

@@ -84,6 +84,9 @@ class SkipWebRecord:
     unit: RangeUnit
     down_links: list[tuple[RangeUnit, Address]] = field(default_factory=list)
     neighbors: dict[Hashable, tuple[Range, Address]] = field(default_factory=dict)
+    # Derived key -> range view of ``neighbors``, built lazily by the
+    # query walk and dropped whenever ``neighbors`` is rewired.
+    neighbor_ranges: dict[Hashable, Range] | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -248,10 +251,12 @@ class SkipWeb:
         for (level, prefix), structure in self._structures.items():
             for unit in structure.units():
                 self._create_record(level, prefix, unit)
-        # 3. wire neighbours and hyperlinks
+        # 3. wire neighbours and hyperlinks.  Records are fresh (their
+        #    ``unit`` is the very object stored in step 2 and their
+        #    pointer fields are empty), so wiring writes directly instead
+        #    of going through :meth:`_rewire_record`'s changed-comparison.
         for (level, prefix), structure in self._structures.items():
-            for unit in structure.units():
-                self._rewire_record(level, prefix, unit.key)
+            self._wire_fresh_level(level, prefix, structure)
         # 4. roots: each host starts searches at the top-level structure of
         #    one of the items it owns (or of an arbitrary item if it owns
         #    none), mirroring the paper's per-host root pointer.
@@ -283,6 +288,46 @@ class SkipWeb:
         self.network.free(address)
         self._layout_epoch += 1
         return address
+
+    def _wire_fresh_level(self, level: int, prefix: BitPrefix, structure: Any) -> None:
+        """Wire every record of a freshly created level structure.
+
+        Bulk-construction fast path for :meth:`_build` step 3: the
+        per-level lookups are hoisted out of the per-unit loop and the
+        changed-detection of :meth:`_rewire_record` is skipped (fresh
+        records have nothing to compare against).
+        """
+        addresses = self._level_addresses[(level, prefix)]
+        load = self.network.load
+        neighbors_of = structure.neighbors
+        if level > 0:
+            parent_prefix = prefix[:-1]
+            parent_structure = self._structures.get((level - 1, parent_prefix))
+            if parent_structure is None:
+                raise StructureError(
+                    f"missing parent structure for level {level} prefix {prefix}"
+                )
+            parent_addresses = self._level_addresses[(level - 1, parent_prefix)]
+            conflicts = parent_structure.conflicts
+            for unit in structure.units():
+                key = unit.key
+                record: SkipWebRecord = load(addresses[key], check_alive=False)
+                record.neighbors = {
+                    neighbor.key: (neighbor.range, addresses[neighbor.key])
+                    for neighbor in neighbors_of(key)
+                }
+                record.down_links = [
+                    (conflicting, parent_addresses[conflicting.key])
+                    for conflicting in conflicts(unit.range)
+                ]
+        else:
+            for unit in structure.units():
+                key = unit.key
+                record = load(addresses[key], check_alive=False)
+                record.neighbors = {
+                    neighbor.key: (neighbor.range, addresses[neighbor.key])
+                    for neighbor in neighbors_of(key)
+                }
 
     def _record_at(self, level: int, prefix: BitPrefix, key: Hashable) -> SkipWebRecord:
         # Bookkeeping access (rewiring during updates): must not be
@@ -326,13 +371,15 @@ class SkipWeb:
             ]
 
         changed = (
-            record.unit != unit
+            (record.unit is not unit and record.unit != unit)
             or record.neighbors != neighbors
             or record.down_links != down_links
         )
-        record.unit = unit
-        record.neighbors = neighbors
-        record.down_links = down_links
+        if changed:
+            record.unit = unit
+            record.neighbors = neighbors
+            record.neighbor_ranges = None
+            record.down_links = down_links
         return changed
 
     # ------------------------------------------------------------------ #
@@ -630,7 +677,7 @@ class SkipWeb:
             hosts=(host_id,),
             records_moved=len(moving),
             pointers_rewired=rewired,
-            hosts_touched=len(set(cursor.path)),
+            hosts_touched=cursor.distinct_hosts(),
         )
 
     def repair(self, host_ids: Sequence[HostId]) -> StepGenerator:
@@ -685,7 +732,7 @@ class SkipWeb:
             hosts=tuple(sorted(dead)),
             records_moved=len(orphaned),
             pointers_rewired=rewired,
-            hosts_touched=len(set(cursor.path)),
+            hosts_touched=cursor.distinct_hosts(),
         )
 
     # ------------------------------------------------------------------ #

@@ -70,8 +70,11 @@ def _level_diff(
     new_structure: RangeDeterminedLinkStructure | None,
 ) -> tuple[set[Hashable], set[Hashable], list[Range]]:
     """Keys added, keys removed and the ranges of every changed unit."""
-    old_keys = old_structure.keys() if old_structure is not None else set()
-    new_keys = new_structure.keys() if new_structure is not None else set()
+    # Key *views* of the unit maps, not fresh sets: the diff only needs
+    # the two set differences, and both structures' unit maps are
+    # snapshots that outlive this call.
+    old_keys = old_structure.unit_map().keys() if old_structure is not None else set()
+    new_keys = new_structure.unit_map().keys() if new_structure is not None else set()
     added = new_keys - old_keys
     removed = old_keys - new_keys
     changed_ranges: list[Range] = []
@@ -138,6 +141,11 @@ def _apply_level_change(
 
     # 5. fix hyperlinks of the two child structures (level above in the
     #    descent order): their records point down into this structure.
+    #    A full rewire, not just the down-links: a child record's stored
+    #    unit can be stale (its level's own earlier update only rewires
+    #    keys whose *ranges* changed, not surviving units whose payload
+    #    representative changed), and the charge for refreshing it lands
+    #    here, exactly as the recorded baseline counts it.
     if level < skipweb.height:
         for next_bit in (0, 1):
             child_prefix = prefix + (next_bit,)

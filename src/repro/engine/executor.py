@@ -43,7 +43,14 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.engine.protocol import DistributedStructure
-from repro.engine.steps import Fork, HopTo, Resolution, StepGenerator, Visit
+from repro.engine.steps import (
+    OP_FORK,
+    OP_VISIT,
+    HopTo,
+    Resolution,
+    StepGenerator,
+    Visit,
+)
 from repro.errors import (
     AddressError,
     HostFailedError,
@@ -212,6 +219,7 @@ class _InFlight:
         "first_remote_done",
         "warm_key",
         "done",
+        "kind",
     )
 
     def __init__(self, outcome: OpOutcome) -> None:
@@ -227,6 +235,10 @@ class _InFlight:
         self.first_remote_done = False
         self.warm_key: tuple[HostId, Address] | None = None
         self.done = False
+        # Message kind, resolved once per operation instead of per post.
+        # Unknown kinds stay None: _make_generator rejects them before
+        # the first post could ever need it.
+        self.kind: MessageKind | None = _KIND_OF.get(outcome.operation.kind)
 
 
 class BatchExecutor:
@@ -361,20 +373,14 @@ class BatchExecutor:
                 except HostFailedError as error:
                     self._fail(state, error)
                     return False
-                assert state.effect is not None
-                target = (
-                    state.effect.address.host
-                    if isinstance(state.effect, Visit)
-                    else state.effect.host
-                )
+                effect = state.effect
+                assert effect is not None
+                is_visit = effect.op == OP_VISIT
+                target = effect.address.host if is_visit else effect.host
                 state.current = target
                 state.outcome.messages += 1
                 try:
-                    value = (
-                        self.network.load(state.effect.address)
-                        if isinstance(state.effect, Visit)
-                        else None
-                    )
+                    value = self.network.load(effect.address) if is_visit else None
                 except HostFailedError as error:
                     self._fail(state, error)
                     return False
@@ -383,7 +389,7 @@ class BatchExecutor:
                     state.effect = None
                     state.warm_key = None
                     return self._retry_or_fail(state, error)
-                if state.warm_key is not None and isinstance(state.effect, Visit):
+                if state.warm_key is not None and is_visit:
                     # Memoize the fetched top-level record as the origin
                     # host's local copy for later searches.
                     self._cache[state.warm_key] = value
@@ -396,7 +402,13 @@ class BatchExecutor:
         return step
 
     def _advance(self, state: _InFlight, resolution: Resolution | None) -> bool:
-        """Run the generator locally until its next cross-host effect."""
+        """Run the generator locally until its next cross-host effect.
+
+        The loop is the batched mirror of ``steps._drive``: table-driven
+        opcode dispatch, with the local (same-host) fast path resolving
+        effects without re-entering the round machinery.
+        """
+        load = self.network.load
         while True:
             try:
                 if not state.started:
@@ -422,7 +434,8 @@ class BatchExecutor:
                 self._fail(state, error)
                 return False
 
-            if isinstance(effect, Fork):
+            op = effect.op
+            if op == OP_FORK:
                 # Split into sub-walks: each advances one host crossing
                 # per round from here on, all billed to this operation.
                 state.branches = [
@@ -430,25 +443,22 @@ class BatchExecutor:
                     for branch in effect.branches
                 ]
                 return self._step_branches(state)
-            target = effect.address.host if isinstance(effect, Visit) else effect.host
+            is_visit = op == OP_VISIT
+            target = effect.address.host if is_visit else effect.host
             if target == state.current:
                 # Local effect: free and instantaneous.
                 try:
-                    value = (
-                        self.network.load(effect.address)
-                        if isinstance(effect, Visit)
-                        else None
-                    )
+                    value = load(effect.address) if is_visit else None
                 except HostFailedError as error:
                     self._fail(state, error)
                     return False
                 except _RETRYABLE as error:
                     return self._retry_or_fail(state, error)
-                resolution = Resolution(value=value, host=target, charged=False)
+                resolution = Resolution(value, target, False)
                 continue
             if (
                 self.route_cache
-                and isinstance(effect, Visit)
+                and is_visit
                 and state.outcome.operation.kind == "search"
                 and not state.first_remote_done
             ):
@@ -466,7 +476,7 @@ class BatchExecutor:
                 self._cache_misses += 1
                 self._post(state, effect, target, warm_cache_key=cache_key)
                 return True
-            if isinstance(effect, Visit):
+            if is_visit:
                 state.first_remote_done = True
             self._post(state, effect, target)
             return True
@@ -511,24 +521,19 @@ class BatchExecutor:
                 # Dropped delivery: never charged, so nothing to bill.
                 self._note_branch_error(state, "fail", error)
                 continue
-            target = (
-                effect.address.host if isinstance(effect, Visit) else effect.host
-            )
+            is_visit = effect.op == OP_VISIT
+            target = effect.address.host if is_visit else effect.host
             branch.current = target
             state.outcome.messages += 1
             try:
-                value = (
-                    self.network.load(effect.address)
-                    if isinstance(effect, Visit)
-                    else None
-                )
+                value = self.network.load(effect.address) if is_visit else None
             except HostFailedError as error:
                 self._note_branch_error(state, "fail", error)
                 continue
             except _RETRYABLE as error:
                 self._note_branch_error(state, "retry", error)
                 continue
-            branch.resolution = Resolution(value=value, host=target, charged=True)
+            branch.resolution = Resolution(value, target, True)
         # 2. run each idle sub-walk locally until its next cross-host
         #    effect (skipped while an abort is pending).
         if state.branch_error is None:
@@ -573,32 +578,27 @@ class BatchExecutor:
         """
         resolution = branch.resolution
         branch.resolution = None
+        gen = branch.gen
+        load = self.network.load
         while True:
             try:
-                effect = (
-                    branch.gen.send(resolution)
-                    if resolution is not None
-                    else next(branch.gen)
-                )
+                effect = gen.send(resolution) if resolution is not None else next(gen)
             except StopIteration as stop:
                 branch.done = True
                 branch.result = stop.value
                 return
             resolution = None
-            if isinstance(effect, Fork):
+            op = effect.op
+            if op == OP_FORK:
                 raise TypeError("nested Fork effects are not supported")
-            target = effect.address.host if isinstance(effect, Visit) else effect.host
+            is_visit = op == OP_VISIT
+            target = effect.address.host if is_visit else effect.host
             if target == branch.current:
                 # Local effect: free and instantaneous.
-                value = (
-                    self.network.load(effect.address)
-                    if isinstance(effect, Visit)
-                    else None
-                )
-                resolution = Resolution(value=value, host=target, charged=False)
+                value = load(effect.address) if is_visit else None
+                resolution = Resolution(value, target, False)
                 continue
-            kind = _KIND_OF[state.outcome.operation.kind]
-            branch.ticket = self.network.post(branch.current, target, kind=kind)
+            branch.ticket = self.network.post(branch.current, target, kind=state.kind)
             branch.effect = effect
             if state.start_round is None:
                 state.start_round = self.network.rounds_completed
@@ -611,8 +611,7 @@ class BatchExecutor:
         target: HostId,
         warm_cache_key: tuple[HostId, Address] | None = None,
     ) -> None:
-        kind = _KIND_OF[state.outcome.operation.kind]
-        state.ticket = self.network.post(state.current, target, kind=kind)
+        state.ticket = self.network.post(state.current, target, kind=state.kind)
         state.effect = effect
         state.warm_key = warm_cache_key
         if state.start_round is None:

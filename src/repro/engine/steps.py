@@ -19,18 +19,31 @@ Generators do not talk to the network themselves for remote state; they
 use a :class:`StepCursor` (``yield from cursor.visit(address)``) which
 forwards the effect to whichever driver is in charge.  Local work between
 effects is free, matching the paper's cost model.
+
+The effect classes are deliberately *not* dataclasses: they are plain
+``__slots__`` classes carrying an integer ``op`` class attribute
+(:data:`OP_VISIT` / :data:`OP_HOP` / :data:`OP_FORK`), so drivers
+dispatch on one integer compare instead of an ``isinstance`` ladder and
+construction skips the dataclass ``__init__`` machinery.  This is the
+ledger hot path: every message the benchmarks count flows through
+:func:`_drive` or the executor's mirror of it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Generator
+from typing import Any, Generator, Union
 
 from repro.net.message import MessageKind
 from repro.net.naming import Address, HostId
 
+#: Integer opcodes for table-driven effect dispatch.  Stable public
+#: constants: drivers compare ``effect.op`` against these instead of
+#: running ``isinstance`` chains.
+OP_VISIT = 0
+OP_HOP = 1
+OP_FORK = 2
 
-@dataclass(frozen=True, slots=True)
+
 class Visit:
     """Effect: dereference ``address``, moving the operation to its host.
 
@@ -40,17 +53,29 @@ class Visit:
     stays put and pays nothing).
     """
 
-    address: Address
+    __slots__ = ("address",)
+    op = OP_VISIT
+
+    def __init__(self, address: Address) -> None:
+        self.address = address
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Visit(address={self.address!r})"
 
 
-@dataclass(frozen=True, slots=True)
 class HopTo:
     """Effect: move the operation to ``host`` explicitly (one message if remote)."""
 
-    host: HostId
+    __slots__ = ("host",)
+    op = OP_HOP
+
+    def __init__(self, host: HostId) -> None:
+        self.host = host
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HopTo(host={self.host!r})"
 
 
-@dataclass(frozen=True, slots=True)
 class Fork:
     """Effect: split the operation into parallel sub-walks.
 
@@ -70,14 +95,20 @@ class Fork:
     programming error and raises ``TypeError`` under both drivers.
     """
 
-    branches: tuple[StepGenerator, ...]
+    __slots__ = ("branches",)
+    op = OP_FORK
+
+    def __init__(self, branches: "tuple[StepGenerator, ...]") -> None:
+        self.branches = branches
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Fork(branches={len(self.branches)})"
 
 
 #: Effects a step generator may yield.
-Step = Visit | HopTo | Fork
+Step = Union[Visit, HopTo, Fork]
 
 
-@dataclass(frozen=True, slots=True)
 class Resolution:
     """What the driver hands back into the generator for one effect.
 
@@ -86,9 +117,18 @@ class Resolution:
     ``value`` is the dereferenced item for :class:`Visit` effects.
     """
 
-    value: Any
-    host: HostId
-    charged: bool
+    __slots__ = ("value", "host", "charged")
+
+    def __init__(self, value: Any, host: HostId, charged: bool) -> None:
+        self.value = value
+        self.host = host
+        self.charged = charged
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Resolution(value={self.value!r}, host={self.host!r}, "
+            f"charged={self.charged!r})"
+        )
 
 
 #: A resumable distributed operation: yields effects, receives resolutions,
@@ -104,6 +144,8 @@ class StepCursor:
     through yielded effects, so the same routing code is honest under both
     immediate and round-based execution.
     """
+
+    __slots__ = ("_current", "_hops", "_path")
 
     def __init__(self, origin: HostId) -> None:
         self._current: HostId = origin
@@ -122,15 +164,34 @@ class StepCursor:
 
     @property
     def path(self) -> list[HostId]:
-        """Sequence of hosts visited (consecutive duplicates collapsed)."""
+        """Sequence of hosts visited (consecutive duplicates collapsed).
+
+        Returns a fresh copy on every access; hot callers should use
+        :meth:`path_tuple` (one immutable snapshot) or
+        :meth:`distinct_hosts` / :attr:`path_length` (no copy at all).
+        """
         return list(self._path)
+
+    def path_tuple(self) -> tuple[HostId, ...]:
+        """The visited path as one immutable snapshot (single copy)."""
+        return tuple(self._path)
+
+    def distinct_hosts(self) -> int:
+        """Number of distinct hosts visited, without copying the path."""
+        return len(set(self._path))
+
+    @property
+    def path_length(self) -> int:
+        """Length of the visited path, without copying it."""
+        return len(self._path)
 
     def _absorb(self, resolution: Resolution) -> None:
         if resolution.charged:
             self._hops += 1
-        if resolution.host != self._current:
-            self._current = resolution.host
-            self._path.append(resolution.host)
+        host = resolution.host
+        if host != self._current:
+            self._current = host
+            self._path.append(host)
 
     def visit(self, address: Address) -> StepGenerator:
         """Dereference ``address`` through the driver; use as ``yield from``."""
@@ -213,33 +274,42 @@ def _drive(
     kind: MessageKind,
     allow_fork: bool,
 ) -> Any:
+    # Flattened table-driven loop: one integer compare per effect, network
+    # entry points bound once, and consecutive same-host resolutions never
+    # re-enter the network layer (a local HopTo touches nothing at all; a
+    # local Visit pays only the dereference).
+    send = network.send
+    load = network.load
+    advance = gen.send
     try:
         effect = next(gen)
         while True:
-            if isinstance(effect, Visit):
+            op = effect.op
+            if op == OP_VISIT:
                 target = effect.address.host
-                charged = target != current
-                if charged:
-                    network.send(current, target, kind=kind)
+                if target != current:
+                    send(current, target, kind=kind)
                     current = target
-                value = network.load(effect.address)
-            elif isinstance(effect, HopTo):
+                    effect = advance(Resolution(load(effect.address), current, True))
+                else:
+                    effect = advance(Resolution(load(effect.address), current, False))
+            elif op == OP_HOP:
                 target = effect.host
-                charged = target != current
-                if charged:
-                    network.send(current, target, kind=kind)
+                if target != current:
+                    send(current, target, kind=kind)
                     current = target
-                value = None
-            elif isinstance(effect, Fork):
+                    effect = advance(Resolution(None, current, True))
+                else:
+                    effect = advance(Resolution(None, current, False))
+            elif op == OP_FORK:
                 if not allow_fork:
                     raise TypeError("nested Fork effects are not supported")
-                charged = False
                 value = tuple(
                     _drive(network, branch, current, kind, allow_fork=False)
                     for branch in effect.branches
                 )
+                effect = advance(Resolution(value, current, False))
             else:  # pragma: no cover - defensive
                 raise TypeError(f"step generator yielded a non-effect: {effect!r}")
-            effect = gen.send(Resolution(value=value, host=current, charged=charged))
     except StopIteration as stop:
         return stop.value

@@ -414,7 +414,7 @@ class BucketSkipWeb1D:
             answer=answer,
             messages=cursor.hops,
             origin_host=origin_host,
-            hosts_visited=tuple(cursor.path),
+            hosts_visited=cursor.path_tuple(),
             levels_descended=len(chain) - 1,
             target_key=final_unit.key,
             per_level_messages=tuple(per_level_messages),
@@ -469,7 +469,7 @@ class BucketSkipWeb1D:
         return RangeBranchReport(
             values=tuple(values),
             messages=cursor.hops,
-            hosts_visited=tuple(cursor.path),
+            hosts_visited=cursor.path_tuple(),
         )
 
     def range_steps(
@@ -690,7 +690,7 @@ class BucketSkipWeb1D:
             hosts=hosts,
             records_moved=moved,
             pointers_rewired=0,
-            hosts_touched=len(set(cursor.path)),
+            hosts_touched=cursor.distinct_hosts(),
         )
 
     def migrate_host(

@@ -35,6 +35,13 @@ class QuadtreeCell:
     points: tuple[Point, ...]
     children: list["QuadtreeCell"] = field(default_factory=list)
     parent: "QuadtreeCell | None" = None
+    # Unit-collection caches (see skip_quadtree.QuadtreeStructure):
+    # ``ukeys`` is ``(cube, node_key, link_key)``, valid while the cube
+    # object is unchanged; ``nunit`` / ``lunit`` are the last node / link
+    # RangeUnits built for this cell, revalidated by identity checks.
+    ukeys: "tuple | None" = field(default=None, repr=False, compare=False)
+    nunit: "object | None" = field(default=None, repr=False, compare=False)
+    lunit: "object | None" = field(default=None, repr=False, compare=False)
 
     @property
     def is_leaf(self) -> bool:

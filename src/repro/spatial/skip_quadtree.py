@@ -84,7 +84,6 @@ class QuadtreeStructure(RangeDeterminedLinkStructure):
         points: Sequence[Point],
         bounding_cube: HyperCube,
         _tree: CompressedQuadtree | None = None,
-        _reuse: dict[Hashable, RangeUnit] | None = None,
     ) -> None:
         self._bounding_cube = bounding_cube
         self.tree = CompressedQuadtree(points, bounding_cube) if _tree is None else _tree
@@ -92,7 +91,7 @@ class QuadtreeStructure(RangeDeterminedLinkStructure):
         self._units_by_key: dict[Hashable, RangeUnit] = {}
         self._adjacency: dict[Hashable, list[Hashable]] = {}
         self._cell_by_key: dict[Hashable, QuadtreeCell] = {}
-        self._collect_units(_reuse)
+        self._collect_units()
 
     # ------------------------------------------------------------------ #
     # construction
@@ -116,78 +115,88 @@ class QuadtreeStructure(RangeDeterminedLinkStructure):
         bounding cube is fixed across skip-web levels), so
         :meth:`repro.spatial.quadtree.CompressedQuadtree.insert_point`
         yields exactly the tree a rebuild over the enlarged set would.
-        This instance keeps its unit snapshot for the §4 diff; the
-        returned structure shares the mutated tree and re-collects its
-        units from it.
+        This instance keeps its unit snapshot for the §4 diff (its lists
+        and indexes below are never mutated); the returned structure
+        shares the mutated tree and re-collects its units from it.
         """
         self.tree.insert_point(as_point(item))
-        return QuadtreeStructure(
-            (), self._bounding_cube, _tree=self.tree, _reuse=self._units_by_key
-        )
+        return QuadtreeStructure((), self._bounding_cube, _tree=self.tree)
 
-    def _collect_units(self, reuse: dict[Hashable, RangeUnit] | None = None) -> None:
+    def _collect_units(self) -> None:
         """Derive units, indexes and adjacency from the tree, in tree order.
 
-        ``reuse`` (the previous structure's key → unit index, passed by
-        :meth:`with_item`) lets unchanged units be shared by identity: a
-        candidate is reused only when its range and payload objects *are*
-        the current tree's objects, which makes the reused unit
-        field-for-field equal to the one a fresh collection would build.
+        Unit keys and the units themselves are cached *on the cells*
+        (``QuadtreeCell.ukeys`` / ``nunit`` / ``lunit``) so that repeated
+        collections over a shared, incrementally-mutated tree (the
+        :meth:`with_item` path) rebuild only what actually changed: a
+        cached key survives while the cell's cube object is unchanged,
+        and a cached unit is reused only when its range and payload
+        objects *are* the current tree's objects, which makes the reused
+        unit field-for-field equal to the one a fresh build would make.
         """
         cells = list(self.tree.cells())
         units = self._units
+        units_append = units.append
         units_by_key = self._units_by_key
         adjacency = self._adjacency
         cell_by_key = self._cell_by_key
-        node_key_of: dict[int, Hashable] = {}
-        old = reuse if reuse is not None else {}
         for cell in cells:
             cube = cell.cube
-            node_key = ("qnode", (cube.lower, cube.side))
-            if node_key in units_by_key:
-                raise StructureError(f"duplicate quadtree unit key {node_key!r}")
-            node_key_of[id(cell)] = node_key
+            cached = cell.ukeys
+            if cached is None or cached[0] is not cube:
+                base = (cube.lower, cube.side)
+                cached = cell.ukeys = (cube, ("qnode", base), ("qlink", base))
+            node_key = cached[1]
             # A representative stored point, used by owner blocking to
             # place the record on the host that owns one of the cell's
             # points (the analogue of a skip graph tower's home host).
-            payload = cell.points[0] if cell.points else None
-            unit = old.get(node_key)
+            points = cell.points
+            payload = points[0] if points else None
+            unit = cell.nunit
             if unit is None or unit.range is not cube or unit.payload is not payload:
-                unit = RangeUnit(key=node_key, kind=UnitKind.NODE, range=cube, payload=payload)
-            units.append(unit)
+                unit = cell.nunit = RangeUnit(
+                    key=node_key, kind=UnitKind.NODE, range=cube, payload=payload
+                )
+            units_append(unit)
             units_by_key[node_key] = unit
             adjacency[node_key] = []
             cell_by_key[node_key] = cell
         for cell in cells:
-            parent_key = node_key_of[id(cell)]
-            parent_payload = cell.points[0] if cell.points else None
+            children = cell.children
+            if not children:
+                continue
+            parent_key = cell.ukeys[1]
+            points = cell.points
+            parent_payload = points[0] if points else None
             parent_adjacency = adjacency[parent_key]
-            for child in cell.children:
-                child_cube = child.cube
-                link_key = ("qlink", (child_cube.lower, child_cube.side))
-                if link_key in units_by_key:
-                    raise StructureError(f"duplicate quadtree unit key {link_key!r}")
-                child_payload = child.points[0] if child.points else None
-                unit = old.get(link_key)
+            for child in children:
+                child_cached = child.ukeys  # filled by the node pass above
+                child_cube = child_cached[0]
+                link_key = child_cached[2]
+                child_points = child.points
+                child_payload = child_points[0] if child_points else None
+                unit = child.lunit
                 if (
                     unit is None
                     or unit.range is not child_cube
                     or unit.payload[0] is not child_payload
                     or unit.payload[1] is not parent_payload
                 ):
-                    unit = RangeUnit(
+                    unit = child.lunit = RangeUnit(
                         key=link_key,
                         kind=UnitKind.LINK,
                         range=child_cube,
                         payload=(child_payload, parent_payload),
                     )
-                units.append(unit)
+                units_append(unit)
                 units_by_key[link_key] = unit
                 cell_by_key[link_key] = child
-                child_key = node_key_of[id(child)]
+                child_key = child_cached[1]
                 adjacency[link_key] = [parent_key, child_key]
                 parent_adjacency.append(link_key)
                 adjacency[child_key].append(link_key)
+        if len(units_by_key) != len(units):
+            raise StructureError("duplicate quadtree unit key in collection")
 
     # ------------------------------------------------------------------ #
     # RangeDeterminedLinkStructure interface
@@ -229,10 +238,19 @@ class QuadtreeStructure(RangeDeterminedLinkStructure):
         if cube is None:
             return super().overlapping(query_range)
         result: list[RangeUnit] = []
+        units_by_key = self._units_by_key
         for cell in self.tree.cells_intersecting(cube):
-            result.append(self._units_by_key[_node_key(cell.cube)])
-            if cell.parent is not None:
-                result.append(self._units_by_key[_link_key(cell.cube)])
+            # The unit keys cached on the cell by collection (they depend
+            # only on the cell's cube, which is stable while it is live).
+            cached = cell.ukeys
+            if cached is None or cached[0] is not cell.cube:
+                result.append(units_by_key[_node_key(cell.cube)])
+                if cell.parent is not None:
+                    result.append(units_by_key[_link_key(cell.cube)])
+            else:
+                result.append(units_by_key[cached[1]])
+                if cell.parent is not None:
+                    result.append(units_by_key[cached[2]])
         return result
 
     def conflicts(self, query_range: Range) -> list[RangeUnit]:
@@ -250,19 +268,38 @@ class QuadtreeStructure(RangeDeterminedLinkStructure):
         cube = query_range if isinstance(query_range, HyperCube) else None
         if cube is None:
             return super().conflicts(query_range)
+        # The descent test is HyperCube.contains_cube, inlined: this is
+        # the hottest loop of the update path (every rewire recomputes
+        # its hyperlinks) and the call overhead dominates the arithmetic.
+        lower = cube.lower
+        side = cube.side
         current = self.tree.root
-        while True:
-            advanced = False
+        descending = True
+        while descending:
+            descending = False
             for child in current.children:
-                if child.cube.contains_cube(cube):
+                child_cube = child.cube
+                child_lower = child_cube.lower
+                padded = child_cube.side + 1e-12
+                contained = True
+                for child_low, low in zip(child_lower, lower):
+                    if child_low > low or low + side > child_low + padded:
+                        contained = False
+                        break
+                if contained:
                     current = child
-                    advanced = True
+                    descending = True
                     break
-            if not advanced:
-                break
-        result = [self._units_by_key[_node_key(current.cube)]]
-        if current.parent is not None:
-            result.append(self._units_by_key[_link_key(current.cube)])
+        units_by_key = self._units_by_key
+        cached = current.ukeys
+        if cached is None or cached[0] is not current.cube:
+            result = [units_by_key[_node_key(current.cube)]]
+            if current.parent is not None:
+                result.append(units_by_key[_link_key(current.cube)])
+        else:
+            result = [units_by_key[cached[1]]]
+            if current.parent is not None:
+                result.append(units_by_key[cached[2]])
         return result
 
     # ------------------------------------------------------------------ #

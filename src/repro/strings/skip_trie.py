@@ -72,7 +72,9 @@ class TrieRange:
 
     def match_length(self, query: str) -> int:
         """How many characters of ``query`` this range can match."""
-        return min(len(longest_common_prefix(self.high, query)), len(self.high))
+        # The common prefix is never longer than ``high`` itself, so its
+        # length needs no clamping.
+        return len(longest_common_prefix(self.high, query))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"TrieRange({self.high!r}[{self.low + 1}:])"
@@ -144,7 +146,6 @@ class TrieStructure(RangeDeterminedLinkStructure):
         strings: Sequence[str],
         alphabet: Alphabet,
         _trie: CompressedTrie | None = None,
-        _reuse: dict[Hashable, RangeUnit] | None = None,
     ) -> None:
         self._alphabet = alphabet
         self.trie = CompressedTrie(strings, alphabet) if _trie is None else _trie
@@ -152,7 +153,7 @@ class TrieStructure(RangeDeterminedLinkStructure):
         self._units_by_key: dict[Hashable, RangeUnit] = {}
         self._adjacency: dict[Hashable, list[Hashable]] = {}
         self._node_by_key: dict[Hashable, TrieNode] = {}
-        self._collect_units(_reuse)
+        self._collect_units()
 
     @classmethod
     def build(cls, items: Sequence[Any], **params: Any) -> "TrieStructure":
@@ -175,9 +176,7 @@ class TrieStructure(RangeDeterminedLinkStructure):
         the mutated trie and re-collects its units from it.
         """
         self.trie.insert(str(item))
-        return TrieStructure(
-            (), self._alphabet, _trie=self.trie, _reuse=self._units_by_key
-        )
+        return TrieStructure((), self._alphabet, _trie=self.trie)
 
     # ------------------------------------------------------------------ #
     # unit collection
@@ -212,74 +211,83 @@ class TrieStructure(RangeDeterminedLinkStructure):
             stack.extend((child, False) for child in node.children.values())
         return reps
 
-    def _collect_units(self, reuse: dict[Hashable, RangeUnit] | None = None) -> None:
+    def _collect_units(self) -> None:
         """Derive units, indexes and adjacency from the trie, in trie order.
 
-        ``reuse`` (the previous structure's key → unit index, passed by
-        :meth:`with_item`) lets unchanged units be shared by identity: a
-        candidate is reused only when its payload objects and range bounds
-        match the current trie's, making it field-for-field equal to the
-        unit a fresh collection would build.
+        Unit keys and the units themselves are cached *on the nodes*
+        (``TrieNode.ukeys`` / ``nunit`` / ``lunit``) so that repeated
+        collections over a shared, incrementally-mutated trie (the
+        :meth:`with_item` path) rebuild only what actually changed: keys
+        survive for a node's lifetime (prefixes are construction-only),
+        and a cached unit is reused only when its key and payload objects
+        (and for links the parent-depth bound) match the current trie's,
+        making it field-for-field equal to a freshly built unit.
         """
         reps = self._representatives()
         nodes = list(self.trie.nodes())
         units = self._units
+        units_append = units.append
         units_by_key = self._units_by_key
         adjacency = self._adjacency
         node_by_key = self._node_by_key
-        old = reuse if reuse is not None else {}
         for node in nodes:
-            prefix = node.prefix
-            node_key = ("snode", prefix)
-            if node_key in units_by_key:
-                raise StructureError(f"duplicate trie unit key {node_key!r}")
+            cached = node.ukeys
+            if cached is None:
+                prefix = node.prefix
+                cached = node.ukeys = (prefix, ("snode", prefix), ("slink", prefix))
+            node_key = cached[1]
             rep = reps[id(node)]
-            unit = old.get(node_key)
+            unit = node.nunit
             if unit is None or unit.payload is not rep:
-                unit = RangeUnit(
+                prefix = cached[0]
+                unit = node.nunit = RangeUnit(
                     key=node_key,
                     kind=UnitKind.NODE,
                     range=TrieRange(low=len(prefix) - 1, high=prefix),
                     payload=rep,
                 )
-            units.append(unit)
+            units_append(unit)
             units_by_key[node_key] = unit
             adjacency[node_key] = []
             node_by_key[node_key] = node
         for node in nodes:
-            parent_key = ("snode", node.prefix)
+            children = node.children
+            if not children:
+                continue
+            parent_key = node.ukeys[1]
             parent_low = len(node.prefix) - 1
             parent_rep = reps[id(node)]
             parent_adjacency = adjacency[parent_key]
-            for child in node.children.values():
-                link_key = ("slink", child.prefix)
-                if link_key in units_by_key:
-                    raise StructureError(f"duplicate trie unit key {link_key!r}")
+            for child in children.values():
+                child_cached = child.ukeys  # filled by the node pass above
+                link_key = child_cached[2]
                 # §2.1: the edge range is the set of strings x·y where y is
                 # a *possibly empty* prefix of the edge label, so it also
                 # contains the parent node's own string — hence ``low`` is
                 # one less than the parent's depth.
                 child_rep = reps[id(child)]
-                unit = old.get(link_key)
+                unit = child.lunit
                 if (
                     unit is None
                     or unit.range.low != parent_low
                     or unit.payload[0] is not child_rep
                     or unit.payload[1] is not parent_rep
                 ):
-                    unit = RangeUnit(
+                    unit = child.lunit = RangeUnit(
                         key=link_key,
                         kind=UnitKind.LINK,
-                        range=TrieRange(low=parent_low, high=child.prefix),
+                        range=TrieRange(low=parent_low, high=child_cached[0]),
                         payload=(child_rep, parent_rep),
                     )
-                units.append(unit)
+                units_append(unit)
                 units_by_key[link_key] = unit
                 node_by_key[link_key] = child
-                child_key = ("snode", child.prefix)
+                child_key = child_cached[1]
                 adjacency[link_key] = [parent_key, child_key]
                 parent_adjacency.append(link_key)
                 adjacency[child_key].append(link_key)
+        if len(units_by_key) != len(units):
+            raise StructureError("duplicate trie unit key in collection")
 
     # ------------------------------------------------------------------ #
     # RangeDeterminedLinkStructure interface
@@ -327,12 +335,22 @@ class TrieStructure(RangeDeterminedLinkStructure):
         while current is not None:
             path.append(current)
             current = current.parent
+        units_by_key = self._units_by_key
         for path_node in reversed(path):
-            node_range: TrieRange = self._units_by_key[_node_key(path_node.prefix)].range
-            if node_range.intersects(query_range):
-                result.append(self._units_by_key[_node_key(path_node.prefix)])
+            # The unit keys cached on the node by collection (they depend
+            # only on the node's immutable prefix).
+            cached = path_node.ukeys
+            if cached is None:
+                prefix = path_node.prefix
+                node_unit = units_by_key[_node_key(prefix)]
+                link_key = _link_key(prefix)
+            else:
+                node_unit = units_by_key[cached[1]]
+                link_key = cached[2]
+            if node_unit.range.intersects(query_range):
+                result.append(node_unit)
             if path_node.parent is not None:
-                link_unit = self._units_by_key[_link_key(path_node.prefix)]
+                link_unit = units_by_key[link_key]
                 if link_unit.range.intersects(query_range):
                     result.append(link_unit)
         return result

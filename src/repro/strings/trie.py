@@ -38,6 +38,12 @@ class TrieNode:
     terminal: bool = False
     children: dict[str, "TrieNode"] = field(default_factory=dict)
     parent: "TrieNode | None" = None
+    # Unit-collection caches (see skip_trie.TrieStructure): ``ukeys`` is
+    # ``(prefix, node_key, link_key)``; ``nunit`` / ``lunit`` are the last
+    # node / link RangeUnits built for this node, revalidated by identity.
+    ukeys: "tuple | None" = field(default=None, repr=False, compare=False)
+    nunit: "object | None" = field(default=None, repr=False, compare=False)
+    lunit: "object | None" = field(default=None, repr=False, compare=False)
 
     @property
     def is_leaf(self) -> bool:
@@ -65,7 +71,9 @@ class TrieNode:
 
 def longest_common_prefix(first: str, second: str) -> str:
     """The longest common prefix of two strings."""
-    limit = min(len(first), len(second))
+    first_length = len(first)
+    second_length = len(second)
+    limit = first_length if first_length < second_length else second_length
     head = first[:limit]
     # Fast path: one string is a prefix of the other (one C-level compare).
     if second.startswith(head):

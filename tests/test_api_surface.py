@@ -31,6 +31,8 @@ EXPECTED_ALL = [
     "resolve_structure",
     "available_structures",
     "structure_specs",
+    "set_default_workers",
+    "default_workers",
 ]
 
 #: Structure families every release must keep resolvable by these names.
@@ -53,7 +55,7 @@ EXPECTED_SIGNATURES = {
     "Cluster.__init__": (
         "(self, structure: 'str' = 'skipweb1d', items: 'Sequence[Any] | None' = None, "
         "*, hosts: 'int | None' = None, memory_size: 'int | None' = None, "
-        "seed: 'int' = 0, mode: 'str' = 'batched', network: 'Network | None' = None, "
+        "seed: 'int' = 0, mode: 'str' = 'batched', workers: 'int | None' = None, network: 'Network | None' = None, "
         "route_cache: 'bool' = False, max_retries: 'int' = 5, "
         "churn_rng: 'random.Random | None' = None, join_fraction: 'float' = 0.5, "
         "min_hosts: 'int' = 2, **options: 'Any') -> 'None'"
@@ -93,6 +95,8 @@ EXPECTED_SIGNATURES = {
         "join_fraction: 'float' = 0.5, min_hosts: 'int' = 2) -> \"'Cluster'\""
     ),
     "register_structure": "(spec: 'StructureSpec') -> 'StructureSpec'",
+    "set_default_workers": "(workers: 'int') -> 'None'",
+    "default_workers": "() -> 'int'",
     "resolve_structure": "(name: 'str') -> 'StructureSpec'",
     "available_structures": "() -> 'list[str]'",
     "structure_specs": "() -> 'dict[str, StructureSpec]'",

@@ -521,3 +521,33 @@ class TestForkedCursors:
         assert not outcome.ok
         assert isinstance(outcome.error, StructureError)
         assert outcome.retries == 2
+
+    def test_nested_fork_raises_type_error_under_both_drivers(self):
+        """A branch that forks again is a programming error, not an outcome.
+
+        Branches are flat walks by contract; both the immediate driver
+        and the batch executor's compiled dispatch must refuse a nested
+        ``Fork`` with ``TypeError`` instead of mis-billing it.
+        """
+
+        class _NestedForkStructure(_ForkingStructure):
+            def _forking_branch(self, origin):
+                cursor = StepCursor(origin)
+                reports = yield from cursor.fork([self._walk(self.left, origin)])
+                return reports
+
+            def range_steps(self, query_range, origin_host=None):
+                origin = 0 if origin_host is None else origin_host
+                cursor = StepCursor(origin)
+                reports = yield from cursor.fork(
+                    [self._forking_branch(origin), self._walk(self.right, origin)]
+                )
+                return reports
+
+        immediate = _NestedForkStructure()
+        with pytest.raises(TypeError, match="nested Fork"):
+            run_immediate(immediate.network, immediate.range_steps(None), 0)
+
+        batched = _NestedForkStructure()
+        with pytest.raises(TypeError, match="nested Fork"):
+            BatchExecutor(batched).run([Operation("range", None)])

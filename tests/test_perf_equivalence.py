@@ -12,7 +12,10 @@ These tests pin that contract:
 * the incremental ``with_item`` fast paths produce structures
   bit-identical to a from-scratch rebuild (units, order, adjacency);
 * the network-level caches (alive hosts, round reports) change no
-  observable number while bounding memory.
+  observable number while bounding memory;
+* the sharded multi-worker executor (``Cluster(workers=N)``) produces
+  results, per-operation stats, congestion aggregates and deployment
+  snapshots identical to a serial run, for every structure family.
 """
 
 from __future__ import annotations
@@ -21,7 +24,9 @@ import random
 
 import pytest
 
+from repro.api import Cluster
 from repro.baselines import ChordDHT, SkipGraph
+from repro.engine.sharded import ShardedExecutor, fork_available
 from repro.bench.experiments import (
     churn,
     congestion_rounds,
@@ -37,7 +42,12 @@ from repro.spatial.geometry import HyperCube
 from repro.spatial.skip_quadtree import QuadtreeStructure, SkipQuadtreeWeb
 from repro.strings import DNA, LOWERCASE
 from repro.strings.skip_trie import SkipTrieWeb, TrieStructure
-from repro.workloads import uniform_keys, uniform_points
+from repro.workloads import (
+    dna_reads,
+    non_crossing_segments,
+    uniform_keys,
+    uniform_points,
+)
 from repro.workloads.strings import random_strings
 
 
@@ -291,3 +301,176 @@ class TestNetworkCaches:
             result_reference.round_congestion().as_dict()
             == result_bounded.round_congestion().as_dict()
         )
+
+
+#: Read-only batch scenarios for every registered family: constructor
+#: items, extra Cluster kwargs, a list of search payloads, and (where the
+#: family answers them) one range payload.
+_SHARD_KEYS = uniform_keys(32, seed=21)
+_SHARD_POINTS = uniform_points(24, dimension=2, seed=21)
+_SHARD_READS = dna_reads(20, seed=21)
+_SHARD_SEGMENTS = non_crossing_segments(12, seed=21)
+
+SHARD_SCENARIOS = {
+    "skipweb1d": dict(
+        items=_SHARD_KEYS,
+        kwargs={},
+        searches=uniform_keys(18, seed=22),
+        range=(0.0, 500_000.0),
+    ),
+    "bucket-skipweb1d": dict(
+        items=_SHARD_KEYS,
+        kwargs={"memory_size": 16},
+        searches=uniform_keys(18, seed=22),
+        range=(0.0, 500_000.0),
+    ),
+    "skipquadtree": dict(
+        items=_SHARD_POINTS,
+        kwargs={"bounding_cube": HyperCube((0.0, 0.0), 1.0)},
+        searches=[tuple(point) for point in uniform_points(14, dimension=2, seed=23)],
+        range=None,
+    ),
+    "skiptrie": dict(
+        items=_SHARD_READS,
+        kwargs={"alphabet": DNA},
+        searches=[read[: 3 + index % 5] for index, read in enumerate(_SHARD_READS[:14])],
+        range=None,
+    ),
+    "skiptrapezoid": dict(
+        items=_SHARD_SEGMENTS,
+        kwargs={},
+        searches=[
+            (segment.left[0] + 0.25, segment.left[1] + 0.25)
+            for segment in _SHARD_SEGMENTS[:10]
+        ],
+        range=None,
+    ),
+    "skipgraph": dict(
+        items=_SHARD_KEYS,
+        kwargs={},
+        searches=uniform_keys(18, seed=22),
+        range=(0.0, 500_000.0),
+    ),
+    "skipnet": dict(items=_SHARD_KEYS, kwargs={}, searches=uniform_keys(18, seed=22), range=None),
+    "non-skipgraph": dict(
+        items=_SHARD_KEYS, kwargs={}, searches=uniform_keys(18, seed=22), range=None
+    ),
+    "family-tree": dict(
+        items=_SHARD_KEYS, kwargs={}, searches=uniform_keys(18, seed=22), range=None
+    ),
+    "det-skipnet": dict(
+        items=_SHARD_KEYS, kwargs={}, searches=uniform_keys(18, seed=22), range=None
+    ),
+    "bucket-skipgraph": dict(
+        items=_SHARD_KEYS, kwargs={}, searches=uniform_keys(18, seed=22), range=None
+    ),
+    "chord": dict(items=_SHARD_KEYS, kwargs={}, searches=list(_SHARD_KEYS[:14]), range=None),
+}
+
+
+class TestShardedEquivalence:
+    """``Cluster(workers=N)`` changes no observable number, ever.
+
+    The sharded executor's contract (ISSUE: zero counted-message drift)
+    is that a read-only batch run across fork workers is *accounting-
+    identical* to the same batch run serially: every
+    :class:`~repro.api.results.OperationHandle` field, the batch's round
+    and message totals, the per-round congestion reports, the session
+    congestion aggregates, and the cluster's lifetime deployment
+    snapshot.  The sweep below pins all of it for every registered
+    structure family and ``workers ∈ {1, 2, 4}``.
+    """
+
+    @staticmethod
+    def _run_batch(name, workers):
+        # Sharding requires the ledger substrate (the benchmarks' and the
+        # CLI's default); under tracing it transparently stays serial.
+        with ledger_mode():
+            scenario = SHARD_SCENARIOS[name]
+            cluster = Cluster(
+                structure=name,
+                items=scenario["items"],
+                seed=21,
+                workers=workers,
+                **scenario["kwargs"],
+            )
+            operations = [("search", payload) for payload in scenario["searches"]]
+            if scenario["range"] is not None:
+                operations.append(("range", scenario["range"]))
+            report = cluster.batch(operations)
+        return cluster, report
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("name", sorted(SHARD_SCENARIOS))
+    def test_every_family_matches_serial(self, name, workers):
+        serial_cluster, serial = self._run_batch(name, workers=1)
+        sharded_cluster, sharded = self._run_batch(name, workers=workers)
+
+        if workers > 1 and fork_available():
+            executor = sharded_cluster.executor
+            assert isinstance(executor, ShardedExecutor)
+            assert executor.last_fallback_reason is None, executor.last_fallback_reason
+
+        # Per-operation stats and values, in submission order.
+        assert len(serial) == len(sharded)
+        for left, right in zip(serial, sharded):
+            assert left.status == right.status
+            assert left.kind == right.kind
+            assert left.origin_host == right.origin_host
+            assert left.messages == right.messages
+            assert left.rounds == right.rounds
+            assert left.retries == right.retries
+            assert left.cache_hits == right.cache_hits
+            assert left.value == right.value
+            assert type(left.error) is type(right.error)
+
+        # Batch aggregates and per-round congestion.
+        assert serial.rounds == sharded.rounds
+        assert serial.messages == sharded.messages
+        assert serial.max_round_congestion == sharded.max_round_congestion
+        assert serial.summary() == sharded.summary()
+        assert serial.round_congestion().as_dict() == sharded.round_congestion().as_dict()
+        serial_reports = serial.raw.round_reports
+        sharded_reports = sharded.raw.round_reports
+        assert [
+            (report.index, report.delivered, report.max_load, report.max_load_host)
+            for report in serial_reports
+        ] == [
+            (report.index, report.delivered, report.max_load, report.max_load_host)
+            for report in sharded_reports
+        ]
+
+        # Lifetime deployment snapshots (construction + batch traffic).
+        assert serial_cluster.stats().as_dict() == sharded_cluster.stats().as_dict()
+
+    def test_mutating_batch_falls_back_and_says_so(self):
+        with ledger_mode():
+            cluster = Cluster(structure="skipweb1d", items=_SHARD_KEYS, seed=21, workers=2)
+            executor = cluster.executor
+            assert isinstance(executor, ShardedExecutor)
+            report = cluster.batch([("insert", 77.5), ("search", 123.0)])
+            assert report[0].ok and report[1].ok
+            assert executor.last_fallback_reason == "mutating operation kind 'insert'"
+
+    def test_failed_hosts_force_the_serial_path(self):
+        with ledger_mode():
+            cluster = Cluster(structure="skipweb1d", items=_SHARD_KEYS, seed=21, workers=2)
+            executor = cluster.executor
+            assert isinstance(executor, ShardedExecutor)
+            victim = next(
+                host
+                for host in cluster.network.alive_host_ids()
+                if host not in set(cluster.structure.origin_hosts()[:1])
+            )
+            cluster.network.fail_host(victim)
+            report = cluster.batch(
+                [("search", payload) for payload in uniform_keys(6, seed=24)]
+            )
+            assert executor.last_fallback_reason == "failed hosts present"
+            assert len(report) == 6
+
+    def test_workers_validation(self):
+        with pytest.raises(ValueError, match="workers"):
+            Cluster(structure="skipweb1d", items=_SHARD_KEYS, seed=21, workers=0)
+        with pytest.raises(ValueError, match="workers"):
+            ShardedExecutor(Cluster("skipweb1d", _SHARD_KEYS, seed=21).structure, workers=0)
