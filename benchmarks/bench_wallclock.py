@@ -26,6 +26,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import random
 import resource
 import sys
@@ -338,7 +339,50 @@ def wallclock_rows(
                         _timed(lambda: controller.run_schedule(schedule)),
                     )
                 )
+    rows.extend(_durability_rows(seed))
     return rows
+
+
+#: Steps of the seeded durable workload timed by the ``durability`` rows.
+DURABILITY_STEPS = 12
+
+
+def _durability_rows(seed: int) -> list[Row]:
+    """Journaling overhead: the seeded workload bare vs with a jsonl log.
+
+    Times ``repro.storage.workload.run_workload`` twice — once without
+    storage, once journaling every committed action to a jsonl store —
+    and prints the overhead to stderr.  The overhead is informational
+    (the regression gate bounds each timing independently); the design
+    target is < 15% for the log-everything configuration (DESIGN.md §9).
+    """
+    import shutil
+    import tempfile
+
+    from repro.storage.workload import run_workload
+
+    steps = DURABILITY_STEPS
+    bare = _timed(lambda: run_workload("skipweb1d", steps=steps, seed=seed))
+    tmp = tempfile.mkdtemp(prefix="repro-durability-")
+    try:
+        logged = _timed(
+            lambda: run_workload(
+                "skipweb1d", steps=steps, seed=seed, storage=os.path.join(tmp, "log.jsonl")
+            )
+        )
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    if bare > 0:
+        overhead = (logged - bare) / bare * 100.0
+        print(
+            f"durability: jsonl journaling overhead {overhead:+.1f}% "
+            f"({logged:.3f}s vs {bare:.3f}s over {steps} steps; target < 15%)",
+            file=sys.stderr,
+        )
+    return [
+        _row("skip-web 1-d", "durability", "bare", steps, bare),
+        _row("skip-web 1-d", "durability", "journaled", steps, logged),
+    ]
 
 
 def wallclock_metrics(params: dict[str, int] | None = None) -> dict[str, float]:
@@ -370,7 +414,9 @@ def test_wallclock_quick(capsys):
     structures = {row["structure"] for row in rows}
     assert len(structures) >= 5
     workloads = {row["workload"] for row in rows}
-    assert workloads == {"build", "query", "insert", "range", "churn"}
+    assert workloads == {"build", "query", "insert", "range", "churn", "durability"}
+    durability = [row for row in rows if row["workload"] == "durability"]
+    assert {row["executor"] for row in durability} == {"bare", "journaled"}
     for row in rows:
         assert row["elapsed_s"] >= 0.0
         assert row["ops"] > 0

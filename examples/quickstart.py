@@ -11,6 +11,9 @@ Run with:  python examples/quickstart.py
 """
 
 import random
+import shutil
+import tempfile
+from pathlib import Path
 
 from repro.api import Cluster, available_structures
 from repro.workloads import uniform_keys
@@ -82,6 +85,19 @@ def main() -> None:
     handle = chord.range((0.0, 1000.0))
     print(f"  range query on Chord: status={handle.status!r} "
           "(hashing destroys order, §1.2)")
+
+    print("\n== durable runs: journal, kill, recover (DESIGN.md §9) ==")
+    store = tempfile.mkdtemp(prefix="quickstart-") + "/run.sqlite"
+    durable = Cluster(structure="skipweb1d", items=keys[:50], seed=7, storage=store)
+    durable.batch([("search", 123.0), ("insert", 1.5)])
+    durable.crash_host()
+    digest_before = durable.stats().messages_total
+    durable.close()  # or a SIGKILL: every committed operation is already logged
+    recovered = Cluster.recover(store)
+    print(f"  recovered {recovered.applied_operations} operations from {store}")
+    print(f"  message counters match: {recovered.stats().messages_total == digest_before}")
+    recovered.close()
+    shutil.rmtree(str(Path(store).parent))
 
 
 if __name__ == "__main__":

@@ -46,12 +46,20 @@ from repro.engine.executor import BatchExecutor, Operation
 from repro.engine.repair import RepairEngine, RepairResult
 from repro.engine.sharded import ShardedExecutor
 from repro.engine.steps import run_immediate
-from repro.errors import QueryError, ReproError, StructureError
+from repro.errors import QueryError, ReproError, StorageError, StructureError
 from repro.net.churn import ChurnController, ChurnEvent
 from repro.net.congestion import RoundCongestionReport, round_congestion_report
 from repro.net.message import MessageKind
 from repro.net.naming import HostId
-from repro.net.network import Network, OperationStats
+from repro.net.network import Network, OperationStats, ledger_mode, tracing_mode
+from repro.storage import (
+    DurabilityController,
+    StorageBackend,
+    capture_snapshot,
+    committed_prefix,
+    open_storage,
+    restore_snapshot,
+)
 
 #: Message kind charged per operation kind (single-operation immediate mode).
 _KIND_OF = {
@@ -187,6 +195,19 @@ class Cluster:
     churn_rng / join_fraction / min_hosts:
         Churn-controller configuration (see
         :class:`~repro.net.churn.ChurnController`).
+    storage:
+        A path (``.sqlite``/``.db`` file or a jsonl directory) or a
+        :class:`~repro.storage.backends.StorageBackend`: every committed
+        action is journaled so the run survives a crash and is
+        recoverable byte-identically via :meth:`Cluster.recover`.
+        Journaled runs must be replayable, so ``storage=`` refuses an
+        external ``network=``, an external ``churn_rng=`` and
+        ``route_cache=True`` (cross-batch cache warmth is not restored
+        by recovery, so replayed tails would diverge).
+    snapshot_every:
+        With ``storage=``, write a full-state snapshot every N committed
+        actions (0 = only on explicit :meth:`save`); recovery replays
+        the log tail past the newest snapshot.
     options:
         Structure-specific keywords passed through to the factory
         (``alphabet=``, ``bounding_cube=``, ``box=``, ``blocking=``,
@@ -209,6 +230,8 @@ class Cluster:
         churn_rng: random.Random | None = None,
         join_fraction: float = 0.5,
         min_hosts: int = 2,
+        storage: "str | StorageBackend | None" = None,
+        snapshot_every: int = 0,
         **options: Any,
     ) -> None:
         if mode not in ("batched", "immediate"):
@@ -233,8 +256,76 @@ class Cluster:
         self._churn: ChurnController | None = None
         self._repair_engine: RepairEngine | None = None
         self._closed = False
+        self._durability: DurabilityController | None = None
+        self._snapshot_every = snapshot_every
+        if storage is not None:
+            self._check_storage_config()
+            self._attach_durability(
+                DurabilityController(open_storage(storage), snapshot_every=snapshot_every)
+            )
         if items is not None:
             self._structure = self._construct(self.spec.factory, items)
+        if self._durability is not None:
+            # Journal construction (post-commit) so recovery can rebuild
+            # from genesis even before the first snapshot exists.  The
+            # network's membership listener only attaches once the
+            # structure exists: construction-time add_host events are
+            # implied by the create record, not journaled individually.
+            self._durability.record_action("create", self._create_payload(items))
+            if self._structure is not None:
+                self.network.add_membership_listener(
+                    self._durability.membership_listener
+                )
+
+    def _check_storage_config(self) -> None:
+        if not self.spec.durable:
+            raise StorageError(
+                f"structure {self.spec.name!r} is registered durable=False; "
+                "its runs cannot be journaled for byte-identical replay"
+            )
+        if self._network is not None:
+            raise StorageError(
+                "storage= requires the cluster to own its network: an "
+                "externally built network's construction history is not in "
+                "the log, so recovery could not rebuild it"
+            )
+        if self._churn_rng is not None:
+            raise StorageError(
+                "storage= refuses an external churn_rng: recovery re-seeds "
+                "churn from the recorded seed, so an external stream would "
+                "diverge on replay (drop churn_rng= or storage=)"
+            )
+        if self._route_cache:
+            raise StorageError(
+                "storage= refuses route_cache=True: cache warmth spans "
+                "batches but is not snapshotted, so a recovered tail would "
+                "replay with different hit counts"
+            )
+
+    def _create_payload(self, items: Sequence[Any] | None) -> dict[str, Any]:
+        from repro.net.network import default_trace
+
+        return {
+            "structure": self.spec.name,
+            "items": tuple(items) if items is not None else None,
+            "hosts": self._hosts,
+            "memory_size": self._memory_size,
+            "seed": self.seed,
+            "mode": self.mode,
+            "workers": self.workers,
+            "max_retries": self._max_retries,
+            "join_fraction": self._join_fraction,
+            "min_hosts": self._min_hosts,
+            "snapshot_every": self._snapshot_every,
+            "options": dict(self._options),
+            "trace": (
+                self.network.trace if self._structure is not None else default_trace()
+            ),
+        }
+
+    def _attach_durability(self, controller: DurabilityController) -> None:
+        self._durability = controller
+        controller.snapshot_hook = self._maybe_snapshot
 
     # ------------------------------------------------------------------ #
     # construction paths
@@ -298,6 +389,8 @@ class Cluster:
                 cluster._churn = None
                 cluster._repair_engine = None
                 cluster._closed = False
+                cluster._durability = None
+                cluster._snapshot_every = 0
                 return cluster
         raise StructureError(
             f"{type(structure).__name__} is not a registered structure family"
@@ -323,6 +416,13 @@ class Cluster:
                 f"structure {self.spec.name!r} has no bulk-load constructor"
             )
         self._structure = self._construct(self.spec.bulk_factory, sorted_items)
+        if self._durability is not None:
+            self._durability.record_action(
+                "bulk_load", {"items": tuple(sorted_items)}
+            )
+            self.network.add_membership_listener(
+                self._durability.membership_listener
+            )
         return OperationHandle(
             kind="bulk_load",
             payload=len(sorted_items),
@@ -362,18 +462,25 @@ class Cluster:
         either way.
         """
         if self._executor is None:
+            on_commit = (
+                self._durability.on_batch_commit
+                if self._durability is not None
+                else None
+            )
             if self.workers > 1 and self.spec.shardable:
                 self._executor = ShardedExecutor(
                     self.structure,
                     workers=self.workers,
                     route_cache=self._route_cache,
                     max_retries=self._max_retries,
+                    on_commit=on_commit,
                 )
             else:
                 self._executor = BatchExecutor(
                     self.structure,
                     route_cache=self._route_cache,
                     max_retries=self._max_retries,
+                    on_commit=on_commit,
                 )
         return self._executor
 
@@ -512,6 +619,14 @@ class Cluster:
         # Messages charged before a failure are real traffic; bill them on
         # the handle either way (matching the batched path's accounting).
         handle.messages = stats.messages
+        # Failed singles committed too (their error is deterministic), so
+        # journal unconditionally; batched-mode singles are journaled as
+        # one-operation batches by the executor's commit hook instead.
+        if self._durability is not None:
+            self._durability.record_action(
+                "single",
+                {"kind": kind, "payload": payload, "origin_host": origin_host},
+            )
         return handle
 
     # ------------------------------------------------------------------ #
@@ -533,32 +648,74 @@ class Cluster:
                 "churn controller already materialised; configure before the "
                 "first lifecycle call"
             )
+        if rng is not None and self._durability is not None:
+            raise StorageError(
+                "storage= refuses an external churn rng: recovery re-seeds "
+                "churn from the recorded seed, so an external stream would "
+                "diverge on replay"
+            )
         if rng is not None:
             self._churn_rng = rng
         if join_fraction is not None:
             self._join_fraction = join_fraction
         if min_hosts is not None:
             self._min_hosts = min_hosts
+        if self._durability is not None:
+            self._durability.record_action(
+                "configure_churn",
+                {"join_fraction": join_fraction, "min_hosts": min_hosts},
+            )
+
+    def _journal_churn(self, action: str, host_id: HostId | None) -> None:
+        # Journal the *request* (the victim may be None = "pick one"): the
+        # churn controller's seeded rng is part of snapshots, so replaying
+        # the request re-draws the same victim and the rng stream evolves
+        # identically for later events.
+        if self._durability is not None:
+            self._durability.record_action(
+                "churn", {"action": action, "host": host_id}
+            )
 
     def join_host(self) -> ChurnEvent:
         """Register a fresh host and rebalance load onto it."""
         self._check_open()
-        return self.churn.join()
+        event = self.churn.join()
+        self._journal_churn("join", None)
+        return event
 
     def leave_host(self, host_id: HostId | None = None) -> ChurnEvent:
         """Gracefully retire a host (records handed off first)."""
         self._check_open()
-        return self.churn.leave(host_id)
+        event = self.churn.leave(host_id)
+        self._journal_churn("leave", host_id)
+        return event
 
     def crash_host(self, host_id: HostId | None = None) -> ChurnEvent:
         """Fail a host without warning, then self-repair and remove it."""
         self._check_open()
-        return self.churn.crash(host_id)
+        event = self.churn.crash(host_id)
+        self._journal_churn("crash", host_id)
+        return event
 
     def run_churn_schedule(self, kinds: Sequence[str]) -> list[ChurnEvent]:
-        """Apply a sequence of ``"join"`` / ``"leave"`` / ``"crash"`` events."""
+        """Apply a sequence of ``"join"`` / ``"leave"`` / ``"crash"`` events.
+
+        Each event runs through the façade's own lifecycle methods, so a
+        journaled cluster logs every event individually — a crash midway
+        through a schedule keeps the committed prefix.
+        """
         self._check_open()
-        return self.churn.run_schedule(kinds)
+        applied: list[ChurnEvent] = []
+        for kind in kinds:
+            if kind == "join":
+                applied.append(self.join_host())
+            elif kind == "leave":
+                applied.append(self.leave_host())
+            elif kind == "crash":
+                applied.append(self.crash_host())
+            else:
+                raise ValueError(f"unknown churn event kind {kind!r}")
+        return applied
 
     @property
     def churn_events(self) -> list[ChurnEvent]:
@@ -570,7 +727,10 @@ class Cluster:
         self._check_open()
         self.churn  # materialise the repair engine
         assert self._repair_engine is not None
-        return self._repair_engine.repair(list(host_ids))
+        result = self._repair_engine.repair(list(host_ids))
+        if self._durability is not None:
+            self._durability.record_action("repair", {"host_ids": list(host_ids)})
+        return result
 
     @contextmanager
     def session(self) -> Iterator[ClusterSession]:
@@ -591,13 +751,227 @@ class Cluster:
 
         The churn controller is kept so ``churn_events`` — the measured
         history of a run — stays readable after the context manager exits.
+        A journaled cluster's storage is flushed to stable storage and
+        its handles released (the store stays reopenable).
         """
         self._closed = True
         self._executor = None
+        if self._durability is not None:
+            self._durability.backend.close()
 
     def _check_open(self) -> None:
         if self._closed:
             raise StructureError("cluster is closed")
+
+    # ------------------------------------------------------------------ #
+    # durability: save / load / recover (repro.storage)
+    # ------------------------------------------------------------------ #
+    @property
+    def storage(self) -> StorageBackend | None:
+        """The attached durability backend, if any."""
+        return self._durability.backend if self._durability is not None else None
+
+    @property
+    def applied_operations(self) -> int:
+        """Committed actions journaled or replayed by this cluster."""
+        return self._durability.applied_actions if self._durability is not None else 0
+
+    def save(self) -> None:
+        """Write a full-state snapshot at the current log position and fsync.
+
+        Recovery from a freshly saved store restores the snapshot and
+        replays an empty tail; :meth:`load` requires exactly this state.
+        """
+        self._check_open()
+        if self._durability is None:
+            raise StorageError(
+                "cluster has no storage attached; construct with storage="
+            )
+        self._write_snapshot()
+        self._durability.backend.sync()
+
+    def _maybe_snapshot(self) -> None:
+        # Cadence-triggered: defer rather than fail while a measurement
+        # window is open (the snapshot lands after the next action).
+        if not self.network._measure_stack:
+            self._write_snapshot()
+
+    def _write_snapshot(self) -> None:
+        assert self._durability is not None
+        if self.network._measure_stack:
+            raise StorageError(
+                "cannot snapshot inside an open measure session: the "
+                "restored state would hold a phantom half-open window"
+            )
+        manifest, blob = capture_snapshot(
+            self.structure,
+            self._churn,
+            self._repair_engine,
+            self._snapshot_config(),
+            upto=self._durability.backend.record_count,
+            actions=self._durability.applied_actions,
+            structure_name=self.spec.name,
+        )
+        self._durability.backend.write_snapshot(manifest, blob)
+        self._durability.note_snapshot()
+
+    def _snapshot_config(self) -> dict[str, Any]:
+        return {
+            "structure": self.spec.name,
+            "seed": self.seed,
+            "mode": self.mode,
+            "workers": self.workers,
+            "hosts": self._hosts,
+            "memory_size": self._memory_size,
+            "max_retries": self._max_retries,
+            "join_fraction": self._join_fraction,
+            "min_hosts": self._min_hosts,
+            "snapshot_every": self._snapshot_every,
+            "options": dict(self._options),
+            "trace": self.network.trace,
+        }
+
+    @classmethod
+    def _from_restored_state(
+        cls, state: Mapping[str, Any], structure_name: str
+    ) -> "Cluster":
+        config = state["config"]
+        cluster = cls.__new__(cls)
+        cluster.spec = resolve_structure(structure_name)
+        cluster.mode = config["mode"]
+        cluster.workers = config["workers"]
+        cluster.seed = config["seed"]
+        cluster._hosts = config["hosts"]
+        cluster._memory_size = config["memory_size"]
+        cluster._options = dict(config["options"])
+        cluster._network = None
+        cluster._route_cache = False
+        cluster._max_retries = config["max_retries"]
+        cluster._churn_rng = None
+        cluster._join_fraction = config["join_fraction"]
+        cluster._min_hosts = config["min_hosts"]
+        cluster._structure = state["structure"]
+        cluster._executor = None
+        cluster._churn = state["churn"]
+        cluster._repair_engine = state["repair_engine"]
+        cluster._closed = False
+        cluster._durability = None
+        cluster._snapshot_every = config.get("snapshot_every", 0)
+        return cluster
+
+    @classmethod
+    def load(cls, path: "str | StorageBackend") -> "Cluster":
+        """Restore a cluster from the newest snapshot of a saved store.
+
+        Snapshot-only: the store must have been :meth:`save`-d at its
+        current log position (no unreplayed tail) — otherwise this
+        raises and :meth:`recover` is the right call.  The returned
+        cluster is *detached* from the store: it operates normally but
+        journals nothing further.
+        """
+        backend = open_storage(path)
+        snapshot = backend.latest_snapshot()
+        if snapshot is None:
+            raise StorageError(
+                f"no snapshot in {backend.path!r}; use Cluster.recover() to "
+                "replay the operation log instead"
+            )
+        manifest, blob = snapshot
+        tail = backend.record_count - manifest["upto"]
+        if tail > 0:
+            raise StorageError(
+                f"snapshot in {backend.path!r} is {tail} log record(s) stale; "
+                "use Cluster.recover() to replay the tail"
+            )
+        state = restore_snapshot(manifest, blob)
+        backend.close()
+        return cls._from_restored_state(state, manifest["structure"])
+
+    @classmethod
+    def recover(
+        cls,
+        path: "str | StorageBackend",
+        *,
+        trim_torn_tail: bool = False,
+        from_snapshot: bool = True,
+    ) -> "Cluster":
+        """Rebuild the exact pre-crash state and reattach the journal.
+
+        Loads the newest snapshot (if any; ``from_snapshot=False`` forces
+        a full from-genesis replay) and re-executes the committed log
+        tail through the ordinary engine, verifying the journal's audit
+        records along the way.  Uncommitted dangles a crash left behind
+        — trailing membership records whose action never committed —
+        are truncated; a *torn* final record is only trimmed when
+        ``trim_torn_tail=True`` (corruption elsewhere always raises).
+        The returned cluster keeps journaling to the same store, so a
+        recovered run continues exactly where the committed prefix ended.
+        """
+        backend = open_storage(path)
+        try:
+            records = backend.records()
+        except StorageError as exc:
+            if not (trim_torn_tail and exc.torn_tail):
+                raise
+            backend.trim_torn_tail()
+            records = backend.records()
+        if not records:
+            raise StorageError(f"{backend.path!r} holds no log records to recover")
+        committed = committed_prefix(records)
+        if committed < len(records):
+            backend.truncate(committed)
+            records = records[:committed]
+        if not records or records[0].kind != "create":
+            raise StorageError(
+                f"log in {backend.path!r} does not begin with a 'create' "
+                "record; not a cluster journal"
+            )
+        create = records[0].payload
+        controller = DurabilityController(
+            backend, snapshot_every=create.get("snapshot_every", 0)
+        )
+        snapshot = backend.latest_snapshot() if from_snapshot else None
+        if snapshot is not None and snapshot[0]["upto"] > len(records):
+            raise StorageError(
+                f"snapshot in {backend.path!r} covers {snapshot[0]['upto']} "
+                f"log records but only {len(records)} committed; the store "
+                "is inconsistent"
+            )
+        if snapshot is not None:
+            manifest, blob = snapshot
+            state = restore_snapshot(manifest, blob)
+            cluster = cls._from_restored_state(state, manifest["structure"])
+            cluster._attach_durability(controller)
+            controller.applied_actions = manifest["actions"]
+            cluster.network.add_membership_listener(controller.membership_listener)
+            controller.replay(cluster, records[manifest["upto"]:])
+            return cluster
+        # Full from-genesis replay: re-run construction under the recorded
+        # accounting substrate, then re-execute every committed action.
+        substrate = tracing_mode() if create.get("trace") else ledger_mode()
+        with substrate:
+            cluster = cls(
+                structure=create["structure"],
+                items=create["items"],
+                hosts=create["hosts"],
+                memory_size=create["memory_size"],
+                seed=create["seed"],
+                mode=create["mode"],
+                workers=create["workers"],
+                max_retries=create["max_retries"],
+                join_fraction=create["join_fraction"],
+                min_hosts=create["min_hosts"],
+                **create["options"],
+            )
+            cluster._snapshot_every = create.get("snapshot_every", 0)
+            cluster._attach_durability(controller)
+            controller.applied_actions = 1  # the create record
+            if cluster._structure is not None:
+                cluster.network.add_membership_listener(
+                    controller.membership_listener
+                )
+            controller.replay(cluster, records[1:])
+        return cluster
 
     # ------------------------------------------------------------------ #
     # snapshots

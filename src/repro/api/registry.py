@@ -67,6 +67,14 @@ class StructureSpec:
         mutate shared state); a future family whose reads rebalance or
         cache inside the structure should register ``False`` so
         ``Cluster(workers=N)`` keeps it on the serial path.
+    durable:
+        Whether this family round-trips through :mod:`repro.storage`
+        snapshots and deterministic log replay (``Cluster(storage=...)``).
+        ``True`` for every built-in family — their construction and
+        operations are fully determined by the recorded seed and
+        operation history; a future family drawing randomness outside
+        the seeded streams should register ``False`` so the façade
+        refuses to journal runs it could not replay byte-identically.
     description:
         One line for ``repro.cli --structures`` and the docs.
     """
@@ -78,6 +86,7 @@ class StructureSpec:
     supports_range: bool = True
     supports_updates: bool = True
     shardable: bool = True
+    durable: bool = True
     description: str = ""
     extras: dict[str, Any] = field(default_factory=dict)
 

@@ -62,9 +62,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         nargs="?",
-        choices=sorted(EXPERIMENTS) + ["list", "all", "structures"],
+        choices=sorted(EXPERIMENTS) + ["list", "all", "structures", "workload"],
         help="experiment to run ('list' shows descriptions, 'all' runs everything, "
-        "'structures' lists the repro.api structure registry)",
+        "'structures' lists the repro.api structure registry, 'workload' runs "
+        "the seeded durable workload — see --save/--resume)",
     )
     parser.add_argument(
         "--list",
@@ -102,6 +103,49 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="force full message tracing (experiments default to the faster "
         "zero-allocation ledger substrate; counters are identical either way)",
+    )
+    durability = parser.add_argument_group(
+        "durability ('workload' experiment only)"
+    )
+    durability.add_argument(
+        "--save",
+        metavar="PATH",
+        default=None,
+        help="journal the workload to PATH (a .jsonl directory, or a "
+        ".sqlite/.sqlite3/.db file) so a killed run can be resumed",
+    )
+    durability.add_argument(
+        "--resume",
+        metavar="PATH",
+        default=None,
+        help="recover a previously --save'd workload from PATH and run it to "
+        "completion; the final report is byte-identical to an uninterrupted run",
+    )
+    durability.add_argument(
+        "--kill-after",
+        type=int,
+        default=None,
+        metavar="K",
+        help="SIGKILL the process the instant workload step K commits "
+        "(requires --save; used by the recovery-gate CI job)",
+    )
+    durability.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="write a full-state snapshot every N journaled actions "
+        "(default 0: log-only, recovery replays from genesis)",
+    )
+    durability.add_argument(
+        "--steps", type=int, default=12, metavar="N", help="workload steps (default 12)"
+    )
+    durability.add_argument(
+        "--structure",
+        default="skipweb1d",
+        metavar="NAME",
+        help="structure family the workload deploys (default skipweb1d; "
+        "see the 'structures' experiment for the registry)",
     )
     parser.add_argument(
         "--workers",
@@ -179,6 +223,32 @@ def _run_profiled(function, kwargs, name: str, top: int) -> list[dict[str, Any]]
     return rows
 
 
+def _run_workload(args: argparse.Namespace) -> int:
+    """Run (or resume) the seeded durable workload; see repro.storage.workload.
+
+    The report row contains nothing run-path-dependent, so the JSON/CSV
+    output of a killed-and-resumed run is byte-identical to an
+    uninterrupted one — the recovery-gate CI job compares them with cmp.
+    """
+    from repro.storage.workload import resume_workload, run_workload
+
+    if args.resume is not None:
+        rows = resume_workload(args.resume)
+    else:
+        rows = run_workload(
+            structure=args.structure,
+            steps=args.steps,
+            seed=args.seed,
+            storage=args.save,
+            snapshot_every=args.snapshot_every,
+            kill_after=args.kill_after,
+        )
+    # One fixed description for both paths: --format json embeds it, and
+    # the recovery gate byte-compares resumed vs uninterrupted output.
+    _emit(rows, "workload", "Seeded durable workload", args.output_format)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -214,6 +284,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         else:
             _emit(rows, "structures", "Registered structures", args.output_format)
         return 0
+    if args.experiment == "workload" or args.resume is not None:
+        if args.resume is not None and args.experiment not in (None, "workload"):
+            parser.error("--resume only applies to the 'workload' experiment")
+        if args.resume is not None and args.save is not None:
+            parser.error("--save and --resume are mutually exclusive")
+        if args.kill_after is not None and args.save is None:
+            parser.error("--kill-after requires --save (nothing would survive)")
+        return _run_workload(args)
     if args.workers is not None:
         from repro.api.cluster import set_default_workers
 

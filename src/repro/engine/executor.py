@@ -262,6 +262,12 @@ class BatchExecutor:
         Optional hook called after every round with its
         :class:`~repro.net.network.RoundReport` — chaos tests use it to
         fail hosts mid-batch.
+    on_commit:
+        Optional hook called once per :meth:`run`, after the batch has
+        fully committed, with ``(operations, result)`` — the durability
+        layer journals committed batches through it.  A crash before the
+        hook fires leaves the log one whole batch short, never half a
+        batch.
     """
 
     def __init__(
@@ -271,6 +277,7 @@ class BatchExecutor:
         max_retries: int = 5,
         max_rounds: int = 1_000_000,
         on_round: Callable[[RoundReport], None] | None = None,
+        on_commit: Callable[[tuple[Operation, ...], BatchResult], None] | None = None,
     ) -> None:
         self.structure = structure
         self.network = structure.network
@@ -278,6 +285,7 @@ class BatchExecutor:
         self.max_retries = max_retries
         self.max_rounds = max_rounds
         self.on_round = on_round
+        self.on_commit = on_commit
         self._cache: dict[tuple[HostId, Address], Any] = {}
         self._cache_epoch = self.network.membership_epoch
         self._cache_hits = 0
@@ -334,7 +342,7 @@ class BatchExecutor:
                 )
             rounds = self.network.rounds_completed
             round_reports = self.network.round_reports
-        return BatchResult(
+        result = BatchResult(
             outcomes=[state.outcome for state in states],
             rounds=rounds,
             messages=stats.messages,
@@ -343,6 +351,9 @@ class BatchExecutor:
             cache_misses=self._cache_misses,
             congestion_summary=round_congestion_report(self.network),
         )
+        if self.on_commit is not None:
+            self.on_commit(tuple(operations), result)
+        return result
 
     # ------------------------------------------------------------------ #
     # per-operation stepping

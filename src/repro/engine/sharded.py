@@ -166,6 +166,7 @@ class ShardedExecutor:
         max_retries: int = 5,
         max_rounds: int = 1_000_000,
         on_round: Callable[[RoundReport], None] | None = None,
+        on_commit: Callable[[tuple[Operation, ...], BatchResult], None] | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -176,6 +177,10 @@ class ShardedExecutor:
         self.max_retries = max_retries
         self.max_rounds = max_rounds
         self.on_round = on_round
+        self.on_commit = on_commit
+        # The embedded serial executor never journals: the sharded
+        # executor fires the commit hook itself after either path, so
+        # fallback batches are not logged twice.
         self._serial = BatchExecutor(
             structure,
             route_cache=route_cache,
@@ -217,11 +222,19 @@ class ShardedExecutor:
         reason = self._fallback_reason(operations)
         if reason is not None:
             self.last_fallback_reason = reason
-            return self._serial.run(operations)
-        result = self._run_sharded(operations)
-        if result is None:
-            return self._serial.run(operations)
-        self.last_fallback_reason = None
+            result = self._serial.run(operations)
+        else:
+            sharded = self._run_sharded(operations)
+            if sharded is None:
+                result = self._serial.run(operations)
+            else:
+                self.last_fallback_reason = None
+                result = sharded
+        # Journal in the parent only, after the replay-merge has folded
+        # the workers' accounting back in — the log must describe the
+        # committed parent state, not a worker snapshot.
+        if self.on_commit is not None:
+            self.on_commit(tuple(operations), result)
         return result
 
     def _run_sharded(

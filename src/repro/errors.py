@@ -53,3 +53,39 @@ class UpdateError(ReproError):
 
 class ChurnError(ReproError):
     """A membership change (join, leave, crash, repair) could not proceed."""
+
+
+class StorageError(ReproError):
+    """Durable state could not be written, read, or replayed.
+
+    Covers the whole :mod:`repro.storage` failure surface: log corruption
+    (a checksum-mismatched record, an undecodable line), a torn tail left
+    by a crash mid-append, snapshot/log format-version skew, and replay
+    divergence (the journal and the regenerated state disagree).  A
+    corrupted log is never loaded partially and silently: the error
+    carries how much of it *is* intact.
+
+    Attributes
+    ----------
+    recoverable_records:
+        Number of leading log records that verified cleanly before the
+        failure (``None`` when the error is not about log contents).
+        Everything up to this prefix can be recovered; see
+        ``StorageBackend.trim_torn_tail``.
+    torn_tail:
+        ``True`` when only the *final* record is damaged — the signature
+        a crash mid-append leaves on an append-only log, and the one
+        corruption recovery may repair by trimming.  Damage anywhere
+        earlier is real corruption and is never trimmed.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        recoverable_records: int | None = None,
+        torn_tail: bool = False,
+    ) -> None:
+        super().__init__(message)
+        self.recoverable_records = recoverable_records
+        self.torn_tail = torn_tail

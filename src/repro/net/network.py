@@ -271,6 +271,11 @@ class Network:
         # BatchExecutor's per-origin route cache — can cheaply detect
         # that their entries may now point at dead or departed hosts.
         self._membership_epoch = 0
+        # Callables invoked on every membership event ("add" / "remove" /
+        # "fail" / "recover", host_id).  The durability layer subscribes
+        # here so membership changes land in the operation log; empty by
+        # default and deliberately excluded from pickled snapshots.
+        self._membership_listeners: list[Callable[[str, HostId], None]] = []
         # alive_host_ids() cache, invalidated by membership-epoch bumps.
         self._alive_cache: list[HostId] = []
         self._alive_cache_epoch = -1
@@ -296,6 +301,36 @@ class Network:
         """Whether deliveries materialise :class:`Message` objects."""
         return self._trace
 
+    def __getstate__(self) -> dict[str, Any]:
+        # Membership listeners are live observers (typically the storage
+        # controller holding open file handles); a pickled snapshot must
+        # capture the network's *state*, not its subscribers.
+        state = self.__dict__.copy()
+        state["_membership_listeners"] = []
+        return state
+
+    # ------------------------------------------------------------------ #
+    # membership event listeners
+    # ------------------------------------------------------------------ #
+    def add_membership_listener(self, listener: Callable[[str, HostId], None]) -> None:
+        """Subscribe to membership events.
+
+        ``listener(event, host_id)`` is called synchronously on every
+        ``"add"`` / ``"remove"`` / ``"fail"`` / ``"recover"``, after the
+        change (and its epoch bump) has been applied.  The durability
+        layer uses this to journal membership changes; listeners are not
+        part of pickled network state.
+        """
+        self._membership_listeners.append(listener)
+
+    def remove_membership_listener(self, listener: Callable[[str, HostId], None]) -> None:
+        """Unsubscribe a previously added membership listener."""
+        self._membership_listeners.remove(listener)
+
+    def _notify_membership(self, event: str, host_id: HostId) -> None:
+        for listener in self._membership_listeners:
+            listener(event, host_id)
+
     # ------------------------------------------------------------------ #
     # host management
     # ------------------------------------------------------------------ #
@@ -316,6 +351,8 @@ class Network:
         host = Host(host_id=host_id, memory_limit=limit)
         self._hosts[host_id] = host
         self._membership_epoch += 1
+        if self._membership_listeners:
+            self._notify_membership("add", host_id)
         return host
 
     def remove_host(self, host_id: HostId, force: bool = False) -> Host:
@@ -335,6 +372,8 @@ class Network:
         del self._hosts[host_id]
         self._failed_hosts.discard(host_id)
         self._membership_epoch += 1
+        if self._membership_listeners:
+            self._notify_membership("remove", host_id)
         return host
 
     def add_hosts(self, count: int, memory_limit: int | None = None) -> list[Host]:
@@ -735,12 +774,16 @@ class Network:
         self.host(host_id).failed = True
         self._failed_hosts.add(host_id)
         self._membership_epoch += 1
+        if self._membership_listeners:
+            self._notify_membership("fail", host_id)
 
     def recover_host(self, host_id: HostId) -> None:
         """Bring a failed host back."""
         self.host(host_id).failed = False
         self._failed_hosts.discard(host_id)
         self._membership_epoch += 1
+        if self._membership_listeners:
+            self._notify_membership("recover", host_id)
 
     @property
     def failed_hosts(self) -> set[HostId]:

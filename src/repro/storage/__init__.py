@@ -1,0 +1,48 @@
+"""Durable state for clusters: an operation log plus periodic snapshots.
+
+Everything the engine computes is deterministic given its seeds, so a
+run's durable form is simply its *history*: an append-only log of
+committed operations (each record checksummed) with periodic full-state
+snapshots so recovery replays a short tail instead of the whole run.
+``Cluster(storage=...)`` journals transparently; ``Cluster.recover``
+rebuilds the exact in-memory state — structure layout, membership,
+message tallies, congestion aggregates — byte-identically.
+
+See DESIGN.md §9 for the format, the crash-consistency argument, and
+the recovery replay path.
+"""
+
+from repro.storage.backends import (
+    JsonlStorage,
+    SqliteStorage,
+    StorageBackend,
+    open_storage,
+)
+from repro.storage.controller import DurabilityController, committed_prefix
+from repro.storage.record import (
+    ACTION_KINDS,
+    AUDIT_KINDS,
+    FORMAT_VERSION,
+    LogRecord,
+    decode_record,
+    encode_record,
+)
+from repro.storage.snapshot import capture_snapshot, content_digest, restore_snapshot
+
+__all__ = [
+    "ACTION_KINDS",
+    "AUDIT_KINDS",
+    "FORMAT_VERSION",
+    "DurabilityController",
+    "JsonlStorage",
+    "LogRecord",
+    "SqliteStorage",
+    "StorageBackend",
+    "capture_snapshot",
+    "committed_prefix",
+    "content_digest",
+    "decode_record",
+    "encode_record",
+    "open_storage",
+    "restore_snapshot",
+]

@@ -58,7 +58,8 @@ EXPECTED_SIGNATURES = {
         "seed: 'int' = 0, mode: 'str' = 'batched', workers: 'int | None' = None, network: 'Network | None' = None, "
         "route_cache: 'bool' = False, max_retries: 'int' = 5, "
         "churn_rng: 'random.Random | None' = None, join_fraction: 'float' = 0.5, "
-        "min_hosts: 'int' = 2, **options: 'Any') -> 'None'"
+        "min_hosts: 'int' = 2, storage: \"'str | StorageBackend | None'\" = None, "
+        "snapshot_every: 'int' = 0, **options: 'Any') -> 'None'"
     ),
     "Cluster.bulk_load": "(self, sorted_items: 'Sequence[Any]') -> 'OperationHandle'",
     "Cluster.get": "(self, key: 'Any', origin_host: 'HostId | None' = None) -> 'OperationHandle'",
@@ -84,6 +85,12 @@ EXPECTED_SIGNATURES = {
     "Cluster.crash_host": "(self, host_id: 'HostId | None' = None) -> 'ChurnEvent'",
     "Cluster.run_churn_schedule": "(self, kinds: 'Sequence[str]') -> 'list[ChurnEvent]'",
     "Cluster.repair": "(self, host_ids: 'Sequence[HostId]') -> 'RepairResult'",
+    "Cluster.save": "(self) -> 'None'",
+    "Cluster.load": "(path: \"'str | StorageBackend'\") -> \"'Cluster'\"",
+    "Cluster.recover": (
+        "(path: \"'str | StorageBackend'\", *, trim_torn_tail: 'bool' = False, "
+        "from_snapshot: 'bool' = True) -> \"'Cluster'\""
+    ),
     "Cluster.session": "(self) -> 'Iterator[ClusterSession]'",
     "Cluster.close": "(self) -> 'None'",
     "Cluster.stats": "(self) -> 'ClusterStats'",
