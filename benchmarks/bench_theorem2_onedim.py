@@ -36,8 +36,12 @@ def test_theorem2_onedim_costs(capsys):
             for row in rows
             if row["n"] == n and row["structure"].startswith("bucket")
         }
-        assert costs_by_memory["bucket skip-web (M=256)"] <= costs_by_memory["bucket skip-web (M=16)"]
-    largest = [row for row in rows if row["n"] == 2048 and row["structure"] == "bucket skip-web (M=256)"]
+        assert (
+            costs_by_memory["bucket skip-web (M=256)"] <= costs_by_memory["bucket skip-web (M=16)"]
+        )
+    largest = [
+        row for row in rows if row["n"] == 2048 and row["structure"] == "bucket skip-web (M=256)"
+    ]
     assert largest[0]["Q_mean"] <= 4.0
 
 

@@ -110,7 +110,10 @@ def _scenarios(n: int, queries: int, inserts: int, ranges: int, seed: int) -> It
     keys = sorted(set(float(key) for key in uniform_keys(n, seed=seed)))
     key_queries = [rng.uniform(0.0, 1_000_000.0) for _ in range(queries)]
     key_inserts = sorted(
-        set(float(key) for key in uniform_keys(2 * inserts, seed=seed + 1, low=1_000_001.0, high=2_000_000.0))
+        set(
+            float(key)
+            for key in uniform_keys(2 * inserts, seed=seed + 1, low=1_000_001.0, high=2_000_000.0)
+        )
     )[:inserts]
     sorted_keys = sorted(keys)
     key_ranges = []
@@ -135,7 +138,9 @@ def _scenarios(n: int, queries: int, inserts: int, ranges: int, seed: int) -> It
 
     points = uniform_points(n, dimension=2, seed=seed)
     fresh_points = [
-        point for point in uniform_points(2 * inserts, dimension=2, seed=seed + 2) if point not in points
+        point
+        for point in uniform_points(2 * inserts, dimension=2, seed=seed + 2)
+        if point not in points
     ][:inserts]
     point_ranges = [Box.around_point(rng.choice(points), 0.05) for _ in range(ranges)]
     yield _Scenario(
@@ -150,7 +155,9 @@ def _scenarios(n: int, queries: int, inserts: int, ranges: int, seed: int) -> It
 
     strings = random_strings(n, alphabet=LOWERCASE, seed=seed)
     fresh_strings = [
-        text for text in random_strings(2 * inserts, alphabet=LOWERCASE, seed=seed + 3) if text not in strings
+        text
+        for text in random_strings(2 * inserts, alphabet=LOWERCASE, seed=seed + 3)
+        if text not in strings
     ][:inserts]
     string_ranges = [PrefixRange(rng.choice(strings)[:2]) for _ in range(ranges)]
     yield _Scenario(

@@ -24,19 +24,23 @@ def main() -> None:
     cluster = Cluster(
         structure="skiptrapezoid", items=streets, box=box, seed=17, mode="immediate"
     )
-    print(f"street segments: {len(streets)}, trapezoids: "
-          f"{cluster.structure.level0_map.trapezoid_count()}, "
-          f"hosts: {cluster.stats().hosts}")
+    print(
+        f"street segments: {len(streets)}, trapezoids: "
+        f"{cluster.structure.level0_map.trapezoid_count()}, "
+        f"hosts: {cluster.stats().hosts}"
+    )
 
     for _ in range(4):
         point = (rng.uniform(box[0], box[1]), rng.uniform(box[2], box[3]))
         located = cluster.nearest(point).result()
         above = located.answer.above_segment
         below = located.answer.below_segment
-        print(f"  at ({point[0]:6.1f},{point[1]:6.1f}): "
-              f"street above: {'map edge' if above is None else 'yes'}, "
-              f"street below: {'map edge' if below is None else 'yes'}, "
-              f"{located.messages} messages")
+        print(
+            f"  at ({point[0]:6.1f},{point[1]:6.1f}): "
+            f"street above: {'map edge' if above is None else 'yes'}, "
+            f"street below: {'map edge' if below is None else 'yes'}, "
+            f"{located.messages} messages"
+        )
 
     print("\n== a richer random map, queried as one concurrent batch ==")
     segments = non_crossing_segments(60, seed=23)
@@ -48,10 +52,12 @@ def main() -> None:
             for _ in range(20)
         ]
     )
-    print(f"segments: {len(segments)}, trapezoids: "
-          f"{cluster.structure.level0_map.trapezoid_count()}, "
-          f"mean point-location messages: {report.messages_per_op:.2f} "
-          f"({report.rounds} rounds for the whole batch)")
+    print(
+        f"segments: {len(segments)}, trapezoids: "
+        f"{cluster.structure.level0_map.trapezoid_count()}, "
+        f"mean point-location messages: {report.messages_per_op:.2f} "
+        f"({report.rounds} rounds for the whole batch)"
+    )
 
 
 if __name__ == "__main__":

@@ -31,29 +31,37 @@ def main() -> None:
         mode="immediate",
     )
     web = cluster.structure  # domain APIs (approx-NN) live on the structure
-    print(f"hosts: {cluster.stats().hosts}, quadtree depth: {web.level0_tree.depth()}, "
-          f"max records per host: {web.max_memory_per_host()}")
+    print(
+        f"hosts: {cluster.stats().hosts}, quadtree depth: {web.level0_tree.depth()}, "
+        f"max records per host: {web.max_memory_per_host()}"
+    )
 
     print("\n== point location: which cell of the campus subdivision am I in? ==")
     for _ in range(3):
         position = (rng.random(), rng.random())
         located = cluster.nearest(position).result()
-        print(f"  at {position[0]:.3f},{position[1]:.3f}: cell side "
-              f"{located.answer.cell.side:.4f}, {located.messages} messages")
+        print(
+            f"  at {position[0]:.3f},{position[1]:.3f}: cell side "
+            f"{located.answer.cell.side:.4f}, {located.messages} messages"
+        )
 
     print("\n== approximate nearest kiosk ==")
     for _ in range(3):
         position = (rng.random(), rng.random())
         answer = approximate_nearest_neighbor(web, position)
-        print(f"  at {position[0]:.3f},{position[1]:.3f}: kiosk at "
-              f"{answer.approximate[0]:.3f},{answer.approximate[1]:.3f} "
-              f"(ratio {answer.ratio:.2f} vs exact, {answer.messages} messages)")
+        print(
+            f"  at {position[0]:.3f},{position[1]:.3f}: kiosk at "
+            f"{answer.approximate[0]:.3f},{answer.approximate[1]:.3f} "
+            f"(ratio {answer.ratio:.2f} vs exact, {answer.messages} messages)"
+        )
 
     print("\n== range query: kiosks inside a building footprint ==")
     footprint = HyperCube((0.30, 0.40), 0.2)
     result = approximate_range_query(web, footprint)
-    print(f"  {len(result.points)} kiosks inside the footprint "
-          f"({result.messages} messages to locate its corners)")
+    print(
+        f"  {len(result.points)} kiosks inside the footprint "
+        f"({result.messages} messages to locate its corners)"
+    )
 
     print("\n== a new kiosk comes online / one is removed ==")
     insert = cluster.insert((0.515, 0.515))

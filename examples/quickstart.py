@@ -55,36 +55,43 @@ def main() -> None:
         insert = cluster.insert(424242.42)
         print(f"  insert 424242.42: {insert.status} ({insert.messages} messages)")
         window = cluster.range((420000.0, 430000.0))
-        print(f"  range [420000, 430000]: {window.result().count} keys "
-              f"({window.messages} messages)")
+        print(
+            f"  range [420000, 430000]: {window.result().count} keys "
+            f"({window.messages} messages)"
+        )
         delete = cluster.delete(keys[10])
         print(f"  delete {keys[10]}: {delete.status} ({delete.messages} messages)")
 
         print("\n== live membership change with self-repair ==")
         join = cluster.join_host()
-        print(f"  join: {join.records_moved} records rebalanced "
-              f"({join.repair_messages} messages)")
+        print(
+            f"  join: {join.records_moved} records rebalanced "
+            f"({join.repair_messages} messages)"
+        )
         crash = cluster.crash_host()
-        print(f"  crash + repair: {crash.records_moved} records re-homed "
-              f"({crash.repair_messages} messages)")
+        print(
+            f"  crash + repair: {crash.records_moved} records re-homed "
+            f"({crash.repair_messages} messages)"
+        )
 
     print("\n== bucket skip-web (§2.4.1) bulk-loaded via build_from_sorted ==")
     bucket = Cluster(structure="bucket-skipweb1d", memory_size=64, seed=7, mode="immediate")
     load = bucket.bulk_load(sorted(set(float(key) for key in keys)))
     stats = bucket.stats()
-    print(f"hosts: {stats.hosts}, max items per host: {stats.max_memory_per_host}, "
-          f"construction messages: {load.messages}")
-    costs = [
-        bucket.nearest(rng.uniform(0, 1_000_000)).messages for _ in range(20)
-    ]
-    print(f"  mean query messages: {sum(costs) / len(costs):.2f} "
-          "(vs the plain skip-web's O(log n))")
+    print(
+        f"hosts: {stats.hosts}, max items per host: {stats.max_memory_per_host}, "
+        f"construction messages: {load.messages}"
+    )
+    costs = [bucket.nearest(rng.uniform(0, 1_000_000)).messages for _ in range(20)]
+    print(
+        f"  mean query messages: {sum(costs) / len(costs):.2f} "
+        "(vs the plain skip-web's O(log n))"
+    )
 
     print("\n== error taxonomy: what a DHT cannot do ==")
     chord = Cluster(structure="chord", items=keys)
     handle = chord.range((0.0, 1000.0))
-    print(f"  range query on Chord: status={handle.status!r} "
-          "(hashing destroys order, §1.2)")
+    print(f"  range query on Chord: status={handle.status!r} " "(hashing destroys order, §1.2)")
 
     print("\n== durable runs: journal, kill, recover (DESIGN.md §9) ==")
     store = tempfile.mkdtemp(prefix="quickstart-") + "/run.sqlite"

@@ -101,7 +101,9 @@ def _ledger(function: Callable[..., list[Row]]) -> Callable[..., list[Row]]:
     return wrapper
 
 
-def _query_points(count: int, rng: random.Random, low: float = 0.0, high: float = 1_000_000.0) -> list[float]:
+def _query_points(
+    count: int, rng: random.Random, low: float = 0.0, high: float = 1_000_000.0
+) -> list[float]:
     return [rng.uniform(low, high) for _ in range(count)]
 
 
@@ -186,7 +188,9 @@ def table1_comparison(
         update_keys = _query_points(updates_per_size, rng)
 
         def measure_baseline(structure, name: str) -> Row:
-            query_costs = [structure.search(q, origin_key=rng.choice(keys)).messages for q in queries]
+            query_costs = [
+                structure.search(q, origin_key=rng.choice(keys)).messages for q in queries
+            ]
             update_costs = []
             for key in update_keys:
                 update_costs.append(structure.insert(key).messages)
@@ -203,7 +207,9 @@ def table1_comparison(
 
         rows.append(measure_baseline(_structure("skipgraph", keys, seed=seed), "skip graph"))
         rows.append(measure_baseline(_structure("skipnet", keys, seed=seed), "SkipNet"))
-        rows.append(measure_baseline(_structure("non-skipgraph", keys, seed=seed), "NoN skip graph"))
+        rows.append(
+            measure_baseline(_structure("non-skipgraph", keys, seed=seed), "NoN skip graph")
+        )
         rows.append(measure_baseline(_structure("family-tree", keys, seed=seed), "family tree"))
         rows.append(
             measure_baseline(_structure("det-skipnet", keys, seed=seed), "deterministic SkipNet")
@@ -232,7 +238,9 @@ def table1_comparison(
         # bucket skip-web (this paper)
         bucket = _structure("bucket-skipweb1d", keys, memory_size=bucket_memory, seed=seed)
         query_costs = [bucket.nearest(q, origin_key=rng.choice(keys)).messages for q in queries]
-        update_costs = [bucket.insert(key).messages for key in update_keys[: max(2, updates_per_size // 2)]]
+        update_costs = [
+            bucket.insert(key).messages for key in update_keys[: max(2, updates_per_size // 2)]
+        ]
         congestion = bucket.congestion()
         rows.append(
             {
@@ -248,7 +256,10 @@ def table1_comparison(
 
         # Chord: exact-match lookups only (richer queries unsupported, §1.2).
         chord = _structure("chord", keys)
-        lookup_costs = [chord.lookup(key).messages for key in rng.sample(keys, min(len(keys), queries_per_size))]
+        lookup_costs = [
+            chord.lookup(key).messages
+            for key in rng.sample(keys, min(len(keys), queries_per_size))
+        ]
         rows.append(
             {
                 "method": "Chord DHT (exact match only)",

@@ -61,7 +61,9 @@ def fit_scale(sizes: Sequence[float], values: Sequence[float], law: str) -> FitR
         predicted = scale * b
         reference = abs(v) if v else 1.0
         residuals.append(((v - predicted) / reference) ** 2)
-    return FitResult(law=law, scale=scale, relative_error=math.sqrt(sum(residuals) / len(residuals)))
+    return FitResult(
+        law=law, scale=scale, relative_error=math.sqrt(sum(residuals) / len(residuals))
+    )
 
 
 def best_growth_law(

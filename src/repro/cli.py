@@ -172,7 +172,9 @@ def _experiment_kwargs(function, seed: int, sizes: tuple[int, ...] | None) -> di
 
 def _emit(rows: list[dict[str, Any]], name: str, description: str, output_format: str) -> None:
     if output_format == "json":
-        print(json.dumps({"experiment": name, "description": description, "rows": rows}, default=str))
+        print(
+            json.dumps({"experiment": name, "description": description, "rows": rows}, default=str)
+        )
         return
     if output_format == "csv":
         buffer = io.StringIO()

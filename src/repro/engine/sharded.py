@@ -64,7 +64,9 @@ class _ShardFallback(Exception):
     """Raised inside a worker when a batch turns out not to be shardable."""
 
 
-def _worker_main(conn: Any, executor_args: dict[str, Any], shard: list[tuple[int, OpOutcome]]) -> None:
+def _worker_main(
+    conn: Any, executor_args: dict[str, Any], shard: list[tuple[int, OpOutcome]]
+) -> None:
     """Run one shard of read-only operations; ship outcomes + round sequences.
 
     Runs in a forked child: ``executor_args['structure']`` is the
@@ -85,7 +87,10 @@ def _worker_main(conn: Any, executor_args: dict[str, Any], shard: list[tuple[int
 
 def _run_shard(
     executor_args: dict[str, Any], shard: list[tuple[int, OpOutcome]]
-) -> tuple[list[tuple[int, Any, Exception | None, int, int, int, int]], list[list[tuple[int, Any, Any, Any]]]]:
+) -> tuple[
+    list[tuple[int, Any, Exception | None, int, int, int, int]],
+    list[list[tuple[int, Any, Any, Any]]],
+]:
     """The worker's round loop: a serial ``BatchExecutor`` plus post capture.
 
     Mirrors :meth:`BatchExecutor.run`, but drives the rounds itself so

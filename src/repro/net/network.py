@@ -549,7 +549,9 @@ class Network:
         """
         return list(self._round_reports)
 
-    def round_congestion_summary(self) -> tuple[int, int, tuple[int, ...], HostId | None, int | None]:
+    def round_congestion_summary(
+        self,
+    ) -> tuple[int, int, tuple[int, ...], HostId | None, int | None]:
         """Whole-session congestion aggregates, maintained incrementally.
 
         Returns ``(rounds, delivered, per_round_max, busiest_host,

@@ -326,7 +326,9 @@ class BucketSkipWeb1D:
     def _basic_level_at_or_below(self, level: int) -> int:
         return (level // self.level_gap) * self.level_gap
 
-    def _target_chain(self, query: float, word: BitPrefix) -> list[tuple[int, BitPrefix, RangeUnit]]:
+    def _target_chain(
+        self, query: float, word: BitPrefix
+    ) -> list[tuple[int, BitPrefix, RangeUnit]]:
         """The per-level target units for ``query`` along the word's prefix chain."""
         chain: list[tuple[int, BitPrefix, RangeUnit]] = []
         for level in range(self.height, -1, -1):

@@ -434,7 +434,9 @@ class SqliteStorage(StorageBackend):
             self._conn = None
 
 
-def open_storage(target: "str | os.PathLike[str] | StorageBackend", sync: bool = False) -> StorageBackend:
+def open_storage(
+    target: "str | os.PathLike[str] | StorageBackend", sync: bool = False
+) -> StorageBackend:
     """Resolve a ``Cluster(storage=...)`` argument to a backend instance.
 
     A :class:`StorageBackend` passes through unchanged; a path maps on

@@ -125,7 +125,9 @@ class TestMembership:
 
 class TestBlocking:
     def _unit(self, payload=None):
-        return RangeUnit(key=("node", payload), kind=UnitKind.NODE, range=Singleton(payload), payload=payload)
+        return RangeUnit(
+            key=("node", payload), kind=UnitKind.NODE, range=Singleton(payload), payload=payload
+        )
 
     def test_round_robin_cycles(self):
         policy = RoundRobinBlocking([0, 1, 2])
@@ -150,7 +152,9 @@ class TestBlocking:
     def test_owner_blocking_tuple_payload(self):
         owners = {(0.5, 0.5): 4}
         policy = OwnerBlocking(owners, fallback=1)
-        unit = RangeUnit(key="k", kind=UnitKind.LINK, range=Singleton(1), payload=((0.5, 0.5), None))
+        unit = RangeUnit(
+            key="k", kind=UnitKind.LINK, range=Singleton(1), payload=((0.5, 0.5), None)
+        )
         assert policy.assign(0, (), unit) == 4
         point_unit = RangeUnit(key="p", kind=UnitKind.NODE, range=Singleton(1), payload=(0.5, 0.5))
         assert policy.assign(0, (), point_unit) == 4

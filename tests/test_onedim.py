@@ -226,7 +226,10 @@ class TestBucketSkipWeb1D:
         keys, web = bucket
         rng = random.Random(7)
         for query in [rng.uniform(0, 10**6) for _ in range(25)] + keys[:5]:
-            assert web.nearest(query, origin_key=rng.choice(keys)).answer.nearest == reference_nearest(keys, query)
+            assert (
+                web.nearest(query, origin_key=rng.choice(keys)).answer.nearest
+                == reference_nearest(keys, query)
+            )
 
     def test_fewer_hosts_than_plain_deployment(self, bucket):
         keys, web = bucket

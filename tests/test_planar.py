@@ -194,7 +194,9 @@ class TestSkipTrapezoidWeb:
         segments = non_crossing_segments(12, seed=41)
         box = bounding_box(segments)
         # Leave room inside the box for a new non-crossing segment.
-        web = SkipTrapezoidWeb(segments, box=(box[0] - 5, box[1] + 5, box[2] - 5, box[3] + 5), seed=3)
+        web = SkipTrapezoidWeb(
+            segments, box=(box[0] - 5, box[1] + 5, box[2] - 5, box[3] + 5), seed=3
+        )
         new_segment = Segment.of((box[1] + 1.0, box[2]), (box[1] + 4.0, box[2] + 1.0))
         web.insert(new_segment)
         assert new_segment in web.segments

@@ -173,7 +173,9 @@ class TestSkipTrieWeb:
 
     def test_isbn_publisher_prefix_query(self):
         keys = isbn_like_keys(150, seed=4)
-        web = SkipTrieWeb(keys, alphabet=__import__("repro.strings", fromlist=["PRINTABLE"]).PRINTABLE, seed=1)
+        web = SkipTrieWeb(
+            keys, alphabet=__import__("repro.strings", fromlist=["PRINTABLE"]).PRINTABLE, seed=1
+        )
         publisher_prefix = keys[0][:5]
         _result, matches = web.prefix_search(publisher_prefix)
         assert matches == sorted(k for k in keys if k.startswith(publisher_prefix))
