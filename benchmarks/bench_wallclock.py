@@ -193,13 +193,21 @@ def _timed(fn: Callable[[], Any]) -> float:
     return time.perf_counter() - start
 
 
-def _row(structure: str, workload: str, executor: str, ops: int, elapsed: float) -> Row:
+def _row(
+    structure: str,
+    workload: str,
+    executor: str,
+    ops: int,
+    elapsed: float,
+    topology: str = "flat",
+) -> Row:
     per_op = elapsed / ops if ops else 0.0
     peak_rss = _peak_rss_kb()
     return {
         "structure": structure,
         "workload": workload,
         "executor": executor,
+        "topology": topology,
         "ops": ops,
         "elapsed_s": round(elapsed, 4),
         # Nanosecond precision: a cell must never round down to 0.0, or a
@@ -346,7 +354,46 @@ def wallclock_rows(
                         _timed(lambda: controller.run_schedule(schedule)),
                     )
                 )
+        rows.extend(_topology_rows(n, queries, seed))
     rows.extend(_durability_rows(seed))
+    return rows
+
+
+#: Explicit topologies timed by the cost-model rows; the flat *default*
+#: (no explicit topology) is the plain ``skip-web 1-d`` query/batched row.
+TOPOLOGY_ROWS = ("clustered", "geo")
+
+
+def _topology_rows(n: int, queries: int, seed: int) -> list[Row]:
+    """Cost-model overhead: the batched 1-d query workload per topology.
+
+    The flat default is already timed by the
+    ``structure=skip-web 1-d,workload=query,executor=batched`` row
+    (``topology=flat``); these rows re-run the same seeded workload on a
+    fresh structure under each explicit topology.  Comparing them bounds
+    the weighted-aggregation path's overhead and shows the flat default
+    pays none of it — the per-link/per-cluster tallies only run when a
+    topology is attached.
+    """
+    from repro.net.topology import resolve_topology
+
+    rng = random.Random(seed)
+    keys = sorted(set(float(key) for key in uniform_keys(n, seed=seed)))
+    payloads = [rng.uniform(0.0, 1_000_000.0) for _ in range(queries)]
+    rows: list[Row] = []
+    for name in TOPOLOGY_ROWS:
+        structure = SkipWeb1D.build_from_sorted(keys, seed=seed)
+        structure.network.set_topology(resolve_topology(name, seed=seed))
+        rows.append(
+            _row(
+                "skip-web 1-d",
+                "query",
+                "batched",
+                len(payloads),
+                _timed(lambda: _run_batched_ops(structure, "query", payloads)),
+                topology=name,
+            )
+        )
     return rows
 
 
@@ -404,6 +451,10 @@ def wallclock_metrics(params: dict[str, int] | None = None) -> dict[str, float]:
         identity = (
             f"structure={row['structure']},workload={row['workload']},executor={row['executor']}"
         )
+        # Flat-default rows keep their historical keys; only explicit
+        # non-flat topologies grow a discriminating suffix.
+        if row.get("topology", "flat") != "flat":
+            identity += f",topology={row['topology']}"
         metrics[f"wallclock[{identity}].secs_per_op"] = row["secs_per_op"]
     return metrics
 
@@ -438,6 +489,12 @@ def test_wallclock_quick(capsys):
         assert {"immediate", "batched"} <= executors, workload
     sharded = {row["structure"] for row in rows if row["executor"] == f"sharded-{SHARD_WORKERS}"}
     assert sharded == {row["structure"] for row in rows}
+    # Every row carries the cost-model column; the explicit topologies
+    # appear exactly once each, next to the flat-default majority.
+    topologies = {row["topology"] for row in rows}
+    assert topologies == {"flat", *TOPOLOGY_ROWS}
+    for name in TOPOLOGY_ROWS:
+        assert sum(1 for row in rows if row["topology"] == name) == 1
 
 
 # --------------------------------------------------------------------- #

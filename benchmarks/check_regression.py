@@ -108,6 +108,12 @@ QUICK_PARAMS: dict[str, dict] = {
     },
     "updates": {"sizes": (64,), "updates_per_size": 6, "seed": 0},
     "churn": {"sizes": (48,), "events": 4, "ops_per_phase": 24, "seed": 0},
+    "topology": {
+        "sizes": (48,),
+        "ops": 24,
+        "seed": 0,
+        "topologies": ("flat", "clustered", "geo"),
+    },
 }
 
 #: Row columns treated as message-cost metrics (lower is better).
@@ -117,10 +123,20 @@ METRIC_COLUMNS = (
     "insert_mean",
     "delete_mean",
     "repair_msgs_per_event",
+    "latency_per_op",
 )
 
 #: Row columns that identify a row within its experiment.
-IDENTITY_COLUMNS = ("structure", "method", "policy", "cache", "n", "M", "k_target")
+IDENTITY_COLUMNS = (
+    "structure",
+    "topology",
+    "method",
+    "policy",
+    "cache",
+    "n",
+    "M",
+    "k_target",
+)
 
 
 def _row_identity(row: dict) -> str:

@@ -38,6 +38,13 @@ from repro.api.registry import (
 )
 from repro.api.results import BatchReport, ClusterStats, OperationHandle
 from repro.engine.executor import Operation
+from repro.net.topology import (
+    ClusteredTopology,
+    FlatTopology,
+    GeoTopology,
+    Topology,
+    resolve_topology,
+)
 
 __all__ = [
     "Cluster",
@@ -53,4 +60,9 @@ __all__ = [
     "structure_specs",
     "set_default_workers",
     "default_workers",
+    "Topology",
+    "FlatTopology",
+    "ClusteredTopology",
+    "GeoTopology",
+    "resolve_topology",
 ]

@@ -52,6 +52,7 @@ from repro.net.congestion import RoundCongestionReport, round_congestion_report
 from repro.net.message import MessageKind
 from repro.net.naming import HostId
 from repro.net.network import Network, OperationStats, ledger_mode, tracing_mode
+from repro.net.topology import Topology, resolve_topology, topology_from_config
 from repro.storage import (
     DurabilityController,
     StorageBackend,
@@ -190,6 +191,17 @@ class Cluster:
         which itself defaults to serial execution.
     network:
         Pre-existing :class:`~repro.net.network.Network` to deploy into.
+    topology:
+        Link-cost model of the deployment: a
+        :class:`~repro.net.topology.Topology` instance or one of the
+        names ``"flat"`` / ``"clustered"`` / ``"geo"`` (``"geo"`` seeds
+        its placement and weight matrix from ``seed``).  The default
+        ``None`` keeps the implicit flat model — every counter
+        byte-identical to a pre-topology cluster.  An explicit topology
+        is installed on the structure's network right after
+        construction, so operation traffic (not the build) accrues the
+        weighted latency and per-link / per-cluster congestion
+        dimension.
     route_cache / max_retries:
         Forwarded to the :class:`~repro.engine.executor.BatchExecutor`.
     churn_rng / join_fraction / min_hosts:
@@ -225,6 +237,7 @@ class Cluster:
         mode: str = "batched",
         workers: int | None = None,
         network: Network | None = None,
+        topology: "Topology | str | None" = None,
         route_cache: bool = False,
         max_retries: int = 5,
         churn_rng: random.Random | None = None,
@@ -246,6 +259,7 @@ class Cluster:
         self._memory_size = memory_size
         self._options = dict(options)
         self._network = network
+        self._topology = resolve_topology(topology, seed=seed)
         self._route_cache = route_cache
         self._max_retries = max_retries
         self._churn_rng = churn_rng
@@ -265,6 +279,8 @@ class Cluster:
             )
         if items is not None:
             self._structure = self._construct(self.spec.factory, items)
+            if self._topology is not None:
+                self.network.set_topology(self._topology)
         if self._durability is not None:
             # Journal construction (post-commit) so recovery can rebuild
             # from genesis even before the first snapshot exists.  The
@@ -317,6 +333,9 @@ class Cluster:
             "join_fraction": self._join_fraction,
             "min_hosts": self._min_hosts,
             "snapshot_every": self._snapshot_every,
+            "topology": (
+                self._topology.describe() if self._topology is not None else None
+            ),
             "options": dict(self._options),
             "trace": (
                 self.network.trace if self._structure is not None else default_trace()
@@ -379,6 +398,7 @@ class Cluster:
                 cluster._memory_size = None
                 cluster._options = {}
                 cluster._network = structure.network
+                cluster._topology = structure.network.topology
                 cluster._route_cache = route_cache
                 cluster._max_retries = max_retries
                 cluster._churn_rng = churn_rng
@@ -416,6 +436,8 @@ class Cluster:
                 f"structure {self.spec.name!r} has no bulk-load constructor"
             )
         self._structure = self._construct(self.spec.bulk_factory, sorted_items)
+        if self._topology is not None:
+            self.network.set_topology(self._topology)
         if self._durability is not None:
             self._durability.record_action(
                 "bulk_load", {"items": tuple(sorted_items)}
@@ -450,6 +472,13 @@ class Cluster:
     def network(self) -> Network:
         """The simulated network the structure is deployed on."""
         return self.structure.network
+
+    @property
+    def topology(self) -> "Topology | None":
+        """The deployment's link-cost model (``None`` = implicit flat)."""
+        if self._structure is not None:
+            return self.network.topology
+        return self._topology
 
     @property
     def executor(self) -> BatchExecutor | ShardedExecutor:
@@ -619,6 +648,7 @@ class Cluster:
         # Messages charged before a failure are real traffic; bill them on
         # the handle either way (matching the batched path's accounting).
         handle.messages = stats.messages
+        handle.latency = stats.latency
         # Failed singles committed too (their error is deterministic), so
         # journal unconditionally; batched-mode singles are journaled as
         # one-operation batches by the executor's commit hook instead.
@@ -827,6 +857,11 @@ class Cluster:
             "join_fraction": self._join_fraction,
             "min_hosts": self._min_hosts,
             "snapshot_every": self._snapshot_every,
+            "topology": (
+                self.network.topology.describe()
+                if self.network.topology is not None
+                else None
+            ),
             "options": dict(self._options),
             "trace": self.network.trace,
         }
@@ -845,6 +880,10 @@ class Cluster:
         cluster._memory_size = config["memory_size"]
         cluster._options = dict(config["options"])
         cluster._network = None
+        # The unpickled network carries the live topology instance; the
+        # config's portable dict is only kept for the facade's own record
+        # (and for the journal cross-check in recover()).
+        cluster._topology = topology_from_config(config.get("topology"))
         cluster._route_cache = False
         cluster._max_retries = config["max_retries"]
         cluster._churn_rng = None
@@ -940,6 +979,15 @@ class Cluster:
         if snapshot is not None:
             manifest, blob = snapshot
             state = restore_snapshot(manifest, blob)
+            snapshot_topology = state["config"].get("topology")
+            create_topology = create.get("topology")
+            if snapshot_topology != create_topology:
+                raise StorageError(
+                    f"topology mismatch in {backend.path!r}: the journal's "
+                    f"create record says {create_topology!r} but the snapshot "
+                    f"was taken under {snapshot_topology!r}; refusing to "
+                    "recover onto a different network layout"
+                )
             cluster = cls._from_restored_state(state, manifest["structure"])
             cluster._attach_durability(controller)
             controller.applied_actions = manifest["actions"]
@@ -958,6 +1006,7 @@ class Cluster:
                 seed=create["seed"],
                 mode=create["mode"],
                 workers=create["workers"],
+                topology=topology_from_config(create.get("topology")),
                 max_retries=create["max_retries"],
                 join_fraction=create["join_fraction"],
                 min_hosts=create["min_hosts"],

@@ -59,6 +59,9 @@ class OperationHandle:
     retries: int = 0
     cache_hits: int = 0
     index: int = 0
+    #: Sum of link costs of the operation's charged hops.  0 without an
+    #: explicit topology; equals ``messages`` under ``FlatTopology``.
+    latency: int = 0
 
     @property
     def ok(self) -> bool:
@@ -97,6 +100,7 @@ class OperationHandle:
             retries=outcome.retries,
             cache_hits=outcome.cache_hits,
             index=index,
+            latency=outcome.latency,
         )
 
 
@@ -150,6 +154,15 @@ class BatchReport:
     @property
     def messages_per_op(self) -> float:
         return self.raw.messages_per_op
+
+    @property
+    def latency(self) -> int:
+        """Weighted latency of the batch (0 without an explicit topology)."""
+        return self.raw.latency
+
+    @property
+    def latency_per_op(self) -> float:
+        return self.raw.latency_per_op
 
     @property
     def ops_per_round(self) -> float:

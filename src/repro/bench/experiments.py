@@ -29,6 +29,7 @@ function               reproduces
 ``throughput``         batched mixed workloads through the round-based engine
 ``congestion_rounds``  Theorem 2 congestion — max per-host per-round load
 ``churn``              live join/leave/crash with self-repair (extension)
+``topology_comparison``flat vs clustered vs geo link-cost models (extension)
 =====================  =========================================================
 """
 
@@ -1101,23 +1102,32 @@ def congestion_rounds(
     return rows
 
 
-def _churn_scenarios(n: int, seed: int):
+def _churn_scenarios(n: int, seed: int, **cluster_kwargs: Any):
     """The five structures a churn schedule runs over, with query makers.
 
     Yields ``(name, cluster, make_query)`` where ``make_query(rng)``
-    draws one search payload for the structure's domain.
+    draws one search payload for the structure's domain.  Extra keyword
+    arguments (e.g. ``topology=``) are forwarded to every
+    :func:`_cluster` call, so other experiments can deploy the same
+    scenario set under a different configuration.
     """
     keys = uniform_keys(n, seed=seed + n)
     yield (
         "skip-web 1-d",
-        _cluster("skipweb1d", keys, seed=seed),
+        _cluster("skipweb1d", keys, seed=seed, **cluster_kwargs),
         lambda rng: rng.uniform(0.0, 1_000_000.0),
     )
 
     points = uniform_points(n, dimension=2, seed=seed + n)
     yield (
         "quadtree skip-web",
-        _cluster("skipquadtree", points, bounding_cube=HyperCube((0.0, 0.0), 1.0), seed=seed),
+        _cluster(
+            "skipquadtree",
+            points,
+            bounding_cube=HyperCube((0.0, 0.0), 1.0),
+            seed=seed,
+            **cluster_kwargs,
+        ),
         lambda rng: (rng.random(), rng.random()),
     )
 
@@ -1125,7 +1135,7 @@ def _churn_scenarios(n: int, seed: int):
     trie_queries = prefix_queries(strings, 4 * n, seed=seed + n)
     yield (
         "trie skip-web",
-        _cluster("skiptrie", strings, alphabet=LOWERCASE, seed=seed),
+        _cluster("skiptrie", strings, alphabet=LOWERCASE, seed=seed, **cluster_kwargs),
         lambda rng: rng.choice(trie_queries),
     )
 
@@ -1134,13 +1144,13 @@ def _churn_scenarios(n: int, seed: int):
     box = bounding_box(segments)
     yield (
         "trapezoid skip-web",
-        _cluster("skiptrapezoid", segments, box=box, seed=seed),
+        _cluster("skiptrapezoid", segments, box=box, seed=seed, **cluster_kwargs),
         lambda rng: (rng.uniform(box[0], box[1]), rng.uniform(box[2], box[3])),
     )
 
     yield (
         "Chord DHT",
-        _cluster("chord", keys),
+        _cluster("chord", keys, seed=seed, **cluster_kwargs),
         lambda rng: rng.choice(keys),
     )
 
@@ -1219,6 +1229,54 @@ def churn(
     return rows
 
 
+@_ledger
+def topology_comparison(
+    sizes: Sequence[int] = (64,),
+    ops: int = 48,
+    seed: int = 0,
+    topologies: Sequence[str] = ("flat", "clustered", "geo"),
+) -> list[Row]:
+    """Flat vs clustered vs geo link-cost models over identical traffic.
+
+    Each of the five churn-scenario structures (four skip-web
+    instantiations plus the Chord baseline) executes the *same* seeded
+    query batch once per topology.  Routing never consults link costs,
+    so the ``msgs`` column is invariant across topologies — what changes
+    is what the traffic *costs*: the weighted ``latency`` (sum of link
+    costs over charged hops), the worst per-link per-round load and the
+    worst per-host per-round load.  Under ``flat`` every link costs 1,
+    so ``latency == msgs`` is a built-in sanity check; ``clustered``
+    penalises the inter-cluster hops an oblivious structure keeps
+    taking, and ``geo`` prices every region pair differently from a
+    seeded weight matrix.
+    """
+    rows: list[Row] = []
+    for n in sizes:
+        for topology in topologies:
+            for name, cluster, make_query in _churn_scenarios(n, seed, topology=topology):
+                rng = random.Random(seed + n)
+                operations = [Operation("search", make_query(rng)) for _ in range(ops)]
+                report = cluster.batch(operations)
+                congestion = report.round_congestion()
+                rows.append(
+                    {
+                        "structure": name,
+                        "topology": topology,
+                        "n": n,
+                        "ops": report.ops,
+                        "completed": report.completed,
+                        "rounds": report.rounds,
+                        "msgs": report.messages,
+                        "max_host_round_load": congestion.max_host_round_load,
+                        "max_link_round_load": congestion.max_link_round_load,
+                        "latency": report.latency,
+                        "latency_per_op": round(report.latency_per_op, 2),
+                    }
+                )
+    rows.sort(key=lambda row: (row["n"], row["structure"], row["topology"]))
+    return rows
+
+
 #: Registry used by the CLI: name -> (function, short description).
 EXPERIMENTS: dict[str, tuple[Callable[..., list[Row]], str]] = {
     "table1": (table1_comparison, "Table 1: cost comparison of all methods"),
@@ -1236,4 +1294,5 @@ EXPERIMENTS: dict[str, tuple[Callable[..., list[Row]], str]] = {
     "throughput": (throughput, "Batched mixed workloads through the round engine"),
     "congestion-rounds": (congestion_rounds, "Max per-host per-round congestion"),
     "churn": (churn, "Live join/leave/crash with self-repair"),
+    "topology": (topology_comparison, "Flat vs clustered vs geo link-cost models"),
 }

@@ -13,6 +13,7 @@ Examples
     python -m repro.cli throughput --format json
     python -m repro.cli congestion-rounds --sizes 64,256 --format csv
     python -m repro.cli churn --sizes 48
+    python -m repro.cli --topology clustered,geo --sizes 64
     skipweb-repro theorem2-onedim
 
 Each experiment prints an aligned text table by default; ``--format json``
@@ -23,9 +24,14 @@ between the two routes.
 
 ``structures`` lists the :mod:`repro.api` registry — every structure
 family constructible via ``Cluster(structure=<name>)`` — with its
-capability flags; the experiments themselves are re-plumbed through that
-same façade, so the registry listing is also an index into what the
+capability flags (range, updates, bulk-load, shardable, durable) as
+columns; the experiments themselves are re-plumbed through that same
+façade, so the registry listing is also an index into what the
 experiments deploy.
+
+``--topology`` selects the link-cost models the ``topology`` experiment
+compares (``flat`` is always included as the baseline); giving the flag
+without an experiment name implies ``topology``.
 """
 
 from __future__ import annotations
@@ -42,6 +48,7 @@ from typing import Any, Sequence
 from repro.bench.experiments import EXPERIMENTS
 from repro.bench.reporting import format_table
 from repro.net.network import tracing_mode
+from repro.net.topology import TOPOLOGY_NAMES
 
 
 def _parse_sizes(text: str) -> tuple[int, ...]:
@@ -52,6 +59,26 @@ def _parse_sizes(text: str) -> tuple[int, ...]:
     if not sizes or any(size <= 0 for size in sizes):
         raise argparse.ArgumentTypeError(f"sizes must be positive integers, got {text!r}")
     return sizes
+
+
+def _parse_topologies(text: str) -> tuple[str, ...]:
+    names = tuple(part.strip() for part in text.split(",") if part.strip())
+    if not names:
+        raise argparse.ArgumentTypeError(f"no topology names in {text!r}")
+    unknown = [name for name in names if name not in TOPOLOGY_NAMES]
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown topology {unknown[0]!r} (choose from {', '.join(TOPOLOGY_NAMES)})"
+        )
+    # Flat is always the comparison baseline: requesting clustered/geo
+    # yields flat-vs-requested rows rather than an uncomparable table.
+    if "flat" not in names:
+        names = ("flat",) + names
+    deduplicated: list[str] = []
+    for name in names:
+        if name not in deduplicated:
+            deduplicated.append(name)
+    return tuple(deduplicated)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -87,6 +114,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma-separated problem sizes (e.g. 64,128,256); applied to every "
         "experiment that accepts a 'sizes' (or scalar 'n') parameter",
+    )
+    parser.add_argument(
+        "--topology",
+        type=_parse_topologies,
+        default=None,
+        metavar="NAMES",
+        help="comma-separated topologies for the 'topology' experiment "
+        "(flat, clustered, geo; flat is always included as the baseline); "
+        "implies the 'topology' experiment when no name is given",
     )
     parser.add_argument(
         "--profile",
@@ -159,14 +195,21 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _experiment_kwargs(function, seed: int, sizes: tuple[int, ...] | None) -> dict[str, Any]:
+def _experiment_kwargs(
+    function,
+    seed: int,
+    sizes: tuple[int, ...] | None,
+    topologies: tuple[str, ...] | None = None,
+) -> dict[str, Any]:
     kwargs: dict[str, Any] = {"seed": seed}
+    parameters = inspect.signature(function).parameters
     if sizes is not None:
-        parameters = inspect.signature(function).parameters
         if "sizes" in parameters:
             kwargs["sizes"] = sizes
         elif "n" in parameters:
             kwargs["n"] = sizes[0]
+    if topologies is not None and "topologies" in parameters:
+        kwargs["topologies"] = topologies
     return kwargs
 
 
@@ -198,9 +241,10 @@ def _run_one(
     output_format: str,
     sizes: tuple[int, ...] | None,
     profile: int | None = None,
+    topologies: tuple[str, ...] | None = None,
 ) -> None:
     function, description = EXPERIMENTS[name]
-    kwargs = _experiment_kwargs(function, seed, sizes)
+    kwargs = _experiment_kwargs(function, seed, sizes, topologies)
     if profile is not None:
         rows = _run_profiled(function, kwargs, name, profile)
     else:
@@ -254,6 +298,10 @@ def _run_workload(args: argparse.Namespace) -> int:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.topology is not None and args.experiment is None:
+        args.experiment = "topology"
+    if args.topology is not None and args.experiment not in ("topology", "all"):
+        parser.error("--topology only applies to the 'topology' experiment")
     if args.experiment is None and not args.list_experiments:
         parser.error("an experiment name is required (or use --list)")
     if args.list_experiments and args.experiment not in (None, "list"):
@@ -277,6 +325,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                 "class": spec.cls.__name__,
                 "range": "yes" if spec.supports_range else "no",
                 "updates": "yes" if spec.supports_updates else "no",
+                "bulk_load": "yes" if spec.bulk_factory is not None else "no",
+                "shardable": "yes" if spec.shardable else "no",
+                "durable": "yes" if spec.durable else "no",
                 "description": spec.description,
             }
             for name, spec in sorted(structure_specs().items())
@@ -301,9 +352,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     with tracing_mode() if args.trace else nullcontext():
         if args.experiment == "all":
             for name in sorted(EXPERIMENTS):
-                _run_one(name, args.seed, args.output_format, args.sizes, args.profile)
+                _run_one(
+                    name, args.seed, args.output_format, args.sizes, args.profile, args.topology
+                )
             return 0
-        _run_one(args.experiment, args.seed, args.output_format, args.sizes, args.profile)
+        _run_one(
+            args.experiment, args.seed, args.output_format, args.sizes, args.profile, args.topology
+        )
     return 0
 
 

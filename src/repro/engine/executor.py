@@ -107,6 +107,10 @@ class OpOutcome:
     rounds: int = 0
     retries: int = 0
     cache_hits: int = 0
+    #: Sum of link costs of the operation's charged crossings.  0 on a
+    #: network without an explicit topology; equals ``messages`` under
+    #: ``FlatTopology``.
+    latency: int = 0
 
     @property
     def ok(self) -> bool:
@@ -137,6 +141,7 @@ class BatchResult:
     cache_hits: int = 0
     cache_misses: int = 0
     congestion_summary: RoundCongestionReport | None = None
+    latency: int = 0
 
     @property
     def ops(self) -> int:
@@ -153,6 +158,11 @@ class BatchResult:
     @property
     def messages_per_op(self) -> float:
         return self.messages / self.ops if self.ops else 0.0
+
+    @property
+    def latency_per_op(self) -> float:
+        """Mean weighted latency per operation (0.0 without a topology)."""
+        return self.latency / self.ops if self.ops else 0.0
 
     @property
     def ops_per_round(self) -> float:
@@ -185,6 +195,7 @@ class BatchResult:
             "max_round_congestion": self.max_round_congestion,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "latency": self.latency,
         }
 
 
@@ -350,6 +361,7 @@ class BatchExecutor:
             cache_hits=self._cache_hits,
             cache_misses=self._cache_misses,
             congestion_summary=round_congestion_report(self.network),
+            latency=stats.latency,
         )
         if self.on_commit is not None:
             self.on_commit(tuple(operations), result)
@@ -388,6 +400,13 @@ class BatchExecutor:
                 assert effect is not None
                 is_visit = effect.op == OP_VISIT
                 target = effect.address.host if is_visit else effect.host
+                cost = 1
+                topology = self.network.topology
+                if topology is not None:
+                    # Price the link before state.current moves off the
+                    # delivery's source host.
+                    cost = topology.link_cost(state.current, target)
+                    state.outcome.latency += cost
                 state.current = target
                 state.outcome.messages += 1
                 try:
@@ -407,7 +426,7 @@ class BatchExecutor:
                 state.ticket = None
                 state.effect = None
                 state.warm_key = None
-                resolution = Resolution(value=value, host=target, charged=True)
+                resolution = Resolution(value=value, host=target, charged=True, cost=cost)
             return self._advance(state, resolution)
 
         return step
@@ -534,6 +553,11 @@ class BatchExecutor:
                 continue
             is_visit = effect.op == OP_VISIT
             target = effect.address.host if is_visit else effect.host
+            cost = 1
+            topology = self.network.topology
+            if topology is not None:
+                cost = topology.link_cost(branch.current, target)
+                state.outcome.latency += cost
             branch.current = target
             state.outcome.messages += 1
             try:
@@ -544,7 +568,7 @@ class BatchExecutor:
             except _RETRYABLE as error:
                 self._note_branch_error(state, "retry", error)
                 continue
-            branch.resolution = Resolution(value, target, True)
+            branch.resolution = Resolution(value, target, True, cost=cost)
         # 2. run each idle sub-walk locally until its next cross-host
         #    effect (skipped while an abort is pending).
         if state.branch_error is None:

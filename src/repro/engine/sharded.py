@@ -88,7 +88,7 @@ def _worker_main(
 def _run_shard(
     executor_args: dict[str, Any], shard: list[tuple[int, OpOutcome]]
 ) -> tuple[
-    list[tuple[int, Any, Exception | None, int, int, int, int]],
+    list[tuple[int, Any, Exception | None, int, int, int, int, int]],
     list[list[tuple[int, Any, Any, Any]]],
 ]:
     """The worker's round loop: a serial ``BatchExecutor`` plus post capture.
@@ -148,6 +148,7 @@ def _run_shard(
             state.outcome.rounds,
             state.outcome.retries,
             state.outcome.cache_hits,
+            state.outcome.latency,
         )
         for index, state in states
     ]
@@ -310,7 +311,8 @@ class ShardedExecutor:
         # Fold per-operation results back in batch order.
         cache_hits = 0
         for shard_outcomes, _seqs in shard_results:
-            for index, value, error, messages, rounds, retries, hits in shard_outcomes:
+            for entry in shard_outcomes:
+                index, value, error, messages, rounds, retries, hits, latency = entry
                 outcome = outcomes[index]
                 outcome.value = value
                 outcome.error = error
@@ -318,6 +320,7 @@ class ShardedExecutor:
                 outcome.rounds = rounds
                 outcome.retries = retries
                 outcome.cache_hits = hits
+                outcome.latency = latency
                 cache_hits += hits
 
         # Deterministic replay: merge each round's deliveries across shards
@@ -341,6 +344,10 @@ class ShardedExecutor:
                     network.run_round()
             rounds = network.rounds_completed
             round_reports = network.round_reports
+        # The replay re-delivers every (src, dst) pair on the parent
+        # network, so its topology re-prices each link: stats.latency and
+        # the weighted per-link / per-cluster aggregates come out exactly
+        # as a serial run of the same round sequence would produce them.
         return BatchResult(
             outcomes=outcomes,
             rounds=rounds,
@@ -349,4 +356,5 @@ class ShardedExecutor:
             cache_hits=cache_hits,
             cache_misses=0,
             congestion_summary=round_congestion_report(network),
+            latency=stats.latency,
         )

@@ -115,19 +115,26 @@ class Resolution:
     ``host`` is where the operation executes after the effect (a cache hit
     leaves it in place), ``charged`` says whether a message was spent, and
     ``value`` is the dereferenced item for :class:`Visit` effects.
+    ``cost`` is the link cost of the charged crossing — 1 for a charged
+    hop unless the driver's network carries an explicit
+    :class:`~repro.net.topology.Topology` pricing the link differently,
+    0 when nothing was charged.
     """
 
-    __slots__ = ("value", "host", "charged")
+    __slots__ = ("value", "host", "charged", "cost")
 
-    def __init__(self, value: Any, host: HostId, charged: bool) -> None:
+    def __init__(
+        self, value: Any, host: HostId, charged: bool, cost: int | None = None
+    ) -> None:
         self.value = value
         self.host = host
         self.charged = charged
+        self.cost = (1 if charged else 0) if cost is None else cost
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"Resolution(value={self.value!r}, host={self.host!r}, "
-            f"charged={self.charged!r})"
+            f"charged={self.charged!r}, cost={self.cost!r})"
         )
 
 
@@ -145,11 +152,12 @@ class StepCursor:
     immediate and round-based execution.
     """
 
-    __slots__ = ("_current", "_hops", "_path")
+    __slots__ = ("_current", "_hops", "_latency", "_path")
 
     def __init__(self, origin: HostId) -> None:
         self._current: HostId = origin
         self._hops = 0
+        self._latency = 0
         self._path: list[HostId] = [origin]
 
     @property
@@ -161,6 +169,12 @@ class StepCursor:
     def hops(self) -> int:
         """Number of messages charged so far to this operation."""
         return self._hops
+
+    @property
+    def latency(self) -> int:
+        """Sum of link costs of the charged crossings (equals
+        :attr:`hops` under the flat cost model)."""
+        return self._latency
 
     @property
     def path(self) -> list[HostId]:
@@ -188,6 +202,7 @@ class StepCursor:
     def _absorb(self, resolution: Resolution) -> None:
         if resolution.charged:
             self._hops += 1
+            self._latency += resolution.cost
         host = resolution.host
         if host != self._current:
             self._current = host
@@ -281,6 +296,9 @@ def _drive(
     send = network.send
     load = network.load
     advance = gen.send
+    # Bound once: None keeps the flat fast path (Resolution defaults its
+    # charged cost to 1); an explicit topology prices each crossing.
+    topology = network.topology
     try:
         effect = next(gen)
         while True:
@@ -289,16 +307,31 @@ def _drive(
                 target = effect.address.host
                 if target != current:
                     send(current, target, kind=kind)
+                    if topology is None:
+                        resolution = Resolution(load(effect.address), target, True)
+                    else:
+                        resolution = Resolution(
+                            load(effect.address),
+                            target,
+                            True,
+                            topology.link_cost(current, target),
+                        )
                     current = target
-                    effect = advance(Resolution(load(effect.address), current, True))
+                    effect = advance(resolution)
                 else:
                     effect = advance(Resolution(load(effect.address), current, False))
             elif op == OP_HOP:
                 target = effect.host
                 if target != current:
                     send(current, target, kind=kind)
+                    if topology is None:
+                        resolution = Resolution(None, target, True)
+                    else:
+                        resolution = Resolution(
+                            None, target, True, topology.link_cost(current, target)
+                        )
                     current = target
-                    effect = advance(Resolution(None, current, True))
+                    effect = advance(resolution)
                 else:
                     effect = advance(Resolution(None, current, False))
             elif op == OP_FORK:

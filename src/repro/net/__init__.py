@@ -23,12 +23,25 @@ single-process simulator:
 * :mod:`repro.net.churn` — live membership change: hosts joining,
   leaving gracefully (with record hand-off) or crashing (followed by
   structure self-repair); also an extension beyond the paper.
+* :mod:`repro.net.topology` — pluggable link-cost models (flat,
+  clustered, geo-distributed): per-hop weights, host clustering and the
+  weighted congestion/latency dimension they unlock; the paper's flat
+  model is the default and costs nothing when left implicit.
 """
 
 from repro.net.naming import Address, HostId, fresh_host_ids
 from repro.net.message import Message, MessageKind, MessageLog
 from repro.net.host import Host
 from repro.net.network import Network, OperationStats, PendingDelivery, RoundReport
+from repro.net.topology import (
+    ClusteredTopology,
+    FlatTopology,
+    GeoTopology,
+    Topology,
+    TOPOLOGY_NAMES,
+    resolve_topology,
+    topology_from_config,
+)
 from repro.net.rpc import Traversal, RemoteRef
 from repro.net.congestion import (
     CongestionReport,
@@ -55,6 +68,13 @@ __all__ = [
     "OperationStats",
     "PendingDelivery",
     "RoundReport",
+    "Topology",
+    "FlatTopology",
+    "ClusteredTopology",
+    "GeoTopology",
+    "TOPOLOGY_NAMES",
+    "resolve_topology",
+    "topology_from_config",
     "Traversal",
     "RemoteRef",
     "CongestionReport",

@@ -111,6 +111,13 @@ class RoundCongestionReport:
     ``per_round_max`` holds, for every round, the largest number of
     messages any single host received in that round; ``busiest_host`` /
     ``busiest_round`` identify where the overall maximum occurred.
+
+    On a network with an explicit :class:`~repro.net.topology.Topology`
+    the weighted dimension is populated as well: ``total_weight`` (sum of
+    link costs of every delivery), the per-round maximum *link* and
+    *cluster* loads, and the busiest link / cluster overall.  Without a
+    topology these keep their empty defaults and ``as_dict()`` omits
+    them, so flat summaries are byte-identical to the pre-topology ones.
     """
 
     rounds: int
@@ -118,6 +125,12 @@ class RoundCongestionReport:
     per_round_max: tuple[int, ...]
     busiest_host: HostId | None
     busiest_round: int | None
+    total_weight: int = 0
+    per_round_max_link: tuple[int, ...] = ()
+    per_round_max_cluster: tuple[int, ...] = ()
+    busiest_link: tuple[HostId, HostId] | None = None
+    busiest_cluster: int | None = None
+    topology_aware: bool = False
 
     @property
     def max_host_round_load(self) -> int:
@@ -131,14 +144,29 @@ class RoundCongestionReport:
             return 0.0
         return mean(self.per_round_max)
 
+    @property
+    def max_link_round_load(self) -> int:
+        """Worst weighted per-link per-round load (0 without a topology)."""
+        return max(self.per_round_max_link, default=0)
+
+    @property
+    def max_cluster_round_load(self) -> int:
+        """Worst weighted per-cluster per-round load (0 without a topology)."""
+        return max(self.per_round_max_cluster, default=0)
+
     def as_dict(self) -> dict[str, float]:
         """Summary suitable for benchmark tables."""
-        return {
+        summary = {
             "rounds": float(self.rounds),
             "messages": float(self.total_messages),
             "max_host_round_load": float(self.max_host_round_load),
             "mean_round_max": self.mean_round_max,
         }
+        if self.topology_aware:
+            summary["weight"] = float(self.total_weight)
+            summary["max_link_round_load"] = float(self.max_link_round_load)
+            summary["max_cluster_round_load"] = float(self.max_cluster_round_load)
+        return summary
 
 
 def summarize_round_reports(reports) -> RoundCongestionReport:
@@ -156,6 +184,14 @@ def summarize_round_reports(reports) -> RoundCongestionReport:
     best = 0
     total = 0
     count = 0
+    aware = False
+    total_weight = 0
+    per_round_max_link: list[int] = []
+    per_round_max_cluster: list[int] = []
+    busiest_link: tuple[HostId, HostId] | None = None
+    busiest_cluster: int | None = None
+    best_link = 0
+    best_cluster = 0
     for report in reports:
         count += 1
         load = report.max_host_load
@@ -169,12 +205,32 @@ def summarize_round_reports(reports) -> RoundCongestionReport:
                 else max(report.per_host, key=report.per_host.__getitem__, default=None)
             )
             busiest_round = report.index
+        # Rounds recorded under an explicit topology carry the weighted
+        # per-link / per-cluster maxima; flat-default rounds keep the
+        # zero defaults and leave the weighted summary empty.
+        if report.weight or report.max_link is not None:
+            aware = True
+        total_weight += report.weight
+        per_round_max_link.append(report.max_link_load)
+        per_round_max_cluster.append(report.max_cluster_load)
+        if report.max_link_load > best_link:
+            best_link = report.max_link_load
+            busiest_link = report.max_link
+        if report.max_cluster_load > best_cluster:
+            best_cluster = report.max_cluster_load
+            busiest_cluster = report.max_cluster
     return RoundCongestionReport(
         rounds=count,
         total_messages=total,
         per_round_max=tuple(per_round_max),
         busiest_host=busiest_host,
         busiest_round=busiest_round,
+        total_weight=total_weight if aware else 0,
+        per_round_max_link=tuple(per_round_max_link) if aware else (),
+        per_round_max_cluster=tuple(per_round_max_cluster) if aware else (),
+        busiest_link=busiest_link,
+        busiest_cluster=busiest_cluster,
+        topology_aware=aware,
     )
 
 
@@ -190,10 +246,25 @@ def round_congestion_report(network) -> RoundCongestionReport:
     rounds, delivered, per_round_max, busiest_host, busiest_round = (
         network.round_congestion_summary()
     )
+    weighted = network.topology_congestion_summary()
+    if weighted is None:
+        return RoundCongestionReport(
+            rounds=rounds,
+            total_messages=delivered,
+            per_round_max=per_round_max,
+            busiest_host=busiest_host,
+            busiest_round=busiest_round,
+        )
     return RoundCongestionReport(
         rounds=rounds,
         total_messages=delivered,
         per_round_max=per_round_max,
         busiest_host=busiest_host,
         busiest_round=busiest_round,
+        total_weight=weighted["weight"],
+        per_round_max_link=weighted["per_round_max_link"],
+        per_round_max_cluster=weighted["per_round_max_cluster"],
+        busiest_link=weighted["busiest_link"],
+        busiest_cluster=weighted["busiest_cluster"],
+        topology_aware=True,
     )

@@ -53,6 +53,7 @@ from repro.errors import HostFailedError, StructureError, UnknownHostError
 from repro.net.host import Host
 from repro.net.message import Message, MessageKind, MessageLog
 from repro.net.naming import Address, HostId
+from repro.net.topology import Topology, resolve_topology
 
 #: Module-wide default for ``Network(trace=...)`` when the caller does not
 #: pass an explicit value.  Tests and interactive use keep full tracing;
@@ -131,6 +132,10 @@ class OperationStats:
     by_kind: dict[MessageKind, int] = field(default_factory=dict)
     hosts_touched: set[HostId] = field(default_factory=set)
     by_round: dict[int, int] = field(default_factory=dict)
+    #: Sum of link costs of the measured messages.  Stays 0 on a network
+    #: without an explicit topology (the implicit flat default tracks
+    #: message counts only); under ``FlatTopology`` it equals ``messages``.
+    latency: int = 0
 
     @property
     def rounds(self) -> int:
@@ -155,6 +160,13 @@ class RoundReport:
     ``dropped`` counts messages whose destination (or source) host had
     failed; those deliveries carry a :class:`HostFailedError` on their
     ticket instead of reaching the log.
+
+    The topology-aware fields (``weight``, ``max_link_load`` /
+    ``max_link``, ``max_cluster_load`` / ``max_cluster``) are only
+    populated on a network with an explicit
+    :class:`~repro.net.topology.Topology`; on the implicit flat default
+    they keep their zero values and ``max_link`` / ``max_cluster`` stay
+    ``None``.
     """
 
     index: int
@@ -163,6 +175,11 @@ class RoundReport:
     dropped: int = 0
     max_load: int = -1
     max_load_host: HostId | None = None
+    weight: int = 0
+    max_link_load: int = 0
+    max_link: tuple[HostId, HostId] | None = None
+    max_cluster_load: int = 0
+    max_cluster: int | None = None
 
     @property
     def max_host_load(self) -> int:
@@ -240,6 +257,15 @@ class Network:
         session (oldest dropped first); ``None`` keeps them all.  The
         running congestion aggregates (:meth:`round_congestion_summary`)
         cover the whole session regardless.
+    topology:
+        Link-cost model: a :class:`~repro.net.topology.Topology`
+        instance, one of the names ``"flat"`` / ``"clustered"`` /
+        ``"geo"``, or ``None`` (the default).  ``None`` is the implicit
+        flat model — every counter is byte-identical to the pre-topology
+        network and no per-link accounting runs.  Any explicit topology
+        (including ``FlatTopology``) additionally charges
+        ``link_cost(src, dst)`` per delivery into weighted per-link /
+        per-cluster congestion aggregates and the ``latency`` counters.
     """
 
     def __init__(
@@ -248,6 +274,7 @@ class Network:
         keep_messages: bool = False,
         trace: bool | None = None,
         round_report_retention: int | None = None,
+        topology: Topology | str | None = None,
     ) -> None:
         self.default_memory_limit = default_memory_limit
         if trace is None:
@@ -295,11 +322,58 @@ class Network:
         self._session_busiest_host: HostId | None = None
         self._session_busiest_round: int | None = None
         self._session_busiest_load = 0
+        # Topology-aware accounting.  ``None`` means the implicit flat
+        # model: link_cost() answers 1 and none of the weighted state
+        # below is ever touched, keeping the default hot paths (and their
+        # counters) byte-identical to the pre-topology network.
+        self._topology = resolve_topology(topology)
+        self._round_per_link: dict[tuple[HostId, HostId], int] = {}
+        self._round_per_cluster: dict[int, int] = {}
+        self._round_weight = 0
+        self._session_weight = 0
+        self._session_per_round_max_link: list[int] = []
+        self._session_per_round_max_cluster: list[int] = []
+        self._session_busiest_link: tuple[HostId, HostId] | None = None
+        self._session_busiest_link_load = 0
+        self._session_busiest_link_round: int | None = None
+        self._session_busiest_cluster: int | None = None
+        self._session_busiest_cluster_load = 0
 
     @property
     def trace(self) -> bool:
         """Whether deliveries materialise :class:`Message` objects."""
         return self._trace
+
+    @property
+    def topology(self) -> Topology | None:
+        """The explicit link-cost model, or ``None`` for the implicit flat one."""
+        return self._topology
+
+    def set_topology(self, topology: Topology | str | None) -> None:
+        """Install (or clear) the link-cost model.
+
+        Must happen outside a round session: per-link aggregates of a
+        session in flight would silently mix cost models otherwise.
+        Already-registered hosts are announced to the new topology.
+        """
+        if self._round_mode:
+            raise RuntimeError("cannot change topology during a round session")
+        self._topology = resolve_topology(topology)
+        if self._topology is not None:
+            for host_id in self._hosts:
+                self._topology.on_host_added(host_id)
+
+    def link_cost(self, src: HostId, dst: HostId) -> int:
+        """Cost of one ``src -> dst`` message under the current topology.
+
+        Self-sends are free (cost 0) as in the paper's model; without an
+        explicit topology every inter-host link costs 1.
+        """
+        if src == dst:
+            return 0
+        if self._topology is None:
+            return 1
+        return self._topology.link_cost(src, dst)
 
     def __getstate__(self) -> dict[str, Any]:
         # Membership listeners are live observers (typically the storage
@@ -308,6 +382,24 @@ class Network:
         state = self.__dict__.copy()
         state["_membership_listeners"] = []
         return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        if "_topology" not in state:
+            # Blob pickled before the topology seam existed: restore it
+            # onto the implicit flat default with empty weighted state.
+            self._topology = None
+            self._round_per_link = {}
+            self._round_per_cluster = {}
+            self._round_weight = 0
+            self._session_weight = 0
+            self._session_per_round_max_link = []
+            self._session_per_round_max_cluster = []
+            self._session_busiest_link = None
+            self._session_busiest_link_load = 0
+            self._session_busiest_link_round = None
+            self._session_busiest_cluster = None
+            self._session_busiest_cluster_load = 0
 
     # ------------------------------------------------------------------ #
     # membership event listeners
@@ -351,6 +443,8 @@ class Network:
         host = Host(host_id=host_id, memory_limit=limit)
         self._hosts[host_id] = host
         self._membership_epoch += 1
+        if self._topology is not None:
+            self._topology.on_host_added(host_id)
         if self._membership_listeners:
             self._notify_membership("add", host_id)
         return host
@@ -372,6 +466,8 @@ class Network:
         del self._hosts[host_id]
         self._failed_hosts.discard(host_id)
         self._membership_epoch += 1
+        if self._topology is not None:
+            self._topology.on_host_removed(host_id)
         if self._membership_listeners:
             self._notify_membership("remove", host_id)
         return host
@@ -489,11 +585,15 @@ class Network:
         else:
             self._log.tally(src, dst, kind)
             message = None
+        cost = 0
+        if self._topology is not None:
+            cost = self._topology.link_cost(src, dst)
         for stats in self._measure_stack:
             stats.messages += 1
             stats.by_kind[kind] = stats.by_kind.get(kind, 0) + 1
             stats.hosts_touched.add(src)
             stats.hosts_touched.add(dst)
+            stats.latency += cost
             if self._round_mode:
                 stats.by_round[self._round_index] = (
                     stats.by_round.get(self._round_index, 0) + 1
@@ -501,6 +601,14 @@ class Network:
         if self._round_mode:
             self._round_per_host[dst] = self._round_per_host.get(dst, 0) + 1
             self._round_delivered += 1
+            if self._topology is not None:
+                link = (src, dst)
+                self._round_per_link[link] = self._round_per_link.get(link, 0) + cost
+                cluster = self._topology.cluster_of(dst)
+                self._round_per_cluster[cluster] = (
+                    self._round_per_cluster.get(cluster, 0) + cost
+                )
+                self._round_weight += cost
         return message
 
     @property
@@ -569,6 +677,31 @@ class Network:
             self._session_busiest_round,
         )
 
+    def topology_congestion_summary(self) -> dict[str, Any] | None:
+        """Weighted (topology-aware) session aggregates, or ``None``.
+
+        ``None`` on a network without an explicit topology — the
+        per-link / per-cluster dimension is only tracked when a
+        :class:`~repro.net.topology.Topology` is installed.  Otherwise a
+        dict of whole-session aggregates mirroring
+        :meth:`round_congestion_summary` in the weighted dimension:
+        total delivered ``weight``, per-round maxima and the busiest
+        link / cluster with their loads.
+        """
+        if self._topology is None:
+            return None
+        return {
+            "rounds": len(self._session_per_round_max_link),
+            "weight": self._session_weight,
+            "per_round_max_link": tuple(self._session_per_round_max_link),
+            "per_round_max_cluster": tuple(self._session_per_round_max_cluster),
+            "busiest_link": self._session_busiest_link,
+            "busiest_link_load": self._session_busiest_link_load,
+            "busiest_link_round": self._session_busiest_link_round,
+            "busiest_cluster": self._session_busiest_cluster,
+            "busiest_cluster_load": self._session_busiest_cluster_load,
+        }
+
     @contextmanager
     def rounds(self) -> Iterator["Network"]:
         """Enter round-based delivery mode for the ``with`` body.
@@ -596,6 +729,17 @@ class Network:
         self._session_busiest_host = None
         self._session_busiest_round = None
         self._session_busiest_load = 0
+        self._round_per_link = {}
+        self._round_per_cluster = {}
+        self._round_weight = 0
+        self._session_weight = 0
+        self._session_per_round_max_link = []
+        self._session_per_round_max_cluster = []
+        self._session_busiest_link = None
+        self._session_busiest_link_load = 0
+        self._session_busiest_link_round = None
+        self._session_busiest_cluster = None
+        self._session_busiest_cluster_load = 0
         try:
             yield self
         finally:
@@ -609,6 +753,9 @@ class Network:
             self._pending_fast = []
             self._round_per_host = {}
             self._round_delivered = 0
+            self._round_per_link = {}
+            self._round_per_cluster = {}
+            self._round_weight = 0
 
     def post(
         self,
@@ -702,6 +849,21 @@ class Network:
             if load > max_load:
                 max_load = load
                 max_load_host = host_id
+        weight = 0
+        max_link_load = 0
+        max_link: tuple[HostId, HostId] | None = None
+        max_cluster_load = 0
+        max_cluster: int | None = None
+        if self._topology is not None:
+            weight = self._round_weight
+            for link, load in self._round_per_link.items():
+                if load > max_link_load:
+                    max_link_load = load
+                    max_link = link
+            for cluster, load in self._round_per_cluster.items():
+                if load > max_cluster_load:
+                    max_cluster_load = load
+                    max_cluster = cluster
         report = RoundReport(
             index=self._round_index,
             delivered=self._round_delivered,
@@ -709,6 +871,11 @@ class Network:
             dropped=dropped,
             max_load=max_load,
             max_load_host=max_load_host,
+            weight=weight,
+            max_link_load=max_link_load,
+            max_link=max_link,
+            max_cluster_load=max_cluster_load,
+            max_cluster=max_cluster,
         )
         self._round_reports.append(report)
         retention = self._round_report_retention
@@ -720,6 +887,20 @@ class Network:
             self._session_busiest_load = max_load
             self._session_busiest_host = max_load_host
             self._session_busiest_round = self._round_index
+        if self._topology is not None:
+            self._session_weight += weight
+            self._session_per_round_max_link.append(max_link_load)
+            self._session_per_round_max_cluster.append(max_cluster_load)
+            if max_link_load > self._session_busiest_link_load:
+                self._session_busiest_link_load = max_link_load
+                self._session_busiest_link = max_link
+                self._session_busiest_link_round = self._round_index
+            if max_cluster_load > self._session_busiest_cluster_load:
+                self._session_busiest_cluster_load = max_cluster_load
+                self._session_busiest_cluster = max_cluster
+            self._round_per_link = {}
+            self._round_per_cluster = {}
+            self._round_weight = 0
         self._round_index += 1
         self._round_per_host = {}
         self._round_delivered = 0

@@ -57,10 +57,17 @@ def content_digest(structure: Any) -> str:
 
 
 def _fingerprint(structure: Any) -> dict[str, Any]:
-    """The manifest's portable view of the live state."""
+    """The manifest's portable view of the live state.
+
+    On a network with an explicit topology the fingerprint additionally
+    versions the layout (``topology`` = the portable ``describe()``
+    dict), so a snapshot taken under one cost model is refused by a
+    build expecting another; flat-default snapshots omit the key and
+    stay byte-identical to pre-topology manifests.
+    """
     network = structure.network
     congestion = round_congestion_report(network)
-    return {
+    fingerprint = {
         "content_digest": content_digest(structure),
         "messages_total": network.total_messages,
         "messages_by_kind": {
@@ -80,6 +87,9 @@ def _fingerprint(structure: Any) -> dict[str, Any]:
             "max_host_round_load": congestion.max_host_round_load,
         },
     }
+    if network.topology is not None:
+        fingerprint["topology"] = network.topology.describe()
+    return fingerprint
 
 
 def capture_snapshot(

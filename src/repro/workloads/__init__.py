@@ -21,6 +21,9 @@ from repro.workloads.generators import (
     clustered_points,
     clustered_keys,
     degenerate_line_points,
+    geo_placement,
+    geo_region,
+    geo_weight_matrix,
     uniform_keys,
     uniform_points,
     zipf_query_mix,
@@ -39,6 +42,9 @@ __all__ = [
     "clustered_points",
     "degenerate_line_points",
     "zipf_query_mix",
+    "geo_region",
+    "geo_placement",
+    "geo_weight_matrix",
     "random_strings",
     "dna_reads",
     "isbn_like_keys",

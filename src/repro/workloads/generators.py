@@ -139,3 +139,63 @@ def degenerate_line_points(
         if scale < 1e-12:
             scale = 0.25
     return sorted(set(points))
+
+
+# --------------------------------------------------------------------- #
+# geo placement (host -> region) and link-weight matrices
+# --------------------------------------------------------------------- #
+def geo_region(host: int, regions: int, seed: int | random.Random = 0) -> int:
+    """Deterministic region placement for one host.
+
+    A pure function of ``(seed, host, regions)``: the region does not
+    depend on join order, so a host that joins after churn (or after a
+    crash recovery) lands where it always would have.  Seeding a fresh
+    generator from a string keys the draw off SHA-512 of the text, which
+    is stable across processes regardless of hash randomisation.
+    """
+    if regions < 1:
+        raise ValueError(f"regions must be >= 1, got {regions}")
+    if isinstance(seed, random.Random):
+        seed = seed.randrange(2**32)
+    return random.Random(f"geo-region:{seed}:{host}").randrange(regions)
+
+
+def geo_placement(
+    host_ids: Sequence[int], regions: int, seed: int | random.Random = 0
+) -> dict[int, int]:
+    """Region of every listed host (a batch of :func:`geo_region` draws)."""
+    if isinstance(seed, random.Random):
+        seed = seed.randrange(2**32)
+    return {host: geo_region(host, regions, seed=seed) for host in host_ids}
+
+
+def geo_weight_matrix(
+    regions: int,
+    seed: int | random.Random = 0,
+    local_cost: int = 1,
+    min_cost: int = 2,
+    max_cost: int = 12,
+) -> list[list[int]]:
+    """A symmetric ``regions x regions`` link-weight matrix.
+
+    Diagonal entries (intra-region links) cost ``local_cost``; each
+    distinct region pair draws one weight uniformly from
+    ``[min_cost, max_cost]``.  The same seed always yields the same
+    matrix, so a topology journaled by the durability layer can be
+    reconstructed exactly.
+    """
+    if regions < 1:
+        raise ValueError(f"regions must be >= 1, got {regions}")
+    if not (1 <= local_cost <= min_cost <= max_cost):
+        raise ValueError(
+            "expected 1 <= local_cost <= min_cost <= max_cost, got "
+            f"local={local_cost}, min={min_cost}, max={max_cost}"
+        )
+    rng = _rng(seed if isinstance(seed, random.Random) else f"geo-weights:{seed}")
+    matrix = [[local_cost] * regions for _ in range(regions)]
+    for i in range(regions):
+        for j in range(i + 1, regions):
+            cost = rng.randint(min_cost, max_cost)
+            matrix[i][j] = cost
+            matrix[j][i] = cost
+    return matrix

@@ -33,6 +33,11 @@ EXPECTED_ALL = [
     "structure_specs",
     "set_default_workers",
     "default_workers",
+    "Topology",
+    "FlatTopology",
+    "ClusteredTopology",
+    "GeoTopology",
+    "resolve_topology",
 ]
 
 #: Structure families every release must keep resolvable by these names.
@@ -56,6 +61,7 @@ EXPECTED_SIGNATURES = {
         "(self, structure: 'str' = 'skipweb1d', items: 'Sequence[Any] | None' = None, "
         "*, hosts: 'int | None' = None, memory_size: 'int | None' = None, "
         "seed: 'int' = 0, mode: 'str' = 'batched', workers: 'int | None' = None, network: 'Network | None' = None, "
+        "topology: \"'Topology | str | None'\" = None, "
         "route_cache: 'bool' = False, max_retries: 'int' = 5, "
         "churn_rng: 'random.Random | None' = None, join_fraction: 'float' = 0.5, "
         "min_hosts: 'int' = 2, storage: \"'str | StorageBackend | None'\" = None, "
@@ -102,6 +108,9 @@ EXPECTED_SIGNATURES = {
         "join_fraction: 'float' = 0.5, min_hosts: 'int' = 2) -> \"'Cluster'\""
     ),
     "register_structure": "(spec: 'StructureSpec') -> 'StructureSpec'",
+    "resolve_topology": (
+        "(spec: \"'str | Topology | None'\", seed: 'int' = 0) -> 'Topology | None'"
+    ),
     "set_default_workers": "(workers: 'int') -> 'None'",
     "default_workers": "() -> 'int'",
     "resolve_structure": "(name: 'str') -> 'StructureSpec'",
@@ -122,6 +131,7 @@ EXPECTED_HANDLE_FIELDS = [
     "retries",
     "cache_hits",
     "index",
+    "latency",
 ]
 
 

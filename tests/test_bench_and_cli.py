@@ -18,6 +18,7 @@ from repro.bench.experiments import (
     range_queries,
     theorem2_onedim,
     throughput,
+    topology_comparison,
 )
 from repro.bench.fitting import GROWTH_LAWS, best_growth_law, fit_scale, growth_ratio
 from repro.bench.reporting import format_series, format_table
@@ -95,8 +96,26 @@ class TestExperiments:
             "throughput",
             "congestion-rounds",
             "churn",
+            "topology",
         }
         assert set(EXPERIMENTS) == expected
+
+    def test_topology_rows_keep_messages_invariant(self):
+        rows = topology_comparison(sizes=(32,), ops=8, seed=0)
+        by_structure: dict = {}
+        for row in rows:
+            by_structure.setdefault(row["structure"], {})[row["topology"]] = row
+        assert len(by_structure) == 5  # four skip-webs + Chord
+        for cells in by_structure.values():
+            assert set(cells) == {"flat", "clustered", "geo"}
+            # Topologies reprice the links, never the routing: message
+            # and round counts are identical across the three layouts.
+            assert len({cell["msgs"] for cell in cells.values()}) == 1
+            assert len({cell["rounds"] for cell in cells.values()}) == 1
+            flat = cells["flat"]
+            assert flat["latency"] == flat["msgs"]
+            assert cells["clustered"]["latency"] > flat["latency"]
+            assert cells["clustered"]["max_link_round_load"] >= flat["max_link_round_load"]
 
     def test_fig1_rows_show_log_growth_and_linear_space(self):
         rows = fig1_skiplist(sizes=(128, 1024), queries_per_size=60, seed=1)
@@ -260,6 +279,30 @@ class TestCli:
     def test_cli_rejects_bad_sizes(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["table1", "--sizes", "12,-3"])
+
+    def test_cli_topology_flag_implies_the_experiment(self, capsys):
+        assert main(["--topology", "clustered", "--sizes", "24", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "topology"
+        # Flat is always included as the comparison baseline.
+        assert {row["topology"] for row in payload["rows"]} == {"flat", "clustered"}
+
+    def test_cli_topology_flag_validation(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--topology", "mesh"])
+        with pytest.raises(SystemExit):
+            main(["table1", "--topology", "geo"])
+
+    def test_cli_structures_lists_capability_columns(self, capsys):
+        assert main(["structures", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rows"]
+        for row in payload["rows"]:
+            for column in ("range", "updates", "bulk_load", "shardable", "durable"):
+                assert row[column] in ("yes", "no")
+        chord = next(row for row in payload["rows"] if row["structure"] == "chord")
+        assert chord["range"] == "no"
+        assert chord["shardable"] == "yes"
 
 
 class TestCliFormatRoundTrip:

@@ -474,3 +474,98 @@ class TestShardedEquivalence:
             Cluster(structure="skipweb1d", items=_SHARD_KEYS, seed=21, workers=0)
         with pytest.raises(ValueError, match="workers"):
             ShardedExecutor(Cluster("skipweb1d", _SHARD_KEYS, seed=21).structure, workers=0)
+
+
+class TestFlatTopologyIdentity:
+    """An explicit ``FlatTopology`` changes no pre-refactor counter.
+
+    The topology seam's contract mirrors the ledger's and the sharded
+    executor's: invisible until you opt in.  A cluster constructed with
+    ``topology="flat"`` must reproduce every observable number of a
+    cluster constructed without a topology — per-operation stats, batch
+    aggregates, congestion reports, lifetime deployment snapshots — for
+    every registered family; the only additions are the weighted
+    observables (``latency`` equal to the message count, per-link and
+    per-cluster aggregates with all weights 1).
+    """
+
+    @staticmethod
+    def _run_batch(name, topology):
+        with ledger_mode():
+            scenario = SHARD_SCENARIOS[name]
+            cluster = Cluster(
+                structure=name,
+                items=scenario["items"],
+                seed=21,
+                topology=topology,
+                **scenario["kwargs"],
+            )
+            operations = [("search", payload) for payload in scenario["searches"]]
+            if scenario["range"] is not None:
+                operations.append(("range", scenario["range"]))
+            report = cluster.batch(operations)
+        return cluster, report
+
+    @pytest.mark.parametrize("name", sorted(SHARD_SCENARIOS))
+    def test_every_family_matches_implicit_default(self, name):
+        default_cluster, default = self._run_batch(name, None)
+        flat_cluster, flat = self._run_batch(name, "flat")
+
+        assert len(default) == len(flat)
+        for left, right in zip(default, flat):
+            assert left.status == right.status
+            assert left.messages == right.messages
+            assert left.rounds == right.rounds
+            assert left.retries == right.retries
+            assert left.cache_hits == right.cache_hits
+            assert left.value == right.value
+            # The weighted dimension: absent by default, messages×1 flat.
+            assert left.latency == 0
+            assert right.latency == right.messages
+
+        assert default.rounds == flat.rounds
+        assert default.messages == flat.messages
+        assert default.max_round_congestion == flat.max_round_congestion
+        assert default.latency == 0
+        assert flat.latency == flat.messages
+
+        default_congestion = default.round_congestion().as_dict()
+        flat_congestion = flat.round_congestion().as_dict()
+        # Every pre-refactor congestion field is identical; the explicit
+        # topology only *adds* the weighted keys.
+        assert {
+            key: value
+            for key, value in flat_congestion.items()
+            if key in default_congestion
+        } == default_congestion
+        assert flat_congestion["weight"] == flat_congestion["messages"]
+
+        assert default_cluster.stats().as_dict() == flat_cluster.stats().as_dict()
+
+    @pytest.mark.parametrize("topology", ["clustered", "geo"])
+    def test_sharded_matches_serial_under_weighted_topology(self, topology):
+        def run(workers):
+            with ledger_mode():
+                cluster = Cluster(
+                    structure="skipweb1d",
+                    items=_SHARD_KEYS,
+                    seed=21,
+                    workers=workers,
+                    topology=topology,
+                )
+                report = cluster.batch(
+                    [("search", payload) for payload in SHARD_SCENARIOS["skipweb1d"]["searches"]]
+                )
+            return cluster, report
+
+        serial_cluster, serial = run(1)
+        sharded_cluster, sharded = run(2)
+        assert [handle.latency for handle in serial] == [
+            handle.latency for handle in sharded
+        ]
+        assert serial.latency == sharded.latency > serial.messages
+        assert serial.round_congestion().as_dict() == sharded.round_congestion().as_dict()
+        assert (
+            serial_cluster.network.topology_congestion_summary()
+            == sharded_cluster.network.topology_congestion_summary()
+        )

@@ -118,6 +118,69 @@ class TestKillAndRecoverEveryFamily:
         assert resumed == baseline
 
 
+class TestShardedDurability:
+    """Storage × sharded interplay: ``recover()`` under ``Cluster(workers=N)``.
+
+    The multi-worker executor must not perturb durability: a run whose
+    read-only batches fork through :class:`~repro.engine.sharded.ShardedExecutor`
+    journals the same records — and recovers to the same report — as the
+    serial executor, killed or not.
+    """
+
+    def _sharded(self, fn):
+        from repro.api.cluster import set_default_workers
+
+        set_default_workers(2)
+        try:
+            return fn()
+        finally:
+            set_default_workers(1)
+
+    def test_kill_and_recover_sharded_is_byte_identical(self, tmp_path):
+        steps = 6
+        baseline = report_json(
+            run_workload(
+                "skipweb1d", steps=steps, seed=SEED, storage=str(tmp_path / "a.jsonl")
+            )
+        )
+        store = str(tmp_path / "b.jsonl")
+        self._sharded(lambda: _partial_workload("skipweb1d", store, 3, steps))
+        resumed = self._sharded(lambda: report_json(resume_workload(store)))
+        assert resumed == baseline
+
+    def test_kill_and_recover_sharded_through_snapshot(self, tmp_path):
+        steps = 6
+        baseline = report_json(
+            run_workload(
+                "skipweb1d", steps=steps, seed=SEED, storage=str(tmp_path / "a.db")
+            )
+        )
+        store = str(tmp_path / "b.db")
+        self._sharded(
+            lambda: _partial_workload("skipweb1d", store, 4, steps, snapshot_every=2)
+        )
+        # Resume under serial defaults: the create record carries the
+        # worker count, so recovery replays on the sharded path anyway.
+        resumed = report_json(resume_workload(store))
+        assert resumed == baseline
+
+    def test_recover_restores_worker_count(self, tmp_path):
+        store = str(tmp_path / "log.jsonl")
+        cluster = Cluster(
+            structure="skipweb1d", items=KEYS, seed=3, storage=store, workers=2
+        )
+        cluster.batch([("search", float(i)) for i in range(8)])
+        cluster.batch([("insert", 1.5)])
+        digest = content_digest(cluster.structure)
+        messages = cluster.network.total_messages
+        cluster.close()
+        recovered = Cluster.recover(store)
+        assert recovered.workers == 2
+        assert content_digest(recovered.structure) == digest
+        assert recovered.network.total_messages == messages
+        recovered.close()
+
+
 class TestSaveAndLoad:
     def test_save_then_load_restores_state(self, tmp_path):
         cluster, store = _journaled_cluster(tmp_path)
