@@ -114,9 +114,19 @@ QUICK_PARAMS: dict[str, dict] = {
         "seed": 0,
         "topologies": ("flat", "clustered", "geo"),
     },
+    "faults": {
+        "sizes": (32,),
+        "ops": 24,
+        "seed": 0,
+        "drop_rates": (0.0, 0.2),
+    },
 }
 
-#: Row columns treated as message-cost metrics (lower is better).
+#: Row columns treated as message-cost metrics (lower is better).  The
+#: ``faults`` rows contribute ``retry_overhead`` (retries per delivered
+#: op under a fixed seeded drop rate — a resilience-efficiency metric;
+#: at ``drop_rate=0`` its baseline is 0.0, so *any* spontaneous retry on
+#: a lossless link fails the gate).
 METRIC_COLUMNS = (
     "msgs_per_op",
     "Q_mean",
@@ -124,6 +134,7 @@ METRIC_COLUMNS = (
     "delete_mean",
     "repair_msgs_per_event",
     "latency_per_op",
+    "retry_overhead",
 )
 
 #: Row columns that identify a row within its experiment.
@@ -136,6 +147,7 @@ IDENTITY_COLUMNS = (
     "n",
     "M",
     "k_target",
+    "drop_rate",
 )
 
 

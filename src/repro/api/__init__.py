@@ -38,6 +38,7 @@ from repro.api.registry import (
 )
 from repro.api.results import BatchReport, ClusterStats, OperationHandle
 from repro.engine.executor import Operation
+from repro.net.faults import FaultPlan, FaultRule, resolve_faults
 from repro.net.topology import (
     ClusteredTopology,
     FlatTopology,
@@ -65,4 +66,7 @@ __all__ = [
     "ClusteredTopology",
     "GeoTopology",
     "resolve_topology",
+    "FaultPlan",
+    "FaultRule",
+    "resolve_faults",
 ]

@@ -40,15 +40,23 @@ from repro.api.results import (
     OPERATION_KINDS,
     OperationHandle,
     STATUS_FAILED,
+    STATUS_GAVE_UP,
     STATUS_UNSUPPORTED,
 )
 from repro.engine.executor import BatchExecutor, Operation
 from repro.engine.repair import RepairEngine, RepairResult
 from repro.engine.sharded import ShardedExecutor
 from repro.engine.steps import run_immediate
-from repro.errors import QueryError, ReproError, StorageError, StructureError
+from repro.errors import (
+    FaultInjectedError,
+    QueryError,
+    ReproError,
+    StorageError,
+    StructureError,
+)
 from repro.net.churn import ChurnController, ChurnEvent
 from repro.net.congestion import RoundCongestionReport, round_congestion_report
+from repro.net.faults import FaultPlan, faults_from_config, resolve_faults
 from repro.net.message import MessageKind
 from repro.net.naming import HostId
 from repro.net.network import Network, OperationStats, ledger_mode, tracing_mode
@@ -202,8 +210,24 @@ class Cluster:
         construction, so operation traffic (not the build) accrues the
         weighted latency and per-link / per-cluster congestion
         dimension.
+    faults:
+        Deterministic fault plan of the deployment: a
+        :class:`~repro.net.faults.FaultPlan` instance, one of the named
+        chaos plans (``"lossy"`` / ``"flaky"`` / ``"blackout"``, seeded
+        from ``seed``), or a spec dict.  Installed on the structure's
+        network right *after* construction — build traffic is never
+        faulted — so operation traffic is subject to seeded message
+        drops / duplications / delays and scheduled host crashes.  The
+        default ``None`` injects nothing and keeps every counter
+        byte-identical to a fault-free cluster.
+    round_budget:
+        Optional per-operation timeout in delivery rounds for batched
+        execution; an over-budget operation's handle reports
+        ``timed_out`` instead of the batch stalling on it.
     route_cache / max_retries:
         Forwarded to the :class:`~repro.engine.executor.BatchExecutor`.
+        ``max_retries`` also bounds fault-induced restarts, whose
+        exhaustion reports ``gave_up``.
     churn_rng / join_fraction / min_hosts:
         Churn-controller configuration (see
         :class:`~repro.net.churn.ChurnController`).
@@ -238,6 +262,8 @@ class Cluster:
         workers: int | None = None,
         network: Network | None = None,
         topology: "Topology | str | None" = None,
+        faults: "FaultPlan | str | Mapping[str, Any] | None" = None,
+        round_budget: int | None = None,
         route_cache: bool = False,
         max_retries: int = 5,
         churn_rng: random.Random | None = None,
@@ -260,6 +286,8 @@ class Cluster:
         self._options = dict(options)
         self._network = network
         self._topology = resolve_topology(topology, seed=seed)
+        self._faults = resolve_faults(faults, seed=seed)
+        self._round_budget = round_budget
         self._route_cache = route_cache
         self._max_retries = max_retries
         self._churn_rng = churn_rng
@@ -281,6 +309,8 @@ class Cluster:
             self._structure = self._construct(self.spec.factory, items)
             if self._topology is not None:
                 self.network.set_topology(self._topology)
+            if self._faults is not None:
+                self.network.set_faults(self._faults)
         if self._durability is not None:
             # Journal construction (post-commit) so recovery can rebuild
             # from genesis even before the first snapshot exists.  The
@@ -336,6 +366,10 @@ class Cluster:
             "topology": (
                 self._topology.describe() if self._topology is not None else None
             ),
+            "faults": (
+                self._faults.describe() if self._faults is not None else None
+            ),
+            "round_budget": self._round_budget,
             "options": dict(self._options),
             "trace": (
                 self.network.trace if self._structure is not None else default_trace()
@@ -399,6 +433,8 @@ class Cluster:
                 cluster._options = {}
                 cluster._network = structure.network
                 cluster._topology = structure.network.topology
+                cluster._faults = structure.network.faults
+                cluster._round_budget = None
                 cluster._route_cache = route_cache
                 cluster._max_retries = max_retries
                 cluster._churn_rng = churn_rng
@@ -438,6 +474,8 @@ class Cluster:
         self._structure = self._construct(self.spec.bulk_factory, sorted_items)
         if self._topology is not None:
             self.network.set_topology(self._topology)
+        if self._faults is not None:
+            self.network.set_faults(self._faults)
         if self._durability is not None:
             self._durability.record_action(
                 "bulk_load", {"items": tuple(sorted_items)}
@@ -481,6 +519,13 @@ class Cluster:
         return self._topology
 
     @property
+    def faults(self) -> "FaultPlan | None":
+        """The deployment's fault plan (``None`` = nothing injected)."""
+        if self._structure is not None:
+            return self.network.faults
+        return self._faults
+
+    @property
     def executor(self) -> BatchExecutor | ShardedExecutor:
         """The round-based batch executor (created on first use).
 
@@ -503,6 +548,7 @@ class Cluster:
                     route_cache=self._route_cache,
                     max_retries=self._max_retries,
                     on_commit=on_commit,
+                    round_budget=self._round_budget,
                 )
             else:
                 self._executor = BatchExecutor(
@@ -510,6 +556,7 @@ class Cluster:
                     route_cache=self._route_cache,
                     max_retries=self._max_retries,
                     on_commit=on_commit,
+                    round_budget=self._round_budget,
                 )
         return self._executor
 
@@ -636,15 +683,29 @@ class Cluster:
         handle = OperationHandle(
             kind=kind, payload=payload, origin_host=origin, status="ok"
         )
-        try:
-            with self.network.measure() as stats:
-                handle.value = run_immediate(
-                    self.network, steps_of(payload, origin), origin, kind=_KIND_OF[kind]
-                )
-        except ReproError as error:
-            handle.error = error
-            handle.status = STATUS_FAILED
-            self._classify(handle)
+        # One measurement window around *all* attempts: traffic burned by
+        # fault-retried attempts is real and stays billed on the handle.
+        with self.network.measure() as stats:
+            while True:
+                try:
+                    handle.value = run_immediate(
+                        self.network,
+                        steps_of(payload, origin),
+                        origin,
+                        kind=_KIND_OF[kind],
+                    )
+                except FaultInjectedError as error:
+                    if handle.retries >= self._max_retries:
+                        handle.error = error
+                        handle.status = STATUS_GAVE_UP
+                        break
+                    handle.retries += 1
+                    continue
+                except ReproError as error:
+                    handle.error = error
+                    handle.status = STATUS_FAILED
+                    self._classify(handle)
+                break
         # Messages charged before a failure are real traffic; bill them on
         # the handle either way (matching the batched path's accounting).
         handle.messages = stats.messages
@@ -727,8 +788,21 @@ class Cluster:
         self._journal_churn("crash", host_id)
         return event
 
+    def recover_host(self, host_id: HostId | None = None) -> ChurnEvent:
+        """Bring a failed host back online (the inverse of a crash fault).
+
+        Recovery is the self-healing half of fault injection: a host a
+        fault plan (or :class:`~repro.net.failure.FailureInjector`)
+        crash-stopped rejoins with its records intact — no repair traffic,
+        just a membership-epoch bump that invalidates stale route caches.
+        """
+        self._check_open()
+        event = self.churn.recover(host_id)
+        self._journal_churn("recover", host_id)
+        return event
+
     def run_churn_schedule(self, kinds: Sequence[str]) -> list[ChurnEvent]:
-        """Apply a sequence of ``"join"`` / ``"leave"`` / ``"crash"`` events.
+        """Apply ``"join"`` / ``"leave"`` / ``"crash"`` / ``"recover"`` events.
 
         Each event runs through the façade's own lifecycle methods, so a
         journaled cluster logs every event individually — a crash midway
@@ -743,6 +817,8 @@ class Cluster:
                 applied.append(self.leave_host())
             elif kind == "crash":
                 applied.append(self.crash_host())
+            elif kind == "recover":
+                applied.append(self.recover_host())
             else:
                 raise ValueError(f"unknown churn event kind {kind!r}")
         return applied
@@ -862,6 +938,12 @@ class Cluster:
                 if self.network.topology is not None
                 else None
             ),
+            "faults": (
+                self.network.faults.describe()
+                if self.network.faults is not None
+                else None
+            ),
+            "round_budget": self._round_budget,
             "options": dict(self._options),
             "trace": self.network.trace,
         }
@@ -884,6 +966,11 @@ class Cluster:
         # config's portable dict is only kept for the facade's own record
         # (and for the journal cross-check in recover()).
         cluster._topology = topology_from_config(config.get("topology"))
+        # The live fault plan — mid-stream RNG state included — travels
+        # inside the pickled network, so replayed tails consume the same
+        # decision stream the pre-crash run would have.
+        cluster._faults = state["structure"].network.faults
+        cluster._round_budget = config.get("round_budget")
         cluster._route_cache = False
         cluster._max_retries = config["max_retries"]
         cluster._churn_rng = None
@@ -988,6 +1075,15 @@ class Cluster:
                     f"was taken under {snapshot_topology!r}; refusing to "
                     "recover onto a different network layout"
                 )
+            snapshot_faults = state["config"].get("faults")
+            create_faults = create.get("faults")
+            if snapshot_faults != create_faults:
+                raise StorageError(
+                    f"fault-plan mismatch in {backend.path!r}: the journal's "
+                    f"create record says {create_faults!r} but the snapshot "
+                    f"was taken under {snapshot_faults!r}; refusing to replay "
+                    "a tail against a different chaos schedule"
+                )
             cluster = cls._from_restored_state(state, manifest["structure"])
             cluster._attach_durability(controller)
             controller.applied_actions = manifest["actions"]
@@ -1007,6 +1103,8 @@ class Cluster:
                 mode=create["mode"],
                 workers=create["workers"],
                 topology=topology_from_config(create.get("topology")),
+                faults=faults_from_config(create.get("faults")),
+                round_budget=create.get("round_budget"),
                 max_retries=create["max_retries"],
                 join_fraction=create["join_fraction"],
                 min_hosts=create["min_hosts"],

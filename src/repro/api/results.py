@@ -18,6 +18,13 @@ The statuses translate the internal error taxonomy
     The operation failed on this attempt: a retryable conflict that
     exhausted its retries, a dead host, a duplicate insert, an update on
     a static structure.  ``error`` holds the underlying exception.
+``"timed_out"``
+    The operation outlived the cluster's per-operation ``round_budget``
+    and was abandoned (:class:`~repro.errors.OperationTimedOutError`).
+``"gave_up"``
+    Every fault-injection retry was consumed by injected drops
+    (:class:`~repro.errors.FaultInjectedError`); the operation itself was
+    healthy, the (simulated) network was not.
 
 A batch returns a :class:`BatchReport` — a sequence of handles (one per
 submitted operation, in submission order) that also exposes the
@@ -42,6 +49,8 @@ OPERATION_KINDS = ("search", "range", "insert", "delete")
 STATUS_OK = "ok"
 STATUS_FAILED = "failed"
 STATUS_UNSUPPORTED = "unsupported"
+STATUS_TIMED_OUT = "timed_out"
+STATUS_GAVE_UP = "gave_up"
 
 
 @dataclass
@@ -82,7 +91,11 @@ class OperationHandle:
     @classmethod
     def from_outcome(cls, outcome: OpOutcome, index: int = 0) -> "OperationHandle":
         """Wrap one executor outcome, translating errors into statuses."""
-        if outcome.error is None:
+        if outcome.terminal == "timed_out":
+            status = STATUS_TIMED_OUT
+        elif outcome.terminal == "gave_up":
+            status = STATUS_GAVE_UP
+        elif outcome.error is None:
             status = STATUS_OK
         elif isinstance(outcome.error, UnsupportedOperationError):
             status = STATUS_UNSUPPORTED
@@ -144,6 +157,16 @@ class BatchReport:
         return sum(1 for handle in self.handles if handle.unsupported)
 
     @property
+    def timed_out(self) -> int:
+        """Operations abandoned by the per-operation round budget."""
+        return sum(1 for handle in self.handles if handle.status == STATUS_TIMED_OUT)
+
+    @property
+    def gave_up(self) -> int:
+        """Operations whose fault-injection retries were exhausted."""
+        return sum(1 for handle in self.handles if handle.status == STATUS_GAVE_UP)
+
+    @property
     def rounds(self) -> int:
         return self.raw.rounds
 
@@ -192,6 +215,12 @@ class BatchReport:
         """One benchmark-table row worth of aggregate numbers."""
         summary = self.raw.summary()
         summary["unsupported"] = self.unsupported
+        # Degradation keys appear only when the batch actually degraded,
+        # so fault-free summaries stay byte-identical to older versions.
+        if self.timed_out:
+            summary["timed_out"] = self.timed_out
+        if self.gave_up:
+            summary["gave_up"] = self.gave_up
         return summary
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -30,6 +30,7 @@ function               reproduces
 ``congestion_rounds``  Theorem 2 congestion — max per-host per-round load
 ``churn``              live join/leave/crash with self-repair (extension)
 ``topology_comparison``flat vs clustered vs geo link-cost models (extension)
+``fault_tolerance``    delivered-ops ratio under seeded message loss (extension)
 =====================  =========================================================
 """
 
@@ -1277,6 +1278,69 @@ def topology_comparison(
     return rows
 
 
+@_ledger
+def fault_tolerance(
+    sizes: Sequence[int] = (48,),
+    ops: int = 48,
+    seed: int = 0,
+    drop_rates: Sequence[float] = (0.0, 0.1, 0.3),
+) -> list[Row]:
+    """Delivered-ops ratio and retry overhead under seeded message loss.
+
+    Each of the five churn-scenario structures (four skip-web
+    instantiations plus the Chord baseline) executes the *same* seeded
+    query batch once per drop rate, under a
+    :class:`~repro.net.faults.FaultPlan` that drops each query delivery
+    with the given probability.  The executors retry dropped operations
+    with deterministic linear backoff up to ``max_retries`` times, so
+    the ``delivered_ratio`` column tells the self-healing story: 1.0 at
+    rate 0 (a built-in sanity check), held near 1.0 at moderate loss by
+    spending ``retry_overhead`` extra attempts, and degrading into
+    ``gave_up`` handles once sustained loss outruns the retry budget.
+    After the batch, one seeded crash event per cluster measures the
+    repair traffic; drop rules are scoped to ``message_kind="query"``,
+    so repair traffic is never faulted and the ``repair_msgs`` column
+    stays comparable across rates.
+    """
+    from repro.net.faults import FaultPlan, drop
+
+    rows: list[Row] = []
+    for n in sizes:
+        for rate in drop_rates:
+            for name, cluster, make_query in _churn_scenarios(
+                n,
+                seed,
+                faults=FaultPlan(
+                    [drop(probability=rate, message_kind="query")], seed=seed
+                ),
+            ):
+                rng = random.Random(seed + n)
+                operations = [Operation("search", make_query(rng)) for _ in range(ops)]
+                report = cluster.batch(operations)
+                log = cluster.network.message_log
+                dropped = log.dropped
+                event = cluster.crash_host()
+                rows.append(
+                    {
+                        "structure": name,
+                        "drop_rate": rate,
+                        "n": n,
+                        "ops": report.ops,
+                        "delivered": report.completed,
+                        "delivered_ratio": round(report.completed / report.ops, 3),
+                        "retries": report.retries,
+                        "retry_overhead": round(report.retries / report.ops, 3),
+                        "gave_up": report.gave_up,
+                        "rounds": report.rounds,
+                        "msgs_per_op": round(report.messages_per_op, 2),
+                        "dropped": dropped,
+                        "repair_msgs": event.repair_messages,
+                    }
+                )
+    rows.sort(key=lambda row: (row["n"], row["structure"], row["drop_rate"]))
+    return rows
+
+
 #: Registry used by the CLI: name -> (function, short description).
 EXPERIMENTS: dict[str, tuple[Callable[..., list[Row]], str]] = {
     "table1": (table1_comparison, "Table 1: cost comparison of all methods"),
@@ -1295,4 +1359,5 @@ EXPERIMENTS: dict[str, tuple[Callable[..., list[Row]], str]] = {
     "congestion-rounds": (congestion_rounds, "Max per-host per-round congestion"),
     "churn": (churn, "Live join/leave/crash with self-repair"),
     "topology": (topology_comparison, "Flat vs clustered vs geo link-cost models"),
+    "faults": (fault_tolerance, "Delivered-ops ratio under seeded message loss"),
 }

@@ -32,6 +32,10 @@ experiments deploy.
 ``--topology`` selects the link-cost models the ``topology`` experiment
 compares (``flat`` is always included as the baseline); giving the flag
 without an experiment name implies ``topology``.
+
+``--faults`` selects the message drop rates the ``faults`` experiment
+sweeps (rate ``0.0`` is always included as the baseline); giving the
+flag without an experiment name implies ``faults``.
 """
 
 from __future__ import annotations
@@ -81,6 +85,26 @@ def _parse_topologies(text: str) -> tuple[str, ...]:
     return tuple(deduplicated)
 
 
+def _parse_faults(text: str) -> tuple[float, ...]:
+    try:
+        rates = tuple(float(part) for part in text.split(",") if part.strip())
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"invalid drop rates {text!r}: {exc}") from exc
+    if not rates or any(not 0.0 <= rate <= 1.0 for rate in rates):
+        raise argparse.ArgumentTypeError(
+            f"drop rates must be floats in [0, 1], got {text!r}"
+        )
+    # Rate 0 is always the comparison baseline: the delivered-ratio and
+    # retry-overhead columns only mean something against a lossless run.
+    if 0.0 not in rates:
+        rates = (0.0,) + rates
+    deduplicated: list[float] = []
+    for rate in rates:
+        if rate not in deduplicated:
+            deduplicated.append(rate)
+    return tuple(deduplicated)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="skipweb-repro",
@@ -123,6 +147,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated topologies for the 'topology' experiment "
         "(flat, clustered, geo; flat is always included as the baseline); "
         "implies the 'topology' experiment when no name is given",
+    )
+    parser.add_argument(
+        "--faults",
+        type=_parse_faults,
+        default=None,
+        metavar="RATES",
+        help="comma-separated message drop rates for the 'faults' experiment "
+        "(floats in [0, 1]; 0.0 is always included as the baseline); "
+        "implies the 'faults' experiment when no name is given",
     )
     parser.add_argument(
         "--profile",
@@ -200,6 +233,7 @@ def _experiment_kwargs(
     seed: int,
     sizes: tuple[int, ...] | None,
     topologies: tuple[str, ...] | None = None,
+    drop_rates: tuple[float, ...] | None = None,
 ) -> dict[str, Any]:
     kwargs: dict[str, Any] = {"seed": seed}
     parameters = inspect.signature(function).parameters
@@ -210,6 +244,8 @@ def _experiment_kwargs(
             kwargs["n"] = sizes[0]
     if topologies is not None and "topologies" in parameters:
         kwargs["topologies"] = topologies
+    if drop_rates is not None and "drop_rates" in parameters:
+        kwargs["drop_rates"] = drop_rates
     return kwargs
 
 
@@ -242,9 +278,10 @@ def _run_one(
     sizes: tuple[int, ...] | None,
     profile: int | None = None,
     topologies: tuple[str, ...] | None = None,
+    drop_rates: tuple[float, ...] | None = None,
 ) -> None:
     function, description = EXPERIMENTS[name]
-    kwargs = _experiment_kwargs(function, seed, sizes, topologies)
+    kwargs = _experiment_kwargs(function, seed, sizes, topologies, drop_rates)
     if profile is not None:
         rows = _run_profiled(function, kwargs, name, profile)
     else:
@@ -302,6 +339,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         args.experiment = "topology"
     if args.topology is not None and args.experiment not in ("topology", "all"):
         parser.error("--topology only applies to the 'topology' experiment")
+    if args.faults is not None and args.experiment is None:
+        args.experiment = "faults"
+    if args.faults is not None and args.experiment not in ("faults", "all"):
+        parser.error("--faults only applies to the 'faults' experiment")
     if args.experiment is None and not args.list_experiments:
         parser.error("an experiment name is required (or use --list)")
     if args.list_experiments and args.experiment not in (None, "list"):
@@ -353,11 +394,23 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.experiment == "all":
             for name in sorted(EXPERIMENTS):
                 _run_one(
-                    name, args.seed, args.output_format, args.sizes, args.profile, args.topology
+                    name,
+                    args.seed,
+                    args.output_format,
+                    args.sizes,
+                    args.profile,
+                    args.topology,
+                    args.faults,
                 )
             return 0
         _run_one(
-            args.experiment, args.seed, args.output_format, args.sizes, args.profile, args.topology
+            args.experiment,
+            args.seed,
+            args.output_format,
+            args.sizes,
+            args.profile,
+            args.topology,
+            args.faults,
         )
     return 0
 

@@ -53,7 +53,9 @@ from repro.engine.steps import (
 )
 from repro.errors import (
     AddressError,
+    FaultInjectedError,
     HostFailedError,
+    OperationTimedOutError,
     QueryError,
     ReproError,
     StructureError,
@@ -111,6 +113,10 @@ class OpOutcome:
     #: network without an explicit topology; equals ``messages`` under
     #: ``FlatTopology``.
     latency: int = 0
+    #: Graceful-degradation marker: ``"timed_out"`` (round budget
+    #: exhausted) or ``"gave_up"`` (fault retries exhausted); ``None``
+    #: for ordinary completions and failures.
+    terminal: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -227,6 +233,7 @@ class _InFlight:
         "branch_error",
         "started",
         "start_round",
+        "resume_round",
         "first_remote_done",
         "warm_key",
         "done",
@@ -243,6 +250,8 @@ class _InFlight:
         self.branch_error: tuple[str, Exception] | None = None
         self.started = False
         self.start_round: int | None = None
+        # Round index before which the operation idles (fault backoff).
+        self.resume_round: int | None = None
         self.first_remote_done = False
         self.warm_key: tuple[HostId, Address] | None = None
         self.done = False
@@ -269,6 +278,13 @@ class BatchExecutor:
         produce; lower it to surface conflicts in tests.
     max_rounds:
         Safety bound on the number of network rounds per batch.
+    round_budget:
+        Optional per-operation timeout, in delivery rounds.  An operation
+        that has been in flight for more than this many rounds — counted
+        from its first posted message, across retries — is abandoned with
+        an :class:`~repro.errors.OperationTimedOutError` and its handle
+        reports ``timed_out``.  ``None`` (the default) never times out,
+        which keeps fault-free batches byte-identical to older versions.
     on_round:
         Optional hook called after every round with its
         :class:`~repro.net.network.RoundReport` — chaos tests use it to
@@ -289,12 +305,14 @@ class BatchExecutor:
         max_rounds: int = 1_000_000,
         on_round: Callable[[RoundReport], None] | None = None,
         on_commit: Callable[[tuple[Operation, ...], BatchResult], None] | None = None,
+        round_budget: int | None = None,
     ) -> None:
         self.structure = structure
         self.network = structure.network
         self.route_cache = route_cache
         self.max_retries = max_retries
         self.max_rounds = max_rounds
+        self.round_budget = round_budget
         self.on_round = on_round
         self.on_commit = on_commit
         self._cache: dict[tuple[HostId, Address], Any] = {}
@@ -386,13 +404,30 @@ class BatchExecutor:
         def step() -> bool:
             if state.done:
                 return False
+            if self._over_budget(state):
+                self._time_out(state)
+                return False
+            if state.resume_round is not None:
+                # Fault backoff: idle until the scheduled resume round.
+                if self.network.rounds_completed < state.resume_round:
+                    return True
+                state.resume_round = None
+                return self._advance(state, None)
             if state.branches is not None:
                 return self._step_branches(state)
             resolution: Resolution | None = None
             if state.ticket is not None:
+                if state.ticket.deferred:
+                    # Delivery parked by a delay fault; wait it out.
+                    return True
                 # Resolve last round's delivery before advancing further.
                 try:
                     state.ticket.result()
+                except FaultInjectedError as error:
+                    state.ticket = None
+                    state.effect = None
+                    state.warm_key = None
+                    return self._fault_retry(state, error)
                 except HostFailedError as error:
                     self._fail(state, error)
                     return False
@@ -515,9 +550,14 @@ class BatchExecutor:
     # forked sub-walks (the Fork effect)
     # ------------------------------------------------------------------ #
     def _note_branch_error(self, state: _InFlight, kind: str, error: Exception) -> None:
-        """Record a sub-walk's error; a non-retryable failure takes precedence."""
+        """Record a sub-walk's error; a non-retryable failure takes precedence.
+
+        ``kind`` is ``"fail"`` (abort the operation), ``"retry"``
+        (conflict restart) or ``"fault"`` (injected drop — restart with
+        backoff).  A ``"fail"`` displaces either transient kind.
+        """
         if state.branch_error is None or (
-            kind == "fail" and state.branch_error[0] == "retry"
+            kind == "fail" and state.branch_error[0] != "fail"
         ):
             state.branch_error = (kind, error)
 
@@ -540,6 +580,9 @@ class BatchExecutor:
         for branch in branches:
             if branch.ticket is None:
                 continue
+            if branch.ticket.deferred:
+                # Parked by a delay fault; resolves in a later round.
+                continue
             ticket = branch.ticket
             effect = branch.effect
             branch.ticket = None
@@ -547,6 +590,10 @@ class BatchExecutor:
             assert effect is not None
             try:
                 ticket.result()
+            except FaultInjectedError as error:
+                # Injected drop: never charged, restart with backoff.
+                self._note_branch_error(state, "fault", error)
+                continue
             except HostFailedError as error:
                 # Dropped delivery: never charged, so nothing to bill.
                 self._note_branch_error(state, "fail", error)
@@ -594,6 +641,8 @@ class BatchExecutor:
             state.branch_error = None
             if kind == "retry":
                 return self._retry_or_fail(state, error)
+            if kind == "fault":
+                return self._fault_retry(state, error)
             self._fail(state, error)
             return False
         if all(branch.done for branch in branches):
@@ -696,3 +745,56 @@ class BatchExecutor:
         # re-fetches fresh state instead of looping on the same stale record.
         self._cache.clear()
         return self._advance(state, None)
+
+    # ------------------------------------------------------------------ #
+    # fault resilience (repro.net.faults)
+    # ------------------------------------------------------------------ #
+    def _over_budget(self, state: _InFlight) -> bool:
+        """Whether the operation has outlived its per-operation round budget."""
+        return (
+            self.round_budget is not None
+            and state.start_round is not None
+            and self.network.rounds_completed - state.start_round > self.round_budget
+        )
+
+    def _time_out(self, state: _InFlight) -> None:
+        """Abandon an over-budget operation with the ``timed_out`` marker.
+
+        Any still-in-flight (or delay-parked) deliveries stay charged to
+        the network — the messages were genuinely sent — but nothing more
+        is billed to the operation's outcome: a timeout is a statement
+        that we stopped accounting for it, not that the traffic vanished.
+        """
+        error = OperationTimedOutError(
+            f"operation exceeded its round budget of {self.round_budget} round(s)"
+        )
+        state.outcome.terminal = "timed_out"
+        self._fail(state, error)
+
+    def _fault_retry(self, state: _InFlight, error: Exception) -> bool:
+        """Restart after an injected drop, idling ``retries`` rounds first.
+
+        The linear backoff is deterministic by construction: the k-th
+        retry resumes exactly k completed rounds after the drop was
+        observed, so two runs with the same seed and plan replay the
+        same resume schedule.  Exhausted retries mark the outcome
+        ``gave_up`` (distinct from a plain failure: the operation was
+        healthy, the network was not).
+        """
+        if state.outcome.retries >= self.max_retries:
+            state.outcome.terminal = "gave_up"
+            self._fail(state, error)
+            return False
+        state.outcome.retries += 1
+        state.started = False
+        state.gen = None
+        state.ticket = None
+        state.effect = None
+        state.branches = None
+        state.branch_error = None
+        state.current = state.outcome.origin_host
+        state.first_remote_done = False
+        state.warm_key = None
+        self._cache.clear()
+        state.resume_round = self.network.rounds_completed + state.outcome.retries
+        return True

@@ -29,7 +29,10 @@ pins serial-vs-sharded equality of all of it.
 **What stays serial.**  Sharding is only sound when workers cannot
 observe each other: mutating kinds (``insert`` / ``delete``), batches on
 a network with failed hosts (delivery errors must flow through real
-tickets), the tracing substrate (message objects carry identity), the
+tickets), an installed fault plan or round budget (fault decisions come
+from one seeded RNG stream, which only a single serial round loop can
+replay byte-identically), the tracing substrate (message objects carry
+identity), the
 per-origin route cache (its warmth spans batches, but workers die with
 the batch), and platforms without the ``fork`` start method all fall
 back to the serial executor — same results, one process.  The registry's
@@ -173,6 +176,7 @@ class ShardedExecutor:
         max_rounds: int = 1_000_000,
         on_round: Callable[[RoundReport], None] | None = None,
         on_commit: Callable[[tuple[Operation, ...], BatchResult], None] | None = None,
+        round_budget: int | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -184,6 +188,7 @@ class ShardedExecutor:
         self.max_rounds = max_rounds
         self.on_round = on_round
         self.on_commit = on_commit
+        self.round_budget = round_budget
         # The embedded serial executor never journals: the sharded
         # executor fires the commit hook itself after either path, so
         # fallback batches are not logged twice.
@@ -193,6 +198,7 @@ class ShardedExecutor:
             max_retries=max_retries,
             max_rounds=max_rounds,
             on_round=on_round,
+            round_budget=round_budget,
         )
         #: Why the most recent batch ran serially (``None`` = it sharded).
         self.last_fallback_reason: str | None = None
@@ -211,6 +217,15 @@ class ShardedExecutor:
             return "route cache enabled (warmth spans batches)"
         if self.network.trace:
             return "tracing substrate (message identity)"
+        if self.network.faults is not None:
+            # Workers would each consume the plan's RNG independently,
+            # diverging from the serial decision stream; the serial
+            # executor replays every fault decision byte-identically.
+            return "fault plan installed (deterministic serial replay)"
+        if self.round_budget is not None:
+            # A timeout abandons in-flight deliveries, which the replay
+            # merge cannot attribute; run the budgeted batch serially.
+            return "round budget installed"
         if self.network.failed_hosts:
             return "failed hosts present"
         if not fork_available():

@@ -29,6 +29,26 @@ class HostFailedError(ReproError):
     """An operation touched a host that has been failed by the failure injector."""
 
 
+class FaultInjectedError(ReproError):
+    """A delivery was dropped by an installed :class:`repro.net.faults.FaultPlan`.
+
+    Distinct from :class:`HostFailedError` (the destination is gone and a
+    resend cannot help): an injected drop is *transient* by construction,
+    so the executors retry the operation with deterministic backoff
+    before giving up.
+    """
+
+
+class OperationTimedOutError(ReproError):
+    """An operation exceeded its per-operation round budget.
+
+    Raised internally by the batch executor when ``round_budget`` is set
+    and an in-flight operation has spanned that many delivery rounds; the
+    operation's handle reports the ``timed_out`` status instead of the
+    batch crashing.
+    """
+
+
 class StructureError(ReproError):
     """A data structure invariant was violated or an input was malformed."""
 

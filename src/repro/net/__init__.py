@@ -27,6 +27,11 @@ single-process simulator:
   clustered, geo-distributed): per-hop weights, host clustering and the
   weighted congestion/latency dimension they unlock; the paper's flat
   model is the default and costs nothing when left implicit.
+* :mod:`repro.net.faults` — deterministic fault injection: seeded
+  :class:`~repro.net.faults.FaultPlan` rules drop / duplicate / delay
+  deliveries and crash (or cluster-wide blackout) hosts at one choke
+  point in delivery; ``faults=None`` costs nothing and stays
+  byte-identical to a fault-free network.
 """
 
 from repro.net.naming import Address, HostId, fresh_host_ids
@@ -49,6 +54,14 @@ from repro.net.congestion import (
     congestion_report,
     round_congestion_report,
     summarize_round_reports,
+)
+from repro.net.faults import (
+    FAULT_NAMES,
+    FaultPlan,
+    FaultRule,
+    faults_from_config,
+    inject_host_faults,
+    resolve_faults,
 )
 from repro.net.failure import FailureInjector
 from repro.net.churn import ChurnController, ChurnEvent, churn_schedule
@@ -83,4 +96,10 @@ __all__ = [
     "round_congestion_report",
     "summarize_round_reports",
     "FailureInjector",
+    "FaultPlan",
+    "FaultRule",
+    "FAULT_NAMES",
+    "faults_from_config",
+    "inject_host_faults",
+    "resolve_faults",
 ]

@@ -35,7 +35,7 @@ from repro.net.naming import HostId
 from repro.net.network import Network
 
 #: Event kinds a churn schedule may contain.
-EVENT_KINDS = ("join", "leave", "crash")
+EVENT_KINDS = ("join", "leave", "crash", "recover")
 
 
 @dataclass(frozen=True)
@@ -43,10 +43,10 @@ class ChurnEvent:
     """One completed membership change, with its measured repair cost."""
 
     kind: str
-    """``"join"``, ``"leave"`` or ``"crash"``."""
+    """``"join"``, ``"leave"``, ``"crash"`` or ``"recover"``."""
 
     host: HostId
-    """The host that joined, left or crashed."""
+    """The host that joined, left, crashed or recovered."""
 
     records_moved: int
     """Records handed off (join/leave) or reconstructed (crash)."""
@@ -73,16 +73,21 @@ def churn_schedule(
     join_weight: float = 2.0,
     leave_weight: float = 1.0,
     crash_weight: float = 1.0,
+    recover_weight: float = 0.0,
 ) -> list[str]:
     """A seeded random sequence of churn event kinds.
 
     Joins are weighted higher by default so sustained schedules grow the
     network slightly instead of draining it below the controller's
-    ``min_hosts`` floor.
+    ``min_hosts`` floor.  ``recover`` events default to weight 0: a
+    zero-weight trailing entry never changes ``rng.choices``'s draws (the
+    cumulative-weight table gains one repeated tail value the bisection
+    can never land on), so pre-existing seeded schedules stay
+    byte-identical.
     """
     if events < 0:
         raise ValueError(f"events must be non-negative, got {events}")
-    weights = (join_weight, leave_weight, crash_weight)
+    weights = (join_weight, leave_weight, crash_weight, recover_weight)
     if min(weights) < 0 or sum(weights) <= 0:
         raise ValueError(f"weights must be non-negative and not all zero: {weights}")
     return rng.choices(EVENT_KINDS, weights=weights, k=events)
@@ -154,8 +159,41 @@ class ChurnController:
         self.network.remove_host(victim, force=True)
         return self._record("crash", victim, result)
 
+    def recover(self, host_id: HostId | None = None) -> ChurnEvent:
+        """Bring a failed host back online with its records intact.
+
+        The inverse of a crash *fault* (a crash-stopped host whose state
+        survived), not of a crash *event* (which repairs the records away
+        and removes the host).  No data moves and no repair traffic is
+        charged; the membership epoch bump is what downstream layers
+        (route caches, repair engines) react to.
+        """
+        failed = sorted(self.network.failed_hosts)
+        if host_id is not None:
+            if host_id not in failed:
+                raise ChurnError(f"cannot recover host {host_id}: not a failed host")
+            victim = host_id
+        else:
+            if not failed:
+                raise ChurnError("cannot recover: the network has no failed hosts")
+            victim = self.rng.choice(failed)
+        self.network.recover_host(victim)
+        event = ChurnEvent(
+            kind="recover",
+            host=victim,
+            records_moved=0,
+            pointers_rewired=0,
+            repair_messages=0,
+            repair_rounds=0,
+            max_round_congestion=0,
+            hosts_after=len(self._live_hosts()),
+        )
+        self.events.append(event)
+        return event
+
     def run_schedule(self, kinds: Iterable[str]) -> list[ChurnEvent]:
-        """Apply a sequence of ``"join"`` / ``"leave"`` / ``"crash"`` events."""
+        """Apply a sequence of ``"join"`` / ``"leave"`` / ``"crash"`` /
+        ``"recover"`` events."""
         applied: list[ChurnEvent] = []
         for kind in kinds:
             if kind == "join":
@@ -164,6 +202,8 @@ class ChurnController:
                 applied.append(self.leave())
             elif kind == "crash":
                 applied.append(self.crash())
+            elif kind == "recover":
+                applied.append(self.recover())
             else:
                 raise ValueError(f"unknown churn event kind {kind!r}")
         return applied

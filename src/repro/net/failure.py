@@ -13,11 +13,16 @@ from __future__ import annotations
 import random
 from typing import Iterable
 
+from repro.net.faults import inject_host_faults
 from repro.net.naming import HostId
 
 
 class FailureInjector:
     """Fail and recover hosts of a network, optionally at random.
+
+    A thin compatibility shim over the host-fault choke point of
+    :mod:`repro.net.faults` (:func:`~repro.net.faults.inject_host_faults`),
+    so scripted and plan-driven crashes share one code path.
 
     Parameters
     ----------
@@ -33,15 +38,21 @@ class FailureInjector:
         self._rng = rng or random.Random(0)
 
     def fail(self, host_ids: Iterable[HostId]) -> list[HostId]:
-        """Fail every host in ``host_ids``; returns the list actually failed."""
-        failed = []
-        for host_id in host_ids:
-            self._network.fail_host(host_id)
-            failed.append(host_id)
-        return failed
+        """Fail every host in ``host_ids``; returns the list actually failed.
+
+        Already-failed and unregistered ids are skipped, not re-failed —
+        re-failing was never meaningful and double-counted victims.
+        """
+        return inject_host_faults(self._network, host_ids)
 
     def fail_random(self, fraction: float) -> list[HostId]:
-        """Fail a random ``fraction`` of currently-alive hosts."""
+        """Fail a random ``fraction`` of currently-alive hosts.
+
+        Guarantees at least one victim whenever ``fraction > 0`` and any
+        host is alive: plain truncation (``int(len(alive) * fraction)``)
+        silently failed *nobody* on small networks, turning chaos tests
+        into no-ops.
+        """
         if not 0.0 <= fraction <= 1.0:
             raise ValueError(f"fraction must be in [0, 1], got {fraction}")
         alive = [
@@ -50,6 +61,8 @@ class FailureInjector:
             if host.host_id not in self._network.failed_hosts
         ]
         count = int(len(alive) * fraction)
+        if count == 0 and fraction > 0.0 and alive:
+            count = 1
         victims = self._rng.sample(alive, count) if count else []
         return self.fail(victims)
 

@@ -80,6 +80,12 @@ class MessageLog:
         self._per_host_received: dict[HostId, int] = {}
         self._per_host_sent: dict[HostId, int] = {}
         self._seq = itertools.count()
+        # Fault-injection tallies (repro.net.faults).  Dropped/delayed
+        # deliveries are *not* counted as messages — they never reached
+        # their destination this round — so they get their own counters.
+        self._dropped = 0
+        self._duplicated = 0
+        self._delayed = 0
 
     def record(self, src: HostId, dst: HostId, kind: MessageKind, payload: Any = None) -> Message:
         """Create, count and (optionally) store a message."""
@@ -102,6 +108,13 @@ class MessageLog:
         self._counts[kind] += 1
         self._per_host_received[dst] = self._per_host_received.get(dst, 0) + 1
         self._per_host_sent[src] = self._per_host_sent.get(src, 0) + 1
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        # Snapshots written before the fault-injection subsystem carry
+        # logs without the fault tallies; back-fill zeros on unpickle.
+        self.__dict__.update(state)
+        for attribute in ("_dropped", "_duplicated", "_delayed"):
+            self.__dict__.setdefault(attribute, 0)
 
     def __len__(self) -> int:
         return sum(self._counts.values())
@@ -132,6 +145,33 @@ class MessageLog:
         """Number of messages originated by ``host``."""
         return self._per_host_sent.get(host, 0)
 
+    @property
+    def dropped(self) -> int:
+        """Deliveries dropped by an installed fault plan."""
+        return self._dropped
+
+    @property
+    def duplicated(self) -> int:
+        """Deliveries duplicated by an installed fault plan."""
+        return self._duplicated
+
+    @property
+    def delayed(self) -> int:
+        """Deliveries deferred to a later round by an installed fault plan."""
+        return self._delayed
+
+    def note_drop(self) -> None:
+        """Tally one fault-injected drop (no message is recorded)."""
+        self._dropped += 1
+
+    def note_duplicate(self) -> None:
+        """Tally one fault-injected duplication (the copy is recorded too)."""
+        self._duplicated += 1
+
+    def note_delay(self) -> None:
+        """Tally one fault-injected delivery deferral."""
+        self._delayed += 1
+
     def busiest_hosts(self, top: int = 5) -> list[tuple[HostId, int]]:
         """The ``top`` hosts by received-message count, most loaded first."""
         ranked = sorted(self._per_host_received.items(), key=lambda item: item[1], reverse=True)
@@ -143,6 +183,9 @@ class MessageLog:
         self._counts = {kind: 0 for kind in MessageKind}
         self._per_host_received.clear()
         self._per_host_sent.clear()
+        self._dropped = 0
+        self._duplicated = 0
+        self._delayed = 0
 
     def extend_counts(self, other: "MessageLog") -> None:
         """Merge another log's counters into this one (used by harnesses)."""
@@ -152,6 +195,9 @@ class MessageLog:
             self._per_host_received[host] = self._per_host_received.get(host, 0) + value
         for host, value in other._per_host_sent.items():
             self._per_host_sent[host] = self._per_host_sent.get(host, 0) + value
+        self._dropped += other._dropped
+        self._duplicated += other._duplicated
+        self._delayed += other._delayed
 
 
 def total_messages(logs: Iterable[MessageLog], kind: MessageKind | None = None) -> int:

@@ -49,7 +49,13 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator
 
-from repro.errors import HostFailedError, StructureError, UnknownHostError
+from repro.errors import (
+    FaultInjectedError,
+    HostFailedError,
+    StructureError,
+    UnknownHostError,
+)
+from repro.net.faults import FaultPlan, resolve_faults
 from repro.net.host import Host
 from repro.net.message import Message, MessageKind, MessageLog
 from repro.net.naming import Address, HostId
@@ -180,6 +186,11 @@ class RoundReport:
     max_link: tuple[HostId, HostId] | None = None
     max_cluster_load: int = 0
     max_cluster: int | None = None
+    #: Fault-injection tallies of the round (repro.net.faults); all stay
+    #: zero on a network without an installed plan.
+    injected_drops: int = 0
+    duplicated: int = 0
+    delayed: int = 0
 
     @property
     def max_host_load(self) -> int:
@@ -198,7 +209,7 @@ class PendingDelivery:
     to fail only the one in-flight operation that touched a dead host).
     """
 
-    __slots__ = ("src", "dst", "kind", "payload", "delivered", "error")
+    __slots__ = ("src", "dst", "kind", "payload", "delivered", "error", "deferred")
 
     def __init__(self, src: HostId, dst: HostId, kind: MessageKind, payload: Any) -> None:
         self.src = src
@@ -207,6 +218,11 @@ class PendingDelivery:
         self.payload = payload
         self.delivered: Message | None = None
         self.error: Exception | None = None
+        # Set by a fault plan's "delay" verb: the ticket is parked for a
+        # later round and is not yet resolved (``delivered`` stays None
+        # in ledger mode even after success, so the flag — not the
+        # fields — is the executor's "still in flight" signal).
+        self.deferred = False
 
     def result(self) -> Message | None:
         """The delivered message, or raise the delivery error."""
@@ -227,6 +243,10 @@ class _DeliveredTicket:
     """
 
     __slots__ = ()
+
+    #: The fast-path singleton is only handed out when no fault plan is
+    #: installed, so it can never be deferred.
+    deferred = False
 
     def result(self) -> None:
         return None
@@ -275,6 +295,7 @@ class Network:
         trace: bool | None = None,
         round_report_retention: int | None = None,
         topology: Topology | str | None = None,
+        faults: FaultPlan | str | None = None,
     ) -> None:
         self.default_memory_limit = default_memory_limit
         if trace is None:
@@ -338,6 +359,14 @@ class Network:
         self._session_busiest_link_round: int | None = None
         self._session_busiest_cluster: int | None = None
         self._session_busiest_cluster_load = 0
+        # Fault injection (repro.net.faults).  ``None`` means no plan:
+        # the delivery fast paths stay enabled and every counter is
+        # byte-identical to a network built before the subsystem existed.
+        self._faults = resolve_faults(faults)
+        self._delayed: list[tuple[int, PendingDelivery]] = []
+        self._round_injected_drops = 0
+        self._round_duplicated = 0
+        self._round_delayed = 0
 
     @property
     def trace(self) -> bool:
@@ -362,6 +391,23 @@ class Network:
         if self._topology is not None:
             for host_id in self._hosts:
                 self._topology.on_host_added(host_id)
+
+    @property
+    def faults(self) -> FaultPlan | None:
+        """The installed fault plan, or ``None`` (the fault-free default)."""
+        return self._faults
+
+    def set_faults(self, faults: FaultPlan | str | None) -> None:
+        """Install (or clear) the fault plan.
+
+        Must happen outside a round session: deliveries already queued on
+        the ledger fast path received the shared always-succeeds ticket
+        and could not report an injected fault.  With a plan installed
+        every post is ticketed, so faults always land on a real ticket.
+        """
+        if self._round_mode:
+            raise RuntimeError("cannot change the fault plan during a round session")
+        self._faults = resolve_faults(faults)
 
     def link_cost(self, src: HostId, dst: HostId) -> int:
         """Cost of one ``src -> dst`` message under the current topology.
@@ -400,6 +446,13 @@ class Network:
             self._session_busiest_link_round = None
             self._session_busiest_cluster = None
             self._session_busiest_cluster_load = 0
+        if "_faults" not in state:
+            # Blob pickled before the fault-injection seam existed.
+            self._faults = None
+            self._delayed = []
+            self._round_injected_drops = 0
+            self._round_duplicated = 0
+            self._round_delayed = 0
 
     # ------------------------------------------------------------------ #
     # membership event listeners
@@ -566,6 +619,13 @@ class Network:
         paper only charges for *inter-host* communication.  In ledger
         mode the delivery is counted but no :class:`Message` is created,
         so the return value is ``None`` for remote sends as well.
+
+        With a fault plan installed (and outside a round session, whose
+        deliveries are decided in :meth:`run_round`), the plan decides
+        each remote send: a drop raises :class:`FaultInjectedError`
+        uncharged, a duplicate charges the delivery twice, and a delay
+        degenerates to an immediate delivery — immediate mode has no
+        round clock to defer to — but is still tallied as delayed.
         """
         if src not in self._hosts:
             raise UnknownHostError(f"unknown source host {src}")
@@ -574,6 +634,21 @@ class Network:
         self._check_alive(dst)
         if src == dst:
             return None
+        faults = self._faults
+        if faults is not None and not self._round_mode:
+            action = faults.decide(self, None, src, dst, kind)
+            if action is not None:
+                verb = action[0]
+                if verb == "drop":
+                    self._log.note_drop()
+                    raise FaultInjectedError(
+                        f"message {src} -> {dst} dropped by the fault plan"
+                    )
+                if verb == "duplicate":
+                    self._log.note_duplicate()
+                    self._record_delivery(src, dst, kind, payload)
+                else:
+                    self._log.note_delay()
         return self._record_delivery(src, dst, kind, payload)
 
     def _record_delivery(
@@ -724,6 +799,10 @@ class Network:
         self._round_reports = []
         self._pending = []
         self._pending_fast = []
+        self._delayed = []
+        self._round_injected_drops = 0
+        self._round_duplicated = 0
+        self._round_delayed = 0
         self._session_per_round_max = []
         self._session_delivered = 0
         self._session_busiest_host = None
@@ -751,11 +830,15 @@ class Network:
             self._round_mode = False
             self._pending = []
             self._pending_fast = []
+            self._delayed = []
             self._round_per_host = {}
             self._round_delivered = 0
             self._round_per_link = {}
             self._round_per_cluster = {}
             self._round_weight = 0
+            self._round_injected_drops = 0
+            self._round_duplicated = 0
+            self._round_delayed = 0
 
     def post(
         self,
@@ -785,7 +868,12 @@ class Network:
             raise UnknownHostError(f"unknown source host {src}")
         if dst not in self._hosts:
             raise UnknownHostError(f"unknown destination host {dst}")
-        if not self._trace and not self._failed_hosts and payload is None:
+        if (
+            not self._trace
+            and not self._failed_hosts
+            and payload is None
+            and self._faults is None
+        ):
             self._pending_fast.append((src, dst, kind))
             return _OK_TICKET  # type: ignore[return-value]
         ticket = PendingDelivery(src=src, dst=dst, kind=kind, payload=payload)
@@ -798,11 +886,33 @@ class Network:
         Deliveries to (or from) failed hosts are dropped and recorded on
         their tickets; all other queued messages are charged and logged.
         Self-sends deliver for free, as in immediate mode.
+
+        With a fault plan installed, the plan's host rules are applied
+        first (:meth:`FaultPlan.begin_round` — crash-stop semantics: a
+        delivery queued to a host that crashes this round fails on its
+        ticket), deliveries deferred by earlier "delay" verbs come due,
+        and each fresh delivery is decided once: drop (ticket fails with
+        :class:`FaultInjectedError`, uncharged), duplicate (charged
+        twice) or delay (parked ``delay_rounds`` rounds).
         """
         if not self._round_mode:
             raise RuntimeError("run_round() requires round-based mode; see Network.rounds()")
+        faults = self._faults
+        if faults is not None:
+            faults.begin_round(self, self._round_index)
         pending, self._pending = self._pending, []
         pending_fast, self._pending_fast = self._pending_fast, []
+        if self._delayed:
+            due = [ticket for when, ticket in self._delayed if when <= self._round_index]
+            if due:
+                self._delayed = [
+                    (when, ticket)
+                    for when, ticket in self._delayed
+                    if when > self._round_index
+                ]
+                # Deferred deliveries were posted earlier: they deliver
+                # ahead of this round's fresh posts, in original order.
+                pending = due + pending
         dropped = 0
         failed = self._failed_hosts
         for src, dst, kind in pending_fast:
@@ -825,13 +935,46 @@ class Network:
         for ticket in pending:
             failed_host = self._first_failed(ticket.src, ticket.dst)
             if failed_host is not None:
+                ticket.deferred = False
                 ticket.error = HostFailedError(f"host {failed_host} has failed")
                 dropped += 1
                 continue
             if ticket.src == ticket.dst:
                 # Self-delivery is free in the cost model: resolved, but
                 # neither logged nor counted as a delivered message.
+                ticket.deferred = False
                 continue
+            if faults is not None and not ticket.deferred:
+                action = faults.decide(
+                    self, self._round_index, ticket.src, ticket.dst, ticket.kind
+                )
+                if action is not None:
+                    verb = action[0]
+                    if verb == "drop":
+                        ticket.error = FaultInjectedError(
+                            f"delivery {ticket.src} -> {ticket.dst} dropped "
+                            "by the fault plan"
+                        )
+                        self._log.note_drop()
+                        self._round_injected_drops += 1
+                        continue
+                    if verb == "delay":
+                        ticket.deferred = True
+                        self._delayed.append((self._round_index + action[1], ticket))
+                        self._log.note_delay()
+                        self._round_delayed += 1
+                        continue
+                    # duplicate: the delivery is charged twice.
+                    ticket.delivered = self._record_delivery(
+                        ticket.src, ticket.dst, ticket.kind, ticket.payload
+                    )
+                    self._record_delivery(
+                        ticket.src, ticket.dst, ticket.kind, ticket.payload
+                    )
+                    self._log.note_duplicate()
+                    self._round_duplicated += 1
+                    continue
+            ticket.deferred = False
             ticket.delivered = self._record_delivery(
                 ticket.src, ticket.dst, ticket.kind, ticket.payload
             )
@@ -876,6 +1019,9 @@ class Network:
             max_link=max_link,
             max_cluster_load=max_cluster_load,
             max_cluster=max_cluster,
+            injected_drops=self._round_injected_drops,
+            duplicated=self._round_duplicated,
+            delayed=self._round_delayed,
         )
         self._round_reports.append(report)
         retention = self._round_report_retention
@@ -904,6 +1050,9 @@ class Network:
         self._round_index += 1
         self._round_per_host = {}
         self._round_delivered = 0
+        self._round_injected_drops = 0
+        self._round_duplicated = 0
+        self._round_delayed = 0
         return report
 
     def run_rounds(
@@ -936,7 +1085,16 @@ class Network:
                 raise RuntimeError(f"round-based execution exceeded {max_rounds} rounds")
             passes += 1
             active = [stepper for stepper in active if stepper()]
-            if self._pending or self._pending_fast:
+            # With a fault plan installed, a pass with live steppers always
+            # closes a round even when nothing was posted: deferred
+            # deliveries and backoff timers are keyed to the round clock,
+            # so the clock must advance while operations sit idle.  Without
+            # a plan the condition is unchanged (faults=None identity).
+            if (
+                self._pending
+                or self._pending_fast
+                or (self._faults is not None and (active or self._delayed))
+            ):
                 report = self.run_round()
                 reports.append(report)
                 if on_round is not None:

@@ -34,7 +34,7 @@ from repro.storage.backends import StorageBackend
 from repro.storage.record import LogRecord
 
 #: Churn record actions mapped to the façade methods that replay them.
-_CHURN_ACTIONS = ("join", "leave", "crash")
+_CHURN_ACTIONS = ("join", "leave", "crash", "recover")
 
 
 def committed_prefix(records: Sequence[LogRecord]) -> int:
@@ -193,6 +193,8 @@ class DurabilityController:
                 cluster.leave_host(payload["host"])
             elif action == "crash":
                 cluster.crash_host(payload["host"])
+            elif action == "recover":
+                cluster.recover_host(payload["host"])
             else:
                 raise StorageError(
                     f"log record {record.seq} requests unknown churn "

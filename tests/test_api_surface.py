@@ -38,6 +38,9 @@ EXPECTED_ALL = [
     "ClusteredTopology",
     "GeoTopology",
     "resolve_topology",
+    "FaultPlan",
+    "FaultRule",
+    "resolve_faults",
 ]
 
 #: Structure families every release must keep resolvable by these names.
@@ -62,6 +65,8 @@ EXPECTED_SIGNATURES = {
         "*, hosts: 'int | None' = None, memory_size: 'int | None' = None, "
         "seed: 'int' = 0, mode: 'str' = 'batched', workers: 'int | None' = None, network: 'Network | None' = None, "
         "topology: \"'Topology | str | None'\" = None, "
+        "faults: \"'FaultPlan | str | Mapping[str, Any] | None'\" = None, "
+        "round_budget: 'int | None' = None, "
         "route_cache: 'bool' = False, max_retries: 'int' = 5, "
         "churn_rng: 'random.Random | None' = None, join_fraction: 'float' = 0.5, "
         "min_hosts: 'int' = 2, storage: \"'str | StorageBackend | None'\" = None, "
@@ -89,6 +94,7 @@ EXPECTED_SIGNATURES = {
     "Cluster.join_host": "(self) -> 'ChurnEvent'",
     "Cluster.leave_host": "(self, host_id: 'HostId | None' = None) -> 'ChurnEvent'",
     "Cluster.crash_host": "(self, host_id: 'HostId | None' = None) -> 'ChurnEvent'",
+    "Cluster.recover_host": "(self, host_id: 'HostId | None' = None) -> 'ChurnEvent'",
     "Cluster.run_churn_schedule": "(self, kinds: 'Sequence[str]') -> 'list[ChurnEvent]'",
     "Cluster.repair": "(self, host_ids: 'Sequence[HostId]') -> 'RepairResult'",
     "Cluster.save": "(self) -> 'None'",
@@ -110,6 +116,10 @@ EXPECTED_SIGNATURES = {
     "register_structure": "(spec: 'StructureSpec') -> 'StructureSpec'",
     "resolve_topology": (
         "(spec: \"'str | Topology | None'\", seed: 'int' = 0) -> 'Topology | None'"
+    ),
+    "resolve_faults": (
+        "(spec: \"'str | FaultRule | Sequence[FaultRule] | FaultPlan | None'\", "
+        "seed: 'int' = 0) -> 'FaultPlan | None'"
     ),
     "set_default_workers": "(workers: 'int') -> 'None'",
     "default_workers": "() -> 'int'",

@@ -12,6 +12,7 @@ from repro.bench.experiments import (
     ablation_blocking,
     churn,
     congestion_rounds,
+    fault_tolerance,
     fig1_skiplist,
     fig2_skipweb_levels,
     lemma1_list,
@@ -97,6 +98,7 @@ class TestExperiments:
             "congestion-rounds",
             "churn",
             "topology",
+            "faults",
         }
         assert set(EXPERIMENTS) == expected
 
@@ -116,6 +118,25 @@ class TestExperiments:
             assert flat["latency"] == flat["msgs"]
             assert cells["clustered"]["latency"] > flat["latency"]
             assert cells["clustered"]["max_link_round_load"] >= flat["max_link_round_load"]
+
+    def test_faults_rows_show_monotone_degradation(self):
+        rows = fault_tolerance(sizes=(32,), ops=24, seed=0, drop_rates=(0.0, 0.2))
+        by_structure: dict = {}
+        for row in rows:
+            by_structure.setdefault(row["structure"], {})[row["drop_rate"]] = row
+        assert len(by_structure) == 5  # four skip-webs + Chord
+        for cells in by_structure.values():
+            clean, lossy = cells[0.0], cells[0.2]
+            # Rate 0 is the control: everything delivered, no retries.
+            assert clean["delivered_ratio"] >= 0.99
+            assert clean["retries"] == 0 and clean["dropped"] == 0
+            # Loss degrades monotonically and visibly costs retries.
+            assert lossy["dropped"] > 0
+            assert lossy["delivered_ratio"] <= clean["delivered_ratio"]
+            assert lossy["retry_overhead"] > 0
+            # Drop rules are query-scoped, so the self-healing (repair)
+            # traffic is invariant across rates.
+            assert lossy["repair_msgs"] == clean["repair_msgs"]
 
     def test_fig1_rows_show_log_growth_and_linear_space(self):
         rows = fig1_skiplist(sizes=(128, 1024), queries_per_size=60, seed=1)
@@ -292,6 +313,21 @@ class TestCli:
             build_parser().parse_args(["--topology", "mesh"])
         with pytest.raises(SystemExit):
             main(["table1", "--topology", "geo"])
+
+    def test_cli_faults_flag_implies_the_experiment(self, capsys):
+        assert main(["--faults", "0.2", "--sizes", "24", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "faults"
+        # Rate 0 is always included as the comparison baseline.
+        assert {row["drop_rate"] for row in payload["rows"]} == {0.0, 0.2}
+
+    def test_cli_faults_flag_validation(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--faults", "1.5"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--faults", "lots"])
+        with pytest.raises(SystemExit):
+            main(["table1", "--faults", "0.1"])
 
     def test_cli_structures_lists_capability_columns(self, capsys):
         assert main(["structures", "--format", "json"]) == 0

@@ -15,7 +15,11 @@ These tests pin that contract:
   observable number while bounding memory;
 * the sharded multi-worker executor (``Cluster(workers=N)``) produces
   results, per-operation stats, congestion aggregates and deployment
-  snapshots identical to a serial run, for every structure family.
+  snapshots identical to a serial run, for every structure family;
+* the fault-injection seam (``Cluster(faults=...)``) is invisible when
+  left off: ``faults=None`` — implicit or explicit, serial or sharded —
+  reproduces every observable number and records zero fault tallies,
+  for every structure family.
 """
 
 from __future__ import annotations
@@ -474,6 +478,64 @@ class TestShardedEquivalence:
             Cluster(structure="skipweb1d", items=_SHARD_KEYS, seed=21, workers=0)
         with pytest.raises(ValueError, match="workers"):
             ShardedExecutor(Cluster("skipweb1d", _SHARD_KEYS, seed=21).structure, workers=0)
+
+
+class TestFaultFreeIdentity:
+    """``faults=None`` changes no pre-existing number, for any family.
+
+    The fault-injection choke point sits inside every delivery on both
+    substrates, so its no-op contract is the whole subsystem's licence
+    to exist: a cluster that never opted in must be byte-identical to
+    one built before the subsystem landed.  The sweep pins per-operation
+    stats, batch aggregates, round reports, deployment snapshots and the
+    (all-zero) fault tallies across the no-kwarg, explicit
+    ``faults=None`` and ``workers=2, faults=None`` spellings.
+    """
+
+    @staticmethod
+    def _run_batch(name, **extra):
+        with ledger_mode():
+            scenario = SHARD_SCENARIOS[name]
+            cluster = Cluster(
+                structure=name,
+                items=scenario["items"],
+                seed=21,
+                **scenario["kwargs"],
+                **extra,
+            )
+            operations = [("search", payload) for payload in scenario["searches"]]
+            if scenario["range"] is not None:
+                operations.append(("range", scenario["range"]))
+            report = cluster.batch(operations)
+        return cluster, report
+
+    @pytest.mark.parametrize("name", sorted(SHARD_SCENARIOS))
+    def test_every_family_matches_implicit_default(self, name):
+        implicit_cluster, implicit = self._run_batch(name)
+        explicit_cluster, explicit = self._run_batch(name, faults=None)
+        sharded_cluster, sharded = self._run_batch(name, faults=None, workers=2)
+
+        for cluster, report in (
+            (explicit_cluster, explicit),
+            (sharded_cluster, sharded),
+        ):
+            assert cluster.faults is None
+            assert len(report) == len(implicit)
+            for left, right in zip(implicit, report):
+                assert left.status == right.status
+                assert left.messages == right.messages
+                assert left.rounds == right.rounds
+                assert left.retries == right.retries
+                assert left.value == right.value
+            assert report.summary() == implicit.summary()
+            assert report.rounds == implicit.rounds
+            assert report.messages == implicit.messages
+            assert cluster.stats().as_dict() == implicit_cluster.stats().as_dict()
+            log = cluster.network.message_log
+            assert (log.dropped, log.duplicated, log.delayed) == (0, 0, 0)
+        # No fault plan ⇒ the new summary keys never materialise.
+        assert "timed_out" not in implicit.summary()
+        assert "gave_up" not in implicit.summary()
 
 
 class TestFlatTopologyIdentity:
