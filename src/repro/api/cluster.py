@@ -30,6 +30,7 @@ measured.
 from __future__ import annotations
 
 import random
+import threading
 from contextlib import contextmanager
 from typing import Any, Iterator, Mapping, Sequence
 
@@ -298,6 +299,7 @@ class Cluster:
         self._churn: ChurnController | None = None
         self._repair_engine: RepairEngine | None = None
         self._closed = False
+        self._close_lock = threading.Lock()
         self._durability: DurabilityController | None = None
         self._snapshot_every = snapshot_every
         if storage is not None:
@@ -445,6 +447,7 @@ class Cluster:
                 cluster._churn = None
                 cluster._repair_engine = None
                 cluster._closed = False
+                cluster._close_lock = threading.Lock()
                 cluster._durability = None
                 cluster._snapshot_every = 0
                 return cluster
@@ -855,15 +858,22 @@ class Cluster:
     def close(self) -> None:
         """Shut the façade down; further operations raise ``StructureError``.
 
-        The churn controller is kept so ``churn_events`` — the measured
-        history of a run — stays readable after the context manager exits.
-        A journaled cluster's storage is flushed to stable storage and
-        its handles released (the store stays reopenable).
+        Idempotent and thread-safe: a second (or concurrent) ``close()``
+        — a double-close from a server worker, a context manager exiting
+        while an HTTP handler tears the cluster down — is a no-op rather
+        than a race on the storage handles.  The churn controller is kept
+        so ``churn_events`` — the measured history of a run — stays
+        readable after the context manager exits.  A journaled cluster's
+        storage is flushed to stable storage and its handles released
+        (the store stays reopenable).
         """
-        self._closed = True
-        self._executor = None
-        if self._durability is not None:
-            self._durability.backend.close()
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._executor = None
+            if self._durability is not None:
+                self._durability.backend.close()
 
     def _check_open(self) -> None:
         if self._closed:
@@ -981,6 +991,7 @@ class Cluster:
         cluster._churn = state["churn"]
         cluster._repair_engine = state["repair_engine"]
         cluster._closed = False
+        cluster._close_lock = threading.Lock()
         cluster._durability = None
         cluster._snapshot_every = config.get("snapshot_every", 0)
         return cluster

@@ -34,13 +34,45 @@ the benchmarks are built on.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any, Iterator, Mapping
 
 from repro.engine.executor import BatchResult, OpOutcome
 from repro.errors import UnsupportedOperationError
 from repro.net.congestion import RoundCongestionReport
 from repro.net.naming import HostId
+
+
+def jsonable(value: Any) -> Any:
+    """Best-effort portable rendering of any result value.
+
+    The shared serialization rule of the server, the CLI and the
+    dashboard: JSON scalars pass through, containers recurse, dataclasses
+    (the structures' ``QueryResult`` / ``RangeQueryResult`` /
+    ``UpdateResult`` / ``ChordLookup`` families, plus range payloads like
+    ``Interval`` and ``Box``) become ``{"type": <class>, <field>: ...}``
+    dicts, ``as_dict()`` objects use their own summary, and anything else
+    falls back to ``repr`` — so serialization never raises, whatever a
+    structure puts in a handle.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        rendered = {"type": type(value).__name__}
+        for f in dataclasses.fields(value):
+            rendered[f.name] = jsonable(getattr(value, f.name))
+        return rendered
+    if isinstance(value, Mapping):
+        return {str(key): jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return [jsonable(item) for item in sorted(value, key=repr)]
+    as_dict = getattr(value, "as_dict", None)
+    if callable(as_dict):
+        return jsonable(as_dict())
+    return repr(value)
 
 #: The operation kinds a cluster accepts (aliases resolved in the façade).
 OPERATION_KINDS = ("search", "range", "insert", "delete")
@@ -87,6 +119,35 @@ class OperationHandle:
         if self.error is not None:
             raise self.error
         return self.value
+
+    def to_dict(self, include_value: bool = True) -> dict[str, Any]:
+        """JSON-serializable rendering of the handle (the wire format).
+
+        Everything `json.dumps` accepts directly: the payload and value
+        are rendered through :func:`jsonable`, and a non-``None`` error
+        contributes its *typed name* (``"UpdateError"``,
+        ``"FaultInjectedError"``, ...) plus message — so the three-valued
+        status taxonomy and the error types survive HTTP.  Shared by the
+        server, the CLI load generator and the dashboard.
+        """
+        data: dict[str, Any] = {
+            "index": self.index,
+            "kind": self.kind,
+            "payload": jsonable(self.payload),
+            "origin_host": self.origin_host,
+            "status": self.status,
+            "messages": self.messages,
+            "rounds": self.rounds,
+            "retries": self.retries,
+            "cache_hits": self.cache_hits,
+            "latency": self.latency,
+        }
+        if self.error is not None:
+            data["error"] = type(self.error).__name__
+            data["error_message"] = str(self.error)
+        if include_value:
+            data["value"] = jsonable(self.value)
+        return data
 
     @classmethod
     def from_outcome(cls, outcome: OpOutcome, index: int = 0) -> "OperationHandle":
@@ -222,6 +283,24 @@ class BatchReport:
         if self.gave_up:
             summary["gave_up"] = self.gave_up
         return summary
+
+    def to_dict(self, include_values: bool = True) -> dict[str, Any]:
+        """JSON-serializable rendering of the whole batch (the wire format).
+
+        ``summary`` carries the aggregate row (:meth:`summary`, including
+        the nonzero-only degradation keys) and ``handles`` one
+        :meth:`OperationHandle.to_dict` per submitted operation in
+        submission order.  ``include_values=False`` drops the per-handle
+        domain values for a counts-only report.
+        """
+        return {
+            "ops": self.ops,
+            "summary": self.summary(),
+            "handles": [
+                handle.to_dict(include_value=include_values)
+                for handle in self.handles
+            ],
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -14,6 +14,8 @@ Examples
     python -m repro.cli congestion-rounds --sizes 64,256 --format csv
     python -m repro.cli churn --sizes 48
     python -m repro.cli --topology clustered,geo --sizes 64
+    python -m repro.cli serve --port 8642 --items 256
+    python -m repro.cli hammer --url http://127.0.0.1:8642 --sessions 8
     skipweb-repro theorem2-onedim
 
 Each experiment prints an aligned text table by default; ``--format json``
@@ -36,6 +38,11 @@ without an experiment name implies ``topology``.
 ``--faults`` selects the message drop rates the ``faults`` experiment
 sweeps (rate ``0.0`` is always included as the baseline); giving the
 flag without an experiment name implies ``faults``.
+
+``serve`` hosts the :mod:`repro.server` HTTP/JSON service layer (the
+full ``Cluster`` operation surface, churn lifecycle, sessions and the
+live dashboard) on stdlib ``wsgiref``; ``hammer`` is its seeded load
+generator — see the "serving" option group.
 """
 
 from __future__ import annotations
@@ -91,9 +98,7 @@ def _parse_faults(text: str) -> tuple[float, ...]:
     except ValueError as exc:
         raise argparse.ArgumentTypeError(f"invalid drop rates {text!r}: {exc}") from exc
     if not rates or any(not 0.0 <= rate <= 1.0 for rate in rates):
-        raise argparse.ArgumentTypeError(
-            f"drop rates must be floats in [0, 1], got {text!r}"
-        )
+        raise argparse.ArgumentTypeError(f"drop rates must be floats in [0, 1], got {text!r}")
     # Rate 0 is always the comparison baseline: the delivered-ratio and
     # retry-overhead columns only mean something against a lossless run.
     if 0.0 not in rates:
@@ -113,10 +118,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         nargs="?",
-        choices=sorted(EXPERIMENTS) + ["list", "all", "structures", "workload"],
+        choices=sorted(EXPERIMENTS)
+        + ["list", "all", "structures", "workload", "serve", "hammer"],
         help="experiment to run ('list' shows descriptions, 'all' runs everything, "
         "'structures' lists the repro.api structure registry, 'workload' runs "
-        "the seeded durable workload — see --save/--resume)",
+        "the seeded durable workload — see --save/--resume; 'serve' hosts the "
+        "HTTP/JSON service layer, 'hammer' load-tests it — see the serving group)",
     )
     parser.add_argument(
         "--list",
@@ -173,9 +180,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="force full message tracing (experiments default to the faster "
         "zero-allocation ledger substrate; counters are identical either way)",
     )
-    durability = parser.add_argument_group(
-        "durability ('workload' experiment only)"
-    )
+    durability = parser.add_argument_group("durability ('workload' experiment only)")
     durability.add_argument(
         "--save",
         metavar="PATH",
@@ -224,6 +229,100 @@ def build_parser() -> argparse.ArgumentParser:
         help="run read-only batches through the sharded multi-worker executor "
         "with N fork workers (counters stay identical to serial runs; "
         "mutating batches and churn remain serial)",
+    )
+    serving = parser.add_argument_group("serving ('serve' and 'hammer' only)")
+    serving.add_argument(
+        "--host", default="127.0.0.1", help="bind/connect address (default 127.0.0.1)"
+    )
+    serving.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        help="serve: bind port, 0 for OS-assigned (see --ready-file); "
+        "hammer: connect port when no --url is given (default 8642)",
+    )
+    serving.add_argument(
+        "--ready-file",
+        metavar="PATH",
+        default=None,
+        help="serve: write 'host:port' to PATH once the socket is bound "
+        "(the CI gate polls it instead of racing the listener)",
+    )
+    serving.add_argument(
+        "--cluster",
+        default="default",
+        metavar="NAME",
+        help="cluster name to serve initially / to hammer (default 'default')",
+    )
+    serving.add_argument(
+        "--items",
+        type=int,
+        default=128,
+        metavar="N",
+        help="serve: size of the generated uniform ground set; hammer: "
+        "regenerate the same N keys client-side so gets hit (default 128)",
+    )
+    serving.add_argument(
+        "--spec",
+        metavar="JSON",
+        default=None,
+        help="serve: full cluster spec as a JSON object (same shape as "
+        "POST /clusters; overrides --structure/--items/--cluster/--seed)",
+    )
+    serving.add_argument(
+        "--url",
+        default=None,
+        help="hammer: server base URL (default http://HOST:PORT)",
+    )
+    serving.add_argument(
+        "--sessions",
+        type=int,
+        default=4,
+        metavar="N",
+        help="hammer: concurrent client sessions (default 4)",
+    )
+    serving.add_argument(
+        "--ops",
+        type=int,
+        default=25,
+        metavar="N",
+        help="hammer: operations per session (default 25)",
+    )
+    serving.add_argument(
+        "--mix",
+        choices=("read", "write"),
+        default="read",
+        help="hammer: operation mix; 'read' (default) is interleaving-"
+        "independent and backs the byte-identity gate, 'write' adds "
+        "inserts/deletes for soak testing",
+    )
+    serving.add_argument(
+        "--key-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="hammer: seed of the served ground set when it differs from "
+        "--seed (default: --seed)",
+    )
+    serving.add_argument(
+        "--determinism-file",
+        metavar="PATH",
+        default=None,
+        help="hammer: write the deterministic per-session report (no "
+        "wall-clock fields) to PATH; two seeded runs must byte-match",
+    )
+    serving.add_argument(
+        "--markdown",
+        metavar="PATH",
+        default=None,
+        help="hammer: write a GitHub job-summary markdown table to PATH "
+        "('-' for stdout)",
+    )
+    serving.add_argument(
+        "--expect-ok",
+        action="store_true",
+        help="hammer: exit 1 unless every request succeeded and every "
+        "operation handle came back status 'ok' (the CI serve-gate)",
     )
     return parser
 
@@ -332,6 +431,85 @@ def _run_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """Host the HTTP/JSON service layer until interrupted."""
+    from repro.server import create_app, serve_forever
+
+    if args.spec is not None:
+        try:
+            spec = json.loads(args.spec)
+        except json.JSONDecodeError as exc:
+            print(f"--spec is not valid JSON: {exc}", file=sys.stderr)
+            return 2
+        if not isinstance(spec, dict):
+            print("--spec must be a JSON object", file=sys.stderr)
+            return 2
+    else:
+        spec = {
+            "name": args.cluster,
+            "structure": args.structure,
+            "generate": {"kind": "uniform", "count": args.items, "seed": args.seed},
+            "seed": args.seed,
+        }
+        if args.workers is not None:
+            spec["workers"] = args.workers
+    app = create_app(initial=[spec])
+    where = f"http://{args.host}:{args.port}" if args.port else f"{args.host}:<os-assigned>"
+    print(
+        f"serving cluster {spec.get('name', 'default')!r} "
+        f"({spec.get('structure', 'skipweb1d')}) on {where} — dashboard at /",
+        file=sys.stderr,
+    )
+    serve_forever(app, args.host, args.port, ready_file=args.ready_file)
+    return 0
+
+
+def _run_hammer(args: argparse.Namespace) -> int:
+    """Drive the seeded load generator against a running server."""
+    from repro.server import run_hammer
+
+    url = args.url if args.url is not None else f"http://{args.host}:{args.port}"
+    report = run_hammer(
+        url,
+        cluster=args.cluster,
+        sessions=args.sessions,
+        ops=args.ops,
+        seed=args.seed,
+        mix=args.mix,
+        items=args.items,
+        key_seed=args.key_seed if args.key_seed is not None else args.seed,
+    )
+    _emit(
+        report.summary_rows(),
+        "hammer",
+        f"Seeded HTTP load generator against {url}",
+        args.output_format,
+    )
+    if args.determinism_file is not None:
+        with open(args.determinism_file, "w", encoding="utf-8") as handle:
+            json.dump(report.deterministic_report(), handle, sort_keys=True)
+            handle.write("\n")
+    if args.markdown is not None:
+        if args.markdown == "-":
+            sys.stdout.write(report.markdown())
+        else:
+            with open(args.markdown, "w", encoding="utf-8") as handle:
+                handle.write(report.markdown())
+    if args.expect_ok and not report.all_ok:
+        degraded = {
+            status: count
+            for status, count in report.by_op_status.items()
+            if status != "ok"
+        }
+        print(
+            f"hammer: --expect-ok failed: {report.transport_errors} transport "
+            f"error(s), degraded statuses {degraded}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -357,24 +535,39 @@ def main(argv: Sequence[str] | None = None) -> int:
         else:
             _emit(rows, "list", "Available experiments", args.output_format)
         return 0
+    if args.experiment == "serve":
+        return _run_serve(args)
+    if args.experiment == "hammer":
+        return _run_hammer(args)
     if args.experiment == "structures":
         from repro.api import structure_specs
 
+        # Capability flags are real booleans in the machine-readable
+        # formats (JSON true/false, CSV True/False); only the aligned
+        # table renders them as yes/no for human eyes.
+        flags = ("range", "updates", "bulk_load", "shardable", "durable")
         rows = [
             {
                 "structure": name,
                 "class": spec.cls.__name__,
-                "range": "yes" if spec.supports_range else "no",
-                "updates": "yes" if spec.supports_updates else "no",
-                "bulk_load": "yes" if spec.bulk_factory is not None else "no",
-                "shardable": "yes" if spec.shardable else "no",
-                "durable": "yes" if spec.durable else "no",
+                "range": spec.supports_range,
+                "updates": spec.supports_updates,
+                "bulk_load": spec.bulk_factory is not None,
+                "shardable": spec.shardable,
+                "durable": spec.durable,
                 "description": spec.description,
             }
             for name, spec in sorted(structure_specs().items())
         ]
         if args.output_format == "table":
-            print(format_table(rows, title="Registered structures (repro.api.Cluster)"))
+            display = [
+                {
+                    **row,
+                    **{flag: "yes" if row[flag] else "no" for flag in flags},
+                }
+                for row in rows
+            ]
+            print(format_table(display, title="Registered structures (repro.api.Cluster)"))
         else:
             _emit(rows, "structures", "Registered structures", args.output_format)
         return 0

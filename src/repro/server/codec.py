@@ -1,0 +1,128 @@
+"""JSON payload codecs: wire values in, structure-native payloads out.
+
+The HTTP surface speaks JSON; the structures speak their own payload
+types — ``Interval`` for one-dimensional range reporting, ``Box`` for
+the skip-quadtree, ``PrefixRange`` for skip-tries, ``Window`` for the
+trapezoid web, tuples for points.  :func:`decode_payload` is the one
+place that translation lives, keyed on the registry name of the served
+structure family, so every entry point (single ops, batches, the load
+generator) decodes identically.
+
+Malformed wire payloads raise :class:`ValueError`, which the WSGI layer
+maps to HTTP 400 — a client error, distinct from the operation-status
+taxonomy of :mod:`repro.server.taxonomy`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.core.ranges import Interval
+from repro.planar.skip_trapezoid import Window
+from repro.spatial.geometry import Box
+from repro.strings.skip_trie import PrefixRange
+
+#: Families whose range payload is a closed 1-d interval ``[low, high]``.
+_ONE_DIMENSIONAL = frozenset(
+    {
+        "skipweb1d",
+        "bucket-skipweb1d",
+        "skipgraph",
+        "bucket-skipgraph",
+        "skipnet",
+        "det-skipnet",
+        "non-skipgraph",
+        "family-tree",
+        "chord",
+    }
+)
+
+
+def _two_numbers(payload: Any, what: str) -> tuple[float, float]:
+    if isinstance(payload, Mapping):
+        try:
+            return float(payload["low"]), float(payload["high"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"bad {what} payload {payload!r}: {exc}") from exc
+    if isinstance(payload, (list, tuple)) and len(payload) == 2:
+        try:
+            return float(payload[0]), float(payload[1])
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"bad {what} payload {payload!r}: {exc}") from exc
+    raise ValueError(
+        f"bad {what} payload {payload!r}; expected [low, high] or "
+        '{"low": ..., "high": ...}'
+    )
+
+
+def _decode_range(structure: str, payload: Any) -> Any:
+    if structure in _ONE_DIMENSIONAL:
+        if isinstance(payload, Interval):
+            return payload
+        low, high = _two_numbers(payload, "interval")
+        try:
+            return Interval(low, high)
+        except ValueError as exc:
+            raise ValueError(str(exc)) from exc
+    if structure == "skipquadtree":
+        if isinstance(payload, Box):
+            return payload
+        if isinstance(payload, Mapping):
+            corners = payload.get("lower"), payload.get("upper")
+        elif isinstance(payload, (list, tuple)) and len(payload) == 2:
+            corners = payload[0], payload[1]
+        else:
+            corners = None, None
+        lower, upper = corners
+        if not isinstance(lower, (list, tuple)) or not isinstance(upper, (list, tuple)):
+            raise ValueError(
+                f"bad box payload {payload!r}; expected [[x0, y0, ...], "
+                '[x1, y1, ...]] or {"lower": [...], "upper": [...]}'
+            )
+        try:
+            return Box(tuple(float(c) for c in lower), tuple(float(c) for c in upper))
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"bad box payload {payload!r}: {exc}") from exc
+    if structure == "skiptrie":
+        if isinstance(payload, PrefixRange):
+            return payload
+        prefix = payload.get("prefix") if isinstance(payload, Mapping) else payload
+        if not isinstance(prefix, str):
+            raise ValueError(
+                f"bad prefix payload {payload!r}; expected a string or "
+                '{"prefix": ...}'
+            )
+        return PrefixRange(prefix)
+    if structure == "skiptrapezoid":
+        if isinstance(payload, Window):
+            return payload
+        if isinstance(payload, Mapping):
+            bounds = [payload.get(k) for k in ("x_low", "x_high", "y_low", "y_high")]
+        elif isinstance(payload, (list, tuple)) and len(payload) == 4:
+            bounds = list(payload)
+        else:
+            bounds = [None]
+        try:
+            return Window(*(float(bound) for bound in bounds))
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                f"bad window payload {payload!r}; expected [x_low, x_high, "
+                f"y_low, y_high] or the keyed equivalent: {exc}"
+            ) from exc
+    return payload
+
+
+def decode_payload(structure: str, kind: str, payload: Any) -> Any:
+    """Translate one wire payload into the structure's native payload type.
+
+    ``structure`` is the registry name of the served family; ``kind`` is
+    a canonical operation kind or one of the façade's aliases.  Scalars
+    pass through untouched; JSON arrays become tuples (the points of the
+    spatial and planar families); range payloads build the family's
+    range object.
+    """
+    if kind in ("range", "range_search", "report"):
+        return _decode_range(structure, payload)
+    if isinstance(payload, (list, tuple)):
+        return tuple(payload)
+    return payload

@@ -1,0 +1,197 @@
+"""The live operations dashboard: congestion aggregates + a tiny HTML view.
+
+:func:`collect_stats` is the JSON side — one dict per served cluster with
+the *exact* :meth:`~repro.api.cluster.Cluster.round_congestion` aggregates
+(`rounds`, `messages`, `max_host_round_load`, `mean_round_max`, plus the
+weighted `max_link_round_load` / `max_cluster_round_load` keys under a
+topology-aware cost model), the deployment snapshot, lifetime per-status
+operation counters, repair traffic, session counts and a requests/sec
+figure.  Everything is read under the cluster's serialization lock, so a
+dashboard poll observes a consistent point in time and never tears a
+half-applied batch.
+
+:data:`DASHBOARD_HTML` is the page served at ``GET /`` — a single
+self-contained document (no external assets, works from ``file://`` too)
+that polls ``/dashboard/stats`` every two seconds and renders stat tiles
+plus a per-cluster aggregates table.  The table *is* the accessible
+view: every number on the page appears as text, and the single-series
+tiles use text-token colors, not a categorical palette.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.server.manager import ClusterManager, ServedCluster
+
+
+def collect_cluster_stats(manager: ClusterManager, served: ServedCluster) -> dict[str, Any]:
+    """One cluster's dashboard row; congestion matches the façade exactly."""
+    with served.lock:
+        congestion = served.cluster.round_congestion().as_dict()
+        stats = served.cluster.stats().as_dict()
+        ops = served.operations_snapshot()
+        repair = {
+            "churn_events": served.churn_events_total,
+            "messages": served.repair_messages_total,
+            "rounds": served.repair_rounds_total,
+        }
+        uptime = max(time.monotonic() - served.started, 1e-9)
+        ops_per_sec = served.ops_total / uptime
+    return {
+        "cluster": served.name,
+        "structure": served.cluster.spec.name,
+        "congestion": congestion,
+        "stats": stats,
+        "ops": ops,
+        "repair": repair,
+        "sessions": manager.session_counts(served.name),
+        "ops_per_sec": round(ops_per_sec, 3),
+        "uptime_secs": round(uptime, 3),
+    }
+
+
+def collect_stats(manager: ClusterManager, cluster: str | None = None) -> dict[str, Any]:
+    """The ``GET /dashboard/stats`` body: all clusters, or one by name."""
+    if cluster is not None:
+        served_list = [manager.get_cluster(cluster)]
+    else:
+        served_list = manager.clusters()
+    return {
+        "clusters": [
+            collect_cluster_stats(manager, served) for served in served_list
+        ],
+        "sessions": manager.session_counts(),
+    }
+
+
+#: The self-contained dashboard page (``GET /`` and ``GET /dashboard``).
+DASHBOARD_HTML = """<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>repro &middot; operations dashboard</title>
+<style>
+  :root {
+    --surface: #ffffff; --panel: #f6f7f9; --border: #d9dde3;
+    --ink: #1a1d21; --ink-2: #4b5563; --ink-3: #8b93a1;
+    --accent: #2f6fdb;
+  }
+  @media (prefers-color-scheme: dark) {
+    :root {
+      --surface: #15171a; --panel: #1e2126; --border: #32373f;
+      --ink: #e7e9ec; --ink-2: #aab2bd; --ink-3: #737c89;
+      --accent: #6ea0ef;
+    }
+  }
+  * { box-sizing: border-box; }
+  body {
+    margin: 0; padding: 24px; background: var(--surface); color: var(--ink);
+    font: 14px/1.45 ui-sans-serif, system-ui, sans-serif;
+  }
+  h1 { font-size: 18px; margin: 0 0 4px; }
+  .sub { color: var(--ink-3); margin: 0 0 20px; }
+  .tiles { display: flex; flex-wrap: wrap; gap: 12px; margin: 0 0 24px; }
+  .tile {
+    background: var(--panel); border: 1px solid var(--border);
+    border-radius: 8px; padding: 12px 16px; min-width: 150px;
+  }
+  .tile .label {
+    color: var(--ink-3); font-size: 11px; letter-spacing: .04em;
+    text-transform: uppercase;
+  }
+  .tile .value {
+    font-size: 26px; font-weight: 600; font-variant-numeric: tabular-nums;
+  }
+  .tile .detail { color: var(--ink-2); font-size: 12px; }
+  table { border-collapse: collapse; width: 100%; }
+  caption {
+    text-align: left; color: var(--ink-2); font-size: 13px;
+    padding: 0 0 8px;
+  }
+  th, td {
+    text-align: right; padding: 6px 10px; border-bottom: 1px solid var(--border);
+    font-variant-numeric: tabular-nums;
+  }
+  th { color: var(--ink-3); font-weight: 500; font-size: 12px; }
+  th:first-child, td:first-child { text-align: left; }
+  td:first-child { font-weight: 600; }
+  #state { color: var(--ink-3); font-size: 12px; margin-top: 16px; }
+  #state.err { color: #b4232c; }
+</style>
+</head>
+<body>
+<h1>repro operations dashboard</h1>
+<p class="sub">Round-congestion aggregates of every served cluster,
+refreshed every 2&nbsp;s from <code>/dashboard/stats</code>.</p>
+<div class="tiles" id="tiles"></div>
+<table aria-live="polite">
+  <caption>Per-cluster congestion and traffic aggregates</caption>
+  <thead><tr id="head"></tr></thead>
+  <tbody id="rows"></tbody>
+</table>
+<p id="state">connecting&hellip;</p>
+<script>
+"use strict";
+const COLUMNS = [
+  ["cluster", s => s.cluster],
+  ["structure", s => s.structure],
+  ["hosts alive", s => s.stats.alive_hosts + "/" + s.stats.hosts],
+  ["ops", s => s.ops.total],
+  ["ok", s => s.ops.by_status.ok || 0],
+  ["degraded", s => s.ops.total - (s.ops.by_status.ok || 0)],
+  ["rounds", s => s.congestion.rounds],
+  ["messages", s => s.congestion.messages],
+  ["max host load/round", s => s.congestion.max_host_round_load],
+  ["mean round max", s => Number(s.congestion.mean_round_max).toFixed(2)],
+  ["latency", s => s.ops.latency],
+  ["repair msgs", s => s.repair.messages],
+  ["open sessions", s => s.sessions.open],
+  ["ops/sec", s => Number(s.ops_per_sec).toFixed(1)],
+];
+const tile = (label, value, detail) =>
+  '<div class="tile"><div class="label">' + label + '</div>' +
+  '<div class="value">' + value + '</div>' +
+  (detail ? '<div class="detail">' + detail + '</div>' : '') + '</div>';
+function render(data) {
+  const cs = data.clusters;
+  const sum = f => cs.reduce((a, s) => a + f(s), 0);
+  document.getElementById("tiles").innerHTML =
+    tile("clusters", cs.length, cs.map(s => s.cluster).join(", ")) +
+    tile("operations", sum(s => s.ops.total),
+         sum(s => (s.ops.by_status.ok || 0)) + " ok") +
+    tile("messages", sum(s => s.congestion.messages),
+         sum(s => s.congestion.rounds) + " rounds") +
+    tile("max load / round", cs.length
+         ? Math.max(...cs.map(s => s.congestion.max_host_round_load)) : 0,
+         "worst host, worst round") +
+    tile("repair traffic", sum(s => s.repair.messages),
+         sum(s => s.repair.churn_events) + " churn events") +
+    tile("sessions", data.sessions.open, data.sessions.closed + " closed");
+  document.getElementById("head").innerHTML =
+    COLUMNS.map(c => "<th scope=\\"col\\">" + c[0] + "</th>").join("");
+  document.getElementById("rows").innerHTML = cs.map(s =>
+    "<tr>" + COLUMNS.map(c => "<td>" + c[1](s) + "</td>").join("") + "</tr>"
+  ).join("");
+}
+async function poll() {
+  const state = document.getElementById("state");
+  try {
+    const res = await fetch("/dashboard/stats", {cache: "no-store"});
+    if (!res.ok) throw new Error("HTTP " + res.status);
+    render(await res.json());
+    state.className = "";
+    state.textContent = "last update " + new Date().toLocaleTimeString();
+  } catch (err) {
+    state.className = "err";
+    state.textContent = "stats unavailable: " + err.message;
+  }
+}
+poll();
+setInterval(poll, 2000);
+</script>
+</body>
+</html>
+"""

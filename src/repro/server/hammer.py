@@ -1,0 +1,321 @@
+"""The seeded load generator: concurrent sessions over plain ``urllib``.
+
+``run_hammer`` opens N server sessions, drives each from its own thread
+with a per-session ``random.Random(f"{seed}:{index}")`` stream, and
+returns a :class:`HammerReport` with two disjoint views:
+
+* **timing** — requests/sec, p50/p99 request latency, per-HTTP-status
+  counts.  Wall-clock, different every run, for humans and job summaries.
+* **determinism** — per-session operation facts (kind, payload, handle
+  status, message/round/retry/latency counters, a SHA-256 digest over
+  the per-operation results) keyed by the *client-side* session index.
+  With a read-only mix these are independent of thread interleaving and
+  of the server-assigned session ids, so two hammer runs with the same
+  seed against the same seeded cluster must be **byte-identical** — the
+  CI serve-gate writes both to files and ``cmp``s them.
+
+The default mix is read-only (70% ``get`` on known ground-set keys,
+30% small ``range``) precisely so that property holds; ``mix="write"``
+adds inserts/deletes for soak-testing, at the documented cost of
+cross-session interleaving sensitivity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.workloads import uniform_keys
+
+
+def request_json(
+    base_url: str,
+    method: str,
+    path: str,
+    body: Any = None,
+    timeout: float = 10.0,
+) -> tuple[int, dict[str, Any]]:
+    """One JSON request; HTTP error codes return normally (code, body)."""
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    request = urllib.request.Request(
+        base_url.rstrip("/") + path,
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        raw = exc.read().decode("utf-8", errors="replace")
+        try:
+            parsed = json.loads(raw)
+        except json.JSONDecodeError:
+            parsed = {"error": "NonJsonBody", "message": raw, "status": exc.code}
+        return exc.code, parsed
+
+
+def wait_until_ready(base_url: str, timeout: float = 10.0) -> None:
+    """Poll ``/healthz`` until the server answers (or raise TimeoutError)."""
+    deadline = time.monotonic() + timeout
+    last_error: Exception | None = None
+    while time.monotonic() < deadline:
+        try:
+            code, _ = request_json(base_url, "GET", "/healthz", timeout=2.0)
+            if code == 200:
+                return
+        except (urllib.error.URLError, OSError, TimeoutError) as exc:
+            last_error = exc
+        time.sleep(0.05)
+    raise TimeoutError(f"server at {base_url} not ready after {timeout:.1f}s: {last_error}")
+
+
+@dataclass
+class _SessionRun:
+    """One worker thread's accumulated facts."""
+
+    index: int
+    session_id: str = ""
+    facts: list[dict[str, Any]] = field(default_factory=list)
+    http_counts: dict[int, int] = field(default_factory=dict)
+    latencies: list[float] = field(default_factory=list)
+    transport_errors: int = 0
+    final_snapshot: dict[str, Any] | None = None
+
+
+@dataclass
+class HammerReport:
+    """Everything one hammer run measured, split timing vs deterministic."""
+
+    url: str
+    cluster: str
+    sessions: int
+    ops_per_session: int
+    seed: int
+    mix: str
+    elapsed_secs: float
+    requests: int
+    requests_per_sec: float
+    latency_p50_ms: float
+    latency_p99_ms: float
+    by_http_status: dict[int, int]
+    by_op_status: dict[str, int]
+    transport_errors: int
+    session_rows: list[dict[str, Any]]
+    digest: str
+
+    @property
+    def all_ok(self) -> bool:
+        """No transport errors and every operation handle came back ok."""
+        bad = sum(count for status, count in self.by_op_status.items() if status != "ok")
+        return self.transport_errors == 0 and bad == 0
+
+    def deterministic_report(self) -> dict[str, Any]:
+        """The byte-identity view: no wall-clock, no server session ids."""
+        return {
+            "cluster": self.cluster,
+            "sessions": self.sessions,
+            "ops_per_session": self.ops_per_session,
+            "seed": self.seed,
+            "mix": self.mix,
+            "by_op_status": {
+                status: self.by_op_status[status]
+                for status in sorted(self.by_op_status)
+            },
+            "session_rows": self.session_rows,
+            "digest": self.digest,
+        }
+
+    def summary_rows(self) -> list[dict[str, Any]]:
+        """Human-facing table rows (CLI ``--format table|json|csv``)."""
+        return [
+            {
+                "sessions": self.sessions,
+                "ops": self.requests,
+                "requests_per_sec": round(self.requests_per_sec, 1),
+                "p50_ms": round(self.latency_p50_ms, 2),
+                "p99_ms": round(self.latency_p99_ms, 2),
+                "ok": self.by_op_status.get("ok", 0),
+                "degraded": sum(
+                    count
+                    for status, count in self.by_op_status.items()
+                    if status != "ok"
+                ),
+                "transport_errors": self.transport_errors,
+                "digest": self.digest[:12],
+            }
+        ]
+
+    def markdown(self) -> str:
+        """A GitHub job-summary table for the serve-gate."""
+        lines = [
+            "### serve-gate hammer",
+            "",
+            "| metric | value |",
+            "| --- | --- |",
+            f"| sessions x ops | {self.sessions} x {self.ops_per_session} |",
+            f"| requests | {self.requests} |",
+            f"| requests/sec | {self.requests_per_sec:.1f} |",
+            f"| p50 latency | {self.latency_p50_ms:.2f} ms |",
+            f"| p99 latency | {self.latency_p99_ms:.2f} ms |",
+            f"| transport errors | {self.transport_errors} |",
+            f"| result digest | `{self.digest[:16]}` |",
+        ]
+        for status in sorted(self.by_op_status):
+            lines.append(f"| status `{status}` | {self.by_op_status[status]} |")
+        return "\n".join(lines) + "\n"
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _drive_session(
+    base_url: str,
+    cluster: str,
+    run: _SessionRun,
+    ops: int,
+    seed: int,
+    mix: str,
+    keys: list[float],
+    low: float,
+    high: float,
+    timeout: float,
+) -> None:
+    rng = random.Random(f"{seed}:{run.index}")
+    for _ in range(ops):
+        roll = rng.random()
+        if mix == "write" and roll < 0.2:
+            op = "insert" if roll < 0.1 else "delete"
+            payload: Any = rng.choice(keys) if op == "delete" else rng.uniform(low, high)
+        elif roll < 0.7:
+            op, payload = "get", rng.choice(keys)
+        else:
+            a = rng.uniform(low, high)
+            b = a + rng.uniform(0.0, (high - low) * 0.01)
+            op, payload = "range", [a, min(b, high)]
+        body = {"cluster": cluster, "payload": payload, "session": run.session_id}
+        started = time.monotonic()
+        try:
+            code, answer = request_json(base_url, "POST", f"/ops/{op}", body, timeout=timeout)
+        except (urllib.error.URLError, OSError, TimeoutError):
+            run.transport_errors += 1
+            continue
+        run.latencies.append((time.monotonic() - started) * 1000.0)
+        run.http_counts[code] = run.http_counts.get(code, 0) + 1
+        run.facts.append(
+            {
+                "op": op,
+                "payload": payload,
+                "status": answer.get("status"),
+                "messages": answer.get("messages"),
+                "rounds": answer.get("rounds"),
+                "retries": answer.get("retries"),
+                "latency": answer.get("latency"),
+                "value": answer.get("value"),
+            }
+        )
+
+
+def run_hammer(
+    url: str,
+    *,
+    cluster: str = "default",
+    sessions: int = 4,
+    ops: int = 25,
+    seed: int = 0,
+    mix: str = "read",
+    items: int = 128,
+    key_seed: int = 0,
+    low: float = 0.0,
+    high: float = 1_000_000.0,
+    timeout: float = 10.0,
+    warmup: float = 10.0,
+) -> HammerReport:
+    """Drive ``sessions`` concurrent seeded sessions; see module docstring.
+
+    ``items``/``key_seed`` regenerate the served ground set client-side
+    (the same :func:`repro.workloads.uniform_keys` call the ``serve``
+    command uses), so read-mix ``get`` operations target known keys and a
+    healthy deployment answers every one ``ok``.
+    """
+    if mix not in ("read", "write"):
+        raise ValueError(f"unknown mix {mix!r}; expected 'read' or 'write'")
+    wait_until_ready(url, timeout=warmup)
+    keys = uniform_keys(items, seed=key_seed, low=low, high=high)
+    runs = [_SessionRun(index=index) for index in range(sessions)]
+    for run in runs:
+        code, body = request_json(url, "POST", "/sessions", {"cluster": cluster}, timeout=timeout)
+        if code != 201:
+            raise RuntimeError(f"could not open session: HTTP {code} {body}")
+        run.session_id = body["session"]
+    started = time.monotonic()
+    threads = [
+        threading.Thread(
+            target=_drive_session,
+            args=(url, cluster, run, ops, seed, mix, keys, low, high, timeout),
+            name=f"hammer-{run.index}",
+        )
+        for run in runs
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = max(time.monotonic() - started, 1e-9)
+    for run in runs:
+        code, snapshot = request_json(url, "DELETE", f"/sessions/{run.session_id}", timeout=timeout)
+        run.final_snapshot = snapshot if code == 200 else {"error": code}
+
+    session_rows = []
+    by_op_status: dict[str, int] = {}
+    by_http: dict[int, int] = {}
+    latencies: list[float] = []
+    transport_errors = 0
+    overall = hashlib.sha256()
+    for run in runs:
+        for fact in run.facts:
+            status = str(fact["status"])
+            by_op_status[status] = by_op_status.get(status, 0) + 1
+        for code, count in run.http_counts.items():
+            by_http[code] = by_http.get(code, 0) + count
+        latencies.extend(run.latencies)
+        transport_errors += run.transport_errors
+        digest = hashlib.sha256(json.dumps(run.facts, sort_keys=True).encode("utf-8")).hexdigest()
+        overall.update(digest.encode("ascii"))
+        snapshot = dict(run.final_snapshot or {})
+        # Server-assigned ids and open-flags are interleaving-dependent;
+        # the deterministic row is keyed by the client-side index.
+        snapshot.pop("session", None)
+        snapshot.pop("open", None)
+        session_rows.append({"session_index": run.index, "digest": digest, "window": snapshot})
+    requests_made = sum(by_http.values())
+    return HammerReport(
+        url=url,
+        cluster=cluster,
+        sessions=sessions,
+        ops_per_session=ops,
+        seed=seed,
+        mix=mix,
+        elapsed_secs=elapsed,
+        requests=requests_made,
+        requests_per_sec=requests_made / elapsed,
+        latency_p50_ms=_percentile(latencies, 0.50),
+        latency_p99_ms=_percentile(latencies, 0.99),
+        by_http_status={code: by_http[code] for code in sorted(by_http)},
+        by_op_status={status: by_op_status[status] for status in sorted(by_op_status)},
+        transport_errors=transport_errors,
+        session_rows=session_rows,
+        digest=overall.hexdigest(),
+    )

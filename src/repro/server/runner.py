@@ -1,0 +1,79 @@
+"""Hosting: a threading ``wsgiref`` server for the service layer.
+
+``wsgiref.simple_server`` is single-threaded by default, which would
+make the per-cluster serialization lock unobservable; mixing in
+:class:`socketserver.ThreadingMixIn` gives one daemon thread per request
+so concurrent sessions genuinely contend on the lock, exactly like the
+deployment the paper's congestion bounds describe.  Request logging is
+silenced (the load generator would otherwise drown stderr); errors still
+surface through the JSON error taxonomy, not the socket.
+"""
+
+from __future__ import annotations
+
+import threading
+from socketserver import ThreadingMixIn
+from typing import Callable
+from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
+
+
+class ThreadingWSGIServer(ThreadingMixIn, WSGIServer):
+    """One daemon thread per request; exits promptly with the process."""
+
+    daemon_threads = True
+    #: A backlog longer than the default 5 so hammer bursts never see
+    #: connection-refused on platforms with small listen queues.
+    request_queue_size = 64
+
+
+class QuietRequestHandler(WSGIRequestHandler):
+    """The stock handler minus per-request stderr logging."""
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+
+def make_http_server(app: Callable, host: str = "127.0.0.1", port: int = 0) -> WSGIServer:
+    """Bind the app; ``port=0`` asks the OS for a free port (see
+    ``server.server_address[1]`` for the one it picked)."""
+    return make_server(
+        host, port, app, server_class=ThreadingWSGIServer,
+        handler_class=QuietRequestHandler,
+    )
+
+
+def serve_background(
+    app: Callable, host: str = "127.0.0.1", port: int = 0
+) -> tuple[WSGIServer, threading.Thread]:
+    """Start serving on a daemon thread; caller owns ``server.shutdown()``."""
+    server = make_http_server(app, host, port)
+    thread = threading.Thread(target=server.serve_forever, name="repro-serve", daemon=True)
+    thread.start()
+    return server, thread
+
+
+def serve_forever(
+    app: Callable,
+    host: str = "127.0.0.1",
+    port: int = 8642,
+    ready_file: str | None = None,
+) -> None:
+    """Serve until interrupted; optionally announce the bound address.
+
+    ``ready_file`` (if given) receives one line, ``host:port``, *after*
+    the socket is bound — the CI gate and scripts poll it instead of
+    racing the listener, and it is how a ``--port 0`` caller learns the
+    OS-assigned port.
+    """
+    server = make_http_server(app, host, port)
+    bound_port = server.server_address[1]
+    if ready_file:
+        with open(ready_file, "w", encoding="utf-8") as handle:
+            handle.write(f"{host}:{bound_port}\n")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()

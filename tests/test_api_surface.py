@@ -16,7 +16,6 @@ and paste the output over the constants below.
 import inspect
 
 import repro.api as api
-from repro.api import Cluster
 from repro.api.results import OperationHandle
 
 EXPECTED_ALL = [
@@ -105,6 +104,12 @@ EXPECTED_SIGNATURES = {
     ),
     "Cluster.session": "(self) -> 'Iterator[ClusterSession]'",
     "Cluster.close": "(self) -> 'None'",
+    "OperationHandle.to_dict": (
+        "(self, include_value: 'bool' = True) -> 'dict[str, Any]'"
+    ),
+    "BatchReport.to_dict": (
+        "(self, include_values: 'bool' = True) -> 'dict[str, Any]'"
+    ),
     "Cluster.stats": "(self) -> 'ClusterStats'",
     "Cluster.congestion": "(self) -> 'Any'",
     "Cluster.round_congestion": "(self) -> 'RoundCongestionReport'",
@@ -148,8 +153,9 @@ EXPECTED_HANDLE_FIELDS = [
 def _actual_signatures() -> dict[str, str]:
     actual = {}
     for qualified in EXPECTED_SIGNATURES:
-        if qualified.startswith("Cluster."):
-            target = getattr(Cluster, qualified.split(".", 1)[1])
+        if "." in qualified:
+            owner_name, attribute = qualified.split(".", 1)
+            target = getattr(getattr(api, owner_name), attribute)
         else:
             target = getattr(api, qualified)
         actual[qualified] = str(inspect.signature(target))

@@ -330,15 +330,58 @@ class TestCli:
             main(["table1", "--faults", "0.1"])
 
     def test_cli_structures_lists_capability_columns(self, capsys):
+        # JSON rows carry the capability flags as real booleans, not the
+        # "yes"/"no" strings the human-facing table renders.
         assert main(["structures", "--format", "json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["rows"]
         for row in payload["rows"]:
             for column in ("range", "updates", "bulk_load", "shardable", "durable"):
-                assert row[column] in ("yes", "no")
+                assert isinstance(row[column], bool)
         chord = next(row for row in payload["rows"] if row["structure"] == "chord")
-        assert chord["range"] == "no"
-        assert chord["shardable"] == "yes"
+        assert chord["range"] is False
+        assert chord["shardable"] is True
+
+    def test_cli_structures_table_renders_yes_no(self, capsys):
+        assert main(["structures"]) == 0
+        out = capsys.readouterr().out
+        assert "yes" in out and "no" in out
+        assert "True" not in out and "False" not in out
+
+    def test_cli_structures_csv_round_trips_booleans(self, capsys):
+        assert main(["structures", "--format", "csv"]) == 0
+        reader = csv.DictReader(io.StringIO(capsys.readouterr().out))
+        rows = list(reader)
+        assert rows
+        for row in rows:
+            for column in ("range", "updates", "bulk_load", "shardable", "durable"):
+                assert row[column] in ("True", "False")
+
+    def test_cli_serve_and_hammer_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--items", "32", "--ready-file", "r.txt"]
+        )
+        assert args.experiment == "serve"
+        assert args.port == 0 and args.items == 32
+        args = build_parser().parse_args(
+            [
+                "hammer",
+                "--url",
+                "http://127.0.0.1:9",
+                "--sessions",
+                "2",
+                "--ops",
+                "5",
+                "--mix",
+                "read",
+                "--expect-ok",
+            ]
+        )
+        assert args.experiment == "hammer"
+        assert args.url == "http://127.0.0.1:9"
+        assert args.sessions == 2 and args.ops == 5 and args.expect_ok
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["hammer", "--mix", "chaotic"])
 
 
 class TestCliFormatRoundTrip:
